@@ -1,0 +1,205 @@
+//! HisMatch-lite (Li et al., 2022) — historical structure matching, reduced
+//! to its two-branch core:
+//!
+//! * a **candidate branch** encodes every entity's evolving state with the
+//!   shared RE-GCN-style recurrent encoder (the "background" history);
+//! * a **query branch** encodes the *query subject's own* historical
+//!   neighborhood sequence with a GRU (what has been happening to `s`);
+//! * a **matching head** fuses the query branch with the subject state and
+//!   the query relation, and scores candidates by inner product against the
+//!   candidate branch — reasoning as matching, HisMatch's distinctive
+//!   framing, rather than plain decoding.
+
+use logcl_gnn::GruCell;
+use logcl_tensor::nn::{Embedding, Linear, ParamSet};
+use logcl_tensor::optim::Adam;
+use logcl_tensor::{Rng, Tensor, Var};
+use logcl_tkg::quad::Quad;
+use logcl_tkg::{Snapshot, TkgDataset};
+
+use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+
+use crate::recurrent::RecurrentEncoder;
+use crate::util::{group_by_time, logits_to_rows};
+
+/// The HisMatch-lite model.
+pub struct HisMatch {
+    /// All trainable parameters.
+    pub params: ParamSet,
+    ent: Embedding,
+    rel: Embedding,
+    background: RecurrentEncoder,
+    query_gru: GruCell,
+    matcher: Linear,
+    /// History window length.
+    pub m: usize,
+    rng: Rng,
+}
+
+impl HisMatch {
+    /// Builds HisMatch-lite for `ds` with window `m`.
+    pub fn new(ds: &TkgDataset, dim: usize, m: usize, seed: u64) -> Self {
+        let mut rng = Rng::seed(seed);
+        let ent = Embedding::new(ds.num_entities, dim, &mut rng);
+        let rel = Embedding::new(ds.num_rels_with_inverse(), dim, &mut rng);
+        let background = RecurrentEncoder::new(dim, 2, 0.2, &mut rng);
+        let query_gru = GruCell::new(dim, &mut rng);
+        let matcher = Linear::new(3 * dim, dim, &mut rng);
+        let mut params = ParamSet::new();
+        ent.register(&mut params, "ent");
+        rel.register(&mut params, "rel");
+        background.register(&mut params, "background");
+        query_gru.register(&mut params, "query_gru");
+        matcher.register(&mut params, "matcher");
+        Self {
+            params,
+            ent,
+            rel,
+            background,
+            query_gru,
+            matcher,
+            m,
+            rng,
+        }
+    }
+
+    /// Per-subject neighborhood summary of one snapshot (mean of
+    /// `r_emb + o_emb` over the subject's outgoing facts).
+    fn neighborhood(&self, snap: &Snapshot, num_entities: usize) -> Var {
+        if snap.is_empty() {
+            return Var::constant(Tensor::zeros(&[num_entities, self.ent.dim()]));
+        }
+        let (s_idx, r_idx, o_idx) = snap.edge_index();
+        let msg = self.rel.lookup(&r_idx).add(&self.ent.lookup(&o_idx));
+        let mut counts = vec![0u32; num_entities];
+        for &s in &s_idx {
+            counts[s] += 1;
+        }
+        let inv: Vec<f32> = s_idx
+            .iter()
+            .map(|&s| 1.0 / counts[s].max(1) as f32)
+            .collect();
+        let weights = Var::constant(Tensor::from_vec(inv, &[s_idx.len(), 1]));
+        msg.mul(&weights).scatter_add_rows(&s_idx, num_entities)
+    }
+
+    fn logits(
+        &mut self,
+        snapshots: &[Snapshot],
+        queries: &[Quad],
+        t: usize,
+        training: bool,
+    ) -> Var {
+        let num_entities = self.ent.len();
+        let s: Vec<usize> = queries.iter().map(|q| q.s).collect();
+        let r: Vec<usize> = queries.iter().map(|q| q.r).collect();
+        let start = t.saturating_sub(self.m);
+
+        // Candidate branch: background evolution of every entity.
+        let bg = self.background.encode(
+            &self.ent.weight,
+            &self.rel.weight,
+            snapshots,
+            t,
+            self.m,
+            training,
+            &mut self.rng,
+        );
+
+        // Query branch: the subject's own neighborhood sequence.
+        let mut hidden = Var::constant(Tensor::zeros(&[num_entities, self.ent.dim()]));
+        for snap in &snapshots[start..t] {
+            let n = self.neighborhood(snap, num_entities);
+            hidden = self.query_gru.forward(&hidden, &n);
+        }
+        let q_hist = hidden.gather_rows(&s);
+
+        // Matching head: fuse query-side evidence, score against candidates.
+        let s_state = bg.h_final.gather_rows(&s);
+        let r_state = bg.rel_final.gather_rows(&r);
+        let fused = self
+            .matcher
+            .forward(&q_hist.concat_cols(&s_state).concat_cols(&r_state))
+            .tanh();
+        fused.matmul(&bg.h_final.transpose2())
+    }
+}
+
+impl TkgModel for HisMatch {
+    fn name(&self) -> String {
+        "HisMatch".into()
+    }
+
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+        let snapshots = ds.snapshots();
+        let by_time = group_by_time(&ds.train, ds.num_times);
+        let mut opt = Adam::new(&self.params, opts.lr);
+        for _ in 0..opts.epochs {
+            for (t, quads) in by_time.iter().enumerate().take(ds.train_end_time()) {
+                if quads.is_empty() {
+                    continue;
+                }
+                let targets1: Vec<usize> = quads.iter().map(|q| q.o).collect();
+                let loss1 = self
+                    .logits(&snapshots, quads, t, true)
+                    .cross_entropy(&targets1);
+                let inv: Vec<Quad> = quads.iter().map(|q| q.inverse(ds.num_rels)).collect();
+                let targets2: Vec<usize> = inv.iter().map(|q| q.o).collect();
+                let loss2 = self
+                    .logits(&snapshots, &inv, t, true)
+                    .cross_entropy(&targets2);
+                loss1.add(&loss2).backward();
+                opt.clip_and_step(opts.grad_clip);
+            }
+        }
+    }
+
+    fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let logits = self.logits(ctx.snapshots, queries, ctx.t, false);
+        logits_to_rows(&logits, queries.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_core::evaluate;
+    use logcl_tkg::SyntheticPreset;
+
+    #[test]
+    fn trains_above_untrained_self() {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        let mut model = HisMatch::new(&ds, 16, 3, 7);
+        let test = ds.test.clone();
+        let before = evaluate(&mut model, &ds, &test);
+        model.fit(&ds, &TrainOptions::epochs(4));
+        let after = evaluate(&mut model, &ds, &test);
+        assert!(
+            after.mrr > before.mrr + 2.0,
+            "{} -> {}",
+            before.mrr,
+            after.mrr
+        );
+    }
+
+    #[test]
+    fn branches_both_matter() {
+        // With zero history (t = 0) the query branch is all-zero, but the
+        // matcher must still produce finite scores.
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        let snaps = ds.snapshots();
+        let hist = logcl_tkg::HistoryIndex::new();
+        let mut model = HisMatch::new(&ds, 8, 3, 7);
+        let ctx = EvalContext {
+            ds: &ds,
+            snapshots: &snaps,
+            history: &hist,
+            t: 0,
+        };
+        let scores = model.score(&ctx, &[Quad::new(0, 0, 0, 0)]);
+        assert!(scores[0].iter().all(|v| v.is_finite()));
+    }
+}

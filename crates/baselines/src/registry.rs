@@ -1,0 +1,141 @@
+//! A uniform way for the experiment binaries to construct any model in the
+//! Table III roster.
+
+use logcl_core::api::TkgModel;
+use logcl_core::{LogCl, LogClConfig};
+use logcl_tkg::TkgDataset;
+
+use crate::{
+    CenLite, CenetLite, ConvTransEStatic, CyGNet, DistMult, HisMatch, ReGcn, ReNet, TTransE,
+    TirgnLite,
+};
+
+/// Every model the experiments can construct, in Table III row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// DistMult (static).
+    DistMult,
+    /// Conv-TransE (static).
+    ConvTransE,
+    /// TTransE (interpolation).
+    TTransE,
+    /// CyGNet (extrapolation, global copy).
+    CyGNet,
+    /// RE-NET-lite (extrapolation, neighborhood-sequence RNN).
+    ReNet,
+    /// RE-GCN (extrapolation, local recurrent).
+    ReGcn,
+    /// CEN-lite (extrapolation, multi-length local).
+    Cen,
+    /// TiRGN-lite (extrapolation, local + global).
+    Tirgn,
+    /// HisMatch-lite (extrapolation, historical structure matching).
+    HisMatchLite,
+    /// CENET-lite (extrapolation, contrastive copy).
+    Cenet,
+    /// LogCL — this paper.
+    LogCl,
+}
+
+impl BaselineKind {
+    /// The full Table III roster (LogCL last, like the paper).
+    pub const TABLE3: [BaselineKind; 11] = [
+        Self::DistMult,
+        Self::ConvTransE,
+        Self::TTransE,
+        Self::CyGNet,
+        Self::ReNet,
+        Self::ReGcn,
+        Self::Cen,
+        Self::Tirgn,
+        Self::HisMatchLite,
+        Self::Cenet,
+        Self::LogCl,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::DistMult => "DistMult",
+            Self::ConvTransE => "Conv-TransE",
+            Self::TTransE => "TTransE",
+            Self::CyGNet => "CyGNet",
+            Self::ReNet => "RE-NET",
+            Self::ReGcn => "RE-GCN",
+            Self::Cen => "CEN",
+            Self::Tirgn => "TiRGN",
+            Self::HisMatchLite => "HisMatch",
+            Self::Cenet => "CENET",
+            Self::LogCl => "LogCL",
+        }
+    }
+
+    /// Paper category, for table grouping.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Self::DistMult | Self::ConvTransE => "Static",
+            Self::TTransE => "Interpolation",
+            Self::LogCl => "Ours",
+            _ => "Extrapolation",
+        }
+    }
+
+    /// Builds the model for `ds` with shared size knobs. `m` is the local
+    /// window, `dim` the embedding width, `channels` the decoder kernels.
+    pub fn build(
+        &self,
+        ds: &TkgDataset,
+        dim: usize,
+        m: usize,
+        channels: usize,
+        seed: u64,
+    ) -> Box<dyn TkgModel> {
+        match self {
+            Self::DistMult => Box::new(DistMult::new(ds, dim, seed)),
+            Self::ConvTransE => Box::new(ConvTransEStatic::new(ds, dim, channels, seed)),
+            Self::TTransE => Box::new(TTransE::new(ds, dim, seed)),
+            Self::CyGNet => Box::new(CyGNet::new(ds, dim, 0.8, seed)),
+            Self::ReNet => Box::new(ReNet::new(ds, dim, m, seed)),
+            Self::ReGcn => Box::new(ReGcn::new(ds, dim, m, channels, seed)),
+            Self::Cen => Box::new(CenLite::new(ds, dim, m, channels, seed)),
+            Self::Tirgn => Box::new(TirgnLite::new(ds, dim, m, channels, seed)),
+            Self::HisMatchLite => Box::new(HisMatch::new(ds, dim, m, seed)),
+            Self::Cenet => Box::new(CenetLite::new(ds, dim, seed)),
+            Self::LogCl => {
+                let cfg = LogClConfig {
+                    dim,
+                    m,
+                    channels,
+                    seed,
+                    time_bank: (dim / 4).max(4),
+                    ..Default::default()
+                };
+                Box::new(LogCl::new(ds, cfg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tkg::SyntheticPreset;
+
+    #[test]
+    fn roster_builds_every_model() {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        for kind in BaselineKind::TABLE3 {
+            let model = kind.build(&ds, 8, 2, 3, 1);
+            assert_eq!(model.name(), kind.name());
+            assert!(!kind.category().is_empty());
+        }
+    }
+
+    #[test]
+    fn categories_match_paper_blocks() {
+        assert_eq!(BaselineKind::DistMult.category(), "Static");
+        assert_eq!(BaselineKind::TTransE.category(), "Interpolation");
+        assert_eq!(BaselineKind::ReGcn.category(), "Extrapolation");
+        assert_eq!(BaselineKind::LogCl.category(), "Ours");
+    }
+}

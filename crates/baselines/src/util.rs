@@ -1,0 +1,83 @@
+//! Shared training scaffolding for the baselines.
+
+use logcl_tensor::{Rng, Var};
+use logcl_tkg::quad::Quad;
+use logcl_tkg::TkgDataset;
+
+/// Groups quads by timestamp into a dense vector of length `num_times`.
+pub fn group_by_time(quads: &[Quad], num_times: usize) -> Vec<Vec<Quad>> {
+    let mut by_t: Vec<Vec<Quad>> = vec![Vec::new(); num_times];
+    for q in quads {
+        by_t[q.t].push(*q);
+    }
+    by_t
+}
+
+/// Both-direction training instances: every fact plus its inverse, shuffled.
+/// Static and interpolation models train on these directly (no timeline
+/// walk needed).
+pub fn bidirectional_instances(ds: &TkgDataset, rng: &mut Rng) -> Vec<Quad> {
+    let mut all = ds.with_inverses(&ds.train);
+    rng.shuffle(&mut all);
+    all
+}
+
+/// Splits instances into minibatches of at most `batch` quads.
+pub fn minibatches(quads: &[Quad], batch: usize) -> impl Iterator<Item = &[Quad]> {
+    quads.chunks(batch.max(1))
+}
+
+/// Extracts per-query score rows from a `[B, E]` logits variable.
+pub fn logits_to_rows(logits: &Var, n: usize) -> Vec<Vec<f32>> {
+    let t = logits.to_tensor();
+    (0..n).map(|i| t.row(i).to_vec()).collect()
+}
+
+/// Sum of squared entries per row of `ent` (`[E, D]`) as a `[1, E]`
+/// constant-friendly variable: `‖e_o‖²` terms for distance-based scorers.
+pub fn row_sq_norms(ent: &Var) -> Var {
+    let sq = ent.mul(ent);
+    let d = ent.shape()[1];
+    let ones = Var::constant(logcl_tensor::Tensor::ones(&[d, 1]));
+    sq.matmul(&ones).transpose2() // [1, E]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tensor::Tensor;
+
+    #[test]
+    fn grouping_and_batching() {
+        let quads = vec![
+            Quad::new(0, 0, 1, 0),
+            Quad::new(1, 0, 2, 0),
+            Quad::new(2, 0, 0, 1),
+        ];
+        let g = group_by_time(&quads, 3);
+        assert_eq!(g[0].len(), 2);
+        assert_eq!(g[1].len(), 1);
+        assert!(g[2].is_empty());
+        let batches: Vec<_> = minibatches(&quads, 2).collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 2);
+    }
+
+    #[test]
+    fn bidirectional_doubles_and_inverts() {
+        let ds =
+            TkgDataset::from_quads("t", 3, 2, (0..10).map(|t| Quad::new(0, 1, 2, t)).collect());
+        let mut rng = Rng::seed(1);
+        let inst = bidirectional_instances(&ds, &mut rng);
+        assert_eq!(inst.len(), ds.train.len() * 2);
+        assert!(inst.iter().any(|q| q.r == 3), "inverse relation present");
+    }
+
+    #[test]
+    fn row_sq_norms_values() {
+        let ent = Var::constant(Tensor::from_vec(vec![3.0, 4.0, 1.0, 0.0], &[2, 2]));
+        let n = row_sq_norms(&ent);
+        assert_eq!(n.shape(), vec![1, 2]);
+        assert_eq!(n.value().data(), &[25.0, 1.0]);
+    }
+}

@@ -1,0 +1,296 @@
+//! One Criterion benchmark per paper table/figure, measuring the core
+//! computational unit that experiment repeats (a training step, a scoring
+//! pass, a noisy forward, …) at micro scale. The *results* of each
+//! experiment are produced by the `experiments` binary; these benches track
+//! the cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logcl_baselines::{CyGNet, ReGcn, TirgnLite};
+use logcl_core::{ContrastStrategy, EvalContext, LogCl, LogClConfig, Phase, TkgModel};
+use logcl_gnn::AggregatorKind;
+use logcl_tkg::{HistoryIndex, NoiseSpec, SyntheticPreset, TkgDataset};
+
+struct Fixture {
+    ds: TkgDataset,
+    snapshots: Vec<logcl_tkg::Snapshot>,
+    history: HistoryIndex,
+    t: usize,
+    queries: Vec<logcl_tkg::Quad>,
+}
+
+fn fixture() -> Fixture {
+    let ds = SyntheticPreset::Icews14.generate_scaled(0.2);
+    let snapshots = ds.snapshots();
+    let t = ds.train_end_time() / 2;
+    let history = HistoryIndex::build(&snapshots[..t]);
+    let queries: Vec<_> = ds
+        .train
+        .iter()
+        .filter(|q| q.t == t)
+        .take(16)
+        .copied()
+        .collect();
+    Fixture {
+        ds,
+        snapshots,
+        history,
+        t,
+        queries,
+    }
+}
+
+fn tiny_cfg() -> LogClConfig {
+    LogClConfig {
+        dim: 32,
+        time_bank: 8,
+        channels: 8,
+        m: 3,
+        ..Default::default()
+    }
+}
+
+/// Table III: one full-roster scoring pass (the unit the main-results sweep
+/// repeats per model and timestamp).
+fn bench_table3(c: &mut Criterion) {
+    let f = fixture();
+    let mut logcl = LogCl::new(&f.ds, tiny_cfg());
+    let mut regcn = ReGcn::new(&f.ds, 32, 3, 8, 1);
+    let mut cygnet = CyGNet::new(&f.ds, 32, 0.8, 1);
+    c.bench_function("table3_score_pass_logcl", |b| {
+        b.iter(|| {
+            let ctx = EvalContext {
+                ds: &f.ds,
+                snapshots: &f.snapshots,
+                history: &f.history,
+                t: f.t,
+            };
+            std::hint::black_box(logcl.score(&ctx, &f.queries));
+        })
+    });
+    c.bench_function("table3_score_pass_regcn", |b| {
+        b.iter(|| {
+            let ctx = EvalContext {
+                ds: &f.ds,
+                snapshots: &f.snapshots,
+                history: &f.history,
+                t: f.t,
+            };
+            std::hint::black_box(regcn.score(&ctx, &f.queries));
+        })
+    });
+    c.bench_function("table3_score_pass_cygnet", |b| {
+        b.iter(|| {
+            let ctx = EvalContext {
+                ds: &f.ds,
+                snapshots: &f.snapshots,
+                history: &f.history,
+                t: f.t,
+            };
+            std::hint::black_box(cygnet.score(&ctx, &f.queries));
+        })
+    });
+}
+
+/// Table IV: the ablated forwards (what the ablation grid re-runs).
+fn bench_table4(c: &mut Criterion) {
+    let f = fixture();
+    for (label, cfg) in [
+        ("full", tiny_cfg()),
+        ("wo_global", tiny_cfg().without_global()),
+        ("wo_eatt", tiny_cfg().without_entity_attention()),
+    ] {
+        let mut model = LogCl::new(&f.ds, cfg);
+        c.bench_function(&format!("table4_forward_{label}"), |b| {
+            b.iter(|| {
+                let shared = model.encode(&f.snapshots, f.t, true);
+                std::hint::black_box(model.forward_queries(&shared, &f.history, &f.queries, true));
+            })
+        });
+    }
+}
+
+/// Table V: one forward per aggregator kind.
+fn bench_table5(c: &mut Criterion) {
+    let f = fixture();
+    for kind in AggregatorKind::ALL {
+        let cfg = LogClConfig {
+            aggregator: kind,
+            ..tiny_cfg()
+        };
+        let mut model = LogCl::new(&f.ds, cfg);
+        c.bench_function(&format!("table5_forward_{}", kind.name()), |b| {
+            b.iter(|| {
+                let shared = model.encode(&f.snapshots, f.t, true);
+                std::hint::black_box(model.forward_queries(&shared, &f.history, &f.queries, true));
+            })
+        });
+    }
+}
+
+/// Table VI: a top-k prediction (the case-study unit).
+fn bench_table6(c: &mut Criterion) {
+    let f = fixture();
+    let mut model = LogCl::new(&f.ds, tiny_cfg());
+    let q = f.queries[0];
+    c.bench_function("table6_predict_top5", |b| {
+        b.iter(|| {
+            std::hint::black_box(logcl_core::predict_topk(
+                &mut model, &f.ds, q.s, q.r, f.t, 5,
+            ))
+        })
+    });
+}
+
+/// Table VII: single-phase vs two-phase evaluation of one timestamp.
+fn bench_table7(c: &mut Criterion) {
+    let f = fixture();
+    let mut model = LogCl::new(&f.ds, tiny_cfg());
+    let quads: Vec<_> = f.queries.clone();
+    for (label, phase) in [("both", Phase::Both), ("fp", Phase::FirstOnly)] {
+        c.bench_function(&format!("table7_eval_{label}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(logcl_core::evaluate_with_phase(
+                    &mut model, &f.ds, &quads, phase, false,
+                ))
+            })
+        });
+    }
+}
+
+/// Figs. 2 & 5: a noisy forward pass (the robustness unit).
+fn bench_fig2_fig5(c: &mut Criterion) {
+    let f = fixture();
+    let mut clean = LogCl::new(&f.ds, tiny_cfg());
+    let mut noisy = LogCl::new(
+        &f.ds,
+        LogClConfig {
+            noise: NoiseSpec::with_std(1.0),
+            ..tiny_cfg()
+        },
+    );
+    let mut tirgn = TirgnLite::new(&f.ds, 32, 3, 8, 1);
+    tirgn.noise = NoiseSpec::with_std(1.0);
+    c.bench_function("fig5_forward_clean", |b| {
+        b.iter(|| {
+            let ctx = EvalContext {
+                ds: &f.ds,
+                snapshots: &f.snapshots,
+                history: &f.history,
+                t: f.t,
+            };
+            std::hint::black_box(clean.score(&ctx, &f.queries));
+        })
+    });
+    c.bench_function("fig2_forward_noisy_logcl", |b| {
+        b.iter(|| {
+            let ctx = EvalContext {
+                ds: &f.ds,
+                snapshots: &f.snapshots,
+                history: &f.history,
+                t: f.t,
+            };
+            std::hint::black_box(noisy.score(&ctx, &f.queries));
+        })
+    });
+    c.bench_function("fig2_forward_noisy_tirgn", |b| {
+        b.iter(|| {
+            let ctx = EvalContext {
+                ds: &f.ds,
+                snapshots: &f.snapshots,
+                history: &f.history,
+                t: f.t,
+            };
+            std::hint::black_box(tirgn.score(&ctx, &f.queries));
+        })
+    });
+}
+
+/// Fig. 6: global encoder depth 1 vs 3.
+fn bench_fig6(c: &mut Criterion) {
+    let f = fixture();
+    for layers in [1usize, 3] {
+        let cfg = LogClConfig {
+            global_layers: layers,
+            ..tiny_cfg()
+        };
+        let mut model = LogCl::new(&f.ds, cfg);
+        c.bench_function(&format!("fig6_forward_{layers}layers"), |b| {
+            b.iter(|| {
+                let shared = model.encode(&f.snapshots, f.t, true);
+                std::hint::black_box(model.forward_queries(&shared, &f.history, &f.queries, true));
+            })
+        });
+    }
+}
+
+/// Figs. 7 & 9: the contrastive loss under different strategies and
+/// temperatures.
+fn bench_fig7_fig9(c: &mut Criterion) {
+    let mut rng = logcl_tensor::Rng::seed(5);
+    let zl = logcl_tensor::Var::constant(logcl_tensor::Tensor::randn(&[64, 32], 1.0, &mut rng))
+        .l2_normalize_rows();
+    let zg = logcl_tensor::Var::constant(logcl_tensor::Tensor::randn(&[64, 32], 1.0, &mut rng))
+        .l2_normalize_rows();
+    for strategy in [ContrastStrategy::All, ContrastStrategy::Lg] {
+        c.bench_function(&format!("fig7_contrast_{}", strategy.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    logcl_core::contrast::contrastive_loss(&zl, &zg, 0.03, strategy).item(),
+                )
+            })
+        });
+    }
+    c.bench_function("fig9_contrast_tau_sweep_unit", |b| {
+        b.iter(|| {
+            for tau in [0.01f32, 0.07, 1.0] {
+                std::hint::black_box(
+                    logcl_core::contrast::contrastive_loss(&zl, &zg, tau, ContrastStrategy::Lg)
+                        .item(),
+                );
+            }
+        })
+    });
+}
+
+/// Fig. 8: the fusion at different λ.
+fn bench_fig8(c: &mut Criterion) {
+    let f = fixture();
+    for lambda in [0.0f32, 0.9] {
+        let cfg = LogClConfig {
+            lambda,
+            ..tiny_cfg()
+        };
+        let mut model = LogCl::new(&f.ds, cfg);
+        c.bench_function(&format!("fig8_forward_lambda{lambda:.1}"), |b| {
+            b.iter(|| {
+                let shared = model.encode(&f.snapshots, f.t, true);
+                std::hint::black_box(model.forward_queries(&shared, &f.history, &f.queries, true));
+            })
+        });
+    }
+}
+
+/// Fig. 10: one online adaptation step (the unit the online protocol adds).
+fn bench_fig10(c: &mut Criterion) {
+    let f = fixture();
+    let mut model = LogCl::new(&f.ds, tiny_cfg());
+    c.bench_function("fig10_online_update_step", |b| {
+        b.iter(|| {
+            let ctx = EvalContext {
+                ds: &f.ds,
+                snapshots: &f.snapshots,
+                history: &f.history,
+                t: f.t,
+            };
+            model.online_update(&ctx, &f.queries);
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_table3, bench_table4, bench_table5, bench_table6, bench_table7,
+              bench_fig2_fig5, bench_fig6, bench_fig7_fig9, bench_fig8, bench_fig10
+}
+criterion_main!(paper);

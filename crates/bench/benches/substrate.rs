@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the computational substrate: the kernels every
+//! experiment spends its time in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use logcl_gnn::aggregator::{AggregatorKind, EdgeBatch, RelGnn};
+use logcl_gnn::ConvTransE;
+use logcl_tensor::{Rng, Tensor, Var};
+use logcl_tkg::{HistoryIndex, SyntheticPreset};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed(1);
+    let a = Tensor::randn(&[128, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 128], 1.0, &mut rng);
+    c.bench_function("matmul_128x64x128", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_rgcn_forward_backward(c: &mut Criterion) {
+    let mut rng = Rng::seed(2);
+    let gnn = RelGnn::new(AggregatorKind::Rgcn, 64, 2, &mut rng);
+    let h = Var::param(Tensor::randn(&[300, 64], 0.3, &mut rng));
+    let rel = Var::param(Tensor::randn(&[48, 64], 0.3, &mut rng));
+    let s: Vec<usize> = (0..200).map(|i| i % 300).collect();
+    let r: Vec<usize> = (0..200).map(|i| i % 48).collect();
+    let o: Vec<usize> = (0..200).map(|i| (i * 7) % 300).collect();
+    let edges = EdgeBatch {
+        subjects: &s,
+        relations: &r,
+        objects: &o,
+        num_entities: 300,
+    };
+    c.bench_function("rgcn_2layer_fwd_bwd_300e_200edges", |bench| {
+        bench.iter(|| {
+            let out = gnn.forward(&h, &rel, &edges);
+            out.sum().backward();
+            h.zero_grad();
+            rel.zero_grad();
+        })
+    });
+}
+
+fn bench_conv_transe_decode(c: &mut Criterion) {
+    let mut rng = Rng::seed(3);
+    let dec = ConvTransE::new(64, 50, 0.0, &mut rng);
+    let e = Var::constant(Tensor::randn(&[64, 64], 0.3, &mut rng));
+    let r = Var::constant(Tensor::randn(&[64, 64], 0.3, &mut rng));
+    let ents = Var::constant(Tensor::randn(&[300, 64], 0.3, &mut rng));
+    c.bench_function("conv_transe_decode_b64_d64_k50", |bench| {
+        bench.iter(|| std::hint::black_box(dec.forward(&e, &r, &ents, false, &mut rng).to_tensor()))
+    });
+}
+
+fn bench_history_subgraph(c: &mut Criterion) {
+    let ds = SyntheticPreset::Icews14.generate_scaled(0.5);
+    let snaps = ds.snapshots();
+    let hist = HistoryIndex::build(&snaps[..snaps.len() / 2]);
+    let queries: Vec<(usize, usize)> = ds.train.iter().take(64).map(|q| (q.s, q.r)).collect();
+    c.bench_function("two_hop_query_subgraph_64q", |bench| {
+        bench.iter(|| {
+            for &(s, r) in &queries {
+                std::hint::black_box(hist.query_subgraph(s, r, 60));
+            }
+        })
+    });
+}
+
+fn bench_time_aware_ranking(c: &mut Criterion) {
+    let ds = SyntheticPreset::Icews14.generate_scaled(0.5);
+    let mut rng = Rng::seed(4);
+    let scores: Vec<Vec<f32>> = (0..64)
+        .map(|_| {
+            (0..ds.num_entities)
+                .map(|_| rng.uniform(0.0, 1.0))
+                .collect()
+        })
+        .collect();
+    let t = ds.test[0].t;
+    let truth = ds.facts_at(t);
+    let queries: Vec<_> = ds.test.iter().take(64).copied().collect();
+    c.bench_function("time_aware_rank_64q", |bench| {
+        bench.iter(|| {
+            for (q, s) in queries.iter().zip(&scores) {
+                std::hint::black_box(logcl_tkg::eval::rank_time_aware(s, q, &truth));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_matmul, bench_rgcn_forward_backward, bench_conv_transe_decode, bench_history_subgraph, bench_time_aware_ranking
+}
+criterion_main!(substrate);

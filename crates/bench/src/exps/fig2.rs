@@ -1,0 +1,79 @@
+//! Fig. 2 — the motivating robustness probe: RE-GCN, TiRGN and LogCL
+//! evaluated clean versus with Gaussian noise on the entity inputs, on the
+//! ICEWS14 and ICEWS18 stand-ins.
+
+use logcl_baselines::{ReGcn, TirgnLite};
+use logcl_core::{LogCl, LogClConfig, TkgModel};
+use logcl_tkg::{NoiseSpec, SyntheticPreset};
+
+use crate::common::{dump_json, fit_and_eval, presets, Row, RunConfig};
+
+const PRESETS: [SyntheticPreset; 2] = [SyntheticPreset::Icews14, SyntheticPreset::Icews18];
+const NOISE_STD: f32 = 1.0;
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    let mut rows = Vec::new();
+    println!("\n=== Fig. 2: MRR degradation under Gaussian noise (σ={NOISE_STD}) ===");
+    for preset in presets(cfg, &PRESETS) {
+        let ds = cfg.dataset(preset);
+        eprintln!("[fig2] {ds}");
+        println!("\n[{}]", preset.name());
+        println!(
+            "{:<10} {:>10} {:>10} {:>9}",
+            "model", "clean MRR", "noisy MRR", "drop %"
+        );
+        for which in ["RE-GCN", "TiRGN", "LogCL"] {
+            if !cfg.model_enabled(which) {
+                continue;
+            }
+            let mut results = Vec::new();
+            for noise in [NoiseSpec::CLEAN, NoiseSpec::with_std(NOISE_STD)] {
+                let mut model: Box<dyn TkgModel> = match which {
+                    "RE-GCN" => {
+                        let mut m =
+                            ReGcn::new(&ds, cfg.dim, cfg.window(preset), cfg.channels, cfg.seed);
+                        m.noise = noise;
+                        Box::new(m)
+                    }
+                    "TiRGN" => {
+                        let mut m = TirgnLite::new(
+                            &ds,
+                            cfg.dim,
+                            cfg.window(preset),
+                            cfg.channels,
+                            cfg.seed,
+                        );
+                        m.noise = noise;
+                        Box::new(m)
+                    }
+                    _ => {
+                        let config = LogClConfig {
+                            noise,
+                            ..cfg.logcl_config(preset)
+                        };
+                        Box::new(LogCl::new(&ds, config))
+                    }
+                };
+                let metrics = fit_and_eval(model.as_mut(), &ds, &cfg.train_options());
+                let tag = if noise.is_clean() { "clean" } else { "noisy" };
+                rows.push(Row::new(
+                    format!("{which} ({tag})"),
+                    preset.name(),
+                    &metrics,
+                ));
+                results.push(metrics.mrr);
+            }
+            let drop = 100.0 * (results[0] - results[1]) / results[0].max(1e-9);
+            println!(
+                "{:<10} {:>10.2} {:>10.2} {:>8.1}%",
+                which, results[0], results[1], drop
+            );
+        }
+    }
+    dump_json(cfg, "fig2", &rows);
+    println!(
+        "\nExpected shape (paper): all models degrade; RE-GCN collapses hardest, \
+         TiRGN less, LogCL least (its contrast module filters the noise)."
+    );
+}

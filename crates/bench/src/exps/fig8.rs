@@ -1,0 +1,38 @@
+//! Fig. 8 — the λ sweep: trading off local versus global representations
+//! in the decoder fusion (Eq. 19) on ICEWS14/18 stand-ins.
+//!
+//! λ is the *local* share (Fig. 8's orientation; see DESIGN.md on the
+//! paper's inconsistency): λ = 0 is purely global, λ = 1 purely local.
+
+use logcl_core::{LogCl, LogClConfig};
+use logcl_tkg::SyntheticPreset;
+
+use crate::common::{dump_json, fit_and_eval, presets, print_table, Row, RunConfig};
+
+const PRESETS: [SyntheticPreset; 2] = [SyntheticPreset::Icews14, SyntheticPreset::Icews18];
+const LAMBDAS: [f32; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    let mut rows = Vec::new();
+    for preset in presets(cfg, &PRESETS) {
+        let ds = cfg.dataset(preset);
+        eprintln!("[fig8] {ds}");
+        for lambda in LAMBDAS {
+            let config = LogClConfig {
+                lambda,
+                ..cfg.logcl_config(preset)
+            };
+            let mut model = LogCl::new(&ds, config);
+            let metrics = fit_and_eval(&mut model, &ds, &cfg.train_options());
+            rows.push(Row::new(format!("λ={lambda:.1}"), preset.name(), &metrics));
+        }
+    }
+    print_table("Fig. 8: λ (local share) sweep", &rows);
+    dump_json(cfg, "fig8", &rows);
+    println!(
+        "\nExpected shape (paper): performance rises then falls — neither pure \
+         local (λ=1) nor pure global (λ=0) wins; a high-but-not-total local \
+         share is best."
+    );
+}

@@ -1,0 +1,52 @@
+//! Table III — main results: MRR / Hits@1/3/10 for the whole model roster
+//! on all four benchmark stand-ins, time-aware filtered.
+
+use logcl_baselines::BaselineKind;
+use logcl_tkg::SyntheticPreset;
+
+use crate::common::{
+    dump_json, fit_and_eval, fit_tuned_logcl, mean_metrics, presets, print_table, Row, RunConfig,
+};
+use logcl_core::evaluate;
+
+/// Runs the experiment.
+pub fn run(cfg: &RunConfig) {
+    let mut rows = Vec::new();
+    for preset in presets(cfg, &SyntheticPreset::ALL) {
+        let ds = cfg.dataset(preset);
+        eprintln!("[table3] {ds}");
+        for kind in BaselineKind::TABLE3 {
+            if !cfg.model_enabled(kind.name()) {
+                continue;
+            }
+            let mut runs = Vec::with_capacity(cfg.seeds.len());
+            for &seed in &cfg.seeds {
+                let mut cfg_seed = cfg.clone();
+                cfg_seed.seed = seed;
+                let m = if kind == BaselineKind::LogCl && cfg.tune {
+                    let mut model =
+                        fit_tuned_logcl(&cfg_seed, &ds, preset, &cfg_seed.train_options());
+                    let m = evaluate(&mut model, &ds, &ds.test.clone());
+                    eprintln!("    LogCL (tuned, seed {seed}) on {}: {m}", ds.name);
+                    m
+                } else {
+                    let mut model = cfg_seed.build_baseline(kind, &ds, preset);
+                    fit_and_eval(model.as_mut(), &ds, &cfg_seed.train_options())
+                };
+                runs.push(m);
+            }
+            let metrics = mean_metrics(&runs);
+            rows.push(Row::new(
+                format!("{:<14} [{}]", kind.name(), kind.category()),
+                preset.name(),
+                &metrics,
+            ));
+        }
+    }
+    print_table("Table III: main results (time-aware filtered)", &rows);
+    dump_json(cfg, "table3", &rows);
+    println!(
+        "\nExpected shape (paper): Static < Interpolation < single-view \
+         extrapolation < local+global (TiRGN) < LogCL, on every dataset."
+    );
+}

@@ -1,0 +1,190 @@
+//! Flag parsing for the `logcl` CLI (kept dependency-free).
+
+use logcl_tkg::SyntheticPreset;
+
+/// Usage text shown by `logcl help` and on errors.
+pub const USAGE: &str = "\
+usage: logcl <command> [flags]
+
+commands:
+  generate   write a synthetic benchmark as TSV        (--preset, --scale, --out)
+  info       print dataset statistics                  (--data | --preset)
+  train      train a model and optionally save it      (--data | --preset, --model,
+                                                        --epochs, --dim, --m, --lr,
+                                                        --seed, --save)
+  eval       evaluate a trained or fresh model         (same as train, plus --load,
+                                                        --online, --phase fp|sp|both)
+  predict    top-k forecast for one query              (--load, --subject, --relation,
+                                                        --time, --topk, --inverse)
+  help       this text
+
+flags:
+  --data DIR        dataset directory (train/valid/test.txt TSV)
+  --preset NAME     synthetic preset: icews14 | icews18 | icews0515 | gdelt
+  --scale S         preset scale in (0, 1]           [default 1.0]
+  --out DIR         output directory for generate
+  --model NAME      logcl | regcn | cygnet | tirgn | cen | cenet | distmult |
+                    convtranse | ttranse                [default logcl]
+  --epochs N        training epochs                     [default 20]
+  --dim D           embedding width                     [default 64]
+  --m N             local history window                [default 4]
+  --lr F            learning rate                       [default 1e-3]
+  --seed K          RNG seed                            [default 42]
+  --save FILE       write the trained parameters (JSON) (logcl only)
+  --load FILE       read parameters before eval/predict (logcl only)
+  --online          Fig. 10 online adaptation during eval
+  --phase P         fp | sp | both                      [default both]
+  --subject NAME|ID --relation NAME|ID --time T --topk K --inverse";
+
+/// Parsed CLI options (superset across commands).
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    pub data: Option<String>,
+    pub preset: Option<SyntheticPreset>,
+    pub scale: f64,
+    pub out: Option<String>,
+    pub model: String,
+    pub epochs: usize,
+    pub dim: usize,
+    pub m: usize,
+    pub lr: f32,
+    pub seed: u64,
+    pub save: Option<String>,
+    pub load: Option<String>,
+    pub online: bool,
+    pub detailed: bool,
+    pub phase: String,
+    pub subject: Option<String>,
+    pub relation: Option<String>,
+    pub time: Option<usize>,
+    pub topk: usize,
+    pub inverse: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        Self {
+            data: None,
+            preset: None,
+            scale: 1.0,
+            out: None,
+            model: "logcl".into(),
+            epochs: 20,
+            dim: 64,
+            m: 4,
+            lr: 1e-3,
+            seed: 42,
+            save: None,
+            load: None,
+            online: false,
+            detailed: false,
+            phase: "both".into(),
+            subject: None,
+            relation: None,
+            time: None,
+            topk: 5,
+            inverse: false,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses `--flag value` pairs (and boolean flags).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut o = Self::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("missing value for {name}"))
+            };
+            match flag.as_str() {
+                "--data" => o.data = Some(value("--data")?),
+                "--preset" => o.preset = Some(parse_preset(&value("--preset")?)?),
+                "--scale" => o.scale = num(&value("--scale")?)?,
+                "--out" => o.out = Some(value("--out")?),
+                "--model" => o.model = value("--model")?.to_lowercase(),
+                "--epochs" => o.epochs = num(&value("--epochs")?)?,
+                "--dim" => o.dim = num(&value("--dim")?)?,
+                "--m" => o.m = num(&value("--m")?)?,
+                "--lr" => o.lr = num(&value("--lr")?)?,
+                "--seed" => o.seed = num(&value("--seed")?)?,
+                "--save" => o.save = Some(value("--save")?),
+                "--load" => o.load = Some(value("--load")?),
+                "--online" => o.online = true,
+                "--detailed" => o.detailed = true,
+                "--phase" => o.phase = value("--phase")?.to_lowercase(),
+                "--subject" => o.subject = Some(value("--subject")?),
+                "--relation" => o.relation = Some(value("--relation")?),
+                "--time" => o.time = Some(num(&value("--time")?)?),
+                "--topk" => o.topk = num(&value("--topk")?)?,
+                "--inverse" => o.inverse = true,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if !(0.0..=1.0).contains(&o.scale) || o.scale == 0.0 {
+            return Err("--scale must be in (0, 1]".into());
+        }
+        Ok(o)
+    }
+}
+
+fn parse_preset(name: &str) -> Result<SyntheticPreset, String> {
+    match name.to_lowercase().as_str() {
+        "icews14" => Ok(SyntheticPreset::Icews14),
+        "icews18" => Ok(SyntheticPreset::Icews18),
+        "icews0515" | "icews05-15" => Ok(SyntheticPreset::Icews0515),
+        "gdelt" => Ok(SyntheticPreset::Gdelt),
+        other => Err(format!("unknown preset {other}")),
+    }
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad number {s}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--preset",
+            "icews14",
+            "--epochs",
+            "7",
+            "--online",
+            "--subject",
+            "China",
+        ]))
+        .unwrap();
+        assert_eq!(o.preset, Some(SyntheticPreset::Icews14));
+        assert_eq!(o.epochs, 7);
+        assert!(o.online);
+        assert_eq!(o.subject.as_deref(), Some("China"));
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_bad_scale() {
+        assert!(CliOptions::parse(&strs(&["--bogus"])).is_err());
+        assert!(CliOptions::parse(&strs(&["--scale", "0"])).is_err());
+        assert!(CliOptions::parse(&strs(&["--scale", "2"])).is_err());
+        assert!(CliOptions::parse(&strs(&["--epochs"])).is_err());
+    }
+
+    #[test]
+    fn preset_aliases() {
+        assert!(parse_preset("ICEWS05-15").is_ok());
+        assert!(parse_preset("gdelt").is_ok());
+        assert!(parse_preset("wikidata").is_err());
+    }
+}

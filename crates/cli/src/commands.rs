@@ -1,0 +1,327 @@
+//! Command implementations for the `logcl` CLI.
+
+use logcl_baselines::BaselineKind;
+use logcl_core::{
+    evaluate_detailed, evaluate_online, evaluate_with_phase, predict_topk, LogCl, LogClConfig,
+    Phase, TkgModel, TrainOptions,
+};
+use logcl_tkg::TkgDataset;
+
+use crate::args::CliOptions;
+
+/// Loads the dataset named by `--data` or `--preset`.
+fn dataset(opts: &CliOptions) -> Result<TkgDataset, String> {
+    match (&opts.data, opts.preset) {
+        (Some(dir), _) => TkgDataset::load_tsv_dir(dir, dir).map_err(|e| e.to_string()),
+        (None, Some(preset)) => Ok(preset.generate_scaled(opts.scale)),
+        (None, None) => Err("provide --data DIR or --preset NAME".into()),
+    }
+}
+
+fn logcl_config(opts: &CliOptions) -> LogClConfig {
+    LogClConfig {
+        dim: opts.dim,
+        time_bank: (opts.dim / 4).max(4),
+        m: opts.m,
+        seed: opts.seed,
+        ..Default::default()
+    }
+}
+
+fn build_model(opts: &CliOptions, ds: &TkgDataset) -> Result<Box<dyn TkgModel>, String> {
+    let kind = match opts.model.as_str() {
+        "logcl" => return Ok(Box::new(LogCl::new(ds, logcl_config(opts)))),
+        "regcn" | "re-gcn" => BaselineKind::ReGcn,
+        "renet" | "re-net" => BaselineKind::ReNet,
+        "cygnet" => BaselineKind::CyGNet,
+        "tirgn" => BaselineKind::Tirgn,
+        "hismatch" => BaselineKind::HisMatchLite,
+        "cen" => BaselineKind::Cen,
+        "cenet" => BaselineKind::Cenet,
+        "distmult" => BaselineKind::DistMult,
+        "convtranse" | "conv-transe" => BaselineKind::ConvTransE,
+        "ttranse" => BaselineKind::TTransE,
+        other => return Err(format!("unknown model {other}")),
+    };
+    Ok(kind.build(ds, opts.dim, opts.m, 50, opts.seed))
+}
+
+fn train_options(opts: &CliOptions) -> TrainOptions {
+    TrainOptions {
+        epochs: opts.epochs,
+        lr: opts.lr,
+        verbose: true,
+        ..Default::default()
+    }
+}
+
+fn phase(opts: &CliOptions) -> Result<Phase, String> {
+    match opts.phase.as_str() {
+        "both" => Ok(Phase::Both),
+        "fp" => Ok(Phase::FirstOnly),
+        "sp" => Ok(Phase::SecondOnly),
+        other => Err(format!("unknown phase {other} (use fp|sp|both)")),
+    }
+}
+
+/// `logcl generate`: write a synthetic benchmark as TSV.
+pub fn generate(opts: &CliOptions) -> Result<(), String> {
+    let preset = opts.preset.ok_or("generate needs --preset")?;
+    let out = opts.out.as_deref().ok_or("generate needs --out DIR")?;
+    let ds = preset.generate_scaled(opts.scale);
+    ds.save_tsv_dir(out).map_err(|e| e.to_string())?;
+    println!("wrote {ds} to {out}");
+    Ok(())
+}
+
+/// `logcl info`: dataset statistics, Table II style.
+pub fn info(opts: &CliOptions) -> Result<(), String> {
+    let ds = dataset(opts)?;
+    println!("{ds}");
+    println!("  relations incl. inverses: {}", ds.num_rels_with_inverse());
+    let snaps = ds.snapshots();
+    let nonempty = snaps.iter().filter(|s| !s.is_empty()).count();
+    let mean_facts =
+        snaps.iter().map(|s| s.len()).sum::<usize>() as f64 / snaps.len().max(1) as f64;
+    println!(
+        "  snapshots: {} ({} non-empty, mean {:.1} facts incl. inverses)",
+        snaps.len(),
+        nonempty,
+        mean_facts
+    );
+    // Repetition rate: share of test facts whose triple occurred before.
+    let seen: std::collections::HashSet<_> = ds
+        .train
+        .iter()
+        .chain(&ds.valid)
+        .map(|q| q.triple())
+        .collect();
+    if !ds.test.is_empty() {
+        let rep = ds
+            .test
+            .iter()
+            .filter(|q| seen.contains(&q.triple()))
+            .count();
+        println!(
+            "  test repetition rate: {:.1}%",
+            100.0 * rep as f64 / ds.test.len() as f64
+        );
+    }
+    Ok(())
+}
+
+/// `logcl train`: fit a model, report test metrics, optionally save.
+pub fn train(opts: &CliOptions) -> Result<(), String> {
+    let ds = dataset(opts)?;
+    println!("dataset: {ds}");
+    if opts.save.is_some() && opts.model != "logcl" {
+        return Err("--save currently supports the logcl model".into());
+    }
+    let t0 = std::time::Instant::now();
+    if opts.model == "logcl" {
+        let mut model = LogCl::new(&ds, logcl_config(opts));
+        model.fit(&ds, &train_options(opts));
+        println!(
+            "trained {} in {:.1}s",
+            model.name(),
+            t0.elapsed().as_secs_f64()
+        );
+        let metrics = evaluate_with_phase(&mut model, &ds, &ds.test.clone(), Phase::Both, false);
+        println!("test: {metrics}");
+        if let Some(path) = &opts.save {
+            logcl_tensor::serialize::save(&model.params, path).map_err(|e| e.to_string())?;
+            println!("saved parameters to {path}");
+        }
+    } else {
+        let mut model = build_model(opts, &ds)?;
+        model.fit(&ds, &train_options(opts));
+        println!(
+            "trained {} in {:.1}s",
+            model.name(),
+            t0.elapsed().as_secs_f64()
+        );
+        let metrics =
+            evaluate_with_phase(model.as_mut(), &ds, &ds.test.clone(), Phase::Both, false);
+        println!("test: {metrics}");
+    }
+    Ok(())
+}
+
+/// `logcl eval`: evaluate a (possibly loaded) model.
+pub fn eval(opts: &CliOptions) -> Result<(), String> {
+    let ds = dataset(opts)?;
+    println!("dataset: {ds}");
+    if opts.model == "logcl" {
+        let mut model = LogCl::new(&ds, logcl_config(opts));
+        match &opts.load {
+            Some(path) => {
+                logcl_tensor::serialize::load(&model.params, path).map_err(|e| e.to_string())?;
+                println!("loaded parameters from {path}");
+            }
+            None => model.fit(&ds, &train_options(opts)),
+        }
+        if opts.detailed {
+            let report = evaluate_detailed(&mut model, &ds, &ds.test.clone());
+            println!("{report}");
+            return Ok(());
+        }
+        let metrics = if opts.online {
+            evaluate_online(&mut model, &ds, &ds.test.clone())
+        } else {
+            evaluate_with_phase(&mut model, &ds, &ds.test.clone(), phase(opts)?, false)
+        };
+        println!("test: {metrics}");
+    } else {
+        let mut model = build_model(opts, &ds)?;
+        model.fit(&ds, &train_options(opts));
+        if opts.detailed {
+            let report = evaluate_detailed(model.as_mut(), &ds, &ds.test.clone());
+            println!("{report}");
+            return Ok(());
+        }
+        let metrics = if opts.online {
+            evaluate_online(model.as_mut(), &ds, &ds.test.clone())
+        } else {
+            evaluate_with_phase(model.as_mut(), &ds, &ds.test.clone(), phase(opts)?, false)
+        };
+        println!("test: {metrics}");
+    }
+    Ok(())
+}
+
+/// Resolves an entity or relation given by name or numeric id.
+fn resolve(
+    input: &str,
+    by_name: impl Fn(&str) -> Option<usize>,
+    limit: usize,
+) -> Result<usize, String> {
+    if let Some(id) = by_name(input) {
+        return Ok(id);
+    }
+    let id: usize = input
+        .parse()
+        .map_err(|_| format!("unknown name or id: {input}"))?;
+    if id >= limit {
+        return Err(format!("id {id} out of range (< {limit})"));
+    }
+    Ok(id)
+}
+
+/// `logcl predict`: top-k forecast for one query.
+pub fn predict(opts: &CliOptions) -> Result<(), String> {
+    let ds = dataset(opts)?;
+    let subject = resolve(
+        opts.subject.as_deref().ok_or("predict needs --subject")?,
+        |n| ds.entity_by_name(n),
+        ds.num_entities,
+    )?;
+    let mut relation = resolve(
+        opts.relation.as_deref().ok_or("predict needs --relation")?,
+        |n| ds.rel_by_name(n),
+        ds.num_rels_with_inverse(),
+    )?;
+    if opts.inverse {
+        relation += ds.num_rels;
+    }
+    let t = opts.time.unwrap_or(ds.num_times);
+
+    let mut model = LogCl::new(&ds, logcl_config(opts));
+    match &opts.load {
+        Some(path) => {
+            logcl_tensor::serialize::load(&model.params, path).map_err(|e| e.to_string())?
+        }
+        None => model.fit(&ds, &train_options(opts)),
+    }
+    println!(
+        "query: ({}, {}, ?, t={t})",
+        ds.entity_name(subject),
+        ds.rel_name(relation)
+    );
+    for p in predict_topk(&mut model, &ds, subject, relation, t, opts.topk) {
+        println!("  {:<30} {:.3}", p.name, p.probability);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::CliOptions;
+
+    fn opts(extra: &[&str]) -> CliOptions {
+        let mut args = vec![
+            "--preset".to_string(),
+            "icews14".to_string(),
+            "--scale".to_string(),
+            "0.15".to_string(),
+            "--dim".to_string(),
+            "8".to_string(),
+            "--m".to_string(),
+            "2".to_string(),
+            "--epochs".to_string(),
+            "1".to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        CliOptions::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn generate_info_round_trip() {
+        let dir = std::env::temp_dir().join("logcl-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("ds").to_string_lossy().to_string();
+        let mut o = opts(&[]);
+        o.out = Some(out.clone());
+        generate(&o).unwrap();
+        let mut o2 = opts(&[]);
+        o2.preset = None;
+        o2.data = Some(out);
+        info(&o2).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn train_save_then_eval_load() {
+        let dir = std::env::temp_dir().join("logcl-cli-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("m.json").to_string_lossy().to_string();
+        let mut o = opts(&[]);
+        o.save = Some(ckpt.clone());
+        train(&o).unwrap();
+        let mut o2 = opts(&[]);
+        o2.load = Some(ckpt);
+        eval(&o2).unwrap();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn predict_resolves_names() {
+        let o = opts(&[
+            "--subject",
+            "China",
+            "--relation",
+            "0",
+            "--topk",
+            "3",
+            "--time",
+            "5",
+        ]);
+        predict(&o).unwrap();
+    }
+
+    #[test]
+    fn unknown_model_is_an_error() {
+        let mut o = opts(&[]);
+        o.model = "alexnet".into();
+        assert!(train(&o).is_err());
+    }
+
+    #[test]
+    fn baseline_models_train_via_cli() {
+        for model in ["distmult", "cygnet"] {
+            let mut o = opts(&[]);
+            o.model = model.into();
+            train(&o).unwrap();
+        }
+    }
+}

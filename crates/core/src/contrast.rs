@@ -1,0 +1,125 @@
+//! The local–global query contrast module (Section III-E).
+//!
+//! Local and global query projections `z_t`, `z_g` (Eq. 15–16, unit-sphere
+//! MLP heads) are contrasted with the supervised InfoNCE loss of Eq. 17:
+//! for anchor view A and candidate view B, the positive of query `i` is the
+//! same query's representation in B, every other query is a negative. The
+//! four strategies `L_lg, L_gl, L_ll, L_gg` differ only in which views play
+//! anchor and candidate; the full model averages all four.
+
+use logcl_tensor::Var;
+
+use crate::config::ContrastStrategy;
+
+/// One InfoNCE term (Eq. 17): cross-entropy of the row-wise similarity
+/// matrix `anchor · candidateᵀ / τ` against the identity alignment.
+///
+/// Degenerate batches (fewer than 2 queries) contribute zero loss — with a
+/// single query there are no negatives to contrast against.
+pub fn info_nce(anchor: &Var, candidate: &Var, tau: f32) -> Var {
+    let b = anchor.shape()[0];
+    assert_eq!(candidate.shape()[0], b, "contrast views must align");
+    if b < 2 {
+        return Var::scalar(0.0);
+    }
+    let sim = anchor.matmul(&candidate.transpose2()).scale(1.0 / tau);
+    let targets: Vec<usize> = (0..b).collect();
+    sim.cross_entropy(&targets)
+}
+
+/// The combined contrastive loss `L_cl` for a strategy.
+pub fn contrastive_loss(
+    z_local: &Var,
+    z_global: &Var,
+    tau: f32,
+    strategy: ContrastStrategy,
+) -> Var {
+    match strategy {
+        ContrastStrategy::Lg => info_nce(z_local, z_global, tau),
+        ContrastStrategy::Gl => info_nce(z_global, z_local, tau),
+        ContrastStrategy::Ll => info_nce(z_local, z_local, tau),
+        ContrastStrategy::Gg => info_nce(z_global, z_global, tau),
+        ContrastStrategy::All => {
+            let lg = info_nce(z_local, z_global, tau);
+            let gl = info_nce(z_global, z_local, tau);
+            let ll = info_nce(z_local, z_local, tau);
+            let gg = info_nce(z_global, z_global, tau);
+            lg.add(&gl).add(&ll).add(&gg).scale(0.25)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tensor::{Rng, Tensor};
+
+    fn unit_rows(data: Vec<f32>, n: usize, d: usize) -> Var {
+        Var::constant(Tensor::from_vec(data, &[n, d]))
+            .l2_normalize_rows()
+            .detach()
+    }
+
+    #[test]
+    fn aligned_views_have_lower_loss_than_misaligned() {
+        // Aligned: z_l == z_g rowwise. Misaligned: rows permuted.
+        let zl = unit_rows(vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.5], 3, 2);
+        let zg_aligned = zl.clone();
+        let zg_shuffled = unit_rows(vec![0.0, 1.0, -1.0, 0.5, 1.0, 0.0], 3, 2);
+        let aligned = info_nce(&zl, &zg_aligned, 0.1).item();
+        let shuffled = info_nce(&zl, &zg_shuffled, 0.1).item();
+        assert!(aligned < shuffled, "{aligned} vs {shuffled}");
+    }
+
+    #[test]
+    fn single_query_batch_is_zero() {
+        let z = unit_rows(vec![1.0, 0.0], 1, 2);
+        assert_eq!(info_nce(&z, &z, 0.1).item(), 0.0);
+    }
+
+    #[test]
+    fn all_strategy_averages_four_terms() {
+        let mut rng = Rng::seed(121);
+        let zl = Var::constant(Tensor::randn(&[4, 6], 1.0, &mut rng)).l2_normalize_rows();
+        let zg = Var::constant(Tensor::randn(&[4, 6], 1.0, &mut rng)).l2_normalize_rows();
+        let all = contrastive_loss(&zl, &zg, 0.1, ContrastStrategy::All).item();
+        let sum: f32 = ContrastStrategy::SINGLES
+            .iter()
+            .map(|&s| contrastive_loss(&zl, &zg, 0.1, s).item())
+            .sum();
+        assert!((all - sum / 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_trains_views_together() {
+        // Gradient descent on the contrastive loss should pull matching
+        // pairs together: after optimisation, L decreases.
+        let mut rng = Rng::seed(122);
+        let mut params = logcl_tensor::nn::ParamSet::new();
+        let a = params.new_param("a", Tensor::randn(&[5, 4], 1.0, &mut rng));
+        let b = params.new_param("b", Tensor::randn(&[5, 4], 1.0, &mut rng));
+        let mut opt = logcl_tensor::optim::Adam::new(&params, 0.05);
+        let loss_at =
+            |a: &Var, b: &Var| info_nce(&a.l2_normalize_rows(), &b.l2_normalize_rows(), 0.2).item();
+        let before = loss_at(&a, &b);
+        for _ in 0..60 {
+            let loss = info_nce(&a.l2_normalize_rows(), &b.l2_normalize_rows(), 0.2);
+            loss.backward();
+            opt.step();
+        }
+        let after = loss_at(&a, &b);
+        assert!(after < before * 0.5, "{before} -> {after}");
+    }
+
+    #[test]
+    fn temperature_sharpens_loss() {
+        let mut rng = Rng::seed(123);
+        let zl = Var::constant(Tensor::randn(&[6, 4], 1.0, &mut rng)).l2_normalize_rows();
+        let lo = contrastive_loss(&zl, &zl, 0.02, ContrastStrategy::Lg).item();
+        let hi = contrastive_loss(&zl, &zl, 1.0, ContrastStrategy::Lg).item();
+        // With identical views, low temperature makes the positive dominate
+        // (loss → 0); high temperature flattens the softmax (loss → ln B).
+        assert!(lo < hi);
+        assert!(lo.is_finite() && hi.is_finite());
+    }
+}

@@ -1,0 +1,33 @@
+//! # logcl-core
+//!
+//! The LogCL model (ICDE 2024) and its training/evaluation harness:
+//!
+//! * [`config::LogClConfig`] — hyper-parameters plus the ablation switches
+//!   that realise every Table IV/V variant.
+//! * [`model::LogCl`] — the full encoder–decoder: local entity-aware
+//!   attention recurrent encoder, global entity-aware attention encoder,
+//!   local–global query contrast module and ConvTransE decoder.
+//! * [`api::TkgModel`] — the trait every model (LogCL and the baselines in
+//!   `logcl-baselines`) implements, plus the shared two-phase evaluation
+//!   driver with time-aware filtered metrics.
+//! * [`trainer`] — offline training (two-phase forward propagation, Adam)
+//!   and the online-update protocol of Fig. 10.
+//! * [`predict`] — top-k readable predictions for the Table VI case study.
+
+pub mod api;
+pub mod config;
+pub mod contrast;
+pub mod diagnostics;
+pub mod global_encoder;
+pub mod local_encoder;
+pub mod model;
+pub mod predict;
+pub mod static_graph;
+pub mod trainer;
+
+pub use api::{evaluate, evaluate_with_phase, EvalContext, Phase, TkgModel, TrainOptions};
+pub use config::{ContrastStrategy, LogClConfig};
+pub use diagnostics::{evaluate_detailed, DetailedReport};
+pub use model::LogCl;
+pub use predict::{predict_topk, Prediction};
+pub use trainer::{evaluate_online, TrainReport};

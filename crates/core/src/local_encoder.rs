@@ -1,0 +1,236 @@
+//! The local entity-aware attention recurrent encoder (Section III-C).
+//!
+//! For each of the last `m` snapshots before the query time, entities are
+//! (1) fused with a periodic encoding of the interval to the query time
+//! (Eq. 2–3), (2) aggregated over concurrent facts by a relational GNN
+//! (Eq. 4), and (3) evolved through an entity GRU (Eq. 5) while relations
+//! evolve through mean pooling + a time gate (Eq. 6–8). Entity-aware
+//! attention (Eq. 9–11) then forms per-query representations that weight
+//! past snapshots by their relevance to the query.
+
+use logcl_gnn::aggregator::EdgeBatch;
+use logcl_gnn::attention::mean_relation_per_query;
+use logcl_gnn::{GruCell, LocalEntityAttention, RelGnn, RelationEvolution, TimeEncoder};
+use logcl_tensor::nn::{dropout, ParamSet};
+use logcl_tensor::{Rng, Var};
+use logcl_tkg::Snapshot;
+
+use crate::config::LogClConfig;
+
+/// The outputs of one local encoding pass over the last `m` snapshots.
+pub struct LocalEncoding {
+    /// Evolved entity matrix `H_{t_q}` (`[E, D]`).
+    pub h_final: Var,
+    /// Evolved relation matrix `R_{t_q}` (`[2R, D]`).
+    pub rel_final: Var,
+    /// Post-aggregation entity matrices, one per processed snapshot
+    /// (oldest first).
+    pub aggs: Vec<Var>,
+    /// Post-evolution entity matrices, aligned with `aggs`.
+    pub evolved: Vec<Var>,
+}
+
+/// The recurrent encoder.
+pub struct LocalEncoder {
+    time_enc: TimeEncoder,
+    gnn: RelGnn,
+    gru: GruCell,
+    rel_evo: RelationEvolution,
+    att: LocalEntityAttention,
+    dropout_p: f32,
+}
+
+impl LocalEncoder {
+    /// Builds the encoder from the model configuration.
+    pub fn new(cfg: &LogClConfig, rng: &mut Rng) -> Self {
+        Self {
+            time_enc: TimeEncoder::new(cfg.dim, cfg.time_bank, rng),
+            gnn: RelGnn::new(cfg.aggregator, cfg.dim, cfg.local_layers, rng),
+            gru: GruCell::new(cfg.dim, rng),
+            rel_evo: RelationEvolution::new(cfg.dim, rng),
+            att: LocalEntityAttention::new(cfg.dim, rng),
+            dropout_p: cfg.dropout,
+        }
+    }
+
+    /// Runs the aggregation + evolution pipeline over snapshots
+    /// `t_q − m .. t_q − 1` (clipped at 0).
+    ///
+    /// `h0` / `rel0` are the initial (possibly noise-perturbed) embeddings;
+    /// `num_entities` anchors the scatter target size.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // t drives both indexing and the interval d
+    pub fn encode(
+        &self,
+        h0: &Var,
+        rel0: &Var,
+        snapshots: &[Snapshot],
+        t_q: usize,
+        m: usize,
+        training: bool,
+        rng: &mut Rng,
+    ) -> LocalEncoding {
+        let num_entities = h0.shape()[0];
+        let start = t_q.saturating_sub(m);
+        let mut h = h0.clone();
+        let mut rel = rel0.clone();
+        let mut aggs = Vec::with_capacity(t_q - start);
+        let mut evolved = Vec::with_capacity(t_q - start);
+        for t in start..t_q {
+            let snap = &snapshots[t];
+            let d = (t_q - t) as f32;
+            let h_dyn = self.time_enc.forward(&h, d); // Eq. 2–3
+            let (s_idx, r_idx, o_idx) = snap.edge_index();
+            let edges = EdgeBatch {
+                subjects: &s_idx,
+                relations: &r_idx,
+                objects: &o_idx,
+                num_entities,
+            };
+            let h_agg = self.gnn.forward(&h_dyn, &rel, &edges); // Eq. 4
+            let h_agg = dropout(&h_agg, self.dropout_p, training, rng);
+            h = self.gru.forward(&h, &h_agg); // Eq. 5
+            rel = self.rel_evo.forward(&rel, rel0, &h, &s_idx, &r_idx); // Eq. 6–8
+            aggs.push(h_agg);
+            evolved.push(h.clone());
+        }
+        LocalEncoding {
+            h_final: h,
+            rel_final: rel,
+            aggs,
+            evolved,
+        }
+    }
+
+    /// Per-query local representations (Eq. 9–11). With entity-aware
+    /// attention disabled (LogCL-w/o-eatt) the representation is simply the
+    /// subject's final evolved state.
+    pub fn query_representation(
+        &self,
+        enc: &LocalEncoding,
+        subjects: &[usize],
+        rels: &[usize],
+        use_entity_attention: bool,
+    ) -> Var {
+        let h_now = enc.h_final.gather_rows(subjects);
+        if !use_entity_attention || enc.aggs.len() < 2 {
+            return h_now;
+        }
+        let r_mean = mean_relation_per_query(&enc.rel_final, subjects, rels);
+        // Past steps: all but the last processed snapshot (the last evolved
+        // state *is* h_now's matrix).
+        let past = enc.aggs.len() - 1;
+        let agg_rows: Vec<Var> = enc.aggs[..past]
+            .iter()
+            .map(|a| a.gather_rows(subjects))
+            .collect();
+        let ev_rows: Vec<Var> = enc.evolved[..past]
+            .iter()
+            .map(|e| e.gather_rows(subjects))
+            .collect();
+        self.att.forward(&h_now, &r_mean, &agg_rows, &ev_rows)
+    }
+
+    /// Registers every sub-module's parameters.
+    pub fn register(&self, params: &mut ParamSet, prefix: &str) {
+        self.time_enc.register(params, &format!("{prefix}.time"));
+        self.gnn.register(params, &format!("{prefix}.gnn"));
+        self.gru.register(params, &format!("{prefix}.gru"));
+        self.rel_evo.register(params, &format!("{prefix}.rel_evo"));
+        self.att.register(params, &format!("{prefix}.att"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tensor::Tensor;
+    use logcl_tkg::Quad;
+
+    fn toy_snapshots() -> Vec<Snapshot> {
+        let quads = vec![
+            Quad::new(0, 0, 1, 0),
+            Quad::new(1, 1, 2, 0),
+            Quad::new(2, 0, 3, 1),
+            Quad::new(0, 1, 3, 2),
+            Quad::new(3, 0, 0, 3),
+        ];
+        Snapshot::group_by_time(&quads, 5)
+    }
+
+    fn setup() -> (LocalEncoder, Var, Var, Rng) {
+        let cfg = LogClConfig {
+            dim: 8,
+            time_bank: 4,
+            ..Default::default()
+        };
+        let mut rng = Rng::seed(101);
+        let enc = LocalEncoder::new(&cfg, &mut rng);
+        let h0 = Var::param(Tensor::randn(&[4, 8], 0.3, &mut rng));
+        let rel0 = Var::param(Tensor::randn(&[4, 8], 0.3, &mut rng));
+        (enc, h0, rel0, rng)
+    }
+
+    #[test]
+    fn encode_produces_one_state_per_snapshot() {
+        let (enc, h0, rel0, mut rng) = setup();
+        let snaps = toy_snapshots();
+        let out = enc.encode(&h0, &rel0, &snaps, 4, 3, false, &mut rng);
+        assert_eq!(out.aggs.len(), 3);
+        assert_eq!(out.evolved.len(), 3);
+        assert_eq!(out.h_final.shape(), vec![4, 8]);
+        assert_eq!(out.rel_final.shape(), vec![4, 8]);
+    }
+
+    #[test]
+    fn window_clips_at_time_zero() {
+        let (enc, h0, rel0, mut rng) = setup();
+        let snaps = toy_snapshots();
+        let out = enc.encode(&h0, &rel0, &snaps, 1, 5, false, &mut rng);
+        assert_eq!(out.aggs.len(), 1);
+        let out0 = enc.encode(&h0, &rel0, &snaps, 0, 5, false, &mut rng);
+        assert_eq!(out0.aggs.len(), 0);
+        assert_eq!(out0.h_final.value().data(), h0.value().data());
+    }
+
+    #[test]
+    fn query_representation_shapes() {
+        let (enc, h0, rel0, mut rng) = setup();
+        let snaps = toy_snapshots();
+        let out = enc.encode(&h0, &rel0, &snaps, 4, 4, false, &mut rng);
+        let rep = enc.query_representation(&out, &[0, 2], &[0, 1], true);
+        assert_eq!(rep.shape(), vec![2, 8]);
+        let rep_no_att = enc.query_representation(&out, &[0, 2], &[0, 1], false);
+        assert_eq!(rep_no_att.shape(), vec![2, 8]);
+        assert_ne!(rep.value().data(), rep_no_att.value().data());
+    }
+
+    #[test]
+    fn gradient_flows_to_initial_embeddings() {
+        let (enc, h0, rel0, mut rng) = setup();
+        let snaps = toy_snapshots();
+        let out = enc.encode(&h0, &rel0, &snaps, 3, 3, true, &mut rng);
+        let rep = enc.query_representation(&out, &[1], &[2], true);
+        rep.sum().backward();
+        assert!(h0.grad().is_some());
+        assert!(rel0.grad().is_some());
+        assert!(h0.grad().unwrap().all_finite());
+    }
+
+    #[test]
+    fn registration_is_complete() {
+        let (enc, _, _, _) = setup();
+        let mut params = ParamSet::new();
+        enc.register(&mut params, "local");
+        // time(3) + gnn(2 layers × 2) + gru(9) + rel_evo(2) + att(3) = 21
+        assert_eq!(params.len(), 21);
+    }
+
+    #[test]
+    fn deterministic_in_eval_mode() {
+        let (enc, h0, rel0, _) = setup();
+        let snaps = toy_snapshots();
+        let a = enc.encode(&h0, &rel0, &snaps, 4, 3, false, &mut Rng::seed(1));
+        let b = enc.encode(&h0, &rel0, &snaps, 4, 3, false, &mut Rng::seed(2));
+        assert_eq!(a.h_final.value().data(), b.h_final.value().data());
+    }
+}

@@ -1,0 +1,501 @@
+//! The assembled LogCL model (Fig. 3).
+
+use logcl_gnn::ConvTransE;
+use logcl_tensor::nn::{Embedding, Mlp, ParamSet};
+use logcl_tensor::optim::Adam;
+use logcl_tensor::{Rng, Tensor, Var};
+use logcl_tkg::quad::Quad;
+use logcl_tkg::{HistoryIndex, Snapshot, TkgDataset};
+
+use crate::api::{EvalContext, TkgModel, TrainOptions};
+use crate::config::LogClConfig;
+use crate::contrast::contrastive_loss;
+use crate::global_encoder::{GlobalEncoder, GlobalEncoding};
+use crate::local_encoder::{LocalEncoder, LocalEncoding};
+use crate::static_graph::StaticGraph;
+use crate::trainer;
+
+/// Query-independent encodings shared by the two propagation phases at one
+/// timestamp (the local recurrent encoding never sees the queries, so
+/// re-computing it per phase would only waste work).
+pub struct SharedEncoding {
+    /// The (possibly noise-perturbed) initial entity embeddings used by
+    /// this forward pass.
+    pub h0: Var,
+    /// The local recurrent encoding, when the local encoder is enabled.
+    pub local: Option<LocalEncoding>,
+    /// The timestamp encoded for.
+    pub t_q: usize,
+}
+
+/// One phase's forward outputs.
+pub struct ForwardOutput {
+    /// `[B, |E|]` entity logits.
+    pub logits: Var,
+    /// The contrastive loss `L_cl`, when the contrast module ran.
+    pub contrast: Option<Var>,
+}
+
+/// The LogCL model.
+pub struct LogCl {
+    /// Configuration (ablation switches included).
+    pub cfg: LogClConfig,
+    /// Every trainable parameter, for optimizers and checkpointing.
+    pub params: ParamSet,
+    ent: Embedding,
+    rel: Embedding,
+    local: LocalEncoder,
+    global: GlobalEncoder,
+    mlp_local: Mlp,
+    mlp_global: Mlp,
+    decoder: ConvTransE,
+    static_graph: Option<StaticGraph>,
+    rng: Rng,
+    pub(crate) opt: Option<Adam>,
+    pub(crate) opt_options: TrainOptions,
+}
+
+impl LogCl {
+    /// Builds a model sized for `ds` (entity/relation vocabulary) under
+    /// `cfg`.
+    pub fn new(ds: &TkgDataset, cfg: LogClConfig) -> Self {
+        cfg.validate();
+        let mut rng = Rng::seed(cfg.seed);
+        let dim = cfg.dim;
+        let ent = Embedding::new(ds.num_entities, dim, &mut rng);
+        let rel = Embedding::new(ds.num_rels_with_inverse(), dim, &mut rng);
+        let local = LocalEncoder::new(&cfg, &mut rng);
+        let global = GlobalEncoder::new(&cfg, &mut rng);
+        let mlp_local = Mlp::new(2 * dim, dim, dim, true, &mut rng);
+        let mlp_global = Mlp::new(2 * dim, dim, dim, true, &mut rng);
+        let decoder = ConvTransE::new(dim, cfg.channels, cfg.dropout, &mut rng);
+        let static_graph = if cfg.use_static {
+            StaticGraph::new(ds, dim, &mut rng)
+        } else {
+            None
+        };
+
+        let mut params = ParamSet::new();
+        ent.register(&mut params, "ent");
+        rel.register(&mut params, "rel");
+        if cfg.use_local {
+            local.register(&mut params, "local");
+        }
+        if cfg.use_global {
+            global.register(&mut params, "global");
+        }
+        if cfg.use_contrast && cfg.use_local && cfg.use_global {
+            mlp_local.register(&mut params, "mlp_local");
+            mlp_global.register(&mut params, "mlp_global");
+        }
+        decoder.register(&mut params, "decoder");
+        if let Some(sg) = &static_graph {
+            sg.register(&mut params, "static");
+        }
+
+        Self {
+            cfg,
+            params,
+            ent,
+            rel,
+            local,
+            global,
+            mlp_local,
+            mlp_global,
+            decoder,
+            static_graph,
+            rng,
+            opt: None,
+            opt_options: TrainOptions::default(),
+        }
+    }
+
+    /// Number of scalar trainable weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.num_weights()
+    }
+
+    /// The initial entity embeddings for one forward pass: the trainable
+    /// table, plus fresh Gaussian noise when the config asks for perturbed
+    /// inputs (Figs. 2 & 5).
+    fn initial_entities(&mut self) -> Var {
+        let base = if self.cfg.noise.is_clean() {
+            // Plain handle: gradients flow straight into the table.
+            self.ent.weight.clone()
+        } else {
+            let shape = self.ent.weight.shape();
+            let noise = Tensor::randn(&shape, self.cfg.noise.std, &mut self.rng);
+            self.ent.weight.add(&Var::constant(noise))
+        };
+        match &self.static_graph {
+            Some(sg) => sg.refine(&base),
+            None => base,
+        }
+    }
+
+    /// Runs the query-independent encoders for queries at `t_q`.
+    pub fn encode(&mut self, snapshots: &[Snapshot], t_q: usize, training: bool) -> SharedEncoding {
+        let h0 = self.initial_entities();
+        let local = if self.cfg.use_local {
+            Some(self.local.encode(
+                &h0,
+                &self.rel.weight,
+                snapshots,
+                t_q,
+                self.cfg.m,
+                training,
+                &mut self.rng,
+            ))
+        } else {
+            None
+        };
+        SharedEncoding { h0, local, t_q }
+    }
+
+    /// One propagation phase: scores `queries` (all at `shared.t_q`)
+    /// against every entity and, in training, computes the contrastive
+    /// loss.
+    pub fn forward_queries(
+        &mut self,
+        shared: &SharedEncoding,
+        history: &HistoryIndex,
+        queries: &[Quad],
+        training: bool,
+    ) -> ForwardOutput {
+        assert!(!queries.is_empty(), "forward_queries on empty batch");
+        let subjects: Vec<usize> = queries.iter().map(|q| q.s).collect();
+        let rels: Vec<usize> = queries.iter().map(|q| q.r).collect();
+        let cfg = &self.cfg;
+
+        // ---------------------------------------------------------- local
+        let (local_rep, r_dec) = match &shared.local {
+            Some(enc) => {
+                let rep = self.local.query_representation(
+                    enc,
+                    &subjects,
+                    &rels,
+                    cfg.use_entity_attention,
+                );
+                (Some(rep), enc.rel_final.gather_rows(&rels))
+            }
+            None => (None, self.rel.weight.gather_rows(&rels)),
+        };
+
+        // --------------------------------------------------------- global
+        let global_enc: Option<GlobalEncoding> = if cfg.use_global {
+            let pairs: Vec<(usize, usize)> =
+                subjects.iter().copied().zip(rels.iter().copied()).collect();
+            Some(
+                self.global
+                    .encode(&shared.h0, &self.rel.weight, history, &pairs),
+            )
+        } else {
+            None
+        };
+        let global_rep = global_enc.as_ref().map(|enc| {
+            self.global
+                .query_representation(enc, &shared.h0, &subjects, cfg.use_entity_attention)
+        });
+
+        // ------------------------------------------------ fusion (Eq. 19)
+        // λ is the *local* share (Fig. 8: "a larger value of λ indicates a
+        // higher proportion of the local encoder"). Per Eq. 18 the candidate
+        // matrix is the local evolved entity matrix `H_{t_q}`; only the
+        // decoder input ĥ is the λ-mixture.
+        let lambda = cfg.lambda;
+        let (h_q, candidates) = match (&local_rep, &global_rep) {
+            (Some(l), Some(g)) => {
+                let enc_l = shared.local.as_ref().expect("local encoding present");
+                let h_q = l.scale(lambda).add(&g.scale(1.0 - lambda));
+                (h_q, enc_l.h_final.clone())
+            }
+            (Some(l), None) => (
+                l.clone(),
+                shared
+                    .local
+                    .as_ref()
+                    .expect("local encoding")
+                    .h_final
+                    .clone(),
+            ),
+            (None, Some(g)) => (
+                g.clone(),
+                global_enc.as_ref().expect("global encoding").h_agg.clone(),
+            ),
+            (None, None) => unreachable!("config validation requires an encoder"),
+        };
+
+        // -------------------------------------------- decoding (Eq. 18)
+        let decoded = self.decoder.decode(&h_q, &r_dec, training, &mut self.rng);
+        let logits = self.decoder.score_all(&decoded, &candidates);
+
+        // ------------------------------------- contrast (Eq. 15–17)
+        let contrast =
+            if training && cfg.use_contrast && local_rep.is_some() && global_rep.is_some() {
+                let enc_l = shared.local.as_ref().expect("local encoding present");
+                let enc_g = global_enc.as_ref().expect("global encoding present");
+                // Eq. 15: z_t from the aggregated local view and evolved
+                // relations; Eq. 16: z_g from the aggregated global view and
+                // static relations.
+                let local_view = match enc_l.aggs.last() {
+                    Some(agg) => agg.gather_rows(&subjects),
+                    None => enc_l.h_final.gather_rows(&subjects),
+                };
+                let z_l = self.mlp_local.forward(&local_view.concat_cols(&r_dec));
+                let g_view = enc_g.h_agg.gather_rows(&subjects);
+                let r_static = self.rel.weight.gather_rows(&rels);
+                let z_g = self.mlp_global.forward(&g_view.concat_cols(&r_static));
+                Some(contrastive_loss(&z_l, &z_g, cfg.tau, cfg.contrast))
+            } else {
+                None
+            };
+
+        ForwardOutput { logits, contrast }
+    }
+
+    /// Scores one batch of queries at `t` under evaluation semantics
+    /// (no dropout; noise still applied when configured, since the
+    /// robustness studies perturb test-time inputs too).
+    pub fn score_queries(
+        &mut self,
+        snapshots: &[Snapshot],
+        history: &HistoryIndex,
+        queries: &[Quad],
+        t: usize,
+    ) -> Vec<Vec<f32>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let shared = self.encode(snapshots, t, false);
+        let out = self.forward_queries(&shared, history, queries, false);
+        let logits = out.logits.to_tensor();
+        (0..queries.len()).map(|i| logits.row(i).to_vec()).collect()
+    }
+}
+
+impl TkgModel for LogCl {
+    fn name(&self) -> String {
+        self.cfg.variant_name()
+    }
+
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+        trainer::train(self, ds, opts);
+    }
+
+    fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
+        self.score_queries(ctx.snapshots, ctx.history, queries, ctx.t)
+    }
+
+    fn online_update(&mut self, ctx: &EvalContext<'_>, quads: &[Quad]) {
+        trainer::online_step(self, ctx, quads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tkg::SyntheticPreset;
+
+    fn tiny_ds() -> TkgDataset {
+        SyntheticPreset::Icews14.generate_scaled(0.15)
+    }
+
+    fn tiny_cfg() -> LogClConfig {
+        LogClConfig {
+            dim: 16,
+            time_bank: 4,
+            channels: 6,
+            m: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn builds_and_counts_weights() {
+        let ds = tiny_ds();
+        let model = LogCl::new(&ds, tiny_cfg());
+        assert!(model.num_weights() > 1000);
+        assert_eq!(model.name(), "LogCL");
+    }
+
+    #[test]
+    fn forward_shapes_and_contrast_presence() {
+        let ds = tiny_ds();
+        let mut model = LogCl::new(&ds, tiny_cfg());
+        let snaps = ds.snapshots();
+        let t = 10;
+        let mut history = HistoryIndex::new();
+        for s in &snaps[..t] {
+            history.advance(s);
+        }
+        let queries: Vec<Quad> = ds
+            .train
+            .iter()
+            .filter(|q| q.t == t)
+            .take(5)
+            .copied()
+            .collect();
+        assert!(!queries.is_empty());
+        let shared = model.encode(&snaps, t, true);
+        let out = model.forward_queries(&shared, &history, &queries, true);
+        assert_eq!(out.logits.shape(), vec![queries.len(), ds.num_entities]);
+        assert!(
+            out.contrast.is_some(),
+            "full model must produce L_cl in training"
+        );
+        // Eval mode: no contrast.
+        let out_eval = model.forward_queries(&shared, &history, &queries, false);
+        assert!(out_eval.contrast.is_none());
+    }
+
+    #[test]
+    fn ablations_change_parameter_sets() {
+        let ds = tiny_ds();
+        let full = LogCl::new(&ds, tiny_cfg());
+        let no_global = LogCl::new(&ds, tiny_cfg().without_global());
+        let no_cl = LogCl::new(&ds, tiny_cfg().without_contrast());
+        assert!(no_global.num_weights() < full.num_weights());
+        assert!(no_cl.num_weights() < full.num_weights());
+    }
+
+    #[test]
+    fn variant_forward_paths_run() {
+        let ds = tiny_ds();
+        let snaps = ds.snapshots();
+        let t = 8;
+        let mut history = HistoryIndex::new();
+        for s in &snaps[..t] {
+            history.advance(s);
+        }
+        let queries: Vec<Quad> = ds
+            .train
+            .iter()
+            .filter(|q| q.t == t)
+            .take(3)
+            .copied()
+            .collect();
+        for cfg in [
+            tiny_cfg().without_local(),
+            tiny_cfg().without_global(),
+            tiny_cfg().without_entity_attention(),
+            tiny_cfg().without_contrast(),
+        ] {
+            let mut model = LogCl::new(&ds, cfg);
+            let scores = model.score_queries(&snaps, &history, &queries, t);
+            assert_eq!(scores.len(), queries.len());
+            assert!(scores[0].iter().all(|v| v.is_finite()), "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_scores() {
+        let ds = tiny_ds();
+        let snaps = ds.snapshots();
+        let t = 8;
+        let mut history = HistoryIndex::new();
+        for s in &snaps[..t] {
+            history.advance(s);
+        }
+        let queries: Vec<Quad> = ds
+            .train
+            .iter()
+            .filter(|q| q.t == t)
+            .take(2)
+            .copied()
+            .collect();
+        let mut clean = LogCl::new(&ds, tiny_cfg());
+        let mut noisy = LogCl::new(
+            &ds,
+            LogClConfig {
+                noise: logcl_tkg::NoiseSpec::with_std(1.0),
+                ..tiny_cfg()
+            },
+        );
+        let a = clean.score_queries(&snaps, &history, &queries, t);
+        let b = noisy.score_queries(&snaps, &history, &queries, t);
+        assert_ne!(a[0], b[0], "noise must perturb the forward pass");
+    }
+
+    #[test]
+    fn static_graph_option_changes_model() {
+        let ds = tiny_ds();
+        let plain = LogCl::new(&ds, tiny_cfg());
+        let with_static = LogCl::new(
+            &ds,
+            LogClConfig {
+                use_static: true,
+                ..tiny_cfg()
+            },
+        );
+        assert!(
+            with_static.num_weights() > plain.num_weights(),
+            "static module must add parameters"
+        );
+        // And it must actually run + train.
+        let mut model = with_static;
+        let snaps = ds.snapshots();
+        let t = 8;
+        let mut history = HistoryIndex::new();
+        for s in &snaps[..t] {
+            history.advance(s);
+        }
+        let queries: Vec<Quad> = ds
+            .train
+            .iter()
+            .filter(|q| q.t == t)
+            .take(3)
+            .copied()
+            .collect();
+        let shared = model.encode(&snaps, t, true);
+        let out = model.forward_queries(&shared, &history, &queries, true);
+        out.logits.sum().backward();
+        let sg_param = model
+            .params
+            .get("static.gnn.w1")
+            .expect("static params registered");
+        assert!(
+            sg_param.grad().is_some(),
+            "static module must receive gradients"
+        );
+    }
+
+    #[test]
+    fn training_step_reduces_loss_on_repeated_batch() {
+        let ds = tiny_ds();
+        let mut model = LogCl::new(&ds, tiny_cfg());
+        let snaps = ds.snapshots();
+        let t = 12;
+        let mut history = HistoryIndex::new();
+        for s in &snaps[..t] {
+            history.advance(s);
+        }
+        let queries: Vec<Quad> = ds
+            .train
+            .iter()
+            .filter(|q| q.t == t)
+            .take(8)
+            .copied()
+            .collect();
+        let targets: Vec<usize> = queries.iter().map(|q| q.o).collect();
+        let mut opt = Adam::new(&model.params, 2e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..8 {
+            let shared = model.encode(&snaps, t, true);
+            let out = model.forward_queries(&shared, &history, &queries, true);
+            let mut loss = out.logits.cross_entropy(&targets);
+            if let Some(cl) = out.contrast {
+                loss = loss.add(&cl);
+            }
+            last = loss.item();
+            first.get_or_insert(last);
+            loss.backward();
+            opt.step();
+        }
+        assert!(
+            last < first.unwrap(),
+            "loss must decrease: {} -> {last}",
+            first.unwrap()
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Offline training with two-phase forward propagation (Algorithm 1) and
+//! the online-update protocol of Fig. 10.
+
+use logcl_tensor::optim::Adam;
+use logcl_tkg::eval::Metrics;
+use logcl_tkg::quad::Quad;
+use logcl_tkg::{HistoryIndex, TkgDataset};
+
+use crate::api::{evaluate_with_phase, EvalContext, Phase, TkgModel, TrainOptions};
+use crate::model::LogCl;
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean per-timestamp loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation MRR trace (epoch index, MRR) when selection ran.
+    pub valid_trace: Vec<(usize, f64)>,
+    /// The epoch whose parameters were kept.
+    pub selected_epoch: Option<usize>,
+}
+
+impl TrainReport {
+    /// Final epoch's loss (`NaN` when no training happened).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+/// Groups quads by timestamp into a dense `Vec` of length `num_times`.
+fn group_by_time(quads: &[Quad], num_times: usize) -> Vec<Vec<Quad>> {
+    let mut by_t: Vec<Vec<Quad>> = vec![Vec::new(); num_times];
+    for q in quads {
+        by_t[q.t].push(*q);
+    }
+    by_t
+}
+
+/// Trains `model` on `ds.train` for `opts.epochs` passes.
+///
+/// Each timestamp is one batch (the paper's batching). Per timestamp the
+/// query-independent encodings are computed once and the two propagation
+/// phases (original queries, then inverse queries) are run on top of them —
+/// the separation that prevents the entity-aware attention from perceiving
+/// the answer entities (Section III-F).
+pub fn train(model: &mut LogCl, ds: &TkgDataset, opts: &TrainOptions) -> TrainReport {
+    let snapshots = ds.snapshots();
+    let train_end = ds.train_end_time();
+    let by_time = group_by_time(&ds.train, ds.num_times);
+    let mut opt = Adam::new(&model.params, opts.lr);
+    let mut report = TrainReport::default();
+    let mut best_valid: Option<f64> = None;
+    let mut best_ckpt: Option<logcl_tensor::serialize::Checkpoint> = None;
+
+    for epoch in 0..opts.epochs {
+        let mut history = HistoryIndex::new();
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for t in 0..train_end {
+            let quads = &by_time[t];
+            if !quads.is_empty() {
+                let shared = model.encode(&snapshots, t, true);
+
+                // Phase 1: original query set.
+                let out1 = model.forward_queries(&shared, &history, quads, true);
+                let targets1: Vec<usize> = quads.iter().map(|q| q.o).collect();
+                let mut loss = out1.logits.cross_entropy(&targets1);
+                if let Some(cl) = out1.contrast {
+                    loss = loss.add(&cl);
+                }
+
+                // Phase 2: inverse query set.
+                let inv: Vec<Quad> = quads.iter().map(|q| q.inverse(ds.num_rels)).collect();
+                let out2 = model.forward_queries(&shared, &history, &inv, true);
+                let targets2: Vec<usize> = inv.iter().map(|q| q.o).collect();
+                let mut loss2 = out2.logits.cross_entropy(&targets2);
+                if let Some(cl) = out2.contrast {
+                    loss2 = loss2.add(&cl);
+                }
+
+                let total = loss.add(&loss2);
+                epoch_loss += total.item() as f64;
+                batches += 1;
+                total.backward();
+                opt.clip_and_step(opts.grad_clip);
+            }
+            history.advance(&snapshots[t]);
+        }
+        let mean = if batches > 0 {
+            epoch_loss / batches as f64
+        } else {
+            0.0
+        };
+        report.epoch_losses.push(mean as f32);
+        if opts.verbose {
+            eprintln!("[{}] epoch {epoch}: loss {mean:.4}", model.name());
+        }
+        // Validation-MRR model selection (the paper's protocol): from the
+        // midpoint of training, checkpoint whenever the valid score
+        // improves, and restore the best checkpoint at the end.
+        if opts.select_on_valid
+            && !ds.valid.is_empty()
+            && (epoch + 1) * 2 > opts.epochs
+            && (epoch % 2 == 1 || epoch + 1 == opts.epochs)
+        {
+            let valid = ds.valid.clone();
+            let m = crate::api::evaluate(model, ds, &valid);
+            report.valid_trace.push((epoch, m.mrr));
+            let improved = best_valid.is_none_or(|b| m.mrr > b);
+            if improved {
+                best_valid = Some(m.mrr);
+                best_ckpt = Some(logcl_tensor::serialize::snapshot(&model.params));
+                report.selected_epoch = Some(epoch);
+            }
+            if opts.verbose {
+                eprintln!("[{}] epoch {epoch}: valid {m}", model.name());
+            }
+        }
+    }
+    if let Some(ckpt) = best_ckpt {
+        logcl_tensor::serialize::restore(&model.params, &ckpt)
+            .expect("self-produced checkpoint must restore");
+    }
+    // Keep an optimizer around for online updates at a reduced rate.
+    model.opt = Some(Adam::new(&model.params, opts.lr * 0.5));
+    model.opt_options = opts.clone();
+    report
+}
+
+/// One online gradient step on the ground-truth facts of the timestamp just
+/// evaluated (the Fig. 10 protocol): the model adapts to emerging facts
+/// before moving to the next timestamp.
+pub fn online_step(model: &mut LogCl, ctx: &EvalContext<'_>, quads: &[Quad]) {
+    if quads.is_empty() {
+        return;
+    }
+    if model.opt.is_none() {
+        model.opt = Some(Adam::new(&model.params, model.opt_options.lr * 0.5));
+    }
+    let shared = model.encode(ctx.snapshots, ctx.t, true);
+    let out1 = model.forward_queries(&shared, ctx.history, quads, true);
+    let targets1: Vec<usize> = quads.iter().map(|q| q.o).collect();
+    let mut loss = out1.logits.cross_entropy(&targets1);
+    if let Some(cl) = out1.contrast {
+        loss = loss.add(&cl);
+    }
+    let inv: Vec<Quad> = quads.iter().map(|q| q.inverse(ctx.ds.num_rels)).collect();
+    let out2 = model.forward_queries(&shared, ctx.history, &inv, true);
+    let targets2: Vec<usize> = inv.iter().map(|q| q.o).collect();
+    let mut loss2 = out2.logits.cross_entropy(&targets2);
+    if let Some(cl) = out2.contrast {
+        loss2 = loss2.add(&cl);
+    }
+    let total = loss.add(&loss2);
+    total.backward();
+    let clip = model.opt_options.grad_clip;
+    model
+        .opt
+        .as_mut()
+        .expect("online optimizer present")
+        .clip_and_step(clip);
+}
+
+/// Evaluates under the online setting (Fig. 10): after scoring each test
+/// timestamp, the model takes one adaptation step on its ground truth.
+pub fn evaluate_online(model: &mut dyn TkgModel, ds: &TkgDataset, quads: &[Quad]) -> Metrics {
+    evaluate_with_phase(model, ds, quads, Phase::Both, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::evaluate;
+    use crate::config::LogClConfig;
+    use logcl_tkg::SyntheticPreset;
+
+    fn tiny() -> (TkgDataset, LogCl) {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        let cfg = LogClConfig {
+            dim: 16,
+            time_bank: 4,
+            channels: 6,
+            m: 3,
+            ..Default::default()
+        };
+        let model = LogCl::new(&ds, cfg);
+        (ds, model)
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (ds, mut model) = tiny();
+        let report = train(&mut model, &ds, &TrainOptions::epochs(3));
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.epoch_losses[2] < report.epoch_losses[0],
+            "losses {:?}",
+            report.epoch_losses
+        );
+    }
+
+    #[test]
+    fn trained_model_beats_untrained() {
+        let (ds, mut trained) = tiny();
+        train(&mut trained, &ds, &TrainOptions::epochs(4));
+        let (_, mut fresh) = tiny();
+        let test = ds.test.clone();
+        let m_trained = evaluate(&mut trained, &ds, &test);
+        let m_fresh = evaluate(&mut fresh, &ds, &test);
+        assert!(
+            m_trained.mrr > m_fresh.mrr + 1.0,
+            "trained {} vs fresh {}",
+            m_trained.mrr,
+            m_fresh.mrr
+        );
+    }
+
+    #[test]
+    fn online_evaluation_runs_and_is_finite() {
+        let (ds, mut model) = tiny();
+        train(&mut model, &ds, &TrainOptions::epochs(2));
+        let test = ds.test.clone();
+        let m = evaluate_online(&mut model, &ds, &test);
+        assert!(m.mrr > 0.0 && m.mrr <= 100.0);
+        assert_eq!(m.count, 2 * test.len());
+    }
+
+    #[test]
+    fn valid_selection_keeps_best_checkpoint() {
+        let (ds, mut model) = tiny();
+        let mut opts = TrainOptions::epochs(6);
+        opts.select_on_valid = true;
+        let report = train(&mut model, &ds, &opts);
+        // Selection only scans the second half of training.
+        assert!(
+            !report.valid_trace.is_empty(),
+            "valid trace must be recorded"
+        );
+        let selected = report.selected_epoch.expect("an epoch must be selected");
+        assert!((selected + 1) * 2 > opts.epochs);
+        // The selected epoch is the argmax of the trace.
+        let best =
+            report
+                .valid_trace
+                .iter()
+                .cloned()
+                .fold((0usize, f64::NEG_INFINITY), |acc, (e, m)| {
+                    if m > acc.1 {
+                        (e, m)
+                    } else {
+                        acc
+                    }
+                });
+        assert_eq!(selected, best.0);
+    }
+
+    #[test]
+    fn selection_off_keeps_last_epoch() {
+        let (ds, mut model) = tiny();
+        let mut opts = TrainOptions::epochs(3);
+        opts.select_on_valid = false;
+        let report = train(&mut model, &ds, &opts);
+        assert!(report.valid_trace.is_empty());
+        assert!(report.selected_epoch.is_none());
+    }
+
+    #[test]
+    fn group_by_time_is_dense() {
+        let quads = vec![Quad::new(0, 0, 1, 2), Quad::new(1, 0, 0, 2)];
+        let g = group_by_time(&quads, 4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[2].len(), 2);
+        assert!(g[0].is_empty() && g[3].is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! The swappable relational-GNN interface used by both LogCL encoders.
+//!
+//! Table V of the paper replaces the R-GCN inside the local and global
+//! encoders with CompGCN (sub / mult composition) and KBGAT. This module
+//! provides the common trait plus a small enum-dispatched stack of layers so
+//! the encoders stay agnostic of the aggregator choice.
+
+use logcl_tensor::nn::ParamSet;
+use logcl_tensor::{Rng, Var};
+
+use crate::compgcn::{CompGcnLayer, Composition};
+use crate::kbgat::KbgatLayer;
+use crate::rgcn::RgcnLayer;
+
+/// The edge list a relational GNN consumes: parallel `(subject, relation,
+/// object)` index vectors plus the per-object in-degree normaliser.
+pub struct EdgeBatch<'a> {
+    /// Subject index per edge.
+    pub subjects: &'a [usize],
+    /// Relation index per edge.
+    pub relations: &'a [usize],
+    /// Object index per edge.
+    pub objects: &'a [usize],
+    /// Number of entities in the embedding matrix.
+    pub num_entities: usize,
+}
+
+impl EdgeBatch<'_> {
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.subjects.len()
+    }
+
+    /// True when there are no edges (aggregation degenerates to self-loops).
+    pub fn is_empty(&self) -> bool {
+        self.subjects.is_empty()
+    }
+
+    /// `1 / in_degree(o)` per edge (the `1/c_o` factor of Eq. 4).
+    pub fn inv_in_degree_per_edge(&self) -> Vec<f32> {
+        let mut deg = vec![0u32; self.num_entities];
+        for &o in self.objects {
+            deg[o] += 1;
+        }
+        self.objects
+            .iter()
+            .map(|&o| 1.0 / deg[o].max(1) as f32)
+            .collect()
+    }
+}
+
+/// One message-passing layer over a multi-relational edge batch.
+pub trait Aggregator {
+    /// Produces updated entity embeddings from current entity embeddings
+    /// `h` (`[E, D]`) and relation embeddings `rel` (`[R, D]`).
+    fn forward(&self, h: &Var, rel: &Var, edges: &EdgeBatch<'_>) -> Var;
+
+    /// Registers the layer's parameters.
+    fn register(&self, params: &mut ParamSet, prefix: &str);
+}
+
+/// Which relational GNN fills the encoders (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregatorKind {
+    /// The paper's default (Eq. 4).
+    Rgcn,
+    /// CompGCN with subtraction composition.
+    CompGcnSub,
+    /// CompGCN with multiplication composition.
+    CompGcnMult,
+    /// KBGAT-style edge attention.
+    Kbgat,
+}
+
+impl AggregatorKind {
+    /// All Table V variants, paper row order.
+    pub const ALL: [AggregatorKind; 4] =
+        [Self::Rgcn, Self::CompGcnSub, Self::CompGcnMult, Self::Kbgat];
+
+    /// Display name matching the paper's rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Rgcn => "RGCN",
+            Self::CompGcnSub => "CompGCN-sub",
+            Self::CompGcnMult => "CompGCN-mult",
+            Self::Kbgat => "KBAT",
+        }
+    }
+
+    fn build_layer(&self, dim: usize, rng: &mut Rng) -> Box<dyn Aggregator> {
+        match self {
+            Self::Rgcn => Box::new(RgcnLayer::new(dim, rng)),
+            Self::CompGcnSub => Box::new(CompGcnLayer::new(dim, Composition::Sub, rng)),
+            Self::CompGcnMult => Box::new(CompGcnLayer::new(dim, Composition::Mult, rng)),
+            Self::Kbgat => Box::new(KbgatLayer::new(dim, rng)),
+        }
+    }
+}
+
+/// A stack of `layers` aggregator layers of one kind — the "ω-layer R-GCN"
+/// of the paper's encoders (2 by default, swept in Fig. 6).
+pub struct RelGnn {
+    layers: Vec<Box<dyn Aggregator>>,
+    kind: AggregatorKind,
+}
+
+impl RelGnn {
+    /// Builds a `num_layers`-deep stack.
+    pub fn new(kind: AggregatorKind, dim: usize, num_layers: usize, rng: &mut Rng) -> Self {
+        assert!(num_layers >= 1, "need at least one layer");
+        let layers = (0..num_layers)
+            .map(|_| kind.build_layer(dim, rng))
+            .collect();
+        Self { layers, kind }
+    }
+
+    /// The configured aggregator kind.
+    pub fn kind(&self) -> AggregatorKind {
+        self.kind
+    }
+
+    /// Number of stacked layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs every layer in sequence.
+    pub fn forward(&self, h: &Var, rel: &Var, edges: &EdgeBatch<'_>) -> Var {
+        let mut cur = h.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur, rel, edges);
+        }
+        cur
+    }
+
+    /// Registers all layers' parameters.
+    pub fn register(&self, params: &mut ParamSet, prefix: &str) {
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.register(params, &format!("{prefix}.layer{i}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tensor::Tensor;
+
+    fn toy_edges() -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        (vec![0, 1, 2], vec![0, 1, 0], vec![1, 2, 1])
+    }
+
+    #[test]
+    fn inv_in_degree_matches_counts() {
+        let (s, r, o) = toy_edges();
+        let edges = EdgeBatch {
+            subjects: &s,
+            relations: &r,
+            objects: &o,
+            num_entities: 4,
+        };
+        assert_eq!(edges.inv_in_degree_per_edge(), vec![0.5, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        let mut rng = Rng::seed(3);
+        let (s, r, o) = toy_edges();
+        let edges = EdgeBatch {
+            subjects: &s,
+            relations: &r,
+            objects: &o,
+            num_entities: 4,
+        };
+        let h = Var::param(Tensor::randn(&[4, 8], 0.5, &mut rng));
+        let rel = Var::param(Tensor::randn(&[2, 8], 0.5, &mut rng));
+        for kind in AggregatorKind::ALL {
+            let gnn = RelGnn::new(kind, 8, 2, &mut rng);
+            assert_eq!(gnn.depth(), 2);
+            let out = gnn.forward(&h, &rel, &edges);
+            assert_eq!(out.shape(), vec![4, 8]);
+            assert!(
+                out.value().all_finite(),
+                "{kind:?} produced non-finite output"
+            );
+            // Gradients flow back to both inputs.
+            out.sum().backward();
+            assert!(h.grad().is_some(), "{kind:?}: no entity gradient");
+            assert!(rel.grad().is_some(), "{kind:?}: no relation gradient");
+            h.zero_grad();
+            rel.zero_grad();
+        }
+    }
+
+    #[test]
+    fn registration_counts_params() {
+        let mut rng = Rng::seed(4);
+        for (kind, min_params) in [
+            (AggregatorKind::Rgcn, 2),
+            (AggregatorKind::CompGcnSub, 2),
+            (AggregatorKind::Kbgat, 3),
+        ] {
+            let gnn = RelGnn::new(kind, 4, 1, &mut rng);
+            let mut params = ParamSet::new();
+            gnn.register(&mut params, "g");
+            assert!(
+                params.len() >= min_params,
+                "{kind:?} registered {}",
+                params.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! The entity-aware attention mechanisms — the paper's first contribution.
+//!
+//! **Local** (Eq. 9–11): for a query `(e_q, r_q, ?, t_q)`, a query vector is
+//! formed from the pooled embeddings of the query's relations and the
+//! subject's evolved state (Eq. 9); each of the `m−1` past snapshots is
+//! scored by how much the subject's *aggregated* state there matches the
+//! query (Eq. 10, softmax over snapshots); the final local representation
+//! adds the attention-weighted past states to the current one (Eq. 11).
+//! This is what lets LogCL skip snapshots irrelevant to the query (Fig. 1).
+//!
+//! **Global** (Eq. 13–14): a gate `β = σ(W₆(h_g^{Agg} + h))` modulates the
+//! query-subgraph representation. The paper calls σ₂ "softmax" here, but a
+//! softmax over a single logit is identically 1, so we read it as the
+//! sigmoid gate (elementwise, the more expressive variant) — noted in
+//! DESIGN.md.
+
+use logcl_tensor::nn::{xavier_uniform, ParamSet};
+use logcl_tensor::{Rng, Tensor, Var};
+
+/// Mean relation embedding per query, pooled over every query in the batch
+/// that shares the same subject (the `f_ave(r_{t_q})` of Eq. 9).
+pub fn mean_relation_per_query(rel_emb: &Var, subjects: &[usize], rels: &[usize]) -> Var {
+    assert_eq!(subjects.len(), rels.len());
+    let b = subjects.len();
+    // Group queries by subject.
+    let mut group_of = vec![0usize; b];
+    let mut groups: rustc_hash::FxHashMap<usize, usize> = rustc_hash::FxHashMap::default();
+    for (i, &s) in subjects.iter().enumerate() {
+        let next = groups.len();
+        let g = *groups.entry(s).or_insert(next);
+        group_of[i] = g;
+    }
+    let num_groups = groups.len();
+    let mut counts = vec![0u32; num_groups];
+    for &g in &group_of {
+        counts[g] += 1;
+    }
+    let inv: Vec<f32> = group_of.iter().map(|&g| 1.0 / counts[g] as f32).collect();
+    let weights = Var::constant(Tensor::from_vec(inv, &[b, 1]));
+    let r_rows = rel_emb.gather_rows(rels);
+    let pooled = r_rows.mul(&weights).scatter_add_rows(&group_of, num_groups);
+    pooled.gather_rows(&group_of)
+}
+
+/// Local entity-aware attention (Eq. 9–11).
+///
+/// The paper's σ₂ in Eq. 10 is ambiguous (the same symbol denotes sigmoid
+/// in Eq. 8 and "softmax" in the Eq. 10 prose, where a softmax would force
+/// a full unit of past-state mass onto *every* query, relevant history or
+/// not). We read it as a per-snapshot sigmoid gate, which can switch off
+/// snapshots irrelevant to the query — the stated purpose of the mechanism
+/// (Fig. 1). The gate bias starts negative so attention begins nearly
+/// closed and opens where history helps. See DESIGN.md.
+pub struct LocalEntityAttention {
+    /// Query fusion `W₄` (`[2D, D]`).
+    pub w4: Var,
+    /// Snapshot scoring `W₅` (`[D, 1]`).
+    pub w5: Var,
+    /// Gate bias (scalar, initialised negative).
+    pub b5: Var,
+}
+
+impl LocalEntityAttention {
+    /// Xavier-initialised module of width `dim`.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            w4: Var::param(xavier_uniform(2 * dim, dim, rng)),
+            w5: Var::param(xavier_uniform(dim, 1, rng)),
+            b5: Var::param(Tensor::from_vec(vec![-2.0], &[1])),
+        }
+    }
+
+    /// Applies the attention.
+    ///
+    /// * `h_now` — subject rows of the evolved entity matrix at `t_q`
+    ///   (`[B, D]`).
+    /// * `r_mean` — per-query pooled relation embeddings (`[B, D]`, Eq. 9).
+    /// * `agg_steps` — subject rows of each past snapshot's *aggregated*
+    ///   (post-GCN) matrix, oldest first (`m−1` entries of `[B, D]`).
+    /// * `evolved_steps` — subject rows of each past snapshot's *evolved*
+    ///   (post-GRU) matrix, aligned with `agg_steps`.
+    ///
+    /// Returns the final local representation `[B, D]` (Eq. 11).
+    pub fn forward(
+        &self,
+        h_now: &Var,
+        r_mean: &Var,
+        agg_steps: &[Var],
+        evolved_steps: &[Var],
+    ) -> Var {
+        assert_eq!(
+            agg_steps.len(),
+            evolved_steps.len(),
+            "step lists must align"
+        );
+        if agg_steps.is_empty() {
+            return h_now.clone();
+        }
+        let h_q = r_mean.concat_cols(h_now).matmul(&self.w4); // Eq. 9
+                                                              // Eq. 10 (sigmoid-gate reading): one gate per past snapshot.
+                                                              // Eq. 11: h_now + Σ_i α_i · evolved_i.
+        let mut out = h_now.clone();
+        for (agg, ev) in agg_steps.iter().zip(evolved_steps) {
+            let alpha = agg.add(&h_q).matmul(&self.w5).add(&self.b5).sigmoid(); // [B, 1]
+            out = out.add(&ev.mul(&alpha));
+        }
+        out
+    }
+
+    /// Registers `W₄`, `W₅` and the gate bias.
+    pub fn register(&self, params: &mut ParamSet, prefix: &str) {
+        params.register(format!("{prefix}.w4"), self.w4.clone());
+        params.register(format!("{prefix}.w5"), self.w5.clone());
+        params.register(format!("{prefix}.b5"), self.b5.clone());
+    }
+}
+
+/// Global entity-aware attention gate (Eq. 13–14).
+pub struct GlobalEntityAttention {
+    /// Gate transform `W₆` (`[D, D]`).
+    pub w6: Var,
+}
+
+impl GlobalEntityAttention {
+    /// Xavier-initialised gate of width `dim`.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            w6: Var::param(xavier_uniform(dim, dim, rng)),
+        }
+    }
+
+    /// `β = σ(W₆(h_g^{Agg} + h))`, returns `β ⊙ h_g^{Agg}`.
+    pub fn forward(&self, h_g_agg: &Var, h_static: &Var) -> Var {
+        let beta = h_g_agg.add(h_static).matmul(&self.w6).sigmoid(); // Eq. 13
+        beta.mul(h_g_agg) // Eq. 14
+    }
+
+    /// Registers `W₆`.
+    pub fn register(&self, params: &mut ParamSet, prefix: &str) {
+        params.register(format!("{prefix}.w6"), self.w6.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_relation_pools_shared_subjects() {
+        let rel = Var::constant(Tensor::from_vec(
+            vec![1.0, 0.0, 3.0, 0.0, 10.0, 10.0],
+            &[3, 2],
+        ));
+        // Queries: (s=5, r=0), (s=5, r=1), (s=7, r=2).
+        let out = mean_relation_per_query(&rel, &[5, 5, 7], &[0, 1, 2]);
+        assert_eq!(out.shape(), vec![3, 2]);
+        // Subject 5 pools relations 0 and 1: mean = [2, 0].
+        assert_eq!(out.value().row(0), &[2.0, 0.0]);
+        assert_eq!(out.value().row(1), &[2.0, 0.0]);
+        assert_eq!(out.value().row(2), &[10.0, 10.0]);
+    }
+
+    #[test]
+    fn local_attention_no_history_is_identity() {
+        let mut rng = Rng::seed(81);
+        let att = LocalEntityAttention::new(4, &mut rng);
+        let h = Var::constant(Tensor::randn(&[2, 4], 0.5, &mut rng));
+        let r = Var::constant(Tensor::randn(&[2, 4], 0.5, &mut rng));
+        let out = att.forward(&h, &r, &[], &[]);
+        assert_eq!(out.value().data(), h.value().data());
+    }
+
+    #[test]
+    fn local_attention_mixes_history() {
+        let mut rng = Rng::seed(82);
+        let att = LocalEntityAttention::new(4, &mut rng);
+        let h = Var::constant(Tensor::randn(&[3, 4], 0.5, &mut rng));
+        let r = Var::constant(Tensor::randn(&[3, 4], 0.5, &mut rng));
+        let steps: Vec<Var> = (0..2)
+            .map(|i| Var::constant(Tensor::randn(&[3, 4], 0.5, &mut Rng::seed(90 + i))))
+            .collect();
+        let out = att.forward(&h, &r, &steps, &steps);
+        assert_eq!(out.shape(), vec![3, 4]);
+        assert_ne!(out.value().data(), h.value().data());
+        // The attention weights are convex, so the added component's norm is
+        // bounded by the largest step norm.
+        assert!(out.value().all_finite());
+    }
+
+    #[test]
+    fn local_attention_grads_reach_weights() {
+        let mut rng = Rng::seed(83);
+        let att = LocalEntityAttention::new(4, &mut rng);
+        let h = Var::param(Tensor::randn(&[2, 4], 0.5, &mut rng));
+        let r = Var::constant(Tensor::randn(&[2, 4], 0.5, &mut rng));
+        let agg = vec![
+            Var::constant(Tensor::randn(&[2, 4], 0.5, &mut rng)),
+            Var::constant(Tensor::randn(&[2, 4], 0.5, &mut rng)),
+        ];
+        let ev = vec![
+            Var::param(Tensor::randn(&[2, 4], 0.5, &mut rng)),
+            Var::param(Tensor::randn(&[2, 4], 0.5, &mut rng)),
+        ];
+        att.forward(&h, &r, &agg, &ev).sum().backward();
+        assert!(att.w4.grad().is_some());
+        assert!(att.w5.grad().is_some());
+        assert!(ev[0].grad().is_some());
+        assert!(h.grad().is_some());
+    }
+
+    #[test]
+    fn global_gate_shrinks_representation() {
+        let mut rng = Rng::seed(84);
+        let att = GlobalEntityAttention::new(4, &mut rng);
+        let hg = Var::constant(Tensor::randn(&[3, 4], 1.0, &mut rng));
+        let hs = Var::constant(Tensor::randn(&[3, 4], 1.0, &mut rng));
+        let out = att.forward(&hg, &hs);
+        assert_eq!(out.shape(), vec![3, 4]);
+        // β ∈ (0,1) elementwise, so |out| < |h_g| coordinatewise.
+        for (o, g) in out.value().data().iter().zip(hg.value().data()) {
+            assert!(o.abs() <= g.abs() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn global_gate_trains() {
+        let mut rng = Rng::seed(85);
+        let att = GlobalEntityAttention::new(3, &mut rng);
+        let hg = Var::param(Tensor::randn(&[2, 3], 0.5, &mut rng));
+        let hs = Var::param(Tensor::randn(&[2, 3], 0.5, &mut rng));
+        att.forward(&hg, &hs).sum().backward();
+        assert!(att.w6.grad().is_some());
+        assert!(hs.grad().is_some(), "static embedding shapes the gate");
+    }
+}

@@ -1,0 +1,155 @@
+//! The ConvTransE decoder (Shang et al., 2019) used by Eq. 18.
+//!
+//! The subject embedding and relation embedding are stacked as two channels,
+//! convolved with `K` width-3 kernels along the embedding axis (realised as
+//! im2col + matmul), flattened, projected back to `D`, and finally scored
+//! against every candidate entity embedding by inner product.
+
+use logcl_tensor::nn::{dropout, xavier_uniform, Linear, ParamSet};
+use logcl_tensor::{Rng, Tensor, Var};
+
+/// The ConvTransE decoder.
+pub struct ConvTransE {
+    /// Convolution kernels flattened to `[6, K]` (2 channels × width 3).
+    pub kernels: Var,
+    /// Kernel bias `[K]`.
+    pub bias: Var,
+    /// Output projection `[D·K, D]`.
+    pub fc: Linear,
+    /// Dropout probability applied to the flattened feature map.
+    pub dropout_p: f32,
+    dim: usize,
+    channels: usize,
+}
+
+impl ConvTransE {
+    /// A decoder with `channels` kernels (the paper uses 50) of size 2×3
+    /// over `dim`-wide embeddings.
+    pub fn new(dim: usize, channels: usize, dropout_p: f32, rng: &mut Rng) -> Self {
+        Self {
+            kernels: Var::param(xavier_uniform(6, channels, rng)),
+            bias: Var::param(Tensor::zeros(&[channels])),
+            fc: Linear::new(dim * channels, dim, rng),
+            dropout_p,
+            dim,
+            channels,
+        }
+    }
+
+    /// Number of convolution kernels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Decodes query `(e, r)` pairs into `[B, D]` prediction vectors.
+    pub fn decode(&self, e: &Var, r: &Var, training: bool, rng: &mut Rng) -> Var {
+        let b = e.shape()[0];
+        assert_eq!(e.shape()[1], self.dim, "entity dim mismatch");
+        assert_eq!(e.shape(), r.shape(), "entity/relation shape mismatch");
+        let cols = e.conv_im2col(r); // [B*D, 6]
+        let feat = cols.matmul(&self.kernels).add(&self.bias).relu(); // [B*D, K]
+        let flat = feat.reshape(&[b, self.dim * self.channels]);
+        let flat = dropout(&flat, self.dropout_p, training, rng);
+        self.fc.forward(&flat) // [B, D]
+    }
+
+    /// Scores decoded vectors against all candidate entity embeddings:
+    /// `[B, D] × [E, D]ᵀ → [B, E]` logits.
+    pub fn score_all(&self, decoded: &Var, entities: &Var) -> Var {
+        decoded.matmul(&entities.transpose2())
+    }
+
+    /// Convenience: decode then score.
+    pub fn forward(&self, e: &Var, r: &Var, entities: &Var, training: bool, rng: &mut Rng) -> Var {
+        let decoded = self.decode(e, r, training, rng);
+        self.score_all(&decoded, entities)
+    }
+
+    /// Registers kernels, bias and projection.
+    pub fn register(&self, params: &mut ParamSet, prefix: &str) {
+        params.register(format!("{prefix}.kernels"), self.kernels.clone());
+        params.register(format!("{prefix}.bias"), self.bias.clone());
+        self.fc.register(params, &format!("{prefix}.fc"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_and_score_shapes() {
+        let mut rng = Rng::seed(91);
+        let dec = ConvTransE::new(8, 5, 0.0, &mut rng);
+        let e = Var::constant(Tensor::randn(&[3, 8], 0.5, &mut rng));
+        let r = Var::constant(Tensor::randn(&[3, 8], 0.5, &mut rng));
+        let ents = Var::constant(Tensor::randn(&[20, 8], 0.5, &mut rng));
+        let logits = dec.forward(&e, &r, &ents, false, &mut rng);
+        assert_eq!(logits.shape(), vec![3, 20]);
+        assert!(logits.value().all_finite());
+    }
+
+    #[test]
+    fn different_relations_give_different_scores() {
+        let mut rng = Rng::seed(92);
+        let dec = ConvTransE::new(6, 4, 0.0, &mut rng);
+        let e = Var::constant(Tensor::randn(&[1, 6], 0.5, &mut rng));
+        let r1 = Var::constant(Tensor::randn(&[1, 6], 0.5, &mut rng));
+        let r2 = Var::constant(Tensor::randn(&[1, 6], 0.5, &mut rng));
+        let ents = Var::constant(Tensor::randn(&[10, 6], 0.5, &mut rng));
+        let s1 = dec.forward(&e, &r1, &ents, false, &mut rng);
+        let s2 = dec.forward(&e, &r2, &ents, false, &mut rng);
+        assert_ne!(s1.value().data(), s2.value().data());
+    }
+
+    #[test]
+    fn trains_to_rank_a_target() {
+        // The decoder alone should be able to learn to score a fixed target
+        // entity first for a fixed (e, r).
+        let mut rng = Rng::seed(93);
+        let dec = ConvTransE::new(6, 4, 0.0, &mut rng);
+        let mut params = ParamSet::new();
+        dec.register(&mut params, "dec");
+        let e_emb = params.new_param("e", Tensor::randn(&[1, 6], 0.5, &mut rng));
+        let r_emb = params.new_param("r", Tensor::randn(&[1, 6], 0.5, &mut rng));
+        let ents = params.new_param("ents", Tensor::randn(&[8, 6], 0.5, &mut rng));
+        let mut opt = logcl_tensor::optim::Adam::new(&params, 0.02);
+        for _ in 0..120 {
+            let logits = dec.forward(&e_emb, &r_emb, &ents, true, &mut rng);
+            let loss = logits.cross_entropy(&[5]);
+            loss.backward();
+            opt.step();
+        }
+        let logits = dec.forward(&e_emb, &r_emb, &ents, false, &mut rng);
+        let scores = logits.to_tensor();
+        let best = scores
+            .row(0)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 5, "decoder failed to fit target: {:?}", scores.row(0));
+    }
+
+    #[test]
+    fn dropout_only_in_training() {
+        let mut rng = Rng::seed(94);
+        let dec = ConvTransE::new(6, 4, 0.5, &mut rng);
+        let e = Var::constant(Tensor::randn(&[2, 6], 0.5, &mut rng));
+        let r = Var::constant(Tensor::randn(&[2, 6], 0.5, &mut rng));
+        let a = dec.decode(&e, &r, false, &mut Rng::seed(1));
+        let b = dec.decode(&e, &r, false, &mut Rng::seed(2));
+        assert_eq!(
+            a.value().data(),
+            b.value().data(),
+            "eval must be deterministic"
+        );
+        let c = dec.decode(&e, &r, true, &mut Rng::seed(1));
+        assert_ne!(
+            a.value().data(),
+            c.value().data(),
+            "training applies dropout"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The entity-evolution GRU of Eq. 5: `H_{t+1} = GRU(H_t, H_t^{Agg})`.
+//!
+//! The cell operates on whole entity matrices (`[E, D]`), treating each
+//! entity's embedding as one sequence element — the same batched-matrix GRU
+//! RE-GCN uses.
+
+use logcl_tensor::nn::{xavier_uniform, ParamSet};
+use logcl_tensor::{Rng, Tensor, Var};
+
+/// A gated recurrent unit over `[N, D]` states.
+pub struct GruCell {
+    w_z: Var,
+    u_z: Var,
+    b_z: Var,
+    w_r: Var,
+    u_r: Var,
+    b_r: Var,
+    w_h: Var,
+    u_h: Var,
+    b_h: Var,
+}
+
+impl GruCell {
+    /// Xavier-initialised cell of width `dim`.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        let mut w = || Var::param(xavier_uniform(dim, dim, rng));
+        let (w_z, u_z, w_r, u_r, w_h, u_h) = (w(), w(), w(), w(), w(), w());
+        Self {
+            w_z,
+            u_z,
+            b_z: Var::param(Tensor::zeros(&[dim])),
+            w_r,
+            u_r,
+            b_r: Var::param(Tensor::zeros(&[dim])),
+            w_h,
+            u_h,
+            b_h: Var::param(Tensor::zeros(&[dim])),
+        }
+    }
+
+    /// One step: `hidden` is `H_t`, `input` is `H_t^{Agg}`; returns
+    /// `H_{t+1}`.
+    pub fn forward(&self, hidden: &Var, input: &Var) -> Var {
+        assert_eq!(
+            hidden.shape(),
+            input.shape(),
+            "GRU state/input shape mismatch"
+        );
+        let z = input
+            .matmul(&self.w_z)
+            .add(&hidden.matmul(&self.u_z))
+            .add(&self.b_z)
+            .sigmoid();
+        let r = input
+            .matmul(&self.w_r)
+            .add(&hidden.matmul(&self.u_r))
+            .add(&self.b_r)
+            .sigmoid();
+        let h_tilde = input
+            .matmul(&self.w_h)
+            .add(&r.mul(hidden).matmul(&self.u_h))
+            .add(&self.b_h)
+            .tanh();
+        // H' = (1 - z) ⊙ H + z ⊙ h̃
+        let one_minus_z = z.neg().add_scalar(1.0);
+        one_minus_z.mul(hidden).add(&z.mul(&h_tilde))
+    }
+
+    /// Registers all nine parameter tensors.
+    pub fn register(&self, params: &mut ParamSet, prefix: &str) {
+        for (name, var) in [
+            ("w_z", &self.w_z),
+            ("u_z", &self.u_z),
+            ("b_z", &self.b_z),
+            ("w_r", &self.w_r),
+            ("u_r", &self.u_r),
+            ("b_r", &self.b_r),
+            ("w_h", &self.w_h),
+            ("u_h", &self.u_h),
+            ("b_h", &self.b_h),
+        ] {
+            params.register(format!("{prefix}.{name}"), var.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_shape_and_bounds() {
+        let mut rng = Rng::seed(51);
+        let cell = GruCell::new(8, &mut rng);
+        let h = Var::constant(Tensor::randn(&[10, 8], 0.5, &mut rng));
+        let x = Var::constant(Tensor::randn(&[10, 8], 0.5, &mut rng));
+        let out = cell.forward(&h, &x);
+        assert_eq!(out.shape(), vec![10, 8]);
+        assert!(out.value().all_finite());
+    }
+
+    #[test]
+    fn output_interpolates_between_state_and_candidate() {
+        // With z in (0,1), each output coordinate lies between the previous
+        // hidden value and the tanh candidate, so |out| < max(|h|, 1).
+        let mut rng = Rng::seed(52);
+        let cell = GruCell::new(4, &mut rng);
+        let h = Var::constant(Tensor::rand_uniform(&[6, 4], -0.9, 0.9, &mut rng));
+        let x = Var::constant(Tensor::randn(&[6, 4], 1.0, &mut rng));
+        let out = cell.forward(&h, &x);
+        assert!(out.value().data().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn unrolled_sequence_backprops_through_time() {
+        let mut rng = Rng::seed(53);
+        let cell = GruCell::new(4, &mut rng);
+        let h0 = Var::param(Tensor::randn(&[3, 4], 0.5, &mut rng));
+        let mut h = h0.clone();
+        for step in 0..5 {
+            let x = Var::constant(Tensor::randn(&[3, 4], 0.5, &mut Rng::seed(step)));
+            h = cell.forward(&h, &x);
+        }
+        h.sum().backward();
+        let g = h0.grad().expect("gradient through 5 steps");
+        assert!(g.all_finite());
+        assert!(g.norm() > 0.0);
+    }
+
+    #[test]
+    fn registers_nine_params() {
+        let mut rng = Rng::seed(54);
+        let cell = GruCell::new(3, &mut rng);
+        let mut params = ParamSet::new();
+        cell.register(&mut params, "gru");
+        assert_eq!(params.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mismatched_shapes_panic() {
+        let mut rng = Rng::seed(55);
+        let cell = GruCell::new(3, &mut rng);
+        let h = Var::constant(Tensor::zeros(&[2, 3]));
+        let x = Var::constant(Tensor::zeros(&[3, 3]));
+        cell.forward(&h, &x);
+    }
+}

@@ -1,0 +1,137 @@
+//! Relation evolution: mean pooling over connected entities plus a time
+//! gate (Eq. 6–8):
+//!
+//! ```text
+//! r'_t    = f_ave(H_{t,r}) + r                 (Eq. 6)
+//! U_t     = σ(W₃ R'_t + b)                     (Eq. 8)
+//! R_{t+1} = U_t ⊙ R'_t + (1 − U_t) ⊙ R_t       (Eq. 7)
+//! ```
+//!
+//! where `H_{t,r}` are the embeddings of subject entities connected to `r`
+//! in `G_t` and `r` is the relation's *static* embedding (`R₀`). Relations
+//! absent from the snapshot pool nothing, so their `r'_t` reduces to `r`.
+
+use logcl_tensor::nn::{xavier_uniform, ParamSet};
+use logcl_tensor::{Rng, Tensor, Var};
+
+/// The relation-evolution module.
+pub struct RelationEvolution {
+    /// Time-gate transform `W₃` (`[D, D]`).
+    pub w3: Var,
+    /// Time-gate bias `b` (`[D]`).
+    pub b: Var,
+}
+
+impl RelationEvolution {
+    /// Xavier-initialised module of width `dim`.
+    pub fn new(dim: usize, rng: &mut Rng) -> Self {
+        Self {
+            w3: Var::param(xavier_uniform(dim, dim, rng)),
+            b: Var::param(Tensor::zeros(&[dim])),
+        }
+    }
+
+    /// One evolution step.
+    ///
+    /// * `rel_prev` — `R_t`, the evolved relation matrix from the previous
+    ///   step (`[R, D]`).
+    /// * `rel_static` — `R₀`, the static relation embeddings (`[R, D]`).
+    /// * `h` — current entity embeddings (`[E, D]`).
+    /// * `edges` — `(subjects, relations)` of the snapshot's facts.
+    pub fn forward(
+        &self,
+        rel_prev: &Var,
+        rel_static: &Var,
+        h: &Var,
+        subjects: &[usize],
+        relations: &[usize],
+    ) -> Var {
+        let num_rels = rel_prev.shape()[0];
+        // f_ave(H_{t,r}): scatter-mean subject embeddings by relation.
+        let pooled = if subjects.is_empty() {
+            Var::constant(Tensor::zeros(&rel_prev.shape()))
+        } else {
+            let mut counts = vec![0u32; num_rels];
+            for &r in relations {
+                counts[r] += 1;
+            }
+            let inv: Vec<f32> = relations
+                .iter()
+                .map(|&r| 1.0 / counts[r].max(1) as f32)
+                .collect();
+            let weights = Var::constant(Tensor::from_vec(inv, &[relations.len(), 1]));
+            h.gather_rows(subjects)
+                .mul(&weights)
+                .scatter_add_rows(relations, num_rels)
+        };
+        let r_prime = pooled.add(rel_static); // Eq. 6 (identity for absent relations)
+        let gate = r_prime.matmul(&self.w3).add(&self.b).sigmoid(); // Eq. 8
+        let keep = gate.neg().add_scalar(1.0);
+        gate.mul(&r_prime).add(&keep.mul(rel_prev)) // Eq. 7
+    }
+
+    /// Registers `W₃` and `b`.
+    pub fn register(&self, params: &mut ParamSet, prefix: &str) {
+        params.register(format!("{prefix}.w3"), self.w3.clone());
+        params.register(format!("{prefix}.b"), self.b.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_relations_interpolate_prev_and_static() {
+        let mut rng = Rng::seed(71);
+        let evo = RelationEvolution::new(4, &mut rng);
+        let rel_prev = Var::constant(Tensor::randn(&[3, 4], 0.5, &mut rng));
+        let rel_static = Var::constant(Tensor::randn(&[3, 4], 0.5, &mut rng));
+        let h = Var::constant(Tensor::randn(&[5, 4], 0.5, &mut rng));
+        // Only relation 0 appears.
+        let out = evo.forward(&rel_prev, &rel_static, &h, &[1, 2], &[0, 0]);
+        assert_eq!(out.shape(), vec![3, 4]);
+        // For absent relation 1, the output must lie between rel_prev and
+        // rel_static coordinatewise (gated convex combination).
+        let o = out.to_tensor();
+        let p = rel_prev.to_tensor();
+        let s = rel_static.to_tensor();
+        for j in 0..4 {
+            let (lo, hi) = if p.at2(1, j) < s.at2(1, j) {
+                (p.at2(1, j), s.at2(1, j))
+            } else {
+                (s.at2(1, j), p.at2(1, j))
+            };
+            assert!(o.at2(1, j) >= lo - 1e-5 && o.at2(1, j) <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn pooling_averages_subject_embeddings() {
+        let mut rng = Rng::seed(72);
+        let evo = RelationEvolution::new(2, &mut rng);
+        let rel_prev = Var::constant(Tensor::zeros(&[1, 2]));
+        let rel_static = Var::constant(Tensor::zeros(&[1, 2]));
+        let h = Var::constant(Tensor::from_vec(vec![2.0, 0.0, 4.0, 0.0], &[2, 2]));
+        // Two subjects with embeddings [2,0] and [4,0] under relation 0:
+        // pooled = [3, 0]; r' = pooled + 0.
+        let out = evo.forward(&rel_prev, &rel_static, &h, &[0, 1], &[0, 0]);
+        // out = gate * r' with rel_prev = 0; gate = σ(W₃ r' + b) ∈ (0, 1),
+        // so out is a positive fraction of [3, 0] in coordinate 0.
+        let v = out.to_tensor();
+        assert!(v.at2(0, 0) > 0.0 && v.at2(0, 0) < 3.0);
+    }
+
+    #[test]
+    fn empty_snapshot_keeps_shape_and_grads() {
+        let mut rng = Rng::seed(73);
+        let evo = RelationEvolution::new(3, &mut rng);
+        let rel_prev = Var::param(Tensor::randn(&[2, 3], 0.5, &mut rng));
+        let rel_static = Var::param(Tensor::randn(&[2, 3], 0.5, &mut rng));
+        let h = Var::constant(Tensor::zeros(&[2, 3]));
+        let out = evo.forward(&rel_prev, &rel_static, &h, &[], &[]);
+        out.sum().backward();
+        assert!(rel_prev.grad().is_some());
+        assert!(rel_static.grad().is_some());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the relational GNN layers: permutation
+//! equivariance, locality, and determinism — the structural invariants a
+//! message-passing layer must satisfy regardless of weights.
+
+use logcl_gnn::aggregator::{AggregatorKind, EdgeBatch, RelGnn};
+use logcl_tensor::{Rng, Tensor, Var};
+use proptest::prelude::*;
+
+const N: usize = 6;
+const D: usize = 4;
+
+/// Strategy: a random edge list over `N` entities and 2 relations.
+fn edges() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    prop::collection::vec((0usize..N, 0usize..2, 0usize..N), 1..12)
+}
+
+fn run_gnn(
+    kind: AggregatorKind,
+    h: &Tensor,
+    rel: &Tensor,
+    edge_list: &[(usize, usize, usize)],
+    seed: u64,
+) -> Tensor {
+    let mut rng = Rng::seed(seed);
+    let gnn = RelGnn::new(kind, D, 1, &mut rng);
+    let (s, r, o): (Vec<_>, Vec<_>, Vec<_>) = itertools_unzip(edge_list);
+    let batch = EdgeBatch {
+        subjects: &s,
+        relations: &r,
+        objects: &o,
+        num_entities: N,
+    };
+    gnn.forward(
+        &Var::constant(h.clone()),
+        &Var::constant(rel.clone()),
+        &batch,
+    )
+    .to_tensor()
+}
+
+fn itertools_unzip(edges: &[(usize, usize, usize)]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut s = Vec::new();
+    let mut r = Vec::new();
+    let mut o = Vec::new();
+    for &(a, b, c) in edges {
+        s.push(a);
+        r.push(b);
+        o.push(c);
+    }
+    (s, r, o)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Relabelling entities by a permutation π and permuting the input rows
+    /// must permute the output rows identically: GNN(π·h, π·edges) = π·GNN(h, edges).
+    #[test]
+    fn rgcn_is_permutation_equivariant(edge_list in edges(), seed in 0u64..100, shift in 1usize..N) {
+        let mut rng = Rng::seed(seed);
+        let h = Tensor::randn(&[N, D], 0.5, &mut rng);
+        let rel = Tensor::randn(&[2, D], 0.5, &mut rng);
+        // π = cyclic shift by `shift`.
+        let pi = |e: usize| (e + shift) % N;
+
+        let out = run_gnn(AggregatorKind::Rgcn, &h, &rel, &edge_list, seed);
+
+        // Permuted inputs.
+        let mut h_pi = Tensor::zeros(&[N, D]);
+        for e in 0..N {
+            for j in 0..D {
+                h_pi.set2(pi(e), j, h.at2(e, j));
+            }
+        }
+        let edges_pi: Vec<_> = edge_list.iter().map(|&(s, r, o)| (pi(s), r, pi(o))).collect();
+        let out_pi = run_gnn(AggregatorKind::Rgcn, &h_pi, &rel, &edges_pi, seed);
+
+        for e in 0..N {
+            for j in 0..D {
+                let a = out.at2(e, j);
+                let b = out_pi.at2(pi(e), j);
+                prop_assert!((a - b).abs() < 1e-4, "entity {e} dim {j}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Duplicate edges must not change the R-GCN output (the 1/c_o mean
+    /// normalisation makes repeated identical messages idempotent).
+    #[test]
+    fn rgcn_mean_normalisation_is_duplicate_invariant(edge_list in edges(), seed in 0u64..100) {
+        let mut rng = Rng::seed(seed);
+        let h = Tensor::randn(&[N, D], 0.5, &mut rng);
+        let rel = Tensor::randn(&[2, D], 0.5, &mut rng);
+        let out = run_gnn(AggregatorKind::Rgcn, &h, &rel, &edge_list, seed);
+        let mut doubled = edge_list.clone();
+        doubled.extend_from_slice(&edge_list);
+        let out2 = run_gnn(AggregatorKind::Rgcn, &h, &rel, &doubled, seed);
+        for (a, b) in out.data().iter().zip(out2.data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Entities with no incident edges must be unaffected by edges elsewhere
+    /// in the graph (1-layer locality).
+    #[test]
+    fn isolated_entities_are_local(edge_list in edges(), seed in 0u64..100) {
+        let mut rng = Rng::seed(seed);
+        let h = Tensor::randn(&[N, D], 0.5, &mut rng);
+        let rel = Tensor::randn(&[2, D], 0.5, &mut rng);
+        let out_empty = run_gnn(AggregatorKind::Rgcn, &h, &rel, &[], seed);
+        let out_full = run_gnn(AggregatorKind::Rgcn, &h, &rel, &edge_list, seed);
+        for e in 0..N {
+            let incident = edge_list.iter().any(|&(_, _, o)| o == e);
+            if !incident {
+                for j in 0..D {
+                    prop_assert!(
+                        (out_empty.at2(e, j) - out_full.at2(e, j)).abs() < 1e-5,
+                        "isolated entity {e} changed"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every aggregator is deterministic across calls with the same seed.
+    #[test]
+    fn all_aggregators_deterministic(edge_list in edges(), seed in 0u64..100) {
+        let mut rng = Rng::seed(seed);
+        let h = Tensor::randn(&[N, D], 0.5, &mut rng);
+        let rel = Tensor::randn(&[2, D], 0.5, &mut rng);
+        for kind in AggregatorKind::ALL {
+            let a = run_gnn(kind, &h, &rel, &edge_list, seed);
+            let b = run_gnn(kind, &h, &rel, &edge_list, seed);
+            prop_assert_eq!(a.data(), b.data());
+        }
+    }
+
+    /// Edge *order* must never matter (message passing is a set operation).
+    #[test]
+    fn edge_order_invariance(edge_list in edges(), seed in 0u64..100) {
+        let mut rng = Rng::seed(seed);
+        let h = Tensor::randn(&[N, D], 0.5, &mut rng);
+        let rel = Tensor::randn(&[2, D], 0.5, &mut rng);
+        let mut reversed = edge_list.clone();
+        reversed.reverse();
+        for kind in [AggregatorKind::Rgcn, AggregatorKind::CompGcnSub, AggregatorKind::Kbgat] {
+            let a = run_gnn(kind, &h, &rel, &edge_list, seed);
+            let b = run_gnn(kind, &h, &rel, &reversed, seed);
+            for (x, y) in a.data().iter().zip(b.data()) {
+                prop_assert!((x - y).abs() < 1e-4, "{kind:?} order-sensitive");
+            }
+        }
+    }
+}

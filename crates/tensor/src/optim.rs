@@ -1,0 +1,230 @@
+//! Optimizers: Adam (the paper's choice) and SGD, plus global-norm gradient
+//! clipping.
+
+use crate::autograd::Var;
+use crate::nn::ParamSet;
+use crate::tensor::Tensor;
+
+/// Clips the global L2 norm of the gradients of `params` to `max_norm`,
+/// returning the pre-clip norm. Parameters without gradients are skipped.
+pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for p in params {
+        if let Some(g) = p.grad() {
+            total += g.data().iter().map(|&x| x * x).sum::<f32>();
+        }
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            if let Some(g) = p.grad() {
+                p.set_grad(g.scale(scale));
+            }
+        }
+    }
+    norm
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+///
+/// ```
+/// use logcl_tensor::{nn::ParamSet, optim::Adam, Tensor};
+/// let mut params = ParamSet::new();
+/// let x = params.new_param("x", Tensor::scalar(3.0));
+/// let mut opt = Adam::new(&params, 0.1);
+/// for _ in 0..200 {
+///     x.mul(&x).sum().backward(); // d(x²)/dx
+///     opt.step();
+/// }
+/// assert!(x.item().abs() < 0.05);
+/// ```
+pub struct Adam {
+    params: Vec<Var>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer over every parameter of `params` with the
+    /// paper's default learning rate semantics.
+    pub fn new(params: &ParamSet, lr: f32) -> Self {
+        let vars = params.vars();
+        let m = vars.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let v = vars.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Self {
+            params: vars,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Sets decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Adjusts the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step from the accumulated gradients, then clears
+    /// them. Parameters with no gradient are left untouched.
+    pub fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(grad) = p.grad() else { continue };
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            let (b1, b2, eps, lr, wd) =
+                (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+            p.update_value(|value| {
+                let md = m.data_mut();
+                let vd = v.data_mut();
+                let vals = value.data_mut();
+                for (((w, &g), mi), vi) in vals
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(md.iter_mut())
+                    .zip(vd.iter_mut())
+                {
+                    *mi = b1 * *mi + (1.0 - b1) * g;
+                    *vi = b2 * *vi + (1.0 - b2) * g * g;
+                    let m_hat = *mi / bc1;
+                    let v_hat = *vi / bc2;
+                    *w -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *w);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    /// Clips gradients then steps; returns the pre-clip gradient norm.
+    pub fn clip_and_step(&mut self, max_norm: f32) -> f32 {
+        let norm = clip_grad_norm(&self.params, max_norm);
+        self.step();
+        norm
+    }
+}
+
+/// Plain stochastic gradient descent, for the baselines that train shallow
+/// factorisation scores.
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+}
+
+impl Sgd {
+    /// SGD over every parameter of `params`.
+    pub fn new(params: &ParamSet, lr: f32) -> Self {
+        Self {
+            params: params.vars(),
+            lr,
+        }
+    }
+
+    /// Applies one descent step and clears gradients.
+    pub fn step(&mut self) {
+        for p in &self.params {
+            let Some(grad) = p.grad() else { continue };
+            let lr = self.lr;
+            p.update_value(|value| value.axpy(-lr, &grad));
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::ParamSet;
+
+    /// Minimises ‖x - target‖² and checks convergence.
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut params = ParamSet::new();
+        let x = params.new_param("x", Tensor::from_vec(vec![5.0, -3.0], &[2]));
+        let target = Var::constant(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let mut opt = Adam::new(&params, 0.1);
+        for _ in 0..300 {
+            let diff = x.sub(&target);
+            let loss = diff.mul(&diff).sum();
+            loss.backward();
+            opt.step();
+        }
+        let v = x.to_tensor();
+        assert!((v.data()[0] - 1.0).abs() < 1e-2, "{v:?}");
+        assert!((v.data()[1] - 2.0).abs() < 1e-2, "{v:?}");
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut params = ParamSet::new();
+        let x = params.new_param("x", Tensor::scalar(4.0));
+        let mut opt = Sgd::new(&params, 0.1);
+        for _ in 0..200 {
+            let loss = x.mul(&x).sum();
+            loss.backward();
+            opt.step();
+        }
+        assert!(x.item().abs() < 1e-2);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut params = ParamSet::new();
+        let x = params.new_param("x", Tensor::scalar(1.0));
+        let mut opt = Adam::new(&params, 0.01);
+        x.mul(&x).sum().backward();
+        assert!(x.grad().is_some());
+        opt.step();
+        assert!(x.grad().is_none());
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_global_norm() {
+        let mut params = ParamSet::new();
+        let x = params.new_param("x", Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        x.mul(&x).sum().backward(); // grad = [6, 8], norm 10
+        let pre = clip_grad_norm(&params.vars(), 1.0);
+        assert!((pre - 10.0).abs() < 1e-4);
+        let g = x.grad().unwrap();
+        let norm = g.norm();
+        assert!((norm - 1.0).abs() < 1e-4, "clipped norm {norm}");
+        // Direction preserved.
+        assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_skips_gradientless_params() {
+        let mut params = ParamSet::new();
+        let x = params.new_param("x", Tensor::scalar(1.0));
+        let y = params.new_param("y", Tensor::scalar(2.0));
+        let mut opt = Adam::new(&params, 0.1);
+        x.mul(&x).sum().backward();
+        opt.step();
+        assert_eq!(y.item(), 2.0, "untouched parameter must not move");
+        assert!(x.item() < 1.0);
+    }
+}

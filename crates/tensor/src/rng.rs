@@ -1,0 +1,127 @@
+//! Seeded random number generation shared by the whole workspace.
+//!
+//! Every experiment in the reproduction is deterministic given a seed; this
+//! module wraps a `StdRng` and adds the couple of distributions the models
+//! need (standard normal via Box–Muller, so no extra dependency is pulled).
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// A seeded RNG with the handful of sampling helpers used across the crates.
+pub struct Rng {
+    inner: StdRng,
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl Rng {
+    /// Creates a deterministic generator from `seed`.
+    pub fn seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform sample in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0,1] to keep ln() finite.
+        let u1: f32 = 1.0 - self.inner.gen::<f32>();
+        let u2: f32 = self.inner.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+
+    /// Derives an independent child generator (useful to keep sub-streams
+    /// stable when code paths are reordered).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed(self.inner.gen::<u64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed(7);
+        let mut b = Rng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng::seed(42);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Rng::seed(1);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed(3);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut rng = Rng::seed(9);
+        let mut c1 = rng.fork();
+        let mut c2 = rng.fork();
+        let a: Vec<f32> = (0..10).map(|_| c1.uniform(0.0, 1.0)).collect();
+        let b: Vec<f32> = (0..10).map(|_| c2.uniform(0.0, 1.0)).collect();
+        assert_ne!(a, b);
+    }
+}

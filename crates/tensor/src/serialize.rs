@@ -1,0 +1,203 @@
+//! JSON checkpointing of named parameter sets.
+//!
+//! Checkpoints are plain JSON — human-inspectable and dependency-light —
+//! which is acceptable at this reproduction's model sizes (≤ a few hundred
+//! thousand weights).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::nn::ParamSet;
+use crate::tensor::Tensor;
+
+/// Serialisable form of one tensor.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+pub struct TensorRecord {
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+impl From<&Tensor> for TensorRecord {
+    fn from(t: &Tensor) -> Self {
+        Self {
+            shape: t.shape().to_vec(),
+            data: t.data().to_vec(),
+        }
+    }
+}
+
+impl TensorRecord {
+    /// Rebuilds the tensor (validates shape/data consistency).
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.data.clone(), &self.shape)
+    }
+}
+
+/// A whole-model checkpoint: name → tensor.
+#[derive(Serialize, Deserialize, Debug, Default)]
+pub struct Checkpoint {
+    /// Parameters keyed by registered name (sorted for stable output).
+    pub params: BTreeMap<String, TensorRecord>,
+}
+
+/// Errors raised while saving or loading checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+    /// Checkpoint and model disagree on a parameter.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+            Self::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Snapshots every parameter of `params` into a [`Checkpoint`].
+pub fn snapshot(params: &ParamSet) -> Checkpoint {
+    let mut ckpt = Checkpoint::default();
+    for (name, var) in params.iter() {
+        ckpt.params
+            .insert(name.to_string(), TensorRecord::from(&*var.value()));
+    }
+    ckpt
+}
+
+/// Restores a checkpoint into `params`. Every registered parameter must be
+/// present with a matching shape; extra checkpoint entries are an error too
+/// (they indicate a model/config mismatch).
+pub fn restore(params: &ParamSet, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    if ckpt.params.len() != params.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {} params, model has {}",
+            ckpt.params.len(),
+            params.len()
+        )));
+    }
+    for (name, var) in params.iter() {
+        let rec = ckpt
+            .params
+            .get(name)
+            .ok_or_else(|| CheckpointError::Mismatch(format!("missing parameter {name}")))?;
+        if rec.shape != var.shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {name}: checkpoint shape {:?} vs model {:?}",
+                rec.shape,
+                var.shape()
+            )));
+        }
+        var.set_value(rec.to_tensor());
+    }
+    Ok(())
+}
+
+/// Saves `params` as JSON at `path`.
+pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let ckpt = snapshot(params);
+    let json = serde_json::to_string(&ckpt)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a JSON checkpoint from `path` into `params`.
+pub fn load(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = fs::read_to_string(path)?;
+    let ckpt: Checkpoint = serde_json::from_str(&json)?;
+    restore(params, &ckpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn sample_params(seed: u64) -> ParamSet {
+        let mut rng = Rng::seed(seed);
+        let mut params = ParamSet::new();
+        params.new_param("a", Tensor::randn(&[3, 2], 1.0, &mut rng));
+        params.new_param("b", Tensor::randn(&[4], 1.0, &mut rng));
+        params
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let src = sample_params(1);
+        let dst = sample_params(2);
+        assert_ne!(
+            src.get("a").unwrap().to_tensor(),
+            dst.get("a").unwrap().to_tensor()
+        );
+        let ckpt = snapshot(&src);
+        restore(&dst, &ckpt).unwrap();
+        assert_eq!(
+            src.get("a").unwrap().to_tensor(),
+            dst.get("a").unwrap().to_tensor()
+        );
+        assert_eq!(
+            src.get("b").unwrap().to_tensor(),
+            dst.get("b").unwrap().to_tensor()
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("logcl-tensor-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let src = sample_params(3);
+        save(&src, &path).unwrap();
+        let dst = sample_params(4);
+        load(&dst, &path).unwrap();
+        assert_eq!(
+            src.get("a").unwrap().to_tensor(),
+            dst.get("a").unwrap().to_tensor()
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let src = sample_params(5);
+        let mut ckpt = snapshot(&src);
+        ckpt.params.get_mut("a").unwrap().shape = vec![2, 3];
+        let err = restore(&src, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+    }
+
+    #[test]
+    fn restore_rejects_missing_param() {
+        let src = sample_params(6);
+        let mut ckpt = snapshot(&src);
+        let rec = ckpt.params.remove("a").unwrap();
+        ckpt.params.insert("zzz".into(), rec);
+        assert!(restore(&src, &ckpt).is_err());
+    }
+}

@@ -1,0 +1,700 @@
+//! The raw dense tensor type: storage, construction and gradient-free math.
+//!
+//! [`Tensor`] is deliberately simple — a `Vec<f32>` plus a shape — and all
+//! operations are eager and allocate their result. The autograd layer
+//! ([`crate::autograd`]) builds on these primitives; evaluation-time code
+//! (ranking, metric computation) uses them directly.
+
+use crate::rng::Rng;
+use crate::shape;
+
+/// A dense, row-major `f32` tensor of rank ≤ 3.
+///
+/// ```
+/// use logcl_tensor::Tensor;
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// assert_eq!(a.matmul(&b).data(), a.data());
+/// assert_eq!(a.add(&Tensor::scalar(1.0)).data(), &[2.0, 3.0, 4.0, 5.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{}, {}, ...])", self.data[0], self.data[1])
+        }
+    }
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// Builds a tensor from raw data; `data.len()` must equal the product of
+    /// `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        shape::validate(shape);
+        assert_eq!(
+            data.len(),
+            shape::numel(shape),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// An all-zero tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        shape::validate(shape);
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape::numel(shape)],
+        }
+    }
+
+    /// An all-one tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        shape::validate(shape);
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; shape::numel(shape)],
+        }
+    }
+
+    /// A rank-1 single-element tensor holding `value` (the crate's scalar
+    /// representation).
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            shape: vec![1],
+            data: vec![value],
+        }
+    }
+
+    /// Standard-normal entries scaled by `std`.
+    pub fn randn(shape: &[usize], std: f32, rng: &mut Rng) -> Self {
+        shape::validate(shape);
+        let data = (0..shape::numel(shape))
+            .map(|_| rng.normal() * std)
+            .collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        shape::validate(shape);
+        let data = (0..shape::numel(shape))
+            .map(|_| rng.uniform(lo, hi))
+            .collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// `[0, 1, ..., n-1]` as a rank-1 tensor.
+    pub fn arange(n: usize) -> Self {
+        Self {
+            shape: vec![n],
+            data: (0..n).map(|i| i as f32).collect(),
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Rank (number of dimensions).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a one-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with shape {:?}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Element at 2-D position `(i, j)`.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Sets element at 2-D position `(i, j)`.
+    #[inline]
+    pub fn set2(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j] = v;
+    }
+
+    /// Borrow of row `i` of a rank-2 tensor.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(
+            self.rank(),
+            2,
+            "row() requires rank-2, got {:?}",
+            self.shape
+        );
+        let c = self.shape[1];
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Mutable borrow of row `i` of a rank-2 tensor.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert_eq!(
+            self.rank(),
+            2,
+            "row_mut() requires rank-2, got {:?}",
+            self.shape
+        );
+        let c = self.shape[1];
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    // ------------------------------------------------------------- reshapes
+
+    /// Returns a tensor sharing no storage but with the same data and a new
+    /// shape of identical element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            shape::numel(shape),
+            self.numel(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            2,
+            "transpose2 requires rank-2, got {:?}",
+            self.shape
+        );
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor::from_vec(out, &[c, r])
+    }
+
+    // ------------------------------------------------------- elementwise ops
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place elementwise update.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Broadcasting binary op. The result has the broadcast shape of the two
+    /// inputs.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        if self.shape == other.shape {
+            // Fast path: no stride arithmetic.
+            let data = self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect();
+            return Tensor {
+                shape: self.shape.clone(),
+                data,
+            };
+        }
+        let out_shape = shape::broadcast_shape(&self.shape, &other.shape);
+        let sa = shape::broadcast_strides(&self.shape, &out_shape);
+        let sb = shape::broadcast_strides(&other.shape, &out_shape);
+        let n = shape::numel(&out_shape);
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; out_shape.len()];
+        for _ in 0..n {
+            let (mut oa, mut ob) = (0usize, 0usize);
+            for (d, &i) in idx.iter().enumerate() {
+                oa += i * sa[d];
+                ob += i * sb[d];
+            }
+            data.push(f(self.data[oa], other.data[ob]));
+            // Increment the multi-index (row-major order).
+            for d in (0..out_shape.len()).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
+    /// Elementwise (broadcasting) addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise (broadcasting) subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (broadcasting) multiplication.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Elementwise (broadcasting) division.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// `self += other` where shapes match exactly.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` (axpy) where shapes match exactly.
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    // ----------------------------------------------------------- reductions
+
+    /// Sum of all elements.
+    pub fn sum_all(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum_all() / self.data.len() as f32
+        }
+    }
+
+    /// Sums `self` down to `target` shape (inverse of broadcasting); used by
+    /// gradient propagation.
+    pub fn reduce_to(&self, target: &[usize]) -> Tensor {
+        if self.shape == target {
+            return self.clone();
+        }
+        assert!(
+            shape::reducible(&self.shape, target),
+            "cannot reduce {:?} to {:?}",
+            self.shape,
+            target
+        );
+        let mut out = Tensor::zeros(target);
+        let strides_out = shape::broadcast_strides(target, &self.shape);
+        let out_rank = self.shape.len();
+        let mut idx = vec![0usize; out_rank];
+        for &v in &self.data {
+            let mut o = 0usize;
+            for (d, &i) in idx.iter().enumerate() {
+                o += i * strides_out[d];
+            }
+            out.data[o] += v;
+            for d in (0..out_rank).rev() {
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean of a rank-2 tensor: `[N, D] -> [D]`.
+    pub fn mean_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (n, d) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; d];
+        for i in 0..n {
+            let row = &self.data[i * d..(i + 1) * d];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        if n > 0 {
+            let inv = 1.0 / n as f32;
+            for v in &mut out {
+                *v *= inv;
+            }
+        }
+        Tensor::from_vec(out, &[d])
+    }
+
+    /// Row-wise maximum of a rank-2 tensor: `[N, D] -> [N]`.
+    pub fn max_per_row(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (n, d) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = &self.data[i * d..(i + 1) * d];
+            out.push(row.iter().copied().fold(f32::NEG_INFINITY, f32::max));
+        }
+        Tensor::from_vec(out, &[n])
+    }
+
+    // --------------------------------------------------------------- linalg
+
+    /// Matrix product of rank-2 tensors: `[N, K] x [K, M] -> [N, M]`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            2,
+            "matmul lhs must be rank-2, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.rank(),
+            2,
+            "matmul rhs must be rank-2, got {:?}",
+            other.shape
+        );
+        let (n, k) = (self.shape[0], self.shape[1]);
+        let (k2, m) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; n * m];
+        // i-k-j loop order streams both `other` and `out` rows for cache
+        // friendliness; this is the hottest kernel in the crate.
+        for i in 0..n {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * m..(i + 1) * m];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * m..(kk + 1) * m];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Frobenius / L2 norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let (n, d) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; n * d];
+        for i in 0..n {
+            let row = &self.data[i * d..(i + 1) * d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for (o, &x) in out[i * d..(i + 1) * d].iter_mut().zip(row) {
+                *o = (x - m).exp();
+                z += *o;
+            }
+            let inv = 1.0 / z;
+            for o in &mut out[i * d..(i + 1) * d] {
+                *o *= inv;
+            }
+        }
+        Tensor::from_vec(out, &[n, d])
+    }
+
+    // ------------------------------------------------------------- indexing
+
+    /// Gathers rows of a rank-2 tensor: `out[i] = self[idx[i]]`.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let d = self.shape[1];
+        let mut data = Vec::with_capacity(idx.len() * d);
+        for &i in idx {
+            assert!(
+                i < self.shape[0],
+                "gather index {i} out of bounds {}",
+                self.shape[0]
+            );
+            data.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+        }
+        Tensor::from_vec(data, &[idx.len(), d])
+    }
+
+    /// Scatter-adds rows of `self` (`[M, D]`) into a fresh `[n, D]` tensor at
+    /// row positions `idx`.
+    pub fn scatter_add_rows(&self, idx: &[usize], n: usize) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(idx.len(), self.shape[0], "scatter index count mismatch");
+        let d = self.shape[1];
+        let mut out = Tensor::zeros(&[n, d]);
+        for (r, &i) in idx.iter().enumerate() {
+            assert!(i < n, "scatter index {i} out of bounds {n}");
+            let src = &self.data[r * d..(r + 1) * d];
+            let dst = &mut out.data[i * d..(i + 1) * d];
+            for (o, &s) in dst.iter_mut().zip(src) {
+                *o += s;
+            }
+        }
+        out
+    }
+
+    // -------------------------------------------------------------- ranking
+
+    /// Indices of the `k` largest entries of a rank-1 tensor, descending.
+    pub fn topk(&self, k: usize) -> Vec<usize> {
+        assert_eq!(self.rank(), 1);
+        let mut idx: Vec<usize> = (0..self.data.len()).collect();
+        let k = k.min(idx.len());
+        idx.sort_by(|&a, &b| {
+            self.data[b]
+                .partial_cmp(&self.data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// 1-based rank of `target` in a score vector under "average over ties of
+    /// strictly-greater + 1" semantics, ignoring indices in `masked` (treated
+    /// as removed candidates).
+    pub fn rank_of(&self, target: usize, masked: &[usize]) -> usize {
+        assert_eq!(self.rank(), 1);
+        let t = self.data[target];
+        let mut mask = vec![false; self.data.len()];
+        for &m in masked {
+            if m != target {
+                mask[m] = true;
+            }
+        }
+        let mut rank = 1usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if i == target || mask[i] {
+                continue;
+            }
+            if v > t {
+                rank += 1;
+            }
+        }
+        rank
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn bad_shape_panics() {
+        Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    fn broadcasting_add_row() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        let c = a.add(&b);
+        assert_eq!(c.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+    }
+
+    #[test]
+    fn broadcasting_mul_column() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![10.0, 100.0], &[2, 1]);
+        let c = a.mul(&b);
+        assert_eq!(c.data(), &[10.0, 20.0, 300.0, 400.0]);
+    }
+
+    #[test]
+    fn broadcasting_scalar() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let s = Tensor::scalar(5.0);
+        assert_eq!(a.add(&s).data(), &[6.0, 7.0]);
+        assert_eq!(s.sub(&a).data(), &[4.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.transpose2().transpose2(), a);
+        assert_eq!(a.transpose2().shape(), &[3, 2]);
+        assert_eq!(a.transpose2().at2(2, 1), 6.0);
+    }
+
+    #[test]
+    fn reduce_to_inverts_broadcast() {
+        let g = Tensor::ones(&[4, 3]);
+        assert_eq!(g.reduce_to(&[3]).data(), &[4.0, 4.0, 4.0]);
+        assert_eq!(g.reduce_to(&[4, 1]).data(), &[3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(g.reduce_to(&[1]).data(), &[12.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalises() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], &[2, 3]);
+        let s = a.softmax_rows();
+        let r0: f32 = s.row(0).iter().sum();
+        let r1: f32 = s.row(1).iter().sum();
+        assert!((r0 - 1.0).abs() < 1e-6 && (r1 - 1.0).abs() < 1e-6);
+        assert!((s.at2(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(s.at2(0, 2) > s.at2(0, 1) && s.at2(0, 1) > s.at2(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0, 999.0], &[1, 3]);
+        let s = a.softmax_rows();
+        assert!(s.all_finite());
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let s = g.scatter_add_rows(&[2, 0, 2], 3);
+        assert_eq!(s.data(), &[1.0, 2.0, 0.0, 0.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn topk_orders_descending() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.9], &[4]);
+        assert_eq!(t.topk(3), vec![1, 3, 2]); // tie broken by index
+    }
+
+    #[test]
+    fn rank_of_with_mask() {
+        let t = Tensor::from_vec(vec![0.9, 0.8, 0.7, 0.6], &[4]);
+        assert_eq!(t.rank_of(2, &[]), 3);
+        assert_eq!(t.rank_of(2, &[0]), 2); // best candidate filtered out
+        assert_eq!(t.rank_of(2, &[2]), 3); // target itself never masked
+    }
+
+    #[test]
+    fn mean_rows_basic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.mean_rows().data(), &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the tensor substrate: algebraic identities,
+//! broadcasting laws and autograd invariants under random inputs.
+
+use logcl_tensor::{shape, Tensor, Var};
+use proptest::prelude::*;
+
+/// Strategy: a small random tensor with the given shape.
+fn tensor_with(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-5.0f32..5.0, n).prop_map(move |data| Tensor::from_vec(data, &shape))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in tensor_with(vec![3, 4]), b in tensor_with(vec![3, 4])) {
+        let (x, y) = (a.add(&b), b.add(&a));
+        prop_assert_eq!(x.data(), y.data());
+    }
+
+    #[test]
+    fn add_commutes_under_broadcast(a in tensor_with(vec![3, 4]), b in tensor_with(vec![4])) {
+        let (x, y) = (a.add(&b), b.add(&a));
+        prop_assert_eq!(x.data(), y.data());
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor_with(vec![3, 4]), b in tensor_with(vec![3, 4]), k in -3.0f32..3.0) {
+        let lhs = a.add(&b).scale(k);
+        let rhs = a.scale(k).add(&b.scale(k));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(a in tensor_with(vec![4, 3])) {
+        let i = Tensor::eye(3);
+        let out = a.matmul(&i);
+        prop_assert_eq!(out.data(), a.data());
+    }
+
+    #[test]
+    fn transpose_involution(a in tensor_with(vec![3, 5])) {
+        let round = a.transpose2().transpose2();
+        prop_assert_eq!(round.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor_with(vec![2, 3]), b in tensor_with(vec![3, 4])) {
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_with(vec![4, 6])) {
+        let s = a.softmax_rows();
+        for i in 0..4 {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn reduce_to_preserves_total(a in tensor_with(vec![4, 3])) {
+        let total = a.sum_all();
+        for target in [vec![3], vec![4, 1], vec![1]] {
+            let reduced = a.reduce_to(&target);
+            prop_assert!((reduced.sum_all() - total).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn broadcast_shape_is_symmetric(r in 1usize..4, c in 1usize..4) {
+        let a = vec![r, c];
+        let b = vec![c];
+        prop_assert_eq!(shape::broadcast_shape(&a, &b), shape::broadcast_shape(&b, &a));
+    }
+
+    #[test]
+    fn gather_scatter_adjoint(a in tensor_with(vec![5, 3]), idx in prop::collection::vec(0usize..5, 1..8)) {
+        // <gather(A), B> == <A, scatter(B)> — the adjoint identity the
+        // autograd pair relies on.
+        let b = Tensor::ones(&[idx.len(), 3]);
+        let lhs: f32 = a.gather_rows(&idx).mul(&b).sum_all();
+        let rhs: f32 = a.mul(&b.scatter_add_rows(&idx, 5)).sum_all();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_difference(
+        w in tensor_with(vec![3, 2]),
+        x in tensor_with(vec![2, 3]),
+    ) {
+        // d/dw sum(x @ w) == x^T @ ones
+        let wv = Var::param(w.clone());
+        let xv = Var::constant(x.clone());
+        xv.matmul(&wv).sum().backward();
+        let grad = wv.grad().unwrap();
+        let expected = x.transpose2().matmul(&Tensor::ones(&[2, 2]));
+        for (g, e) in grad.data().iter().zip(expected.data()) {
+            prop_assert!((g - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gradients_of_sum_are_ones(a in tensor_with(vec![3, 3])) {
+        let v = Var::param(a);
+        v.sum().backward();
+        prop_assert!(v.grad().unwrap().data().iter().all(|&g| (g - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in tensor_with(vec![1, 8])) {
+        let v = Var::constant(a.clone()).sigmoid();
+        let out = v.to_tensor();
+        prop_assert!(out.data().iter().all(|&y| (0.0..=1.0).contains(&y)));
+        // Monotone: apply to sorted input, outputs sorted.
+        let mut sorted = a.data().to_vec();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let sv = Var::constant(Tensor::from_vec(sorted, &[1, 8])).sigmoid();
+        let sd = sv.to_tensor();
+        prop_assert!(sd.data().windows(2).all(|w| w[0] <= w[1] + 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative(logits in tensor_with(vec![3, 5]), t0 in 0usize..5, t1 in 0usize..5, t2 in 0usize..5) {
+        let loss = Var::constant(logits).cross_entropy(&[t0, t1, t2]);
+        prop_assert!(loss.item() >= -1e-5);
+    }
+}

@@ -1,0 +1,421 @@
+//! The dataset container: splits, vocabulary, inverse-relation closure and a
+//! loader for the standard ICEWS/GDELT TSV layout.
+
+use std::fmt;
+use std::io::{self, BufRead};
+use std::path::Path;
+
+use rustc_hash::FxHashSet;
+
+use crate::quad::{Quad, Time};
+use crate::snapshot::Snapshot;
+
+/// A temporal knowledge graph split into train/valid/test by time, exactly
+/// as the extrapolation benchmarks are (all training timestamps precede all
+/// validation timestamps, which precede all test timestamps).
+#[derive(Debug, Clone)]
+pub struct TkgDataset {
+    /// Human-readable dataset name (e.g. `icews14-s`).
+    pub name: String,
+    /// Number of entities `|E|`.
+    pub num_entities: usize,
+    /// Number of *base* relations `|R|` (before inverse closure; models see
+    /// `2 |R|` relation ids).
+    pub num_rels: usize,
+    /// Number of timestamps `|T|` across all splits.
+    pub num_times: usize,
+    /// Training facts (base direction only; inverse closure is applied by
+    /// [`TkgDataset::with_inverses`] when snapshots are built).
+    pub train: Vec<Quad>,
+    /// Validation facts.
+    pub valid: Vec<Quad>,
+    /// Test facts.
+    pub test: Vec<Quad>,
+    /// Optional entity names (index = id), for case studies.
+    pub entity_names: Vec<String>,
+    /// Optional relation names (index = id).
+    pub rel_names: Vec<String>,
+    /// Static (time-less) facts `(entity, static_rel, anchor_entity)` — the
+    /// "static KG information" RE-GCN-lineage models add on the ICEWS
+    /// datasets (affiliations/blocs). Empty when unavailable.
+    pub static_facts: Vec<(usize, usize, usize)>,
+    /// Number of static relations.
+    pub num_static_rels: usize,
+}
+
+impl fmt::Display for TkgDataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: |E|={} |R|={} |T|={} train={} valid={} test={}",
+            self.name,
+            self.num_entities,
+            self.num_rels,
+            self.num_times,
+            self.train.len(),
+            self.valid.len(),
+            self.test.len()
+        )
+    }
+}
+
+impl TkgDataset {
+    /// Builds a dataset from raw quadruples, splitting **by time** with the
+    /// benchmarks' 80/10/10 proportions.
+    pub fn from_quads(
+        name: &str,
+        num_entities: usize,
+        num_rels: usize,
+        mut quads: Vec<Quad>,
+    ) -> Self {
+        quads.sort_unstable_by_key(|q| (q.t, q.s, q.r, q.o));
+        quads.dedup();
+        let num_times = quads.last().map_or(0, |q| q.t + 1);
+        let t_train_end = (num_times as f64 * 0.8).round() as usize;
+        let t_valid_end = (num_times as f64 * 0.9).round() as usize;
+        let mut train = Vec::new();
+        let mut valid = Vec::new();
+        let mut test = Vec::new();
+        for q in quads {
+            if q.t < t_train_end {
+                train.push(q);
+            } else if q.t < t_valid_end {
+                valid.push(q);
+            } else {
+                test.push(q);
+            }
+        }
+        Self {
+            name: name.to_string(),
+            num_entities,
+            num_rels,
+            num_times,
+            train,
+            valid,
+            test,
+            entity_names: Vec::new(),
+            rel_names: Vec::new(),
+            static_facts: Vec::new(),
+            num_static_rels: 0,
+        }
+    }
+
+    /// Total relation count after the inverse closure (`2 |R|`).
+    pub fn num_rels_with_inverse(&self) -> usize {
+        self.num_rels * 2
+    }
+
+    /// All facts of every split, in time order.
+    pub fn all_quads(&self) -> Vec<Quad> {
+        let mut all = Vec::with_capacity(self.train.len() + self.valid.len() + self.test.len());
+        all.extend_from_slice(&self.train);
+        all.extend_from_slice(&self.valid);
+        all.extend_from_slice(&self.test);
+        all.sort_unstable_by_key(|q| q.t);
+        all
+    }
+
+    /// Adds the inverse of every fact to `quads` (the paper adds inverse
+    /// quadruples to the TKG before building snapshots).
+    pub fn with_inverses(&self, quads: &[Quad]) -> Vec<Quad> {
+        let mut out = Vec::with_capacity(quads.len() * 2);
+        for q in quads {
+            out.push(*q);
+            out.push(q.inverse(self.num_rels));
+        }
+        out
+    }
+
+    /// Snapshots `G_0..G_{|T|-1}` over **all** splits, including inverse
+    /// edges; index = timestamp. Used as the history every model conditions
+    /// on (facts at the query time itself must not be fed to the encoders —
+    /// callers slice `[..t]`).
+    pub fn snapshots(&self) -> Vec<Snapshot> {
+        let all = self.with_inverses(&self.all_quads());
+        Snapshot::group_by_time(&all, self.num_times)
+    }
+
+    /// Last training timestamp + 1 (the first unseen timestamp for
+    /// validation).
+    pub fn train_end_time(&self) -> Time {
+        self.train.last().map_or(0, |q| q.t + 1)
+    }
+
+    /// The set of timestamps present in a split.
+    pub fn split_times(quads: &[Quad]) -> Vec<Time> {
+        let mut ts: Vec<Time> = quads.iter().map(|q| q.t).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Ground-truth object sets at each timestamp, for time-aware filtering:
+    /// returns, for timestamp `t`, the set of `(s, r, o)` facts (with
+    /// inverses) true at `t` across all splits.
+    pub fn facts_at(&self, t: Time) -> FxHashSet<(usize, usize, usize)> {
+        let mut set = FxHashSet::default();
+        for q in self.all_quads().iter().filter(|q| q.t == t) {
+            set.insert((q.s, q.r, q.o));
+            let inv = q.inverse(self.num_rels);
+            set.insert((inv.s, inv.r, inv.o));
+        }
+        set
+    }
+
+    /// Loads the standard benchmark TSV layout from a directory containing
+    /// `train.txt`, `valid.txt`, `test.txt` with rows
+    /// `subject<TAB>relation<TAB>object<TAB>time` (integer ids; an optional
+    /// fifth column is ignored). Timestamps are renumbered densely in order.
+    pub fn load_tsv_dir(name: &str, dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let train = read_quads(&dir.join("train.txt"))?;
+        let valid = read_quads(&dir.join("valid.txt"))?;
+        let test = read_quads(&dir.join("test.txt"))?;
+        let mut all: Vec<Quad> = train.iter().chain(&valid).chain(&test).copied().collect();
+        // Dense time renumbering shared across splits.
+        let mut times: Vec<Time> = all.iter().map(|q| q.t).collect();
+        times.sort_unstable();
+        times.dedup();
+        let remap = |t: Time| times.binary_search(&t).expect("time present");
+        for q in &mut all {
+            q.t = remap(q.t);
+        }
+        let num_entities = all.iter().map(|q| q.s.max(q.o) + 1).max().unwrap_or(0);
+        let num_rels = all.iter().map(|q| q.r + 1).max().unwrap_or(0);
+        let num_times = times.len();
+        let (mut tr, mut va, mut te) = (train, valid, test);
+        for q in tr.iter_mut().chain(va.iter_mut()).chain(te.iter_mut()) {
+            q.t = remap(q.t);
+        }
+        Ok(Self {
+            name: name.to_string(),
+            num_entities,
+            num_rels,
+            num_times,
+            train: tr,
+            valid: va,
+            test: te,
+            entity_names: Vec::new(),
+            rel_names: Vec::new(),
+            static_facts: Vec::new(),
+            num_static_rels: 0,
+        })
+    }
+
+    /// Writes the dataset in the standard benchmark TSV layout
+    /// (`train.txt`/`valid.txt`/`test.txt` plus `stat.txt` with
+    /// `num_entities num_relations`, and name files when names exist).
+    pub fn save_tsv_dir(&self, dir: impl AsRef<Path>) -> io::Result<()> {
+        use std::io::Write;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        for (name, quads) in [
+            ("train.txt", &self.train),
+            ("valid.txt", &self.valid),
+            ("test.txt", &self.test),
+        ] {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(dir.join(name))?);
+            for q in quads {
+                writeln!(out, "{}\t{}\t{}\t{}", q.s, q.r, q.o, q.t)?;
+            }
+        }
+        std::fs::write(
+            dir.join("stat.txt"),
+            format!(
+                "{}\t{}\t{}\n",
+                self.num_entities, self.num_rels, self.num_times
+            ),
+        )?;
+        if !self.entity_names.is_empty() {
+            std::fs::write(dir.join("entity2id.txt"), names_file(&self.entity_names))?;
+        }
+        if !self.rel_names.is_empty() {
+            std::fs::write(dir.join("relation2id.txt"), names_file(&self.rel_names))?;
+        }
+        Ok(())
+    }
+
+    /// Resolves an entity by exact name.
+    pub fn entity_by_name(&self, name: &str) -> Option<usize> {
+        self.entity_names.iter().position(|n| n == name)
+    }
+
+    /// Resolves a base relation by exact name.
+    pub fn rel_by_name(&self, name: &str) -> Option<usize> {
+        self.rel_names.iter().position(|n| n == name)
+    }
+
+    /// Name of entity `e` (falls back to `entity_<id>`).
+    pub fn entity_name(&self, e: usize) -> String {
+        self.entity_names
+            .get(e)
+            .cloned()
+            .unwrap_or_else(|| format!("entity_{e}"))
+    }
+
+    /// Name of relation `r`, labelling inverses as `r^-1`.
+    pub fn rel_name(&self, r: usize) -> String {
+        if r >= self.num_rels {
+            format!("{}^-1", self.rel_name(r - self.num_rels))
+        } else {
+            self.rel_names
+                .get(r)
+                .cloned()
+                .unwrap_or_else(|| format!("rel_{r}"))
+        }
+    }
+}
+
+fn names_file(names: &[String]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for (i, n) in names.iter().enumerate() {
+        let _ = writeln!(out, "{n}\t{i}");
+    }
+    out
+}
+
+fn read_quads(path: &Path) -> io::Result<Vec<Quad>> {
+    let file = std::fs::File::open(path)?;
+    let mut out = Vec::new();
+    for (lineno, line) in io::BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mut field = |name: &str| -> io::Result<usize> {
+            parts
+                .next()
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}:{}: missing {name}", path.display(), lineno + 1),
+                    )
+                })?
+                .parse()
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("{}:{}: bad {name}: {e}", path.display(), lineno + 1),
+                    )
+                })
+        };
+        let (s, r, o, t) = (
+            field("subject")?,
+            field("relation")?,
+            field("object")?,
+            field("time")?,
+        );
+        out.push(Quad::new(s, r, o, t));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> TkgDataset {
+        // 10 timestamps, one fact each.
+        let quads: Vec<Quad> = (0..10)
+            .map(|t| Quad::new(t % 3, 0, (t + 1) % 3, t))
+            .collect();
+        TkgDataset::from_quads("toy", 3, 2, quads)
+    }
+
+    #[test]
+    fn split_is_80_10_10_by_time() {
+        let ds = toy();
+        assert_eq!(ds.train.len(), 8);
+        assert_eq!(ds.valid.len(), 1);
+        assert_eq!(ds.test.len(), 1);
+        assert!(ds.train.iter().all(|q| q.t < 8));
+        assert_eq!(ds.valid[0].t, 8);
+        assert_eq!(ds.test[0].t, 9);
+    }
+
+    #[test]
+    fn inverse_closure_doubles_facts() {
+        let ds = toy();
+        let inv = ds.with_inverses(&ds.train);
+        assert_eq!(inv.len(), ds.train.len() * 2);
+        assert!(inv.iter().any(|q| q.r == 2)); // inverse relation id = r + num_rels
+    }
+
+    #[test]
+    fn snapshots_cover_all_times() {
+        let ds = toy();
+        let snaps = ds.snapshots();
+        assert_eq!(snaps.len(), 10);
+        for (t, s) in snaps.iter().enumerate() {
+            assert_eq!(s.t, t);
+            assert_eq!(s.edges.len(), 2); // fact + inverse
+        }
+    }
+
+    #[test]
+    fn facts_at_includes_inverses() {
+        let ds = toy();
+        let set = ds.facts_at(0);
+        assert!(set.contains(&(0, 0, 1)));
+        assert!(set.contains(&(1, 2, 0)));
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let dir = std::env::temp_dir().join("logcl-tkg-tsv");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "0\t0\t1\t0\n1\t1\t2\t24\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "2\t0\t0\t48\n").unwrap();
+        std::fs::write(dir.join("test.txt"), "0\t1\t2\t72\n").unwrap();
+        let ds = TkgDataset::load_tsv_dir("t", &dir).unwrap();
+        assert_eq!(ds.num_entities, 3);
+        assert_eq!(ds.num_rels, 2);
+        assert_eq!(ds.num_times, 4); // dense renumbering 0..4
+        assert_eq!(ds.train[1].t, 1);
+        assert_eq!(ds.test[0].t, 3);
+    }
+
+    #[test]
+    fn tsv_rejects_garbage() {
+        let dir = std::env::temp_dir().join("logcl-tkg-tsv-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "0\tx\t1\t0\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "").unwrap();
+        std::fs::write(dir.join("test.txt"), "").unwrap();
+        assert!(TkgDataset::load_tsv_dir("t", &dir).is_err());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("logcl-tkg-save");
+        let mut ds = toy();
+        ds.entity_names = vec!["a".into(), "b".into(), "c".into()];
+        ds.rel_names = vec!["r0".into(), "r1".into()];
+        ds.save_tsv_dir(&dir).unwrap();
+        let loaded = TkgDataset::load_tsv_dir("toy", &dir).unwrap();
+        assert_eq!(loaded.train, ds.train);
+        assert_eq!(loaded.valid, ds.valid);
+        assert_eq!(loaded.test, ds.test);
+        assert_eq!(loaded.num_entities, ds.num_entities);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn name_resolution() {
+        let mut ds = toy();
+        ds.entity_names = vec!["China".into(), "Iran".into(), "Oman".into()];
+        ds.rel_names = vec!["Cooperate".into(), "Consult".into()];
+        assert_eq!(ds.entity_by_name("Iran"), Some(1));
+        assert_eq!(ds.entity_by_name("Atlantis"), None);
+        assert_eq!(ds.rel_by_name("Consult"), Some(1));
+    }
+
+    #[test]
+    fn display_summarises() {
+        let ds = toy();
+        let s = format!("{ds}");
+        assert!(s.contains("|E|=3") && s.contains("train=8"));
+    }
+}

@@ -1,0 +1,245 @@
+//! Global history: the repetition index and the paper's two-hop historical
+//! query subgraph (Section III-D).
+//!
+//! [`HistoryIndex`] is advanced snapshot-by-snapshot so that, when queries at
+//! time `t_q` are answered, it contains exactly the facts with `t < t_q` —
+//! the extrapolation setting's information boundary.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::quad::{EntityId, RelId, Time};
+use crate::snapshot::Snapshot;
+
+/// A static (time-stripped) subgraph of historical facts relevant to one
+/// query, per the paper: one-hop facts of the query subject united with
+/// one-hop facts of every historical answer object of `(s, r)`.
+#[derive(Debug, Clone, Default)]
+pub struct QuerySubgraph {
+    /// Deduplicated triples, oldest first.
+    pub edges: Vec<(EntityId, RelId, EntityId)>,
+}
+
+impl QuerySubgraph {
+    /// Entities participating in the subgraph, sorted and deduplicated.
+    pub fn entities(&self) -> Vec<EntityId> {
+        let mut ents: Vec<EntityId> = self.edges.iter().flat_map(|&(s, _, o)| [s, o]).collect();
+        ents.sort_unstable();
+        ents.dedup();
+        ents
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the query has no usable history.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Cumulative index of all facts seen strictly before the current time.
+///
+/// ```
+/// use logcl_tkg::{HistoryIndex, Snapshot};
+/// let mut idx = HistoryIndex::new();
+/// idx.advance(&Snapshot { t: 0, edges: vec![(0, 1, 2), (0, 1, 2), (2, 0, 3)] });
+/// assert_eq!(idx.count(0, 1, 2), 2);
+/// assert_eq!(idx.seen_objects(0, 1), vec![(2, 2)]);
+/// let g = idx.query_subgraph(0, 1, 10); // one-hop of 0 ∪ one-hop of answer 2
+/// assert_eq!(g.entities(), vec![0, 2, 3]);
+/// ```
+#[derive(Debug, Default)]
+pub struct HistoryIndex {
+    /// `(s, r)` → object → occurrence count (the CyGNet/CENET "copy
+    /// vocabulary" and the subgraph seed).
+    sr_objects: FxHashMap<(EntityId, RelId), FxHashMap<EntityId, u32>>,
+    /// Entity → incident triples in first-seen order (for subgraph
+    /// sampling); the set deduplicates.
+    incident: FxHashMap<EntityId, Vec<(EntityId, RelId, EntityId)>>,
+    seen: FxHashSet<(EntityId, RelId, EntityId)>,
+    /// Next timestamp expected by [`HistoryIndex::advance`].
+    t_next: Time,
+}
+
+impl HistoryIndex {
+    /// An empty index (no history yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index covering every snapshot in `snaps` (must be
+    /// inverse-closed if inverse queries will be asked).
+    pub fn build(snaps: &[Snapshot]) -> Self {
+        let mut idx = Self::new();
+        for s in snaps {
+            idx.advance(s);
+        }
+        idx
+    }
+
+    /// Absorbs one snapshot. Snapshots must be fed in time order.
+    pub fn advance(&mut self, snap: &Snapshot) {
+        assert!(
+            snap.t >= self.t_next,
+            "snapshots must be advanced in time order (got {}, expected >= {})",
+            snap.t,
+            self.t_next
+        );
+        self.t_next = snap.t + 1;
+        for &(s, r, o) in &snap.edges {
+            *self
+                .sr_objects
+                .entry((s, r))
+                .or_default()
+                .entry(o)
+                .or_insert(0) += 1;
+            if self.seen.insert((s, r, o)) {
+                self.incident.entry(s).or_default().push((s, r, o));
+                self.incident.entry(o).or_default().push((s, r, o));
+            }
+        }
+    }
+
+    /// Timestamps covered so far (facts with `t <` this are indexed).
+    pub fn horizon(&self) -> Time {
+        self.t_next
+    }
+
+    /// Historical answer objects of `(s, r)` with their frequencies.
+    pub fn seen_objects(&self, s: EntityId, r: RelId) -> Vec<(EntityId, u32)> {
+        self.sr_objects
+            .get(&(s, r))
+            .map(|m| {
+                let mut v: Vec<(EntityId, u32)> = m.iter().map(|(&o, &c)| (o, c)).collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total number of occurrences of `(s, r, o)` in history.
+    pub fn count(&self, s: EntityId, r: RelId, o: EntityId) -> u32 {
+        self.sr_objects
+            .get(&(s, r))
+            .and_then(|m| m.get(&o))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether the entity has appeared in any historical fact.
+    pub fn entity_seen(&self, e: EntityId) -> bool {
+        self.incident.contains_key(&e)
+    }
+
+    /// The paper's historical query subgraph for query `(s, r, ?)`:
+    /// `G'_g = G'_g1 ∪ G'_g2` where `G'_g1` are one-hop facts containing
+    /// `s` and `G'_g2` are one-hop facts containing each historical answer
+    /// object of `(s, r)`. At most `max_edges` triples are kept, preferring
+    /// the most recently first-seen ones.
+    pub fn query_subgraph(&self, s: EntityId, r: RelId, max_edges: usize) -> QuerySubgraph {
+        let mut edges: Vec<(EntityId, RelId, EntityId)> = Vec::new();
+        let mut dedup: FxHashSet<(EntityId, RelId, EntityId)> = FxHashSet::default();
+        let push_incident = |e: EntityId, edges: &mut Vec<_>, dedup: &mut FxHashSet<_>| {
+            if let Some(list) = self.incident.get(&e) {
+                for &tr in list {
+                    if dedup.insert(tr) {
+                        edges.push(tr);
+                    }
+                }
+            }
+        };
+        push_incident(s, &mut edges, &mut dedup);
+        for (o, _) in self.seen_objects(s, r) {
+            push_incident(o, &mut edges, &mut dedup);
+        }
+        if edges.len() > max_edges {
+            // Keep the most recent facts (first-seen order is time order).
+            edges.drain(..edges.len() - max_edges);
+        }
+        QuerySubgraph { edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snaps() -> Vec<Snapshot> {
+        vec![
+            Snapshot {
+                t: 0,
+                edges: vec![(0, 0, 1), (1, 1, 2)],
+            },
+            Snapshot {
+                t: 1,
+                edges: vec![(0, 0, 1), (2, 0, 3)],
+            },
+            Snapshot {
+                t: 2,
+                edges: vec![(1, 0, 4), (4, 1, 5)],
+            },
+        ]
+    }
+
+    #[test]
+    fn counts_accumulate_over_time() {
+        let idx = HistoryIndex::build(&snaps());
+        assert_eq!(idx.count(0, 0, 1), 2);
+        assert_eq!(idx.count(2, 0, 3), 1);
+        assert_eq!(idx.count(9, 9, 9), 0);
+        assert_eq!(idx.horizon(), 3);
+    }
+
+    #[test]
+    fn seen_objects_sorted() {
+        let mut idx = HistoryIndex::new();
+        idx.advance(&Snapshot {
+            t: 0,
+            edges: vec![(0, 0, 5), (0, 0, 2), (0, 0, 5)],
+        });
+        assert_eq!(idx.seen_objects(0, 0), vec![(2, 1), (5, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn advance_enforces_order() {
+        let mut idx = HistoryIndex::new();
+        idx.advance(&Snapshot::empty(2));
+        idx.advance(&Snapshot::empty(1));
+    }
+
+    #[test]
+    fn subgraph_is_two_hop_union() {
+        let idx = HistoryIndex::build(&snaps());
+        // Query (0, 0, ?): one-hop of 0 = {(0,0,1)}; historical answers of
+        // (0,0) = {1}; one-hop of 1 = {(0,0,1), (1,1,2), (1,0,4)}.
+        let g = idx.query_subgraph(0, 0, 100);
+        let set: FxHashSet<_> = g.edges.iter().copied().collect();
+        assert!(set.contains(&(0, 0, 1)));
+        assert!(set.contains(&(1, 1, 2)));
+        assert!(set.contains(&(1, 0, 4)));
+        // Facts not touching 0 or answer 1 are excluded.
+        assert!(!set.contains(&(4, 1, 5)));
+        assert!(!set.contains(&(2, 0, 3)));
+        assert_eq!(g.entities(), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn subgraph_caps_to_most_recent() {
+        let idx = HistoryIndex::build(&snaps());
+        let g = idx.query_subgraph(0, 0, 2);
+        assert_eq!(g.len(), 2);
+        // The oldest triple (0,0,1) was dropped first.
+        assert!(!g.edges.contains(&(0, 0, 1)));
+    }
+
+    #[test]
+    fn unseen_query_yields_empty_subgraph() {
+        let idx = HistoryIndex::build(&snaps());
+        assert!(idx.query_subgraph(9, 0, 10).is_empty());
+        assert!(!idx.entity_seen(9));
+        assert!(idx.entity_seen(4));
+    }
+}

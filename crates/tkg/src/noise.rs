@@ -1,0 +1,72 @@
+//! Gaussian-noise specifications for the robustness studies (Figs. 2 & 5).
+//!
+//! The paper perturbs the *initial entity representations* with Gaussian
+//! noise of increasing variance. The spec lives here (data layer) so every
+//! experiment names noise levels consistently; the actual perturbation is
+//! applied to embedding tensors by the model crates.
+
+use serde::{Deserialize, Serialize};
+
+/// Gaussian perturbation of entity embeddings: `h ← h + ε`,
+/// `ε ~ N(0, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseSpec {
+    /// Standard deviation of the additive noise (0 = clean input).
+    pub std: f32,
+}
+
+impl NoiseSpec {
+    /// No perturbation.
+    pub const CLEAN: NoiseSpec = NoiseSpec { std: 0.0 };
+
+    /// A spec with the given standard deviation.
+    pub fn with_std(std: f32) -> Self {
+        assert!(std >= 0.0, "noise std must be non-negative");
+        Self { std }
+    }
+
+    /// Whether this spec actually perturbs anything.
+    pub fn is_clean(&self) -> bool {
+        self.std == 0.0
+    }
+
+    /// The intensity sweep used by Fig. 5 (variance steps 0, 0.5, 1, 2
+    /// expressed as standard deviations).
+    pub fn fig5_sweep() -> Vec<NoiseSpec> {
+        [0.0, 0.5f32.sqrt(), 1.0, 2.0f32.sqrt()]
+            .into_iter()
+            .map(NoiseSpec::with_std)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for NoiseSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "σ={:.3}", self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_detection() {
+        assert!(NoiseSpec::CLEAN.is_clean());
+        assert!(!NoiseSpec::with_std(0.1).is_clean());
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        let sweep = NoiseSpec::fig5_sweep();
+        assert_eq!(sweep.len(), 4);
+        assert!(sweep.windows(2).all(|w| w[0].std < w[1].std));
+        assert!(sweep[0].is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_std_rejected() {
+        NoiseSpec::with_std(-1.0);
+    }
+}

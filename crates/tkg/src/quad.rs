@@ -1,0 +1,77 @@
+//! The quadruple fact type `(subject, relation, object, time)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Entity identifier (dense `0..num_entities`).
+pub type EntityId = usize;
+/// Relation identifier (dense; inverse relation of `r` is `r + num_rels`).
+pub type RelId = usize;
+/// Discrete timestamp identifier (dense `0..num_times`).
+pub type Time = usize;
+
+/// One temporal fact: the subject `s` is connected to the object `o` by
+/// relation `r` at timestamp `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Quad {
+    /// Subject entity.
+    pub s: EntityId,
+    /// Relation.
+    pub r: RelId,
+    /// Object entity.
+    pub o: EntityId,
+    /// Timestamp.
+    pub t: Time,
+}
+
+impl Quad {
+    /// Creates a quadruple.
+    pub fn new(s: EntityId, r: RelId, o: EntityId, t: Time) -> Self {
+        Self { s, r, o, t }
+    }
+
+    /// The inverse fact `(o, r⁻¹, s, t)`, where the inverse of relation `r`
+    /// is encoded as `r + num_rels` (or back again if `r` is already an
+    /// inverse).
+    pub fn inverse(&self, num_rels: usize) -> Quad {
+        let r = if self.r < num_rels {
+            self.r + num_rels
+        } else {
+            self.r - num_rels
+        };
+        Quad {
+            s: self.o,
+            r,
+            o: self.s,
+            t: self.t,
+        }
+    }
+
+    /// Whether `r` refers to an inverse relation given the base count.
+    pub fn is_inverse(&self, num_rels: usize) -> bool {
+        self.r >= num_rels
+    }
+
+    /// The triple part `(s, r, o)` without time.
+    pub fn triple(&self) -> (EntityId, RelId, EntityId) {
+        (self.s, self.r, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_is_an_involution() {
+        let q = Quad::new(3, 5, 7, 11);
+        let inv = q.inverse(10);
+        assert_eq!(inv, Quad::new(7, 15, 3, 11));
+        assert!(inv.is_inverse(10));
+        assert_eq!(inv.inverse(10), q);
+    }
+
+    #[test]
+    fn triple_strips_time() {
+        assert_eq!(Quad::new(1, 2, 3, 4).triple(), (1, 2, 3));
+    }
+}

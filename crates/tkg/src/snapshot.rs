@@ -1,0 +1,147 @@
+//! Per-timestamp KG snapshots `G_t` and the adjacency bookkeeping needed by
+//! the relational GCN aggregators.
+
+use rustc_hash::FxHashMap;
+
+use crate::quad::{EntityId, Quad, RelId, Time};
+
+/// The multi-relational graph of all facts valid at one timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The timestamp.
+    pub t: Time,
+    /// Directed labelled edges `(s, r, o)`, inverse edges included when the
+    /// snapshot was built from an inverse-closed fact list.
+    pub edges: Vec<(EntityId, RelId, EntityId)>,
+}
+
+impl Snapshot {
+    /// Empty snapshot at time `t`.
+    pub fn empty(t: Time) -> Self {
+        Self {
+            t,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Groups quadruples into one snapshot per timestamp `0..num_times`
+    /// (timestamps with no facts yield empty snapshots).
+    pub fn group_by_time(quads: &[Quad], num_times: usize) -> Vec<Snapshot> {
+        let mut snaps: Vec<Snapshot> = (0..num_times).map(Snapshot::empty).collect();
+        for q in quads {
+            assert!(
+                q.t < num_times,
+                "quad time {} beyond horizon {num_times}",
+                q.t
+            );
+            snaps[q.t].edges.push((q.s, q.r, q.o));
+        }
+        snaps
+    }
+
+    /// Number of facts in the snapshot.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the snapshot holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// In-degree of each entity (the `c_o` normaliser of Eq. 4).
+    pub fn in_degrees(&self, num_entities: usize) -> Vec<usize> {
+        let mut deg = vec![0usize; num_entities];
+        for &(_, _, o) in &self.edges {
+            deg[o] += 1;
+        }
+        deg
+    }
+
+    /// The set of entities participating in any fact, sorted.
+    pub fn active_entities(&self) -> Vec<EntityId> {
+        let mut ents: Vec<EntityId> = self.edges.iter().flat_map(|&(s, _, o)| [s, o]).collect();
+        ents.sort_unstable();
+        ents.dedup();
+        ents
+    }
+
+    /// For each relation, the subject entities of its edges — used by the
+    /// relation-evolution mean pooling `f_ave(H_{t,r})` of Eq. 6. Returns a
+    /// map `r -> Vec<s>`.
+    pub fn rel_subjects(&self) -> FxHashMap<RelId, Vec<EntityId>> {
+        let mut map: FxHashMap<RelId, Vec<EntityId>> = FxHashMap::default();
+        for &(s, r, _) in &self.edges {
+            map.entry(r).or_default().push(s);
+        }
+        map
+    }
+
+    /// Edge list views used to drive gather/scatter message passing:
+    /// `(subjects, relations, objects)` as parallel index vectors.
+    pub fn edge_index(&self) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        let mut s = Vec::with_capacity(self.edges.len());
+        let mut r = Vec::with_capacity(self.edges.len());
+        let mut o = Vec::with_capacity(self.edges.len());
+        for &(es, er, eo) in &self.edges {
+            s.push(es);
+            r.push(er);
+            o.push(eo);
+        }
+        (s, r, o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            t: 3,
+            edges: vec![(0, 0, 1), (2, 1, 1), (1, 0, 2)],
+        }
+    }
+
+    #[test]
+    fn group_by_time_places_and_pads() {
+        let quads = vec![Quad::new(0, 0, 1, 0), Quad::new(1, 0, 2, 2)];
+        let snaps = Snapshot::group_by_time(&quads, 4);
+        assert_eq!(snaps.len(), 4);
+        assert_eq!(snaps[0].len(), 1);
+        assert!(snaps[1].is_empty());
+        assert_eq!(snaps[2].len(), 1);
+        assert!(snaps[3].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond horizon")]
+    fn group_by_time_checks_horizon() {
+        Snapshot::group_by_time(&[Quad::new(0, 0, 1, 9)], 4);
+    }
+
+    #[test]
+    fn in_degrees_count_objects() {
+        assert_eq!(snap().in_degrees(3), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn active_entities_sorted_unique() {
+        assert_eq!(snap().active_entities(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rel_subjects_groups() {
+        let map = snap().rel_subjects();
+        assert_eq!(map[&0], vec![0, 1]);
+        assert_eq!(map[&1], vec![2]);
+    }
+
+    #[test]
+    fn edge_index_parallel_vectors() {
+        let (s, r, o) = snap().edge_index();
+        assert_eq!(s, vec![0, 2, 1]);
+        assert_eq!(r, vec![0, 1, 0]);
+        assert_eq!(o, vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,17 @@
+#!/bin/bash
+# Regenerates every table and figure. Stdout is the paper-style report.
+set -u
+BIN="cargo run --release -q -p logcl-bench --bin experiments --"
+$BIN table3 --scale 0.3 --epochs 24 --dim 48 --channels 12
+$BIN table4 --scale 0.25 --epochs 16 --dim 48 --channels 12
+$BIN table5 --scale 0.25 --epochs 14 --dim 48 --channels 12
+$BIN table6 --scale 0.3 --epochs 16 --dim 48 --channels 12
+$BIN table7 --scale 0.25 --epochs 16 --dim 48 --channels 12
+$BIN fig2  --scale 0.25 --epochs 14 --dim 48 --channels 12
+$BIN fig5  --scale 0.2  --epochs 12 --dim 48 --channels 12
+$BIN fig6  --scale 0.25 --epochs 14 --dim 48 --channels 12
+$BIN fig7  --scale 0.25 --epochs 14 --dim 48 --channels 12
+$BIN fig8  --scale 0.25 --epochs 14 --dim 48 --channels 12
+$BIN fig9  --scale 0.25 --epochs 14 --dim 48 --channels 12
+$BIN fig10 --scale 0.25 --epochs 14 --dim 48 --channels 12
+echo "ALL_EXPERIMENTS_DONE"

@@ -1,0 +1,8 @@
+#!/bin/bash
+# Addendum: the two baselines added after the main recorded run started
+# (RE-NET-lite, HisMatch-lite) on the three presets the first invocation
+# covered; ICEWS05-15-s already includes them (full roster at rebuild).
+set -u
+BIN="cargo run --release -q -p logcl-bench --bin experiments --"
+$BIN table3 --scale 0.3 --epochs 24 --dim 48 --channels 12 --seeds 42,7 --models re-net,hismatch --presets icews14,icews18,gdelt --out results/final_c
+echo "ADDENDUM_DONE"

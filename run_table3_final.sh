@@ -1,0 +1,6 @@
+#!/bin/bash
+set -u
+BIN="cargo run --release -q -p logcl-bench --bin experiments --"
+$BIN table3 --scale 0.3 --epochs 24 --dim 48 --channels 12 --tune --seeds 42,7 --presets icews14,icews18,gdelt --out results/final_a
+$BIN table3 --scale 0.3 --epochs 24 --dim 48 --channels 12 --tune --seeds 42 --presets icews05 --out results/final_b
+echo "TABLE3_FINAL_DONE"

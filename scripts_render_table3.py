@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Renders the final Table III (markdown) from the recorded JSON dumps."""
+import json, sys, os
+
+ORDER = ["DistMult", "Conv-TransE", "TTransE", "CyGNet", "RE-NET", "RE-GCN",
+         "CEN", "TiRGN", "HisMatch", "CENET", "LogCL"]
+DATASETS = ["ICEWS14-s", "ICEWS18-s", "ICEWS05-15-s", "GDELT-s"]
+
+rows = {}
+for path in sys.argv[1:]:
+    if not os.path.exists(path):
+        continue
+    d = json.load(open(path))
+    for r in d["rows"]:
+        label = r["label"].split("[")[0].strip()
+        rows[(label, r["dataset"])] = r
+
+print("| Model |" + "".join(f" {ds.replace('-s','‑s')} MRR / H@1 / H@3 / H@10 |" for ds in DATASETS))
+print("|---|" + "---|" * len(DATASETS))
+for model in ORDER:
+    cells = []
+    for ds in DATASETS:
+        r = rows.get((model, ds))
+        cells.append(
+            f" {r['mrr']:.2f} / {r['hits1']:.2f} / {r['hits3']:.2f} / {r['hits10']:.2f} |"
+            if r else " – |")
+    print(f"| {model} |" + "".join(cells))

@@ -1,0 +1,74 @@
+//! # logcl
+//!
+//! A complete Rust reproduction of **LogCL** — *Local-Global History-aware
+//! Contrastive Learning for Temporal Knowledge Graph Reasoning* (Chen et
+//! al., ICDE 2024) — including the tensor/autograd substrate, the TKG data
+//! layer, the model, ten baselines, and a harness regenerating every
+//! table and figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`tensor`] — dense `f32` tensors with reverse-mode autograd, layers,
+//!   optimizers ([`logcl_tensor`]).
+//! * [`tkg`] — quadruples, snapshots, synthetic benchmark generators,
+//!   history indexes, time-aware filtered evaluation ([`logcl_tkg`]).
+//! * [`gnn`] — R-GCN/CompGCN/KBGAT layers, GRU, time gates, entity-aware
+//!   attention, ConvTransE ([`logcl_gnn`]).
+//! * [`core`] — the LogCL model, config/ablations, trainer, evaluation
+//!   driver ([`logcl_core`]).
+//! * [`baselines`] — DistMult, Conv-TransE, TTransE, CyGNet, CENET-lite,
+//!   RE-NET-lite, RE-GCN, CEN-lite, TiRGN-lite, HisMatch-lite
+//!   ([`logcl_baselines`]).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use logcl::prelude::*;
+//!
+//! // A synthetic stand-in for ICEWS14 (see DESIGN.md).
+//! let ds = SyntheticPreset::Icews14.generate_scaled(0.3);
+//! let mut model = LogCl::new(&ds, LogClConfig::default());
+//! model.fit(&ds, &TrainOptions::epochs(10));
+//! let metrics = evaluate(&mut model, &ds, &ds.test.clone());
+//! println!("{metrics}");
+//! ```
+
+pub use logcl_baselines as baselines;
+pub use logcl_core as core;
+pub use logcl_gnn as gnn;
+pub use logcl_tensor as tensor;
+pub use logcl_tkg as tkg;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use logcl_baselines::BaselineKind;
+    pub use logcl_core::{
+        evaluate, evaluate_detailed, evaluate_online, evaluate_with_phase, predict_topk,
+        ContrastStrategy, DetailedReport, EvalContext, LogCl, LogClConfig, Phase, TkgModel,
+        TrainOptions,
+    };
+    pub use logcl_tensor::{Rng, Tensor, Var};
+    pub use logcl_tkg::{
+        Metrics, NoiseSpec, Quad, Snapshot, SyntheticConfig, SyntheticPreset, TkgDataset,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_everything() {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        let cfg = LogClConfig {
+            dim: 8,
+            time_bank: 4,
+            channels: 3,
+            ..Default::default()
+        };
+        let model = LogCl::new(&ds, cfg);
+        assert_eq!(model.name(), "LogCL");
+        let _ = BaselineKind::TABLE3;
+        let _ = NoiseSpec::CLEAN;
+    }
+}

@@ -1,0 +1,157 @@
+//! Edge-case and failure-injection tests: degenerate datasets, corrupted
+//! checkpoints, and boundary conditions the happy-path tests never hit.
+
+use logcl::prelude::*;
+
+fn micro_cfg() -> LogClConfig {
+    LogClConfig {
+        dim: 8,
+        time_bank: 4,
+        channels: 3,
+        m: 2,
+        ..Default::default()
+    }
+}
+
+/// A minimal hand-built dataset: 2 entities ping-ponging one relation.
+fn ping_pong(times: usize) -> TkgDataset {
+    let quads: Vec<Quad> = (0..times)
+        .map(|t| Quad::new(t % 2, 0, (t + 1) % 2, t))
+        .collect();
+    TkgDataset::from_quads("pingpong", 2, 1, quads)
+}
+
+#[test]
+fn model_survives_two_entity_graph() {
+    let ds = ping_pong(20);
+    let mut model = LogCl::new(&ds, micro_cfg());
+    model.fit(&ds, &TrainOptions::epochs(3));
+    let m = evaluate(&mut model, &ds, &ds.test.clone());
+    assert!(m.mrr > 0.0 && m.mrr <= 100.0);
+}
+
+#[test]
+fn queries_at_time_zero_have_no_history() {
+    // Scoring at t=0 must not read any snapshot or panic.
+    let ds = ping_pong(20);
+    let snaps = ds.snapshots();
+    let history = logcl::tkg::HistoryIndex::new();
+    let mut model = LogCl::new(&ds, micro_cfg());
+    let q = Quad::new(0, 0, 1, 0);
+    let ctx = EvalContext {
+        ds: &ds,
+        snapshots: &snaps,
+        history: &history,
+        t: 0,
+    };
+    let scores = model.score(&ctx, &[q]);
+    assert_eq!(scores[0].len(), ds.num_entities);
+    assert!(scores[0].iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn window_longer_than_history_clips() {
+    let ds = ping_pong(20);
+    let cfg = LogClConfig {
+        m: 50,
+        ..micro_cfg()
+    }; // window >> timeline
+    let mut model = LogCl::new(&ds, cfg);
+    model.fit(&ds, &TrainOptions::epochs(2));
+    let m = evaluate(&mut model, &ds, &ds.test.clone());
+    assert!(m.mrr.is_finite());
+}
+
+#[test]
+fn empty_query_batches_are_fine() {
+    let ds = ping_pong(20);
+    let snaps = ds.snapshots();
+    let history = logcl::tkg::HistoryIndex::new();
+    let mut model = LogCl::new(&ds, micro_cfg());
+    let ctx = EvalContext {
+        ds: &ds,
+        snapshots: &snaps,
+        history: &history,
+        t: 1,
+    };
+    assert!(model.score(&ctx, &[]).is_empty());
+}
+
+#[test]
+fn corrupted_checkpoint_is_rejected_not_loaded() {
+    let ds = ping_pong(20);
+    let model = LogCl::new(&ds, micro_cfg());
+    let dir = std::env::temp_dir().join("logcl-edge");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Truncated JSON.
+    let path = dir.join("truncated.json");
+    std::fs::write(&path, "{\"params\": {\"ent.weight\": {\"shape\": [2,").unwrap();
+    assert!(logcl::tensor::serialize::load(&model.params, &path).is_err());
+
+    // Wrong-model checkpoint (valid JSON, mismatched parameter set).
+    let other = LogCl::new(
+        &ds,
+        LogClConfig {
+            dim: 16,
+            ..micro_cfg()
+        },
+    );
+    let path2 = dir.join("wrong.json");
+    logcl::tensor::serialize::save(&other.params, &path2).unwrap();
+    assert!(
+        logcl::tensor::serialize::load(&model.params, &path2).is_err(),
+        "dim-16 checkpoint must not load into dim-8 model"
+    );
+}
+
+#[test]
+fn single_timestamp_dataset_trains_without_panic() {
+    // Everything lands at t=0: no temporal structure at all.
+    let quads: Vec<Quad> = (0..10)
+        .map(|i| Quad::new(i % 3, 0, (i + 1) % 3, 0))
+        .collect();
+    let ds = TkgDataset::from_quads("flat", 3, 1, quads);
+    let mut model = LogCl::new(&ds, micro_cfg());
+    model.fit(&ds, &TrainOptions::epochs(2)); // train split may be empty — must not panic
+}
+
+#[test]
+fn self_loop_facts_are_handled() {
+    // Facts where subject == object (reflexive events).
+    let quads: Vec<Quad> = (0..20).map(|t| Quad::new(t % 3, 0, t % 3, t)).collect();
+    let ds = TkgDataset::from_quads("selfloop", 3, 1, quads);
+    let mut model = LogCl::new(&ds, micro_cfg());
+    model.fit(&ds, &TrainOptions::epochs(2));
+    let m = evaluate(&mut model, &ds, &ds.test.clone());
+    assert!(m.mrr > 0.0, "reflexive pattern is perfectly predictable");
+}
+
+#[test]
+fn dense_duplicate_facts_are_deduplicated() {
+    let mut quads = Vec::new();
+    for t in 0..10 {
+        for _ in 0..5 {
+            quads.push(Quad::new(0, 0, 1, t)); // 5 copies each
+        }
+    }
+    let ds = TkgDataset::from_quads("dups", 2, 1, quads);
+    assert_eq!(ds.train.len() + ds.valid.len() + ds.test.len(), 10);
+}
+
+#[test]
+fn all_models_handle_unseen_entities_in_queries() {
+    // Entity 7 never appears in training; querying it must not panic and
+    // must return finite scores.
+    let mut quads: Vec<Quad> = (0..30)
+        .map(|t| Quad::new(t % 3, 0, (t + 1) % 3, t))
+        .collect();
+    quads.push(Quad::new(7, 0, 0, 29)); // appears only at the last (test) step
+    let ds = TkgDataset::from_quads("unseen", 8, 1, quads);
+    for kind in BaselineKind::TABLE3 {
+        let mut model = kind.build(&ds, 8, 2, 3, 1);
+        model.fit(&ds, &TrainOptions::epochs(1));
+        let m = evaluate(model.as_mut(), &ds, &ds.test.clone());
+        assert!(m.mrr.is_finite(), "{} broke on unseen entity", kind.name());
+    }
+}

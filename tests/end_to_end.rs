@@ -1,0 +1,192 @@
+//! End-to-end integration tests spanning every crate: dataset generation →
+//! model training → two-phase time-aware evaluation → prediction.
+
+use logcl::prelude::*;
+
+fn tiny_ds() -> TkgDataset {
+    SyntheticPreset::Icews14.generate_scaled(0.15)
+}
+
+fn tiny_cfg() -> LogClConfig {
+    LogClConfig {
+        dim: 16,
+        time_bank: 4,
+        channels: 6,
+        m: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn logcl_end_to_end_beats_chance_and_fresh_model() {
+    let ds = tiny_ds();
+    let mut model = LogCl::new(&ds, tiny_cfg());
+    let test = ds.test.clone();
+    let fresh = evaluate(&mut model, &ds, &test);
+    model.fit(&ds, &TrainOptions::epochs(5));
+    let trained = evaluate(&mut model, &ds, &test);
+    // Chance MRR on |E| candidates is ≈ (ln E)/E — a few percent here.
+    assert!(trained.mrr > 10.0, "trained MRR {}", trained.mrr);
+    assert!(trained.mrr > fresh.mrr, "{} -> {}", fresh.mrr, trained.mrr);
+    assert_eq!(trained.count, 2 * test.len(), "two-phase evaluation count");
+}
+
+#[test]
+fn full_roster_trains_and_produces_sane_metrics() {
+    let ds = tiny_ds();
+    for kind in BaselineKind::TABLE3 {
+        let mut model = kind.build(&ds, 12, 2, 4, 3);
+        model.fit(&ds, &TrainOptions::epochs(2));
+        let m = evaluate(model.as_mut(), &ds, &ds.test.clone());
+        assert!(
+            m.mrr > 0.0 && m.mrr <= 100.0 && m.hits1 <= m.hits3 && m.hits3 <= m.hits10,
+            "{}: {m}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn ablations_do_not_exceed_reasonable_bounds() {
+    // Structural sanity: every ablated variant still trains and scores;
+    // the full model is not catastrophically below its ablations.
+    let ds = tiny_ds();
+    let opts = TrainOptions::epochs(4);
+    let mut full = LogCl::new(&ds, tiny_cfg());
+    full.fit(&ds, &opts);
+    let m_full = evaluate(&mut full, &ds, &ds.test.clone());
+    for cfg in [
+        tiny_cfg().without_global(),
+        tiny_cfg().without_local(),
+        tiny_cfg().without_contrast(),
+        tiny_cfg().without_entity_attention(),
+    ] {
+        let name = cfg.variant_name();
+        let mut variant = LogCl::new(&ds, cfg);
+        variant.fit(&ds, &opts);
+        let m = evaluate(&mut variant, &ds, &ds.test.clone());
+        assert!(m.mrr > 0.0, "{name} failed to learn");
+        assert!(
+            m_full.mrr > m.mrr * 0.5,
+            "full model far below {name}: {} vs {}",
+            m_full.mrr,
+            m.mrr
+        );
+    }
+}
+
+#[test]
+fn two_phase_counts_and_ordering() {
+    let ds = tiny_ds();
+    let mut model = LogCl::new(&ds, tiny_cfg());
+    model.fit(&ds, &TrainOptions::epochs(3));
+    let test = ds.test.clone();
+    let both = evaluate_with_phase(&mut model, &ds, &test, Phase::Both, false);
+    let fp = evaluate_with_phase(&mut model, &ds, &test, Phase::FirstOnly, false);
+    let sp = evaluate_with_phase(&mut model, &ds, &test, Phase::SecondOnly, false);
+    assert_eq!(both.count, fp.count + sp.count);
+    // The combined MRR is the query-weighted mean of the phases.
+    let expected = (fp.mrr * fp.count as f64 + sp.mrr * sp.count as f64) / both.count as f64;
+    assert!((both.mrr - expected).abs() < 1e-6);
+}
+
+#[test]
+fn predictions_are_consistent_with_scores() {
+    let ds = tiny_ds();
+    let mut model = LogCl::new(&ds, tiny_cfg());
+    model.fit(&ds, &TrainOptions::epochs(3));
+    let q = ds.test[0];
+    let preds = predict_topk(&mut model, &ds, q.s, q.r, q.t, 10);
+    assert_eq!(preds.len(), 10);
+    assert!(preds
+        .windows(2)
+        .all(|w| w[0].probability >= w[1].probability));
+    let total: f32 = preds.iter().map(|p| p.probability).sum();
+    assert!(total <= 1.0 + 1e-4);
+    // Names resolve through the dataset vocabulary.
+    assert!(preds.iter().all(|p| !p.name.is_empty()));
+}
+
+#[test]
+fn noise_degrades_performance() {
+    let ds = tiny_ds();
+    let opts = TrainOptions::epochs(4);
+    let mut clean = LogCl::new(&ds, tiny_cfg());
+    clean.fit(&ds, &opts);
+    let m_clean = evaluate(&mut clean, &ds, &ds.test.clone());
+    let mut noisy = LogCl::new(
+        &ds,
+        LogClConfig {
+            noise: NoiseSpec::with_std(3.0),
+            ..tiny_cfg()
+        },
+    );
+    noisy.fit(&ds, &opts);
+    let m_noisy = evaluate(&mut noisy, &ds, &ds.test.clone());
+    assert!(
+        m_noisy.mrr < m_clean.mrr,
+        "strong noise must hurt: clean {} vs noisy {}",
+        m_clean.mrr,
+        m_noisy.mrr
+    );
+}
+
+#[test]
+fn static_kg_refinement_trains_end_to_end() {
+    let ds = tiny_ds();
+    assert!(!ds.static_facts.is_empty(), "presets carry static facts");
+    let cfg = LogClConfig {
+        use_static: true,
+        ..tiny_cfg()
+    };
+    let mut model = LogCl::new(&ds, cfg);
+    model.fit(&ds, &TrainOptions::epochs(4));
+    let m = evaluate(&mut model, &ds, &ds.test.clone());
+    assert!(
+        m.mrr > 10.0,
+        "static-refined model must still learn: {}",
+        m.mrr
+    );
+}
+
+#[test]
+fn online_evaluation_runs_for_adaptive_models() {
+    let ds = tiny_ds();
+    let mut model = LogCl::new(&ds, tiny_cfg());
+    model.fit(&ds, &TrainOptions::epochs(3));
+    let m = evaluate_online(&mut model, &ds, &ds.test.clone());
+    assert!(m.mrr > 0.0 && m.count == 2 * ds.test.len());
+}
+
+#[test]
+fn training_is_deterministic_given_seed() {
+    let ds = tiny_ds();
+    let run = || {
+        let mut model = LogCl::new(&ds, tiny_cfg());
+        let mut opts = TrainOptions::epochs(2);
+        opts.select_on_valid = false;
+        model.fit(&ds, &opts);
+        evaluate(&mut model, &ds, &ds.test.clone())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must give identical metrics");
+}
+
+#[test]
+fn checkpoint_round_trip_preserves_predictions() {
+    let ds = tiny_ds();
+    let mut model = LogCl::new(&ds, tiny_cfg());
+    model.fit(&ds, &TrainOptions::epochs(2));
+    let dir = std::env::temp_dir().join("logcl-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.json");
+    logcl::tensor::serialize::save(&model.params, &path).unwrap();
+
+    let before = evaluate(&mut model, &ds, &ds.test.clone());
+    let mut restored = LogCl::new(&ds, tiny_cfg());
+    logcl::tensor::serialize::load(&restored.params, &path).unwrap();
+    let after = evaluate(&mut restored, &ds, &ds.test.clone());
+    assert_eq!(before, after, "restored model must score identically");
+    std::fs::remove_file(path).ok();
+}
