@@ -16,6 +16,9 @@ commands:
                                                         --online, --phase fp|sp|both)
   predict    top-k forecast for one query              (--load, --subject, --relation,
                                                         --time, --topk, --inverse)
+  serve      HTTP inference server                     (--data | --preset, --load,
+                                                        --addr, --threads, --linger-ms,
+                                                        --max-batch, --fused)
   help       this text
 
 flags:
@@ -34,7 +37,12 @@ flags:
   --load FILE       read parameters before eval/predict (logcl only)
   --online          Fig. 10 online adaptation during eval
   --phase P         fp | sp | both                      [default both]
-  --subject NAME|ID --relation NAME|ID --time T --topk K --inverse";
+  --subject NAME|ID --relation NAME|ID --time T --topk K --inverse
+  --addr HOST:PORT  serve bind address                  [default 127.0.0.1:7878]
+  --threads N       serve connection handler threads    [default 4]
+  --linger-ms MS    micro-batch linger window           [default 2]
+  --max-batch N     micro-batch size cap                [default 32]
+  --fused           fuse each batch into one forward pass (approximate)";
 
 /// Parsed CLI options (superset across commands).
 #[derive(Debug, Clone)]
@@ -59,6 +67,11 @@ pub struct CliOptions {
     pub time: Option<usize>,
     pub topk: usize,
     pub inverse: bool,
+    pub addr: String,
+    pub threads: usize,
+    pub linger_ms: u64,
+    pub max_batch: usize,
+    pub fused: bool,
 }
 
 impl Default for CliOptions {
@@ -84,6 +97,11 @@ impl Default for CliOptions {
             time: None,
             topk: 5,
             inverse: false,
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            linger_ms: 2,
+            max_batch: 32,
+            fused: false,
         }
     }
 }
@@ -120,6 +138,11 @@ impl CliOptions {
                 "--time" => o.time = Some(num(&value("--time")?)?),
                 "--topk" => o.topk = num(&value("--topk")?)?,
                 "--inverse" => o.inverse = true,
+                "--addr" => o.addr = value("--addr")?,
+                "--threads" => o.threads = num(&value("--threads")?)?,
+                "--linger-ms" => o.linger_ms = num(&value("--linger-ms")?)?,
+                "--max-batch" => o.max_batch = num(&value("--max-batch")?)?,
+                "--fused" => o.fused = true,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -179,6 +202,27 @@ mod tests {
         assert!(CliOptions::parse(&strs(&["--scale", "0"])).is_err());
         assert!(CliOptions::parse(&strs(&["--scale", "2"])).is_err());
         assert!(CliOptions::parse(&strs(&["--epochs"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--addr",
+            "0.0.0.0:9000",
+            "--threads",
+            "8",
+            "--linger-ms",
+            "5",
+            "--max-batch",
+            "64",
+            "--fused",
+        ]))
+        .unwrap();
+        assert_eq!(o.addr, "0.0.0.0:9000");
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.linger_ms, 5);
+        assert_eq!(o.max_batch, 64);
+        assert!(o.fused);
     }
 
     #[test]

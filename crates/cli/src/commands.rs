@@ -2,9 +2,10 @@
 
 use logcl_baselines::BaselineKind;
 use logcl_core::{
-    evaluate_detailed, evaluate_online, evaluate_with_phase, predict_topk, LogCl, LogClConfig,
+    evaluate_detailed, evaluate_online, evaluate_with_phase, try_predict_topk, LogCl, LogClConfig,
     Phase, TkgModel, TrainOptions,
 };
+use logcl_serve::{ModelSpec, ServeConfig, Server};
 use logcl_tkg::TkgDataset;
 
 use crate::args::CliOptions;
@@ -129,7 +130,14 @@ pub fn train(opts: &CliOptions) -> Result<(), String> {
         let metrics = evaluate_with_phase(&mut model, &ds, &ds.test.clone(), Phase::Both, false);
         println!("test: {metrics}");
         if let Some(path) = &opts.save {
-            logcl_tensor::serialize::save(&model.params, path).map_err(|e| e.to_string())?;
+            let cfg = logcl_config(opts);
+            logcl_tensor::serialize::save_with_meta(
+                &model.params,
+                &cfg.variant_name(),
+                &cfg.fingerprint(),
+                path,
+            )
+            .map_err(|e| e.to_string())?;
             println!("saved parameters to {path}");
         }
     } else {
@@ -237,9 +245,66 @@ pub fn predict(opts: &CliOptions) -> Result<(), String> {
         ds.entity_name(subject),
         ds.rel_name(relation)
     );
-    for p in predict_topk(&mut model, &ds, subject, relation, t, opts.topk) {
+    let preds = try_predict_topk(&mut model, &ds, subject, relation, t, opts.topk)
+        .map_err(|e| e.to_string())?;
+    for p in preds {
         println!("  {:<30} {:.3}", p.name, p.probability);
     }
+    Ok(())
+}
+
+/// `logcl serve`: run the HTTP inference server.
+///
+/// Loads (or trains) one LogCL model, then serves `/predict` and `/ingest`
+/// with snapshot-encoding caching and micro-batching until `POST /shutdown`
+/// (or process exit). With `--load` the checkpoint's metadata is validated
+/// against the configuration implied by `--dim`/`--m`/`--seed`.
+pub fn serve(opts: &CliOptions) -> Result<(), String> {
+    if opts.model != "logcl" {
+        return Err("serve currently supports the logcl model".into());
+    }
+    let ds = dataset(opts)?;
+    println!("dataset: {ds}");
+    let cfg = logcl_config(opts);
+    let spec = match &opts.load {
+        Some(path) => {
+            let ckpt = logcl_tensor::serialize::read(path).map_err(|e| e.to_string())?;
+            println!("loading checkpoint {path}");
+            ModelSpec {
+                name: "default".into(),
+                cfg,
+                checkpoint: Some(ckpt),
+                train: None,
+            }
+        }
+        None => {
+            println!("no --load given; training from scratch before serving");
+            ModelSpec {
+                name: "default".into(),
+                cfg,
+                checkpoint: None,
+                train: Some(train_options(opts)),
+            }
+        }
+    };
+    let serve_cfg = ServeConfig {
+        addr: opts.addr.clone(),
+        threads: opts.threads,
+        linger: std::time::Duration::from_millis(opts.linger_ms),
+        max_batch: opts.max_batch,
+        default_k: opts.topk,
+        fused: opts.fused,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(serve_cfg, ds, vec![spec])?;
+    println!("listening on http://{}", server.addr());
+    println!("  GET  /healthz   liveness + current horizon");
+    println!("  GET  /metrics   Prometheus text format");
+    println!("  POST /predict   {{\"subject\": .., \"relation\": .., \"time\": .., \"k\": ..}}");
+    println!("  POST /ingest    {{\"time\": .., \"facts\": [[s, r, o], ..]}}");
+    println!("  POST /shutdown  graceful stop");
+    server.run();
+    println!("server stopped");
     Ok(())
 }
 

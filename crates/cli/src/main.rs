@@ -7,6 +7,7 @@
 //! logcl eval --data data/icews14-s --load model.json
 //! logcl predict --data data/icews14-s --load model.json \
 //!     --subject China --relation Cooperate --time 115 --topk 5
+//! logcl serve --data data/icews14-s --load model.json --addr 127.0.0.1:7878
 //! ```
 
 mod args;
@@ -35,6 +36,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "train" => commands::train(&opts),
         "eval" => commands::eval(&opts),
         "predict" => commands::predict(&opts),
+        "serve" => commands::serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             Ok(())

@@ -160,6 +160,34 @@ impl LogClConfig {
         name
     }
 
+    /// A stable, human-readable fingerprint of every field that shapes the
+    /// parameter set or the forward pass — everything except the RNG seed
+    /// and the (test-time) input noise. Stamped into checkpoint metadata so
+    /// loaders can reject parameters trained under a different
+    /// configuration with a clear message instead of a shape panic.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "d{}.tb{}.m{}.ll{}.gl{}.{:?}.ch{}.do{}.la{}.tau{}.{:?}.sub{}.loc{}.glob{}.eatt{}.cl{}.stat{}",
+            self.dim,
+            self.time_bank,
+            self.m,
+            self.local_layers,
+            self.global_layers,
+            self.aggregator,
+            self.channels,
+            self.dropout,
+            self.lambda,
+            self.tau,
+            self.contrast,
+            self.max_subgraph_edges,
+            u8::from(self.use_local),
+            u8::from(self.use_global),
+            u8::from(self.use_entity_attention),
+            u8::from(self.use_contrast),
+            u8::from(self.use_static),
+        )
+    }
+
     /// Validates configuration invariants; panics on nonsense combinations.
     pub fn validate(&self) {
         assert!(self.dim >= 4, "dim too small");
@@ -229,6 +257,25 @@ mod tests {
             .without_local()
             .without_global()
             .validate();
+    }
+
+    #[test]
+    fn fingerprint_tracks_structural_fields_but_not_seed() {
+        let base = LogClConfig::default();
+        let same = LogClConfig {
+            seed: 7,
+            ..LogClConfig::default()
+        };
+        assert_eq!(base.fingerprint(), same.fingerprint());
+        let wider = LogClConfig {
+            dim: 128,
+            ..LogClConfig::default()
+        };
+        assert_ne!(base.fingerprint(), wider.fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            LogClConfig::default().without_contrast().fingerprint()
+        );
     }
 
     #[test]

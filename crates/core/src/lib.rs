@@ -29,5 +29,7 @@ pub use api::{evaluate, evaluate_with_phase, EvalContext, Phase, TkgModel, Train
 pub use config::{ContrastStrategy, LogClConfig};
 pub use diagnostics::{evaluate_detailed, DetailedReport};
 pub use model::LogCl;
-pub use predict::{predict_topk, Prediction};
+pub use predict::{
+    predict_topk, topk_from_scores, try_predict_topk, validate_query, PredictError, Prediction,
+};
 pub use trainer::{evaluate_online, TrainReport};

@@ -16,34 +16,84 @@ pub struct Prediction {
     pub probability: f32,
 }
 
-/// Asks `model` the query `(s, r, ?, t)` and returns the top-`k` candidate
-/// objects with softmax probabilities, like the paper's case-study tables.
-pub fn predict_topk(
-    model: &mut dyn TkgModel,
-    ds: &TkgDataset,
-    s: usize,
-    r: usize,
-    t: usize,
-    k: usize,
-) -> Vec<Prediction> {
-    assert!(s < ds.num_entities, "subject out of range");
-    assert!(r < ds.num_rels_with_inverse(), "relation out of range");
-    let snapshots = ds.snapshots();
-    assert!(t <= snapshots.len(), "time beyond dataset horizon");
-    let mut history = HistoryIndex::new();
-    for snap in &snapshots[..t] {
-        history.advance(snap);
-    }
-    let ctx = EvalContext {
-        ds,
-        snapshots: &snapshots,
-        history: &history,
-        t,
-    };
-    let query = Quad::new(s, r, 0, t); // object unused for scoring
-    let scores = model.score(&ctx, &[query]).remove(0);
+/// A malformed query that cannot be scored against `ds`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// Subject id ≥ `|E|`.
+    SubjectOutOfRange {
+        /// Offending subject id.
+        s: usize,
+        /// Entity vocabulary size.
+        num_entities: usize,
+    },
+    /// Relation id ≥ `2 |R|` (inverse-closed vocabulary).
+    RelationOutOfRange {
+        /// Offending relation id.
+        r: usize,
+        /// Relation vocabulary size including inverses.
+        num_rels_with_inverse: usize,
+    },
+    /// Query time past the dataset horizon (`t > |T|`; `t = |T|` is the
+    /// one-step-ahead forecast over the full history).
+    TimeBeyondHorizon {
+        /// Offending timestamp.
+        t: usize,
+        /// Number of snapshots in the dataset.
+        horizon: usize,
+    },
+}
 
-    // Softmax for readable probabilities.
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::SubjectOutOfRange { s, num_entities } => {
+                write!(f, "subject out of range: id {s} >= |E| = {num_entities}")
+            }
+            Self::RelationOutOfRange {
+                r,
+                num_rels_with_inverse,
+            } => write!(
+                f,
+                "relation out of range: id {r} >= 2|R| = {num_rels_with_inverse}"
+            ),
+            Self::TimeBeyondHorizon { t, horizon } => {
+                write!(f, "time beyond dataset horizon: t = {t} > |T| = {horizon}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// Checks that `(s, r, ?, t)` is answerable against `ds`'s vocabulary and
+/// horizon. The serving layer calls this before queueing work so a
+/// malformed request can never reach (and panic) the model.
+pub fn validate_query(ds: &TkgDataset, s: usize, r: usize, t: usize) -> Result<(), PredictError> {
+    if s >= ds.num_entities {
+        return Err(PredictError::SubjectOutOfRange {
+            s,
+            num_entities: ds.num_entities,
+        });
+    }
+    if r >= ds.num_rels_with_inverse() {
+        return Err(PredictError::RelationOutOfRange {
+            r,
+            num_rels_with_inverse: ds.num_rels_with_inverse(),
+        });
+    }
+    if t > ds.num_times {
+        return Err(PredictError::TimeBeyondHorizon {
+            t,
+            horizon: ds.num_times,
+        });
+    }
+    Ok(())
+}
+
+/// Turns one `|E|`-long score vector into named top-`k` predictions with
+/// softmax probabilities. Shared by [`predict_topk`] and the serving layer
+/// so batched responses are bit-identical to single-query ones.
+pub fn topk_from_scores(ds: &TkgDataset, scores: &[f32], k: usize) -> Vec<Prediction> {
     let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = scores.iter().map(|&x| (x - max).exp()).collect();
     let z: f32 = exps.iter().sum();
@@ -62,6 +112,51 @@ pub fn predict_topk(
             probability: exps[e] / z,
         })
         .collect()
+}
+
+/// Asks `model` the query `(s, r, ?, t)` and returns the top-`k` candidate
+/// objects with softmax probabilities, like the paper's case-study tables.
+/// Fallible twin of [`predict_topk`]: malformed queries come back as
+/// [`PredictError`] instead of a panic.
+pub fn try_predict_topk(
+    model: &mut dyn TkgModel,
+    ds: &TkgDataset,
+    s: usize,
+    r: usize,
+    t: usize,
+    k: usize,
+) -> Result<Vec<Prediction>, PredictError> {
+    validate_query(ds, s, r, t)?;
+    let snapshots = ds.snapshots();
+    let mut history = HistoryIndex::new();
+    for snap in &snapshots[..t] {
+        history.advance(snap);
+    }
+    let ctx = EvalContext {
+        ds,
+        snapshots: &snapshots,
+        history: &history,
+        t,
+    };
+    let query = Quad::new(s, r, 0, t); // object unused for scoring
+    let scores = model.score(&ctx, &[query]).remove(0);
+    Ok(topk_from_scores(ds, &scores, k))
+}
+
+/// Panicking convenience wrapper around [`try_predict_topk`] for scripts
+/// and examples that prefer a crash over error plumbing.
+pub fn predict_topk(
+    model: &mut dyn TkgModel,
+    ds: &TkgDataset,
+    s: usize,
+    r: usize,
+    t: usize,
+    k: usize,
+) -> Vec<Prediction> {
+    match try_predict_topk(model, ds, s, r, t, k) {
+        Ok(preds) => preds,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +193,35 @@ mod tests {
             calls: 0,
         };
         predict_topk(&mut model, &ds, ds.num_entities + 5, 0, 10, 3);
+    }
+
+    #[test]
+    fn try_variant_reports_errors_instead_of_panicking() {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        let mut model = ConstModel {
+            favourite: 0,
+            calls: 0,
+        };
+        let err = try_predict_topk(&mut model, &ds, ds.num_entities, 0, 5, 3).unwrap_err();
+        assert!(matches!(err, PredictError::SubjectOutOfRange { .. }));
+        let err =
+            try_predict_topk(&mut model, &ds, 0, ds.num_rels_with_inverse(), 5, 3).unwrap_err();
+        assert!(matches!(err, PredictError::RelationOutOfRange { .. }));
+        let err = try_predict_topk(&mut model, &ds, 0, 0, ds.num_times + 1, 3).unwrap_err();
+        assert!(matches!(err, PredictError::TimeBeyondHorizon { .. }));
+        assert_eq!(model.calls, 0, "invalid queries must never reach the model");
+        // The boundary forecast t == |T| is legal.
+        let preds = try_predict_topk(&mut model, &ds, 0, 0, ds.num_times, 3).unwrap();
+        assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn validate_query_matches_wrapper_panics() {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        assert!(validate_query(&ds, 0, 0, 0).is_ok());
+        let msg = validate_query(&ds, ds.num_entities + 1, 0, 0)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("subject out of range"), "{msg}");
     }
 }

@@ -1,0 +1,374 @@
+//! The micro-batcher.
+//!
+//! All model work funnels through one worker thread (the autograd graph is
+//! `Rc`-based, so the model cannot be shared across threads — and a single
+//! owner conveniently serialises weight updates against scoring). Handler
+//! threads enqueue [`WorkItem`]s on a bounded channel; the worker coalesces
+//! concurrent `/predict` requests with the same `(model, timestamp)` into
+//! one batch, waiting up to a configurable linger for stragglers and
+//! cutting the batch at a configurable maximum size.
+//!
+//! On shutdown the senders are dropped; the worker drains every queued item
+//! — answering each one — before it exits, so graceful shutdown never
+//! abandons an accepted request.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use logcl_core::Prediction;
+
+use crate::metrics::Metrics;
+
+/// A scoring request travelling from a handler thread to the worker.
+pub struct PredictJob {
+    /// Registry model name.
+    pub model: String,
+    /// Subject entity id.
+    pub s: usize,
+    /// Relation id (inverse-closed vocabulary, `0..2|R|`).
+    pub r: usize,
+    /// Query timestamp — the batching key.
+    pub t: usize,
+    /// How many candidates to return.
+    pub k: usize,
+    /// Where the worker sends the answer.
+    pub reply: Sender<Result<PredictOutcome, ServeError>>,
+}
+
+/// A successful prediction, plus how it was served.
+pub struct PredictOutcome {
+    /// Ranked candidates with softmax probabilities.
+    pub predictions: Vec<Prediction>,
+    /// How many requests the containing micro-batch coalesced.
+    pub batch_size: usize,
+    /// Whether the snapshot encoding came from the cache.
+    pub cache_hit: bool,
+}
+
+/// A fact-ingestion request.
+pub struct IngestJob {
+    /// Registry model name to adapt online (all models see the new facts).
+    pub model: String,
+    /// Timestamp the facts belong to; `t == |T|` extends the horizon.
+    pub t: usize,
+    /// `(s, r, o)` base-direction facts.
+    pub facts: Vec<(usize, usize, usize)>,
+    /// Run one online adaptation step (Fig. 10) after appending.
+    pub update: bool,
+    /// Where the worker sends the answer.
+    pub reply: Sender<Result<IngestOutcome, ServeError>>,
+}
+
+/// The result of an ingestion.
+pub struct IngestOutcome {
+    /// Facts actually appended (duplicates are dropped).
+    pub appended: usize,
+    /// Cached encodings invalidated across all registry models.
+    pub invalidated: usize,
+    /// Whether an online adaptation step ran.
+    pub updated: bool,
+    /// The dataset horizon `|T|` after ingestion.
+    pub horizon: usize,
+}
+
+/// Anything the worker can be asked to do.
+pub enum WorkItem {
+    /// Score one query (the batchable kind).
+    Predict(PredictJob),
+    /// Append facts and optionally adapt online.
+    Ingest(IngestJob),
+}
+
+/// An error answered to the client with the given HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A 400.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// A 404.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self {
+            status: 404,
+            message: message.into(),
+        }
+    }
+}
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatcherOptions {
+    /// How long the first request of a batch waits for stragglers.
+    pub linger: Duration,
+    /// Hard cap on coalesced requests per batch.
+    pub max_batch: usize,
+}
+
+impl Default for BatcherOptions {
+    fn default() -> Self {
+        Self {
+            linger: Duration::from_millis(2),
+            max_batch: 32,
+        }
+    }
+}
+
+/// What the worker loop delegates model work to (the real implementation is
+/// [`crate::registry::Registry`]; tests substitute a recorder).
+pub trait BatchHandler {
+    /// Answers every job in `group` (all share one `(model, t)` key).
+    fn handle_predict_group(&mut self, group: Vec<PredictJob>);
+    /// Answers one ingestion.
+    fn handle_ingest(&mut self, job: IngestJob);
+}
+
+/// Runs the worker loop until every sender is gone and the queue is drained.
+pub fn run_batcher<H: BatchHandler>(
+    handler: &mut H,
+    rx: &Receiver<WorkItem>,
+    opts: &BatcherOptions,
+    metrics: &Metrics,
+) {
+    // Items received while lingering for a different batch key.
+    let mut pending: VecDeque<WorkItem> = VecDeque::new();
+    loop {
+        let item = match pending.pop_front() {
+            Some(item) => item,
+            // Block for new work; a disconnect with nothing pending means
+            // the server dropped its sender and every handler finished —
+            // the drain is complete.
+            None => match rx.recv() {
+                Ok(item) => item,
+                Err(_) => return,
+            },
+        };
+        let first = match item {
+            WorkItem::Ingest(job) => {
+                handler.handle_ingest(job);
+                continue;
+            }
+            WorkItem::Predict(job) => job,
+        };
+
+        // Open a batch keyed by the first job, absorb matching pending
+        // items, then linger on the channel for stragglers.
+        let key = (first.model.clone(), first.t);
+        let mut group = vec![first];
+        let mut skipped = VecDeque::new();
+        while let Some(item) = pending.pop_front() {
+            match item {
+                WorkItem::Predict(j)
+                    if group.len() < opts.max_batch && j.model == key.0 && j.t == key.1 =>
+                {
+                    group.push(j)
+                }
+                other => skipped.push_back(other),
+            }
+        }
+        pending = skipped;
+        let deadline = Instant::now() + opts.linger;
+        while group.len() < opts.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(WorkItem::Predict(j)) if j.model == key.0 && j.t == key.1 => group.push(j),
+                Ok(other) => pending.push_back(other),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        metrics.batch_size.observe(group.len() as f64);
+        handler.handle_predict_group(group);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+
+    /// Records group shapes and answers every job (so reply channels see a
+    /// response, like the real handler guarantees).
+    #[derive(Default)]
+    struct Recorder {
+        groups: Vec<Vec<(usize, usize, usize)>>, // (s, r, t) per job
+        ingests: usize,
+    }
+
+    impl BatchHandler for Recorder {
+        fn handle_predict_group(&mut self, group: Vec<PredictJob>) {
+            self.groups
+                .push(group.iter().map(|j| (j.s, j.r, j.t)).collect());
+            for job in group {
+                let _ = job.reply.send(Ok(PredictOutcome {
+                    predictions: Vec::new(),
+                    batch_size: 1,
+                    cache_hit: false,
+                }));
+            }
+        }
+        fn handle_ingest(&mut self, job: IngestJob) {
+            self.ingests += 1;
+            let _ = job.reply.send(Ok(IngestOutcome {
+                appended: job.facts.len(),
+                invalidated: 0,
+                updated: job.update,
+                horizon: job.t + 1,
+            }));
+        }
+    }
+
+    fn job(s: usize, t: usize) -> (PredictJob, Receiver<Result<PredictOutcome, ServeError>>) {
+        let (reply, reply_rx) = mpsc::channel();
+        (
+            PredictJob {
+                model: "default".into(),
+                s,
+                r: 0,
+                t,
+                k: 3,
+                reply,
+            },
+            reply_rx,
+        )
+    }
+
+    #[test]
+    fn max_batch_cutoff_splits_queued_work() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let mut replies = Vec::new();
+        for i in 0..10 {
+            let (j, r) = job(i, 5);
+            tx.send(WorkItem::Predict(j)).unwrap();
+            replies.push(r);
+        }
+        drop(tx);
+        let mut rec = Recorder::default();
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions {
+                linger: Duration::from_millis(1),
+                max_batch: 4,
+            },
+            &Metrics::default(),
+        );
+        let sizes: Vec<usize> = rec.groups.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        for r in replies {
+            r.recv()
+                .expect("every job must be answered")
+                .expect("recorder answers Ok");
+        }
+    }
+
+    #[test]
+    fn different_timestamps_never_share_a_batch() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let mut replies = Vec::new();
+        for (s, t) in [(0, 7), (1, 7), (2, 9), (3, 7)] {
+            let (j, r) = job(s, t);
+            tx.send(WorkItem::Predict(j)).unwrap();
+            replies.push(r);
+        }
+        drop(tx);
+        let mut rec = Recorder::default();
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions::default(),
+            &Metrics::default(),
+        );
+        for g in &rec.groups {
+            let t0 = g[0].2;
+            assert!(g.iter().all(|&(_, _, t)| t == t0), "mixed batch {g:?}");
+        }
+        // All three t=7 jobs coalesce even though a t=9 job arrived between
+        // them (it is set aside, not dropped).
+        assert_eq!(rec.groups.len(), 2);
+        assert_eq!(rec.groups[0].len(), 3);
+        assert_eq!(rec.groups[1], vec![(2, 0, 9)]);
+        for r in replies {
+            r.recv().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn linger_expiry_closes_a_batch_before_disconnect() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let (j, reply) = job(0, 3);
+        tx.send(WorkItem::Predict(j)).unwrap();
+        // Keep the sender alive well past the linger so the only way the
+        // batch can close early is the linger deadline.
+        let holder = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(400));
+            drop(tx);
+        });
+        let started = Instant::now();
+        let mut rec = Recorder::default();
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions {
+                linger: Duration::from_millis(20),
+                max_batch: 8,
+            },
+            &Metrics::default(),
+        );
+        reply.recv().unwrap().unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(20),
+            "must linger at least the configured window"
+        );
+        assert_eq!(rec.groups, vec![vec![(0, 0, 3)]]);
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_every_queued_item() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let mut replies = Vec::new();
+        for i in 0..5 {
+            let (j, r) = job(i, i); // five distinct timestamps
+            tx.send(WorkItem::Predict(j)).unwrap();
+            replies.push(r);
+        }
+        let (ingest_reply, ingest_rx) = mpsc::channel();
+        tx.send(WorkItem::Ingest(IngestJob {
+            model: "default".into(),
+            t: 9,
+            facts: vec![(0, 0, 1)],
+            update: false,
+            reply: ingest_reply,
+        }))
+        .unwrap();
+        drop(tx); // "SIGTERM": no more senders
+        let mut rec = Recorder::default();
+        let metrics = Metrics::default();
+        run_batcher(&mut rec, &rx, &BatcherOptions::default(), &metrics);
+        assert_eq!(rec.groups.len(), 5, "each timestamp drained as a batch");
+        assert_eq!(rec.ingests, 1);
+        for r in replies {
+            r.recv()
+                .expect("drained job must still be answered")
+                .expect("recorder answers Ok");
+        }
+        ingest_rx.recv().unwrap().unwrap();
+        assert_eq!(metrics.batch_size.total(), 5);
+    }
+}

@@ -1,0 +1,352 @@
+//! A deliberately small HTTP/1.1 request parser and response writer,
+//! written against `std` only (the build environment has no crates.io
+//! access, so no hyper/tokio). One request per connection
+//! (`Connection: close`), bounded header and body sizes, `GET`/`POST`
+//! only — everything a model inference endpoint needs and nothing more.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Upper bound on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` or `POST`.
+    pub method: String,
+    /// Request target, query string included (routing splits it off).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Everything that can go wrong while reading a request; each maps to an
+/// HTTP status so handler code stays a one-liner.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or `Content-Length` (→ 400).
+    BadRequest(String),
+    /// Anything other than `GET`/`POST` (→ 405).
+    MethodNotAllowed(String),
+    /// Request line + headers exceed [`MAX_HEAD_BYTES`] (→ 431).
+    HeadTooLarge,
+    /// Declared body exceeds [`MAX_BODY_BYTES`] (→ 413).
+    BodyTooLarge,
+    /// The peer closed the connection mid-request (→ 400).
+    UnexpectedEof,
+    /// Transport failure.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// HTTP status code this parse failure answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            Self::BadRequest(_) | Self::UnexpectedEof => 400,
+            Self::MethodNotAllowed(_) => 405,
+            Self::BodyTooLarge => 413,
+            Self::HeadTooLarge => 431,
+            Self::Io(_) => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadRequest(m) => write!(f, "bad request: {m}"),
+            Self::MethodNotAllowed(m) => write!(f, "method not allowed: {m}"),
+            Self::HeadTooLarge => write!(f, "request head too large"),
+            Self::BodyTooLarge => write!(f, "request body too large"),
+            Self::UnexpectedEof => write!(f, "connection closed mid-request"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads one request from `r`, tolerating arbitrarily fragmented reads
+/// (a TCP stream may deliver the head one byte at a time).
+pub fn read_request(r: &mut impl Read) -> Result<Request, HttpError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = r.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadRequest("head is not valid UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let start = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".into()))?;
+    let mut parts = start.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version {version}"
+        )));
+    }
+    if method != "GET" && method != "POST" {
+        return Err(HttpError::MethodNotAllowed(method));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    let content_length = match req.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    // Body bytes that arrived glued to the head, then the remainder.
+    let body_start = head_end + 4; // skip the \r\n\r\n
+    req.body = buf[body_start.min(buf.len())..].to_vec();
+    if req.body.len() > content_length {
+        return Err(HttpError::BadRequest(
+            "body longer than Content-Length".into(),
+        ));
+    }
+    while req.body.len() < content_length {
+        let want = (content_length - req.body.len()).min(chunk.len());
+        let n = r.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(HttpError::UnexpectedEof);
+        }
+        req.body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(req)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+/// Writes `resp` to `w` with `Connection: close` semantics.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    )?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that trickles out one byte per `read` call — the worst
+    /// possible TCP fragmentation.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_under_partial_reads() {
+        let raw = b"POST /predict HTTP/1.1\r\nContent-Length: 11\r\nContent-Type: application/json\r\n\r\n{\"time\":42}";
+        let mut r = Trickle {
+            data: raw.to_vec(),
+            pos: 0,
+        };
+        let req = read_request(&mut r).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"time\":42}");
+        assert_eq!(req.header("CONTENT-TYPE"), Some("application/json"));
+    }
+
+    #[test]
+    fn rejects_oversized_headers() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+        assert!(matches!(err, HttpError::HeadTooLarge));
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn rejects_bad_method_and_version() {
+        let err =
+            read_request(&mut Cursor::new(b"BREW /pot HTTP/1.1\r\n\r\n".to_vec())).unwrap_err();
+        assert!(matches!(err, HttpError::MethodNotAllowed(m) if m == "BREW"));
+        let err =
+            read_request(&mut Cursor::new(b"GET /pot SMTP/1.0\r\n\r\n".to_vec())).unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn rejects_bad_and_oversized_content_length() {
+        let err = read_request(&mut Cursor::new(
+            b"POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n".to_vec(),
+        ))
+        .unwrap_err();
+        assert_eq!(err.status(), 400);
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn truncated_request_is_an_eof_error() {
+        // Head never completes.
+        let err = read_request(&mut Cursor::new(b"GET / HTT".to_vec())).unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof));
+        // Body shorter than declared.
+        let err = read_request(&mut Cursor::new(
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec(),
+        ))
+        .unwrap_err();
+        assert!(matches!(err, HttpError::UnexpectedEof));
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_http() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}".into())).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 11\r\n"), "{s}");
+        assert!(s.ends_with("{\"ok\":true}"), "{s}");
+    }
+}

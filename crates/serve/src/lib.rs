@@ -1,0 +1,31 @@
+//! `logcl-serve`: a std-only inference server for LogCL temporal knowledge
+//! graph models.
+//!
+//! The crate hand-rolls everything a small production server needs on top of
+//! `std::net` — no async runtime, no HTTP framework:
+//!
+//! * [`http`] — an HTTP/1.1 request parser and response writer tolerant of
+//!   fragmented reads, with hard caps on head and body sizes.
+//! * [`metrics`] — lock-free Prometheus-format counters and histograms.
+//! * [`cache`] — the per-model snapshot-encoding cache keyed by timestamp.
+//! * [`batcher`] — the single model-worker loop coalescing concurrent
+//!   predict requests at the same timestamp into micro-batches.
+//! * [`registry`] — checkpoint loading/validation and the actual model
+//!   calls behind the batcher.
+//! * [`server`] — the thread-pool, routing, and graceful shutdown glue.
+//!
+//! Start one with [`Server::start`] and a [`ServeConfig`]; see the README's
+//! "Serving" section for the HTTP API.
+
+pub mod batcher;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatcherOptions, ServeError};
+pub use cache::EncodingCache;
+pub use metrics::Metrics;
+pub use registry::{ModelSpec, Registry};
+pub use server::{ServeConfig, Server, ShutdownHandle};

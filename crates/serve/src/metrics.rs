@@ -1,0 +1,268 @@
+//! Lock-free serving metrics rendered in the Prometheus text exposition
+//! format: request counters per endpoint, a latency histogram, the
+//! micro-batch size histogram, and encoding-cache hit/miss counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Latency buckets in seconds (upper bounds; `+Inf` is implicit).
+pub const LATENCY_BUCKETS: [f64; 9] = [0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.0];
+/// Batch-size buckets (upper bounds; `+Inf` is implicit).
+pub const BATCH_BUCKETS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// A fixed-bucket histogram over `AtomicU64` counters.
+pub struct Histogram {
+    bounds: &'static [f64],
+    counts: Vec<AtomicU64>, // one per bound, plus +Inf
+    /// Sum scaled by 1e6 to keep atomic integer arithmetic.
+    sum_micro: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [f64]) -> Self {
+        Self {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micro: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micro
+            .fetch_add((value * 1e6).max(0.0) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations `<= bound` for each bound (cumulative), used
+    /// by tests; the last entry equals [`Histogram::total`].
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.counts
+            .iter()
+            .map(|c| {
+                acc += c.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+
+    fn render(&self, name: &str, help: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut acc = 0u64;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            acc += self.counts[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {acc}");
+        }
+        acc += self.counts[self.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {acc}");
+        let sum = self.sum_micro.load(Ordering::Relaxed) as f64 / 1e6;
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {}", self.count.load(Ordering::Relaxed));
+    }
+}
+
+/// All counters exported at `GET /metrics`.
+pub struct Metrics {
+    /// `POST /predict` requests accepted.
+    pub predict_requests: AtomicU64,
+    /// `POST /ingest` requests accepted.
+    pub ingest_requests: AtomicU64,
+    /// `GET /healthz` + `GET /metrics` + admin requests.
+    pub admin_requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_ok: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_client_error: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_server_error: AtomicU64,
+    /// End-to-end request latency.
+    pub latency: Histogram,
+    /// Micro-batch sizes, one observation per executed batch.
+    pub batch_size: Histogram,
+    /// Requests answered from a cached snapshot encoding.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to compute the snapshot encoding.
+    pub cache_misses: AtomicU64,
+    /// Cached encodings dropped by ingestion invalidation.
+    pub cache_invalidations: AtomicU64,
+    /// Facts appended via `POST /ingest`.
+    pub ingested_facts: AtomicU64,
+    /// Online adaptation steps taken.
+    pub online_updates: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            predict_requests: AtomicU64::new(0),
+            ingest_requests: AtomicU64::new(0),
+            admin_requests: AtomicU64::new(0),
+            responses_ok: AtomicU64::new(0),
+            responses_client_error: AtomicU64::new(0),
+            responses_server_error: AtomicU64::new(0),
+            latency: Histogram::new(&LATENCY_BUCKETS),
+            batch_size: Histogram::new(&BATCH_BUCKETS),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_invalidations: AtomicU64::new(0),
+            ingested_facts: AtomicU64::new(0),
+            online_updates: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Bumps the per-endpoint request counter.
+    pub fn count_request(&self, path: &str) {
+        let counter = match path {
+            "/predict" => &self.predict_requests,
+            "/ingest" => &self.ingest_requests,
+            _ => &self.admin_requests,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished response: status class + latency.
+    pub fn count_response(&self, status: u16, elapsed: Duration) {
+        let counter = match status {
+            200..=299 => &self.responses_ok,
+            400..=499 => &self.responses_client_error,
+            _ => &self.responses_server_error,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(elapsed.as_secs_f64());
+    }
+
+    /// Renders every metric in the Prometheus text format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(2048);
+        let counter = |out: &mut String, name: &str, help: &str, pairs: &[(&str, u64)]| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (label, v) in pairs {
+                if label.is_empty() {
+                    let _ = writeln!(out, "{name} {v}");
+                } else {
+                    let _ = writeln!(out, "{name}{{{label}}} {v}");
+                }
+            }
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        counter(
+            &mut out,
+            "logcl_requests_total",
+            "Requests received, by endpoint.",
+            &[
+                ("endpoint=\"predict\"", load(&self.predict_requests)),
+                ("endpoint=\"ingest\"", load(&self.ingest_requests)),
+                ("endpoint=\"admin\"", load(&self.admin_requests)),
+            ],
+        );
+        counter(
+            &mut out,
+            "logcl_responses_total",
+            "Responses sent, by status class.",
+            &[
+                ("class=\"2xx\"", load(&self.responses_ok)),
+                ("class=\"4xx\"", load(&self.responses_client_error)),
+                ("class=\"5xx\"", load(&self.responses_server_error)),
+            ],
+        );
+        counter(
+            &mut out,
+            "logcl_encoding_cache_hits_total",
+            "Predict requests served from a cached snapshot encoding.",
+            &[("", load(&self.cache_hits))],
+        );
+        counter(
+            &mut out,
+            "logcl_encoding_cache_misses_total",
+            "Predict requests that computed a snapshot encoding.",
+            &[("", load(&self.cache_misses))],
+        );
+        counter(
+            &mut out,
+            "logcl_encoding_cache_invalidations_total",
+            "Cached snapshot encodings dropped by ingestion.",
+            &[("", load(&self.cache_invalidations))],
+        );
+        counter(
+            &mut out,
+            "logcl_ingested_facts_total",
+            "Facts appended through POST /ingest.",
+            &[("", load(&self.ingested_facts))],
+        );
+        counter(
+            &mut out,
+            "logcl_online_updates_total",
+            "Online adaptation steps taken after ingestion.",
+            &[("", load(&self.online_updates))],
+        );
+        self.latency.render(
+            "logcl_request_duration_seconds",
+            "End-to-end request latency.",
+            &mut out,
+        );
+        self.batch_size.render(
+            "logcl_batch_size",
+            "Queries coalesced per executed micro-batch.",
+            &mut out,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&BATCH_BUCKETS);
+        for v in [1.0, 1.0, 3.0, 9.0, 1000.0] {
+            h.observe(v);
+        }
+        let cum = h.cumulative();
+        assert_eq!(cum[0], 2); // <= 1
+        assert_eq!(cum[2], 3); // <= 4
+        assert_eq!(cum[4], 4); // <= 16
+        assert_eq!(*cum.last().unwrap(), 5); // +Inf
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn render_contains_every_family() {
+        let m = Metrics::default();
+        m.count_request("/predict");
+        m.count_response(200, Duration::from_millis(3));
+        m.batch_size.observe(4.0);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        let text = m.render();
+        for family in [
+            "logcl_requests_total{endpoint=\"predict\"} 1",
+            "logcl_responses_total{class=\"2xx\"} 1",
+            "logcl_encoding_cache_hits_total 2",
+            "logcl_request_duration_seconds_bucket",
+            "logcl_batch_size_count 1",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+}

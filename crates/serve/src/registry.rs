@@ -1,0 +1,430 @@
+//! The model registry: loads checkpoints, validates them against their
+//! configuration, and executes batched predictions and online ingestion.
+//!
+//! The registry lives on the single worker thread (the autograd graph is
+//! `Rc`-based and therefore not `Send`), so it is built *on* that thread
+//! from a [`ModelSpec`] list; startup errors are reported back through a
+//! channel before the server starts accepting traffic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use logcl_core::model::SharedEncoding;
+use logcl_core::{trainer, EvalContext, LogCl, LogClConfig, TrainOptions};
+use logcl_tensor::serialize::Checkpoint;
+use logcl_tkg::quad::Quad;
+use logcl_tkg::{HistoryIndex, Snapshot, TkgDataset};
+
+use crate::batcher::{
+    BatchHandler, IngestJob, IngestOutcome, PredictJob, PredictOutcome, ServeError,
+};
+use crate::cache::EncodingCache;
+use crate::metrics::Metrics;
+
+/// Everything needed to materialise one served model (all fields are
+/// `Send`, unlike the model itself).
+pub struct ModelSpec {
+    /// Registry key; `/predict` bodies select it via `"model"` (default
+    /// `"default"`).
+    pub name: String,
+    /// Model configuration; must match the checkpoint's fingerprint.
+    pub cfg: LogClConfig,
+    /// Pre-trained parameters to restore, validated on load.
+    pub checkpoint: Option<Checkpoint>,
+    /// Train from scratch at startup when no checkpoint is given.
+    pub train: Option<TrainOptions>,
+}
+
+/// A cached query-independent forward state for one timestamp.
+struct CachedEncoding {
+    shared: SharedEncoding,
+    history: HistoryIndex,
+}
+
+struct ModelEntry {
+    name: String,
+    model: LogCl,
+    cache: EncodingCache<CachedEncoding>,
+}
+
+/// The worker-side model store and [`BatchHandler`] implementation.
+pub struct Registry {
+    ds: TkgDataset,
+    snapshots: Vec<Snapshot>,
+    entries: Vec<ModelEntry>,
+    metrics: Arc<Metrics>,
+    /// Mirrors `ds.num_times` for handler threads (default query time).
+    horizon: Arc<AtomicUsize>,
+    /// Fuse each batch's unique queries into one `forward_queries` call
+    /// (faster, but the global encoder then unions the batch's query
+    /// subgraphs — answers may depend on co-batched requests). Off by
+    /// default: exact single-query semantics, encoding still shared.
+    fused: bool,
+}
+
+impl Registry {
+    /// Builds every model, restoring and validating checkpoints; returns a
+    /// clear error (not a panic) for any mismatch.
+    pub fn build(
+        ds: TkgDataset,
+        specs: Vec<ModelSpec>,
+        metrics: Arc<Metrics>,
+        horizon: Arc<AtomicUsize>,
+        fused: bool,
+        cache_capacity: usize,
+    ) -> Result<Self, String> {
+        if specs.is_empty() {
+            return Err("registry needs at least one model spec".into());
+        }
+        let mut entries = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let mut model = LogCl::new(&ds, spec.cfg.clone());
+            if let Some(ckpt) = &spec.checkpoint {
+                ckpt.validate_meta(&spec.cfg.variant_name(), &spec.cfg.fingerprint())
+                    .map_err(|e| format!("model {:?}: {e}", spec.name))?;
+                logcl_tensor::serialize::restore(&model.params, ckpt)
+                    .map_err(|e| format!("model {:?}: {e}", spec.name))?;
+            } else if let Some(opts) = &spec.train {
+                trainer::train(&mut model, &ds, opts);
+            }
+            entries.push(ModelEntry {
+                name: spec.name,
+                model,
+                cache: EncodingCache::new(cache_capacity),
+            });
+        }
+        let snapshots = ds.snapshots();
+        horizon.store(ds.num_times, Ordering::SeqCst);
+        Ok(Self {
+            ds,
+            snapshots,
+            entries,
+            metrics,
+            horizon,
+            fused,
+        })
+    }
+
+    /// Model names in registration order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.entries.iter().map(|e| e.name.clone()).collect()
+    }
+
+    fn entry_index(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.name == name)
+    }
+
+    /// Scores one group of same-`(model, t)` jobs against the shared (and
+    /// cached) snapshot encoding, answering every job.
+    fn predict_group(&mut self, group: Vec<PredictJob>) {
+        let t = group[0].t;
+        let Some(idx) = self.entry_index(&group[0].model) else {
+            let err = ServeError::not_found(format!("unknown model {:?}", group[0].model));
+            for job in group {
+                let _ = job.reply.send(Err(err.clone()));
+            }
+            return;
+        };
+
+        // Per-job validation; invalid jobs are answered and dropped here so
+        // they can never panic the model.
+        let mut valid = Vec::with_capacity(group.len());
+        for job in group {
+            match logcl_core::validate_query(&self.ds, job.s, job.r, job.t) {
+                Ok(()) => valid.push(job),
+                Err(e) => {
+                    let _ = job.reply.send(Err(ServeError::bad_request(e.to_string())));
+                }
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        let batch_size = valid.len();
+
+        // Snapshot-encoding cache: compute once per (model, t), reuse for
+        // every other request in this batch and every later one at `t`.
+        let entry = &mut self.entries[idx];
+        let cache_hit = entry.cache.contains(t);
+        if cache_hit {
+            self.metrics
+                .cache_hits
+                .fetch_add(batch_size as u64, Ordering::Relaxed);
+        } else {
+            let mut history = HistoryIndex::new();
+            for snap in &self.snapshots[..t] {
+                history.advance(snap);
+            }
+            let shared = entry.model.encode(&self.snapshots, t, false);
+            entry.cache.insert(t, CachedEncoding { shared, history });
+            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            if batch_size > 1 {
+                self.metrics
+                    .cache_hits
+                    .fetch_add(batch_size as u64 - 1, Ordering::Relaxed);
+            }
+        }
+        let cached = entry.cache.get(t).expect("just inserted");
+
+        // Unique (s, r) pairs: concurrent requests for the same hot query
+        // share one decode whichever mode is active.
+        let mut uniques: Vec<(usize, usize)> = Vec::new();
+        for job in &valid {
+            if !uniques.contains(&(job.s, job.r)) {
+                uniques.push((job.s, job.r));
+            }
+        }
+
+        let mut scores: Vec<Vec<f32>> = Vec::with_capacity(uniques.len());
+        if self.fused {
+            // One forward_queries call for the whole batch — the repo's
+            // batched-evaluation semantics (query subgraphs unioned).
+            let queries: Vec<Quad> = uniques
+                .iter()
+                .map(|&(s, r)| Quad::new(s, r, 0, t))
+                .collect();
+            let out = entry
+                .model
+                .forward_queries(&cached.shared, &cached.history, &queries, false);
+            let logits = out.logits.to_tensor();
+            scores.extend((0..uniques.len()).map(|i| logits.row(i).to_vec()));
+        } else {
+            // Exact mode: per-unique-query decode over the shared encoding —
+            // bit-identical to sequential `predict_topk`, independent of
+            // whatever else happens to be in the batch.
+            for &(s, r) in &uniques {
+                let query = [Quad::new(s, r, 0, t)];
+                let out =
+                    entry
+                        .model
+                        .forward_queries(&cached.shared, &cached.history, &query, false);
+                scores.push(out.logits.to_tensor().row(0).to_vec());
+            }
+        }
+
+        for job in valid {
+            let u = uniques
+                .iter()
+                .position(|&p| p == (job.s, job.r))
+                .expect("every job has a unique entry");
+            let predictions = logcl_core::topk_from_scores(&self.ds, &scores[u], job.k);
+            let _ = job.reply.send(Ok(PredictOutcome {
+                predictions,
+                batch_size,
+                cache_hit,
+            }));
+        }
+    }
+
+    /// Appends facts at `job.t`, invalidates affected cache entries, and
+    /// optionally runs one online adaptation step (Fig. 10).
+    fn ingest(&mut self, job: IngestJob) -> Result<IngestOutcome, ServeError> {
+        let Some(idx) = self.entry_index(&job.model) else {
+            return Err(ServeError::not_found(format!(
+                "unknown model {:?}",
+                job.model
+            )));
+        };
+        if job.facts.is_empty() {
+            return Err(ServeError::bad_request("no facts given"));
+        }
+        if job.t > self.ds.num_times {
+            return Err(ServeError::bad_request(format!(
+                "time {} would leave a gap: horizon is {} (use t <= horizon)",
+                job.t, self.ds.num_times
+            )));
+        }
+        for &(s, r, o) in &job.facts {
+            if s >= self.ds.num_entities || o >= self.ds.num_entities {
+                return Err(ServeError::bad_request(format!(
+                    "entity out of range in fact ({s}, {r}, {o}): |E| = {}",
+                    self.ds.num_entities
+                )));
+            }
+            if r >= self.ds.num_rels {
+                return Err(ServeError::bad_request(format!(
+                    "relation out of range in fact ({s}, {r}, {o}): |R| = {} \
+                     (ingest base-direction facts only)",
+                    self.ds.num_rels
+                )));
+            }
+        }
+
+        // Append new (deduplicated) facts to the test split — snapshots and
+        // time-aware filtering read all splits uniformly.
+        let existing: std::collections::HashSet<(usize, usize, usize)> = self
+            .ds
+            .all_quads()
+            .iter()
+            .filter(|q| q.t == job.t)
+            .map(|q| q.triple())
+            .collect();
+        let fresh: Vec<Quad> = job
+            .facts
+            .iter()
+            .filter(|f| !existing.contains(f))
+            .map(|&(s, r, o)| Quad::new(s, r, o, job.t))
+            .collect();
+        let appended = fresh.len();
+        self.ds.test.extend_from_slice(&fresh);
+        self.ds.num_times = self.ds.num_times.max(job.t + 1);
+        self.snapshots = self.ds.snapshots();
+        self.horizon.store(self.ds.num_times, Ordering::SeqCst);
+        self.metrics
+            .ingested_facts
+            .fetch_add(appended as u64, Ordering::Relaxed);
+
+        // Structural invalidation: encodings at and after t read (or are
+        // about to read) the changed snapshot.
+        let mut invalidated = 0;
+        for entry in &mut self.entries {
+            invalidated += entry.cache.invalidate_from(job.t);
+        }
+
+        let updated = job.update && appended > 0;
+        if updated {
+            let mut history = HistoryIndex::new();
+            for snap in &self.snapshots[..job.t] {
+                history.advance(snap);
+            }
+            let ctx = EvalContext {
+                ds: &self.ds,
+                snapshots: &self.snapshots,
+                history: &history,
+                t: job.t,
+            };
+            trainer::online_step(&mut self.entries[idx].model, &ctx, &fresh);
+            self.metrics.online_updates.fetch_add(1, Ordering::Relaxed);
+            // Weight update: every cached encoding (any t, any model that
+            // shares parameters — here, just this one) is now stale.
+            invalidated += self.entries[idx].cache.clear();
+        }
+        self.metrics
+            .cache_invalidations
+            .fetch_add(invalidated as u64, Ordering::Relaxed);
+
+        Ok(IngestOutcome {
+            appended,
+            invalidated,
+            updated,
+            horizon: self.ds.num_times,
+        })
+    }
+}
+
+impl BatchHandler for Registry {
+    fn handle_predict_group(&mut self, group: Vec<PredictJob>) {
+        self.predict_group(group);
+    }
+
+    fn handle_ingest(&mut self, job: IngestJob) {
+        let reply = job.reply.clone();
+        let _ = reply.send(self.ingest(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tkg::SyntheticPreset;
+
+    fn tiny_cfg() -> LogClConfig {
+        LogClConfig {
+            dim: 16,
+            time_bank: 4,
+            channels: 6,
+            m: 3,
+            ..Default::default()
+        }
+    }
+
+    fn tiny_ds() -> TkgDataset {
+        SyntheticPreset::Icews14.generate_scaled(0.15)
+    }
+
+    fn build(specs: Vec<ModelSpec>) -> Result<Registry, String> {
+        Registry::build(
+            tiny_ds(),
+            specs,
+            Arc::new(Metrics::default()),
+            Arc::new(AtomicUsize::new(0)),
+            false,
+            16,
+        )
+    }
+
+    #[test]
+    fn rejects_checkpoint_with_wrong_config_fingerprint() {
+        let ds = tiny_ds();
+        let model = LogCl::new(&ds, tiny_cfg());
+        let ckpt = logcl_tensor::serialize::snapshot_with_meta(
+            &model.params,
+            "LogCL",
+            &tiny_cfg().fingerprint(),
+        );
+        // Loading under a *different* dim must fail with the fingerprint
+        // message, not a shape panic.
+        let other = LogClConfig {
+            dim: 32,
+            ..tiny_cfg()
+        };
+        let err = build(vec![ModelSpec {
+            name: "default".into(),
+            cfg: other,
+            checkpoint: Some(ckpt),
+            train: None,
+        }])
+        .err()
+        .expect("mismatched fingerprint must be rejected");
+        assert!(err.contains("config"), "{err}");
+    }
+
+    #[test]
+    fn rejects_legacy_checkpoint_with_wrong_shapes_cleanly() {
+        let ds = tiny_ds();
+        let model = LogCl::new(&ds, tiny_cfg());
+        // Legacy checkpoint: no metadata, so only restore()'s shape check
+        // can catch the mismatch — as an error, not a panic.
+        let ckpt = logcl_tensor::serialize::snapshot(&model.params);
+        let err = build(vec![ModelSpec {
+            name: "default".into(),
+            cfg: LogClConfig {
+                dim: 32,
+                ..tiny_cfg()
+            },
+            checkpoint: Some(ckpt),
+            train: None,
+        }])
+        .err()
+        .expect("mismatched shapes must be rejected");
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn accepts_matching_checkpoint_and_publishes_horizon() {
+        let ds = tiny_ds();
+        let model = LogCl::new(&ds, tiny_cfg());
+        let ckpt = logcl_tensor::serialize::snapshot_with_meta(
+            &model.params,
+            "LogCL",
+            &tiny_cfg().fingerprint(),
+        );
+        let horizon = Arc::new(AtomicUsize::new(0));
+        let reg = Registry::build(
+            tiny_ds(),
+            vec![ModelSpec {
+                name: "default".into(),
+                cfg: tiny_cfg(),
+                checkpoint: Some(ckpt),
+                train: None,
+            }],
+            Arc::new(Metrics::default()),
+            horizon.clone(),
+            false,
+            16,
+        )
+        .unwrap();
+        assert_eq!(reg.model_names(), vec!["default".to_string()]);
+        assert_eq!(horizon.load(Ordering::SeqCst), reg.ds.num_times);
+    }
+}

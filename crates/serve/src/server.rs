@@ -1,0 +1,638 @@
+//! The HTTP server: a hand-rolled thread-pool accepting connections, JSON
+//! endpoint routing, and graceful shutdown with connection drain.
+//!
+//! Endpoints:
+//! * `GET  /healthz`  — liveness probe.
+//! * `GET  /metrics`  — Prometheus text exposition ([`crate::metrics`]).
+//! * `POST /predict`  — `{"subject", "relation", "time"?, "k"?, "inverse"?,
+//!   "model"?}`; subject/relation accept names or numeric ids. Answers the
+//!   top-k entities with softmax probabilities.
+//! * `POST /ingest`   — `{"time", "facts": [[s, r, o], ...], "update"?,
+//!   "model"?}`; appends facts and (by default) runs one online adaptation
+//!   step, invalidating affected cached encodings.
+//! * `POST /shutdown` — begins graceful shutdown (the SIGTERM equivalent:
+//!   pure-std processes cannot install signal handlers, so the flag is
+//!   raised over HTTP or programmatically via [`Server::shutdown_handle`]).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use logcl_tkg::TkgDataset;
+use serde_json::{json, Value};
+
+use crate::batcher::{run_batcher, BatcherOptions, IngestJob, PredictJob, ServeError, WorkItem};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::registry::{ModelSpec, Registry};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Connection-handler threads.
+    pub threads: usize,
+    /// Micro-batch linger window.
+    pub linger: Duration,
+    /// Micro-batch size cap.
+    pub max_batch: usize,
+    /// Bounded work-queue depth; excess requests are answered `503`.
+    pub queue_cap: usize,
+    /// `k` when a predict request does not specify one.
+    pub default_k: usize,
+    /// Cached encodings kept per model.
+    pub cache_capacity: usize,
+    /// Fuse a batch's unique queries into one `forward_queries` call (see
+    /// [`crate::registry::Registry`]); default off for exact per-query
+    /// semantics.
+    pub fused: bool,
+    /// Serve `POST /shutdown` (disable when fronted by untrusted traffic).
+    pub enable_shutdown_endpoint: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            linger: Duration::from_millis(2),
+            max_batch: 32,
+            queue_cap: 1024,
+            default_k: 10,
+            cache_capacity: 64,
+            fused: false,
+            enable_shutdown_endpoint: true,
+        }
+    }
+}
+
+/// A latch other threads can wait on; raising it begins shutdown.
+pub struct ShutdownState {
+    raised: AtomicBool,
+    lock: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ShutdownState {
+    fn new() -> Self {
+        Self {
+            raised: AtomicBool::new(false),
+            lock: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Raises the flag and wakes every waiter. Idempotent.
+    pub fn trigger(&self) {
+        self.raised.store(true, Ordering::SeqCst);
+        *self.lock.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether shutdown has begun.
+    pub fn is_triggered(&self) -> bool {
+        self.raised.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until [`ShutdownState::trigger`] is called.
+    pub fn wait(&self) {
+        let mut raised = self.lock.lock().unwrap();
+        while !*raised {
+            raised = self.cv.wait(raised).unwrap();
+        }
+    }
+}
+
+/// Cloneable handle for initiating shutdown from anywhere (tests, a signal
+/// bridge, an admin thread).
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<ShutdownState>);
+
+impl ShutdownHandle {
+    /// Begins graceful shutdown.
+    pub fn trigger(&self) {
+        self.0.trigger();
+    }
+}
+
+/// Immutable vocabulary shared with handler threads for name resolution
+/// (entity/relation vocabularies never change; the horizon may grow, so it
+/// lives in an atomic).
+struct Vocab {
+    num_rels: usize,
+    entity_by_name: HashMap<String, usize>,
+    rel_by_name: HashMap<String, usize>,
+}
+
+impl Vocab {
+    fn from_dataset(ds: &TkgDataset) -> Self {
+        Self {
+            num_rels: ds.num_rels,
+            entity_by_name: ds
+                .entity_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i))
+                .collect(),
+            rel_by_name: ds
+                .rel_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i))
+                .collect(),
+        }
+    }
+}
+
+struct HandlerCtx {
+    vocab: Vocab,
+    work_tx: SyncSender<WorkItem>,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<ShutdownState>,
+    horizon: Arc<AtomicUsize>,
+    default_k: usize,
+    enable_shutdown_endpoint: bool,
+}
+
+// ---------------------------------------------------------------- thread pool
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool over a shared job channel. Dropping the sender
+/// and joining drains in-flight jobs — the connection half of graceful
+/// shutdown.
+struct ThreadPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    fn new(size: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                thread::Builder::new()
+                    .name(format!("logcl-serve-conn-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return,
+                        };
+                        job();
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    fn execute(&self, job: Job) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+    }
+
+    /// Closes the queue and joins every worker (drains in-flight jobs).
+    fn join(&mut self) {
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+// -------------------------------------------------------------------- server
+
+/// A running inference server.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<ShutdownState>,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+    work_tx: Option<SyncSender<WorkItem>>,
+    metrics: Arc<Metrics>,
+}
+
+impl Server {
+    /// Binds, builds the model registry on the worker thread (propagating
+    /// load/validation errors), and starts accepting connections.
+    pub fn start(
+        cfg: ServeConfig,
+        ds: TkgDataset,
+        specs: Vec<ModelSpec>,
+    ) -> Result<Server, String> {
+        let metrics = Arc::new(Metrics::default());
+        let shutdown = Arc::new(ShutdownState::new());
+        let horizon = Arc::new(AtomicUsize::new(ds.num_times));
+        let vocab = Vocab::from_dataset(&ds);
+        let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_cap.max(1));
+
+        // Model worker: owns the registry (the model is not Send, so it is
+        // built on this thread); reports startup success/failure first.
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
+        let worker = {
+            let metrics = Arc::clone(&metrics);
+            let horizon = Arc::clone(&horizon);
+            let opts = BatcherOptions {
+                linger: cfg.linger,
+                max_batch: cfg.max_batch.max(1),
+            };
+            let fused = cfg.fused;
+            let cache_capacity = cfg.cache_capacity;
+            thread::Builder::new()
+                .name("logcl-serve-model".into())
+                .spawn(move || {
+                    let mut registry = match Registry::build(
+                        ds,
+                        specs,
+                        Arc::clone(&metrics),
+                        horizon,
+                        fused,
+                        cache_capacity,
+                    ) {
+                        Ok(r) => {
+                            let _ = ready_tx.send(Ok(()));
+                            r
+                        }
+                        Err(e) => {
+                            let _ = ready_tx.send(Err(e));
+                            return;
+                        }
+                    };
+                    run_batcher(&mut registry, &work_rx, &opts, &metrics);
+                })
+                .map_err(|e| format!("spawn model worker: {e}"))?
+        };
+        match ready_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                let _ = worker.join();
+                return Err(e);
+            }
+            Err(_) => {
+                let _ = worker.join();
+                return Err("model worker died during startup".into());
+            }
+        }
+
+        let listener =
+            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let ctx = Arc::new(HandlerCtx {
+            vocab,
+            work_tx: work_tx.clone(),
+            metrics: Arc::clone(&metrics),
+            shutdown: Arc::clone(&shutdown),
+            horizon,
+            default_k: cfg.default_k.max(1),
+            enable_shutdown_endpoint: cfg.enable_shutdown_endpoint,
+        });
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let threads = cfg.threads;
+            thread::Builder::new()
+                .name("logcl-serve-accept".into())
+                .spawn(move || {
+                    let mut pool = ThreadPool::new(threads);
+                    while !shutdown.is_triggered() {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let ctx = Arc::clone(&ctx);
+                                pool.execute(Box::new(move || handle_connection(stream, &ctx)));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => thread::sleep(Duration::from_millis(5)),
+                        }
+                    }
+                    // Connection drain: stop accepting, finish what's in
+                    // flight. The model worker still answers because our
+                    // handlers hold live work_tx clones until they return.
+                    pool.join();
+                })
+                .map_err(|e| format!("spawn accept loop: {e}"))?
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            worker: Some(worker),
+            work_tx: Some(work_tx),
+            metrics,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server-wide metrics (shared with `GET /metrics`).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A handle that can initiate shutdown from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Blocks until shutdown is triggered (via the handle or
+    /// `POST /shutdown`), then drains and joins everything.
+    pub fn run(mut self) {
+        self.shutdown.wait();
+        self.drain();
+    }
+
+    /// Triggers shutdown and drains: stop accepting, finish in-flight
+    /// connections, answer every queued job, join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.trigger();
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        self.shutdown.trigger();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join(); // joins the pool ⇒ in-flight answered
+        }
+        self.work_tx.take(); // last sender gone ⇒ worker drains queue
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+// ------------------------------------------------------------------ handlers
+
+fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let resp = match read_request(&mut stream) {
+        Ok(req) => {
+            ctx.metrics.count_request(route_key(&req.path));
+            route(&req, ctx)
+        }
+        Err(HttpError::Io(_)) => return, // peer vanished; nothing to answer
+        Err(e) => Response::json(e.status(), json!({ "error": e.to_string() }).to_string()),
+    };
+    ctx.metrics.count_response(resp.status, started.elapsed());
+    let _ = write_response(&mut stream, &resp);
+    let _ = stream.flush();
+}
+
+fn route_key(path: &str) -> &str {
+    path.split('?').next().unwrap_or(path)
+}
+
+fn route(req: &Request, ctx: &HandlerCtx) -> Response {
+    match (req.method.as_str(), route_key(&req.path)) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            json!({ "status": "ok", "horizon": ctx.horizon.load(Ordering::SeqCst) }).to_string(),
+        ),
+        ("GET", "/metrics") => Response::text(200, ctx.metrics.render()),
+        ("POST", "/predict") => predict(req, ctx),
+        ("POST", "/ingest") => ingest(req, ctx),
+        ("POST", "/shutdown") if ctx.enable_shutdown_endpoint => {
+            ctx.shutdown.trigger();
+            Response::json(200, json!({ "status": "shutting down" }).to_string())
+        }
+        ("GET", "/predict" | "/ingest" | "/shutdown") => error_response(&ServeError {
+            status: 405,
+            message: "use POST".into(),
+        }),
+        ("POST", "/healthz" | "/metrics") => error_response(&ServeError {
+            status: 405,
+            message: "use GET".into(),
+        }),
+        (_, path) => error_response(&ServeError::not_found(format!("no route for {path}"))),
+    }
+}
+
+fn error_response(err: &ServeError) -> Response {
+    Response::json(err.status, json!({ "error": err.message }).to_string())
+}
+
+fn parse_body(req: &Request) -> Result<Value, ServeError> {
+    serde_json::from_slice(&req.body)
+        .map_err(|e| ServeError::bad_request(format!("invalid JSON body: {e}")))
+}
+
+/// Resolves a JSON field that may be a numeric id or a vocabulary name.
+fn resolve_id(
+    value: &Value,
+    what: &str,
+    by_name: &HashMap<String, usize>,
+) -> Result<usize, ServeError> {
+    match value {
+        Value::Number(n) => n
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| ServeError::bad_request(format!("{what} must be a non-negative id"))),
+        Value::String(s) => by_name
+            .get(s.as_str())
+            .copied()
+            .or_else(|| s.parse::<usize>().ok())
+            .ok_or_else(|| ServeError::bad_request(format!("unknown {what} name {s:?}"))),
+        _ => Err(ServeError::bad_request(format!(
+            "{what} must be an id or a name"
+        ))),
+    }
+}
+
+fn submit(ctx: &HandlerCtx, item: WorkItem) -> Result<(), ServeError> {
+    match ctx.work_tx.try_send(item) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(_)) => Err(ServeError {
+            status: 503,
+            message: "work queue full, retry later".into(),
+        }),
+        Err(TrySendError::Disconnected(_)) => Err(ServeError {
+            status: 503,
+            message: "server is shutting down".into(),
+        }),
+    }
+}
+
+fn await_reply<T>(rx: &Receiver<Result<T, ServeError>>) -> Result<T, ServeError> {
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError {
+            status: 504,
+            message: "model worker timed out".into(),
+        }),
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError {
+            status: 500,
+            message: "model worker dropped the request".into(),
+        }),
+    }
+}
+
+fn predict(req: &Request, ctx: &HandlerCtx) -> Response {
+    match predict_inner(req, ctx) {
+        Ok(resp) => resp,
+        Err(e) => error_response(&e),
+    }
+}
+
+fn predict_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError> {
+    let body = parse_body(req)?;
+    let subject = body
+        .get("subject")
+        .ok_or_else(|| ServeError::bad_request("missing field \"subject\""))?;
+    let relation = body
+        .get("relation")
+        .ok_or_else(|| ServeError::bad_request("missing field \"relation\""))?;
+    let s = resolve_id(subject, "subject", &ctx.vocab.entity_by_name)?;
+    let mut r = resolve_id(relation, "relation", &ctx.vocab.rel_by_name)?;
+    if body
+        .get("inverse")
+        .and_then(Value::as_bool)
+        .unwrap_or(false)
+    {
+        r += ctx.vocab.num_rels;
+    }
+    let t = match body.get("time") {
+        Some(v) => v
+            .as_u64()
+            .map(|v| v as usize)
+            .ok_or_else(|| ServeError::bad_request("\"time\" must be a non-negative integer"))?,
+        // Default: one-step-ahead forecast over the full current history.
+        None => ctx.horizon.load(Ordering::SeqCst),
+    };
+    let k = match body.get("k") {
+        Some(v) => v
+            .as_u64()
+            .map(|v| v as usize)
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| ServeError::bad_request("\"k\" must be a positive integer"))?,
+        None => ctx.default_k,
+    };
+    let model = body
+        .get("model")
+        .and_then(Value::as_str)
+        .unwrap_or("default")
+        .to_string();
+
+    let (reply, reply_rx) = mpsc::channel();
+    submit(
+        ctx,
+        WorkItem::Predict(PredictJob {
+            model: model.clone(),
+            s,
+            r,
+            t,
+            k,
+            reply,
+        }),
+    )?;
+    let outcome = await_reply(&reply_rx)?;
+    let predictions: Vec<Value> = outcome
+        .predictions
+        .iter()
+        .map(|p| {
+            json!({
+                "entity": p.entity,
+                "name": p.name,
+                "probability": p.probability,
+            })
+        })
+        .collect();
+    Ok(Response::json(
+        200,
+        json!({
+            "model": model,
+            "query": json!({ "subject": s, "relation": r, "time": t }),
+            "predictions": predictions,
+            "batch_size": outcome.batch_size,
+            "cache_hit": outcome.cache_hit,
+        })
+        .to_string(),
+    ))
+}
+
+fn ingest(req: &Request, ctx: &HandlerCtx) -> Response {
+    match ingest_inner(req, ctx) {
+        Ok(resp) => resp,
+        Err(e) => error_response(&e),
+    }
+}
+
+fn ingest_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError> {
+    let body = parse_body(req)?;
+    let t = body
+        .get("time")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| ServeError::bad_request("missing or invalid field \"time\""))?
+        as usize;
+    let facts_json = body
+        .get("facts")
+        .and_then(Value::as_array)
+        .ok_or_else(|| ServeError::bad_request("missing field \"facts\" (array of [s, r, o])"))?;
+    let mut facts = Vec::with_capacity(facts_json.len());
+    for fact in facts_json {
+        let triple = fact
+            .as_array()
+            .filter(|a| a.len() == 3)
+            .ok_or_else(|| ServeError::bad_request("each fact must be a [s, r, o] triple"))?;
+        let s = resolve_id(&triple[0], "subject", &ctx.vocab.entity_by_name)?;
+        let r = resolve_id(&triple[1], "relation", &ctx.vocab.rel_by_name)?;
+        let o = resolve_id(&triple[2], "object", &ctx.vocab.entity_by_name)?;
+        facts.push((s, r, o));
+    }
+    let update = body.get("update").and_then(Value::as_bool).unwrap_or(true);
+    let model = body
+        .get("model")
+        .and_then(Value::as_str)
+        .unwrap_or("default")
+        .to_string();
+
+    let (reply, reply_rx) = mpsc::channel();
+    submit(
+        ctx,
+        WorkItem::Ingest(IngestJob {
+            model,
+            t,
+            facts,
+            update,
+            reply,
+        }),
+    )?;
+    let outcome = await_reply(&reply_rx)?;
+    Ok(Response::json(
+        200,
+        json!({
+            "appended": outcome.appended,
+            "invalidated_encodings": outcome.invalidated,
+            "online_update": outcome.updated,
+            "horizon": outcome.horizon,
+        })
+        .to_string(),
+    ))
+}

@@ -1,0 +1,294 @@
+//! End-to-end tests over real sockets: concurrent clients, micro-batching,
+//! exactness versus the library's `try_predict_topk`, online ingestion, and
+//! graceful shutdown. Everything runs against an ephemeral port with a
+//! hand-rolled `TcpStream` HTTP client (no client-side dependencies either).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use logcl_core::{try_predict_topk, LogCl, LogClConfig};
+use logcl_serve::{ModelSpec, ServeConfig, Server};
+use logcl_tkg::{SyntheticPreset, TkgDataset};
+use serde_json::Value;
+
+fn tiny_ds() -> TkgDataset {
+    SyntheticPreset::Icews14.generate_scaled(0.15)
+}
+
+fn tiny_cfg() -> LogClConfig {
+    LogClConfig {
+        dim: 16,
+        time_bank: 4,
+        channels: 6,
+        m: 3,
+        ..Default::default()
+    }
+}
+
+/// An untrained model spec: deterministic init from the config seed, so a
+/// locally built `LogCl::new` with the same config is parameter-identical.
+fn untrained_spec() -> ModelSpec {
+    ModelSpec {
+        name: "default".into(),
+        cfg: tiny_cfg(),
+        checkpoint: None,
+        train: None,
+    }
+}
+
+fn test_server(linger_ms: u64, threads: usize) -> Server {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads,
+        linger: Duration::from_millis(linger_ms),
+        max_batch: 32,
+        ..ServeConfig::default()
+    };
+    Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("server must start")
+}
+
+/// Minimal blocking HTTP/1.1 client: one request per connection.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn json(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+/// Pulls `(entity, probability)` pairs out of a `/predict` response body.
+fn predictions_of(body: &Value) -> Vec<(u64, f32)> {
+    body.get("predictions")
+        .and_then(Value::as_array)
+        .expect("predictions array")
+        .iter()
+        .map(|p| {
+            (
+                p.get("entity").and_then(Value::as_u64).expect("entity id"),
+                p.get("probability")
+                    .and_then(Value::as_f64)
+                    .expect("probability") as f32,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_get_batched_answers_identical_to_sequential() {
+    let server = test_server(100, 8);
+    let addr = server.addr();
+    let t = {
+        let (status, body) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+        json(&body).get("horizon").and_then(Value::as_u64).unwrap() as usize
+    };
+
+    // Warm the encoding cache so the batch below exercises the hit path.
+    let (status, _) = request(
+        addr,
+        "POST",
+        "/predict",
+        &format!(r#"{{"subject": 0, "relation": 0, "time": {t}}}"#),
+    );
+    assert_eq!(status, 200);
+
+    // 8 clients fire simultaneously at the same timestamp.
+    let n = 8usize;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let body = format!(r#"{{"subject": {i}, "relation": 0, "time": {t}, "k": 5}}"#);
+                request(addr, "POST", "/predict", &body)
+            })
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Reference: the same untrained config scored sequentially in-process.
+    let ds = tiny_ds();
+    let mut reference = LogCl::new(&ds, tiny_cfg());
+    let mut max_batch = 0u64;
+    let mut any_cache_hit = false;
+    for (i, (status, body)) in responses.iter().enumerate() {
+        assert_eq!(*status, 200, "client {i}: {body}");
+        let v = json(body);
+        let got = predictions_of(&v);
+        let expected: Vec<(u64, f32)> = try_predict_topk(&mut reference, &ds, i, 0, t, 5)
+            .unwrap()
+            .into_iter()
+            .map(|p| (p.entity as u64, p.probability))
+            .collect();
+        assert_eq!(got, expected, "client {i} diverged from sequential path");
+        max_batch = max_batch.max(v.get("batch_size").and_then(Value::as_u64).unwrap());
+        any_cache_hit |= v.get("cache_hit").and_then(Value::as_bool).unwrap();
+    }
+    assert!(max_batch > 1, "concurrent requests never coalesced");
+    assert!(any_cache_hit, "warm encoding was never reused");
+
+    let metrics = server.metrics();
+    assert!(metrics.cache_hits.load(Ordering::Relaxed) > 0);
+    assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+
+    // The scrape endpoint reports the same story.
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(text.contains("logcl_encoding_cache_hits_total"), "{text}");
+    assert!(text.contains("logcl_batch_size_count"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn rejects_malformed_requests_with_proper_statuses() {
+    let server = test_server(1, 2);
+    let addr = server.addr();
+
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/predict", "");
+    assert_eq!(status, 405);
+    let (status, _) = request(addr, "POST", "/healthz", "");
+    assert_eq!(status, 405);
+    let (status, body) = request(addr, "POST", "/predict", "{not json");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(addr, "POST", "/predict", r#"{"relation": 0}"#);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("subject"), "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 999999, "relation": 0}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("out of range"), "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 0, "relation": 0, "model": "missing"}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = request(addr, "POST", "/ingest", r#"{"time": 0, "facts": []}"#);
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/ingest",
+        r#"{"time": 999999, "facts": [[0, 0, 1]]}"#,
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("gap"), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn ingest_extends_horizon_invalidates_cache_and_changes_predictions() {
+    let server = test_server(1, 2);
+    let addr = server.addr();
+    let horizon = {
+        let (_, body) = request(addr, "GET", "/healthz", "");
+        json(&body).get("horizon").and_then(Value::as_u64).unwrap()
+    };
+
+    // Baseline prediction at the current horizon (fills the cache).
+    let query = format!(r#"{{"subject": 1, "relation": 0, "time": {horizon}, "k": 5}}"#);
+    let (status, before) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 200);
+    let before = predictions_of(&json(&before));
+
+    // Ingest fresh facts at the horizon and run one online step.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/ingest",
+        &format!(r#"{{"time": {horizon}, "facts": [[1, 0, 2], [3, 1, 4]], "update": true}}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+    let v = json(&body);
+    assert!(v.get("appended").and_then(Value::as_u64).unwrap() > 0);
+    assert!(v.get("online_update").and_then(Value::as_bool).unwrap());
+    assert!(
+        v.get("invalidated_encodings")
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0,
+        "cached encoding at t = horizon must be dropped: {body}"
+    );
+    assert_eq!(
+        v.get("horizon").and_then(Value::as_u64).unwrap(),
+        horizon + 1
+    );
+
+    // The new horizon is visible to liveness checks...
+    let (_, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(
+        json(&body).get("horizon").and_then(Value::as_u64).unwrap(),
+        horizon + 1
+    );
+    // ...the invalidation counter moved...
+    assert!(server.metrics().cache_invalidations.load(Ordering::Relaxed) > 0);
+    assert!(server.metrics().ingested_facts.load(Ordering::Relaxed) > 0);
+    // ...and the same query now answers differently (weights changed).
+    let (status, after) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 200);
+    let after = predictions_of(&json(&after));
+    assert_ne!(before, after, "online step left predictions untouched");
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_requests_already_in_flight() {
+    let server = test_server(150, 2);
+    let addr = server.addr();
+    let t = {
+        let (_, body) = request(addr, "GET", "/healthz", "");
+        json(&body).get("horizon").and_then(Value::as_u64).unwrap()
+    };
+
+    // A request that will still be lingering in the micro-batcher when the
+    // shutdown endpoint fires.
+    let client = std::thread::spawn(move || {
+        request(
+            addr,
+            "POST",
+            "/predict",
+            &format!(r#"{{"subject": 2, "relation": 1, "time": {t}}}"#),
+        )
+    });
+    std::thread::sleep(Duration::from_millis(40));
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    server.run(); // returns once every thread is joined
+
+    let (status, body) = client.join().unwrap();
+    assert_eq!(status, 200, "in-flight request was dropped: {body}");
+    assert!(!predictions_of(&json(&body)).is_empty());
+}

@@ -39,11 +39,51 @@ impl TensorRecord {
     }
 }
 
+/// Optional provenance attached to a checkpoint: which model produced it,
+/// under which configuration, and how many scalar weights it carries.
+/// Lets loaders reject a checkpoint trained under a different configuration
+/// with a clear message instead of a shape panic deep in restore.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointMeta {
+    /// Model display name (e.g. `LogCL`).
+    pub model: String,
+    /// A stable fingerprint of the training configuration.
+    pub config: String,
+    /// Total scalar weight count at save time.
+    pub param_count: usize,
+}
+
 /// A whole-model checkpoint: name → tensor.
 #[derive(Serialize, Deserialize, Debug, Default)]
 pub struct Checkpoint {
     /// Parameters keyed by registered name (sorted for stable output).
     pub params: BTreeMap<String, TensorRecord>,
+    /// Provenance metadata; absent in checkpoints written before it existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub meta: Option<CheckpointMeta>,
+}
+
+impl Checkpoint {
+    /// Checks the metadata section (when present) against the loader's
+    /// expectations. Legacy checkpoints without metadata pass unconditionally.
+    pub fn validate_meta(&self, model: &str, config: &str) -> Result<(), CheckpointError> {
+        let Some(meta) = &self.meta else {
+            return Ok(());
+        };
+        if meta.model != model {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint was trained by model {:?}, loader expects {model:?}",
+                meta.model
+            )));
+        }
+        if meta.config != config {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint was trained under config {:?}, loader expects {config:?}",
+                meta.config
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Errors raised while saving or loading checkpoints.
@@ -91,10 +131,32 @@ pub fn snapshot(params: &ParamSet) -> Checkpoint {
     ckpt
 }
 
+/// Like [`snapshot`], stamping provenance metadata (`param_count` is filled
+/// in from `params`).
+pub fn snapshot_with_meta(params: &ParamSet, model: &str, config: &str) -> Checkpoint {
+    let mut ckpt = snapshot(params);
+    ckpt.meta = Some(CheckpointMeta {
+        model: model.to_string(),
+        config: config.to_string(),
+        param_count: params.num_weights(),
+    });
+    ckpt
+}
+
 /// Restores a checkpoint into `params`. Every registered parameter must be
 /// present with a matching shape; extra checkpoint entries are an error too
 /// (they indicate a model/config mismatch).
 pub fn restore(params: &ParamSet, ckpt: &Checkpoint) -> Result<(), CheckpointError> {
+    if let Some(meta) = &ckpt.meta {
+        if meta.param_count != params.num_weights() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint metadata declares {} weights, model has {} \
+                 (was it trained under a different configuration?)",
+                meta.param_count,
+                params.num_weights()
+            )));
+        }
+    }
     if ckpt.params.len() != params.len() {
         return Err(CheckpointError::Mismatch(format!(
             "checkpoint has {} params, model has {}",
@@ -121,17 +183,36 @@ pub fn restore(params: &ParamSet, ckpt: &Checkpoint) -> Result<(), CheckpointErr
 
 /// Saves `params` as JSON at `path`.
 pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let ckpt = snapshot(params);
-    let json = serde_json::to_string(&ckpt)?;
+    write(&snapshot(params), path)
+}
+
+/// Saves `params` as JSON at `path` with provenance metadata.
+pub fn save_with_meta(
+    params: &ParamSet,
+    model: &str,
+    config: &str,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    write(&snapshot_with_meta(params, model, config), path)
+}
+
+/// Writes an assembled checkpoint as JSON at `path`.
+pub fn write(ckpt: &Checkpoint, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string(ckpt)?;
     fs::write(path, json)?;
     Ok(())
 }
 
+/// Reads a checkpoint file without restoring it into any parameter set
+/// (validation can then happen before a model is even built).
+pub fn read(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
 /// Loads a JSON checkpoint from `path` into `params`.
 pub fn load(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let json = fs::read_to_string(path)?;
-    let ckpt: Checkpoint = serde_json::from_str(&json)?;
-    restore(params, &ckpt)
+    restore(params, &read(path)?)
 }
 
 #[cfg(test)]
@@ -199,5 +280,39 @@ mod tests {
         let rec = ckpt.params.remove("a").unwrap();
         ckpt.params.insert("zzz".into(), rec);
         assert!(restore(&src, &ckpt).is_err());
+    }
+
+    #[test]
+    fn meta_round_trips_and_validates() {
+        let src = sample_params(7);
+        let ckpt = snapshot_with_meta(&src, "LogCL", "d16-m3");
+        let meta = ckpt.meta.as_ref().unwrap();
+        assert_eq!(meta.param_count, src.num_weights());
+        ckpt.validate_meta("LogCL", "d16-m3").unwrap();
+        let err = ckpt.validate_meta("LogCL", "d32-m3").unwrap_err();
+        assert!(err.to_string().contains("config"), "{err}");
+        let err = ckpt.validate_meta("RE-GCN", "d16-m3").unwrap_err();
+        assert!(err.to_string().contains("model"), "{err}");
+        // JSON round trip preserves the metadata.
+        let json = serde_json::to_string(&ckpt).unwrap();
+        let back: Checkpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.meta.as_ref(), Some(meta));
+    }
+
+    #[test]
+    fn legacy_checkpoint_without_meta_still_loads() {
+        let src = sample_params(8);
+        let mut json = serde_json::to_string(&snapshot(&src)).unwrap();
+        assert!(!json.contains("meta"), "no meta key for legacy layout");
+        let ckpt: Checkpoint = serde_json::from_str(&json).unwrap();
+        ckpt.validate_meta("anything", "goes").unwrap();
+        restore(&sample_params(9), &ckpt).unwrap();
+        // And a hand-edited meta with the wrong weight count is rejected
+        // before any shape comparison.
+        json = serde_json::to_string(&snapshot_with_meta(&src, "m", "c")).unwrap();
+        let mut ckpt: Checkpoint = serde_json::from_str(&json).unwrap();
+        ckpt.meta.as_mut().unwrap().param_count += 1;
+        let err = restore(&sample_params(10), &ckpt).unwrap_err();
+        assert!(err.to_string().contains("weights"), "{err}");
     }
 }

@@ -19,6 +19,8 @@
 //! * [`baselines`] — DistMult, Conv-TransE, TTransE, CyGNet, CENET-lite,
 //!   RE-NET-lite, RE-GCN, CEN-lite, TiRGN-lite, HisMatch-lite
 //!   ([`logcl_baselines`]).
+//! * [`serve`] — std-only HTTP inference server with snapshot-encoding
+//!   caching, micro-batching and online ingestion ([`logcl_serve`]).
 //!
 //! ## Quickstart
 //!
@@ -36,6 +38,7 @@
 pub use logcl_baselines as baselines;
 pub use logcl_core as core;
 pub use logcl_gnn as gnn;
+pub use logcl_serve as serve;
 pub use logcl_tensor as tensor;
 pub use logcl_tkg as tkg;
 
@@ -44,9 +47,10 @@ pub mod prelude {
     pub use logcl_baselines::BaselineKind;
     pub use logcl_core::{
         evaluate, evaluate_detailed, evaluate_online, evaluate_with_phase, predict_topk,
-        ContrastStrategy, DetailedReport, EvalContext, LogCl, LogClConfig, Phase, TkgModel,
-        TrainOptions,
+        try_predict_topk, ContrastStrategy, DetailedReport, EvalContext, LogCl, LogClConfig, Phase,
+        TkgModel, TrainOptions,
     };
+    pub use logcl_serve::{ModelSpec, ServeConfig, Server};
     pub use logcl_tensor::{Rng, Tensor, Var};
     pub use logcl_tkg::{
         Metrics, NoiseSpec, Quad, Snapshot, SyntheticConfig, SyntheticPreset, TkgDataset,
