@@ -14,6 +14,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::TkgDataset;
 
 use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+use logcl_core::{TrainError, TrainReport};
 
 use crate::recurrent::RecurrentEncoder;
 use crate::util::{group_by_time, logits_to_rows};
@@ -122,7 +123,7 @@ impl TkgModel for CenLite {
         "CEN".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         self.lr = opts.lr;
         self.grad_clip = opts.grad_clip;
         self.opt = Some(Adam::new(&self.params, opts.lr));
@@ -137,6 +138,7 @@ impl TkgModel for CenLite {
                 self.step_on(&snapshots, &quads, ds.num_rels, t);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -175,12 +177,12 @@ mod tests {
     fn online_beats_or_matches_offline() {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         let mut model = CenLite::new(&ds, 16, 3, 4, 7);
-        model.fit(&ds, &TrainOptions::epochs(2));
+        model.fit(&ds, &TrainOptions::epochs(2)).unwrap();
         let test = ds.test.clone();
         let offline = evaluate(&mut model, &ds, &test);
         // Re-train fresh for a fair online run.
         let mut model2 = CenLite::new(&ds, 16, 3, 4, 7);
-        model2.fit(&ds, &TrainOptions::epochs(2));
+        model2.fit(&ds, &TrainOptions::epochs(2)).unwrap();
         let online = evaluate_online(&mut model2, &ds, &test);
         assert!(online.mrr.is_finite() && offline.mrr.is_finite());
         // Online adaptation should not collapse performance.

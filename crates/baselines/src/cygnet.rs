@@ -13,6 +13,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::{HistoryIndex, TkgDataset};
 
 use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+use logcl_core::{TrainError, TrainReport};
 
 use crate::util::group_by_time;
 
@@ -105,7 +106,7 @@ impl TkgModel for CyGNet {
         "CyGNet".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         let snapshots = ds.snapshots();
         let by_time = group_by_time(&ds.train, ds.num_times);
         let mut opt = Adam::new(&self.params, opts.lr);
@@ -122,6 +123,7 @@ impl TkgModel for CyGNet {
                 history.advance(&snapshots[t]);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -177,7 +179,7 @@ mod tests {
         let mut model = CyGNet::new(&ds, 16, 0.8, 7);
         let test = ds.test.clone();
         let before = evaluate(&mut model, &ds, &test);
-        model.fit(&ds, &TrainOptions::epochs(4));
+        model.fit(&ds, &TrainOptions::epochs(4)).unwrap();
         let after = evaluate(&mut model, &ds, &test);
         assert!(
             after.mrr > 30.0,

@@ -18,6 +18,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::{Snapshot, TkgDataset};
 
 use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+use logcl_core::{TrainError, TrainReport};
 
 use crate::recurrent::RecurrentEncoder;
 use crate::util::{group_by_time, logits_to_rows};
@@ -130,7 +131,7 @@ impl TkgModel for HisMatch {
         "HisMatch".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         let snapshots = ds.snapshots();
         let by_time = group_by_time(&ds.train, ds.num_times);
         let mut opt = Adam::new(&self.params, opts.lr);
@@ -152,6 +153,7 @@ impl TkgModel for HisMatch {
                 opt.clip_and_step(opts.grad_clip);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -175,7 +177,7 @@ mod tests {
         let mut model = HisMatch::new(&ds, 16, 3, 7);
         let test = ds.test.clone();
         let before = evaluate(&mut model, &ds, &test);
-        model.fit(&ds, &TrainOptions::epochs(4));
+        model.fit(&ds, &TrainOptions::epochs(4)).unwrap();
         let after = evaluate(&mut model, &ds, &test);
         assert!(
             after.mrr > before.mrr + 2.0,

@@ -10,6 +10,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::TkgDataset;
 
 use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+use logcl_core::{TrainError, TrainReport};
 
 use crate::recurrent::{RecurrentEncoder, RecurrentEncoding};
 use crate::util::{group_by_time, logits_to_rows};
@@ -120,7 +121,7 @@ impl TkgModel for ReGcn {
         "RE-GCN".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         self.lr = opts.lr;
         self.grad_clip = opts.grad_clip;
         self.opt = Some(Adam::new(&self.params, opts.lr));
@@ -135,6 +136,7 @@ impl TkgModel for ReGcn {
                 self.step_on(&snapshots, &quads, ds.num_rels, t);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -178,7 +180,7 @@ mod tests {
         let mut model = ReGcn::new(&ds, 16, 3, 4, 7);
         let test = ds.test.clone();
         let before = evaluate(&mut model, &ds, &test);
-        model.fit(&ds, &TrainOptions::epochs(3));
+        model.fit(&ds, &TrainOptions::epochs(3)).unwrap();
         let after = evaluate(&mut model, &ds, &test);
         assert!(
             after.mrr > before.mrr + 2.0,
@@ -192,7 +194,7 @@ mod tests {
     fn online_update_runs() {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         let mut model = ReGcn::new(&ds, 12, 2, 3, 7);
-        model.fit(&ds, &TrainOptions::epochs(1));
+        model.fit(&ds, &TrainOptions::epochs(1)).unwrap();
         let test = ds.test.clone();
         let m = logcl_core::evaluate_online(&mut model, &ds, &test);
         assert!(m.mrr.is_finite() && m.count > 0);

@@ -9,6 +9,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::TkgDataset;
 
 use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+use logcl_core::{TrainError, TrainReport};
 
 use crate::util::{bidirectional_instances, logits_to_rows, minibatches};
 
@@ -54,7 +55,7 @@ impl TkgModel for DistMult {
         "DistMult".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         let mut opt = Adam::new(&self.params, opts.lr);
         for _ in 0..opts.epochs {
             let inst = bidirectional_instances(ds, &mut self.rng);
@@ -65,6 +66,7 @@ impl TkgModel for DistMult {
                 opt.clip_and_step(opts.grad_clip);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, _ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -122,7 +124,7 @@ impl TkgModel for ConvTransEStatic {
         "Conv-TransE".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         let mut opt = Adam::new(&self.params, opts.lr);
         for _ in 0..opts.epochs {
             let inst = bidirectional_instances(ds, &mut self.rng);
@@ -133,6 +135,7 @@ impl TkgModel for ConvTransEStatic {
                 opt.clip_and_step(opts.grad_clip);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, _ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -163,7 +166,7 @@ mod tests {
         let mut model = DistMult::new(&ds, 16, 7);
         let test = ds.test.clone();
         let before = evaluate(&mut model, &ds, &test);
-        model.fit(&ds, &TrainOptions::epochs(8));
+        model.fit(&ds, &TrainOptions::epochs(8)).unwrap();
         let after = evaluate(&mut model, &ds, &test);
         assert!(after.mrr > before.mrr, "{} -> {}", before.mrr, after.mrr);
     }
@@ -172,7 +175,7 @@ mod tests {
     fn convtranse_static_trains_and_scores() {
         let ds = tiny();
         let mut model = ConvTransEStatic::new(&ds, 16, 4, 7);
-        model.fit(&ds, &TrainOptions::epochs(3));
+        model.fit(&ds, &TrainOptions::epochs(3)).unwrap();
         let test = ds.test.clone();
         let m = evaluate(&mut model, &ds, &test);
         assert!(m.mrr > 0.0 && m.mrr.is_finite());

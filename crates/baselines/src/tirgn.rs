@@ -13,6 +13,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::{HistoryIndex, TkgDataset};
 
 use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+use logcl_core::{TrainError, TrainReport};
 
 use crate::recurrent::RecurrentEncoder;
 use crate::util::{group_by_time, logits_to_rows};
@@ -137,7 +138,7 @@ impl TkgModel for TirgnLite {
         "TiRGN".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         let snapshots = ds.snapshots();
         let by_time = group_by_time(&ds.train, ds.num_times);
         let mut opt = Adam::new(&self.params, opts.lr);
@@ -155,6 +156,7 @@ impl TkgModel for TirgnLite {
                 history.advance(&snapshots[t]);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -194,7 +196,7 @@ mod tests {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         let mut model = TirgnLite::new(&ds, 16, 3, 4, 7);
         let test = ds.test.clone();
-        model.fit(&ds, &TrainOptions::epochs(3));
+        model.fit(&ds, &TrainOptions::epochs(3)).unwrap();
         let after = evaluate(&mut model, &ds, &test);
         assert!(after.mrr > 40.0, "TiRGN-lite too weak: {}", after.mrr);
     }

@@ -13,6 +13,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::TkgDataset;
 
 use logcl_core::api::{EvalContext, TkgModel, TrainOptions};
+use logcl_core::{TrainError, TrainReport};
 
 use crate::util::{bidirectional_instances, logits_to_rows, minibatches, row_sq_norms};
 
@@ -72,7 +73,7 @@ impl TkgModel for TTransE {
         "TTransE".into()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError> {
         let mut opt = Adam::new(&self.params, opts.lr);
         for _ in 0..opts.epochs {
             let inst = bidirectional_instances(ds, &mut self.rng);
@@ -83,6 +84,7 @@ impl TkgModel for TTransE {
                 opt.clip_and_step(opts.grad_clip);
             }
         }
+        Ok(TrainReport::default())
     }
 
     fn score(&mut self, _ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
@@ -104,7 +106,7 @@ mod tests {
     fn trains_above_chance_but_uses_time() {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         let mut model = TTransE::new(&ds, 16, 7);
-        model.fit(&ds, &TrainOptions::epochs(6));
+        model.fit(&ds, &TrainOptions::epochs(6)).unwrap();
         let test = ds.test.clone();
         let m = evaluate(&mut model, &ds, &test);
         // Chance MRR on |E| entities is roughly ln(E)/E-scale; anything
@@ -116,7 +118,7 @@ mod tests {
     fn time_embedding_changes_scores_for_trained_times() {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         let mut model = TTransE::new(&ds, 8, 3);
-        model.fit(&ds, &TrainOptions::epochs(2));
+        model.fit(&ds, &TrainOptions::epochs(2)).unwrap();
         let q1 = Quad::new(0, 0, 0, 1);
         let q2 = Quad::new(0, 0, 0, 5);
         let l = model.logits(&[q1, q2]).to_tensor();

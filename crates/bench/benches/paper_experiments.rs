@@ -134,9 +134,10 @@ fn bench_table6(c: &mut Criterion) {
     let q = f.queries[0];
     c.bench_function("table6_predict_top5", |b| {
         b.iter(|| {
-            std::hint::black_box(logcl_core::predict_topk(
-                &mut model, &f.ds, q.s, q.r, f.t, 5,
-            ))
+            std::hint::black_box(
+                logcl_core::predict_topk(&mut model, &f.ds, q.s, q.r, f.t, 5)
+                    .expect("prediction failed"),
+            )
         })
     });
 }

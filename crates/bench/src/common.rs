@@ -208,7 +208,7 @@ pub fn fit_tuned_logcl(
             ..cfg.logcl_config(preset)
         };
         let mut model = LogCl::new(ds, config);
-        model.fit(ds, opts);
+        model.fit(ds, opts).expect("training failed");
         let valid = evaluate(&mut model, ds, &ds.valid.clone());
         eprintln!("    LogCL λ={lambda}: valid {valid}");
         if best.as_ref().is_none_or(|(b, _)| valid.mrr > *b) {
@@ -235,7 +235,7 @@ pub fn mean_metrics(ms: &[Metrics]) -> Metrics {
 /// Fits and evaluates one model, logging wall time.
 pub fn fit_and_eval(model: &mut dyn TkgModel, ds: &TkgDataset, opts: &TrainOptions) -> Metrics {
     let start = Instant::now();
-    model.fit(ds, opts);
+    model.fit(ds, opts).expect("training failed");
     let train_secs = start.elapsed().as_secs_f64();
     let start = Instant::now();
     let metrics = evaluate(model, ds, &ds.test.clone());

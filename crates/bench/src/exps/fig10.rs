@@ -51,10 +51,14 @@ pub fn run(cfg: &RunConfig) {
             };
             let test = ds.test.clone();
             let mut offline = build(&ds);
-            offline.fit(&ds, &cfg.train_options());
+            offline
+                .fit(&ds, &cfg.train_options())
+                .expect("training failed");
             let m_off = evaluate(offline.as_mut(), &ds, &test);
             let mut online = build(&ds);
-            online.fit(&ds, &cfg.train_options());
+            online
+                .fit(&ds, &cfg.train_options())
+                .expect("training failed");
             let m_on = evaluate_online(online.as_mut(), &ds, &test);
             println!(
                 "{:<8} {:>9.2} {:>8.2} | {:>9.2} {:>8.2}",

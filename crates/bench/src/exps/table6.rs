@@ -43,11 +43,11 @@ pub fn run(cfg: &RunConfig) {
 
     let base = cfg.logcl_config(preset);
     let mut full = LogCl::new(&ds, base.clone());
-    full.fit(&ds, &opts);
+    full.fit(&ds, &opts).expect("training failed");
     let mut no_eatt = LogCl::new(&ds, base.clone().without_entity_attention());
-    no_eatt.fit(&ds, &opts);
+    no_eatt.fit(&ds, &opts).expect("training failed");
     let mut no_cl = LogCl::new(&ds, base.without_contrast());
-    no_cl.fit(&ds, &opts);
+    no_cl.fit(&ds, &opts).expect("training failed");
 
     println!("\n=== Table VI: case study (top-5 predictions) ===");
     for q in pick_queries(&ds, 2) {
@@ -63,7 +63,7 @@ pub fn run(cfg: &RunConfig) {
             ("LogCL-w/o-eatt", &mut no_eatt as &mut dyn TkgModel),
             ("LogCL-w/o-cl", &mut no_cl as &mut dyn TkgModel),
         ] {
-            let preds = predict_topk(model, &ds, q.s, q.r, q.t, 5);
+            let preds = predict_topk(model, &ds, q.s, q.r, q.t, 5).expect("prediction failed");
             println!("  {label}:");
             for p in preds {
                 let marker = if p.entity == q.o { "  <- answer" } else { "" };

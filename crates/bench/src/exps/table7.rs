@@ -20,7 +20,9 @@ pub fn run(cfg: &RunConfig) {
         let ds = cfg.dataset(preset);
         eprintln!("[table7] {ds}");
         let mut model = LogCl::new(&ds, cfg.logcl_config(preset));
-        model.fit(&ds, &cfg.train_options());
+        model
+            .fit(&ds, &cfg.train_options())
+            .expect("training failed");
         let test = ds.test.clone();
         for (label, phase) in [
             ("LogCL", Phase::Both),

@@ -11,7 +11,9 @@ commands:
   info       print dataset statistics                  (--data | --preset)
   train      train a model and optionally save it      (--data | --preset, --model,
                                                         --epochs, --dim, --m, --lr,
-                                                        --seed, --save)
+                                                        --seed, --save, --checkpoint,
+                                                        --checkpoint-every, --resume,
+                                                        --max-rollbacks)
   eval       evaluate a trained or fresh model         (same as train, plus --load,
                                                         --online, --phase fp|sp|both)
   predict    top-k forecast for one query              (--load, --subject, --relation,
@@ -35,6 +37,14 @@ flags:
   --seed K          RNG seed                            [default 42]
   --save FILE       write the trained parameters (JSON) (logcl only)
   --load FILE       read parameters before eval/predict (logcl only)
+  --checkpoint FILE durable training checkpoint path    (logcl only)
+  --checkpoint-every N
+                    also checkpoint every N epochs      [default 1; 0 = only on
+                                                         best-valid and at the end]
+  --resume FILE     resume training from a checkpoint written by --checkpoint
+                    (flags must match the interrupted run; the run then finishes
+                    with bit-identical results)
+  --max-rollbacks K divergence rollbacks before abort   [default 3]
   --online          Fig. 10 online adaptation during eval
   --phase P         fp | sp | both                      [default both]
   --subject NAME|ID --relation NAME|ID --time T --topk K --inverse
@@ -59,6 +69,10 @@ pub struct CliOptions {
     pub seed: u64,
     pub save: Option<String>,
     pub load: Option<String>,
+    pub checkpoint: Option<String>,
+    pub checkpoint_every: usize,
+    pub resume: Option<String>,
+    pub max_rollbacks: usize,
     pub online: bool,
     pub detailed: bool,
     pub phase: String,
@@ -89,6 +103,10 @@ impl Default for CliOptions {
             seed: 42,
             save: None,
             load: None,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: None,
+            max_rollbacks: 3,
             online: false,
             detailed: false,
             phase: "both".into(),
@@ -130,6 +148,10 @@ impl CliOptions {
                 "--seed" => o.seed = num(&value("--seed")?)?,
                 "--save" => o.save = Some(value("--save")?),
                 "--load" => o.load = Some(value("--load")?),
+                "--checkpoint" => o.checkpoint = Some(value("--checkpoint")?),
+                "--checkpoint-every" => o.checkpoint_every = num(&value("--checkpoint-every")?)?,
+                "--resume" => o.resume = Some(value("--resume")?),
+                "--max-rollbacks" => o.max_rollbacks = num(&value("--max-rollbacks")?)?,
                 "--online" => o.online = true,
                 "--detailed" => o.detailed = true,
                 "--phase" => o.phase = value("--phase")?.to_lowercase(),
@@ -223,6 +245,25 @@ mod tests {
         assert_eq!(o.linger_ms, 5);
         assert_eq!(o.max_batch, 64);
         assert!(o.fused);
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--checkpoint",
+            "/tmp/ck.json",
+            "--checkpoint-every",
+            "3",
+            "--resume",
+            "/tmp/ck.json",
+            "--max-rollbacks",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(o.checkpoint.as_deref(), Some("/tmp/ck.json"));
+        assert_eq!(o.checkpoint_every, 3);
+        assert_eq!(o.resume.as_deref(), Some("/tmp/ck.json"));
+        assert_eq!(o.max_rollbacks, 5);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use logcl_baselines::BaselineKind;
 use logcl_core::{
-    evaluate_detailed, evaluate_online, evaluate_with_phase, try_predict_topk, LogCl, LogClConfig,
-    Phase, TkgModel, TrainOptions,
+    evaluate_detailed, evaluate_online, evaluate_with_phase, predict_topk, CheckpointPolicy, LogCl,
+    LogClConfig, Phase, TkgModel, TrainError, TrainOptions,
 };
 use logcl_serve::{ModelSpec, ServeConfig, Server};
 use logcl_tkg::TkgDataset;
@@ -48,11 +48,49 @@ fn build_model(opts: &CliOptions, ds: &TkgDataset) -> Result<Box<dyn TkgModel>, 
 }
 
 fn train_options(opts: &CliOptions) -> TrainOptions {
+    // --resume without --checkpoint keeps writing to the resumed-from path,
+    // so a run interrupted twice can still be resumed twice.
+    let ckpt_path = opts.checkpoint.as_ref().or(opts.resume.as_ref());
     TrainOptions {
         epochs: opts.epochs,
         lr: opts.lr,
         verbose: true,
+        checkpoint: ckpt_path.map(|p| CheckpointPolicy {
+            path: p.into(),
+            every_epochs: opts.checkpoint_every,
+            on_best_valid: true,
+        }),
+        resume: opts.resume.as_ref().map(|p| p.into()),
+        max_rollbacks: opts.max_rollbacks,
         ..Default::default()
+    }
+}
+
+/// Checkpoint/resume flags drive `logcl_core::trainer`, which only the LogCL
+/// model uses; reject them early for baselines instead of silently ignoring.
+fn reject_fault_tolerance_flags_for_baselines(opts: &CliOptions) -> Result<(), String> {
+    if opts.checkpoint.is_some() || opts.resume.is_some() {
+        return Err(format!(
+            "--checkpoint/--resume currently support the logcl model, not {:?}",
+            opts.model
+        ));
+    }
+    Ok(())
+}
+
+/// Turns a training failure into an actionable operator message.
+fn explain_train_error(e: TrainError) -> String {
+    match &e {
+        TrainError::Diverged { .. } => format!(
+            "training aborted: {e}\n  the last durable checkpoint (if --checkpoint was given) \
+             is intact; retry with a lower --lr or a higher --max-rollbacks"
+        ),
+        TrainError::Resume(_) => {
+            format!("{e}\n  pass the same --epochs/--dim/--m/--seed flags as the interrupted run")
+        }
+        TrainError::Checkpoint(_) => format!(
+            "{e}\n  the training state on disk is unreadable or stale; delete it to start fresh"
+        ),
     }
 }
 
@@ -121,7 +159,18 @@ pub fn train(opts: &CliOptions) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     if opts.model == "logcl" {
         let mut model = LogCl::new(&ds, logcl_config(opts));
-        model.fit(&ds, &train_options(opts));
+        let report = model
+            .fit(&ds, &train_options(opts))
+            .map_err(explain_train_error)?;
+        if let Some(epoch) = report.resumed_at_epoch {
+            println!("resumed from epoch {epoch}");
+        }
+        for rb in &report.rollbacks {
+            println!(
+                "rolled back epoch {} ({}); lr {} -> {}",
+                rb.epoch, rb.reason, rb.lr_before, rb.lr_after
+            );
+        }
         println!(
             "trained {} in {:.1}s",
             model.name(),
@@ -141,8 +190,11 @@ pub fn train(opts: &CliOptions) -> Result<(), String> {
             println!("saved parameters to {path}");
         }
     } else {
+        reject_fault_tolerance_flags_for_baselines(opts)?;
         let mut model = build_model(opts, &ds)?;
-        model.fit(&ds, &train_options(opts));
+        model
+            .fit(&ds, &train_options(opts))
+            .map_err(explain_train_error)?;
         println!(
             "trained {} in {:.1}s",
             model.name(),
@@ -166,7 +218,11 @@ pub fn eval(opts: &CliOptions) -> Result<(), String> {
                 logcl_tensor::serialize::load(&model.params, path).map_err(|e| e.to_string())?;
                 println!("loaded parameters from {path}");
             }
-            None => model.fit(&ds, &train_options(opts)),
+            None => {
+                model
+                    .fit(&ds, &train_options(opts))
+                    .map_err(explain_train_error)?;
+            }
         }
         if opts.detailed {
             let report = evaluate_detailed(&mut model, &ds, &ds.test.clone());
@@ -180,8 +236,11 @@ pub fn eval(opts: &CliOptions) -> Result<(), String> {
         };
         println!("test: {metrics}");
     } else {
+        reject_fault_tolerance_flags_for_baselines(opts)?;
         let mut model = build_model(opts, &ds)?;
-        model.fit(&ds, &train_options(opts));
+        model
+            .fit(&ds, &train_options(opts))
+            .map_err(explain_train_error)?;
         if opts.detailed {
             let report = evaluate_detailed(model.as_mut(), &ds, &ds.test.clone());
             println!("{report}");
@@ -238,14 +297,18 @@ pub fn predict(opts: &CliOptions) -> Result<(), String> {
         Some(path) => {
             logcl_tensor::serialize::load(&model.params, path).map_err(|e| e.to_string())?
         }
-        None => model.fit(&ds, &train_options(opts)),
+        None => {
+            model
+                .fit(&ds, &train_options(opts))
+                .map_err(explain_train_error)?;
+        }
     }
     println!(
         "query: ({}, {}, ?, t={t})",
         ds.entity_name(subject),
         ds.rel_name(relation)
     );
-    let preds = try_predict_topk(&mut model, &ds, subject, relation, t, opts.topk)
+    let preds = predict_topk(&mut model, &ds, subject, relation, t, opts.topk)
         .map_err(|e| e.to_string())?;
     for p in preds {
         println!("  {:<30} {:.3}", p.name, p.probability);
@@ -372,6 +435,49 @@ mod tests {
             "5",
         ]);
         predict(&o).unwrap();
+    }
+
+    #[test]
+    fn train_with_checkpoint_writes_resumable_state() {
+        let dir = std::env::temp_dir().join("logcl-cli-train-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ck").to_string_lossy().to_string();
+        let mut o = opts(&[]);
+        o.checkpoint = Some(path.clone());
+        train(&o).unwrap();
+        // The checkpoint is a durable container holding full training state.
+        let ck: logcl_core::TrainCheckpoint =
+            logcl_tensor::serialize::load_json_durable(&path).unwrap();
+        assert_eq!(ck.next_epoch, 1);
+        assert_eq!(ck.total_epochs, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_flags_are_rejected_for_baselines() {
+        let mut o = opts(&[]);
+        o.model = "distmult".into();
+        o.checkpoint = Some("/tmp/never-written.ck".into());
+        let err = train(&o).unwrap_err();
+        assert!(err.contains("logcl"), "{err}");
+    }
+
+    #[test]
+    fn resume_with_mismatched_flags_is_explained() {
+        let dir = std::env::temp_dir().join("logcl-cli-resume-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ck").to_string_lossy().to_string();
+        let mut o = opts(&[]);
+        o.checkpoint = Some(path.clone());
+        train(&o).unwrap();
+        // Same checkpoint, different epoch budget: refused with a remedy.
+        let mut o2 = opts(&[]);
+        o2.epochs = 9;
+        o2.resume = Some(path);
+        let err = train(&o2).unwrap_err();
+        assert!(err.contains("cannot resume"), "{err}");
+        assert!(err.contains("--epochs"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

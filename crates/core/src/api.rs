@@ -4,9 +4,14 @@
 //! implements [`TkgModel`], so one driver produces every table's metrics
 //! under identical two-phase, time-aware-filtered conditions.
 
+use std::path::PathBuf;
+
 use logcl_tkg::eval::{rank_time_aware, Metrics, RankAccumulator};
 use logcl_tkg::quad::{Quad, Time};
 use logcl_tkg::{HistoryIndex, Snapshot, TkgDataset};
+
+use crate::checkpoint::{CheckpointPolicy, TrainError};
+use crate::trainer::TrainReport;
 
 /// Everything a model may condition on when scoring queries at time `t`:
 /// the full snapshot sequence (the model must only read `snapshots[..t]`),
@@ -36,6 +41,25 @@ pub struct TrainOptions {
     /// Keep the checkpoint with the best validation MRR (evaluated over the
     /// second half of training) instead of the last epoch's parameters.
     pub select_on_valid: bool,
+    /// Durable checkpointing policy (`None`: train purely in memory).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from a checkpoint file written by an earlier (interrupted)
+    /// run of the same configuration.
+    pub resume: Option<PathBuf>,
+    /// Divergence-sentinel budget: how many rollback-and-halve-LR retries
+    /// are allowed before training gives up with [`TrainError::Diverged`].
+    pub max_rollbacks: usize,
+    /// Pre-clip gradient norms above this trip the divergence sentinel
+    /// (non-finite losses and gradients always trip it).
+    pub divergence_grad_limit: f32,
+    /// Test hook: report a `NaN` loss once, on the first batch of this
+    /// epoch, to exercise the rollback path deterministically.
+    pub inject_nan_loss_at_epoch: Option<usize>,
+    /// Test hook: stop training (as a crash would) right after this
+    /// epoch's checkpoint is written; `epochs` still governs the
+    /// validation-selection cadence so a resumed run matches an
+    /// uninterrupted one bit-for-bit.
+    pub halt_after_epoch: Option<usize>,
 }
 
 impl Default for TrainOptions {
@@ -46,6 +70,12 @@ impl Default for TrainOptions {
             grad_clip: 5.0,
             verbose: false,
             select_on_valid: true,
+            checkpoint: None,
+            resume: None,
+            max_rollbacks: 3,
+            divergence_grad_limit: 1e4,
+            inject_nan_loss_at_epoch: None,
+            halt_after_epoch: None,
         }
     }
 }
@@ -65,8 +95,11 @@ pub trait TkgModel {
     /// Display name for tables.
     fn name(&self) -> String;
 
-    /// Trains on the dataset's training split.
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions);
+    /// Trains on the dataset's training split. Errors are reserved for
+    /// unrecoverable conditions (checkpoint I/O failure, divergence after
+    /// the rollback budget); models without durable state can simply
+    /// return `Ok(TrainReport::default())`.
+    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) -> Result<TrainReport, TrainError>;
 
     /// Scores every candidate object for each query (one `|E|`-long score
     /// vector per query). Queries may be inverse-direction; the model sees
@@ -174,7 +207,13 @@ pub(crate) mod test_support {
         fn name(&self) -> String {
             "Const".into()
         }
-        fn fit(&mut self, _ds: &TkgDataset, _opts: &TrainOptions) {}
+        fn fit(
+            &mut self,
+            _ds: &TkgDataset,
+            _opts: &TrainOptions,
+        ) -> Result<TrainReport, TrainError> {
+            Ok(TrainReport::default())
+        }
         fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {
             self.calls += 1;
             queries

@@ -1,0 +1,250 @@
+//! Durable training checkpoints and the trainer's failure vocabulary.
+//!
+//! A [`TrainCheckpoint`] captures *everything* the training loop needs to
+//! continue as if it had never stopped: model parameters, Adam moments,
+//! the RNG state, the epoch cursor and the validation-selection state.
+//! Restoring one therefore yields bit-identical final metrics to an
+//! uninterrupted run under a fixed seed — the property the crash/resume
+//! integration test pins down.
+//!
+//! Files use the checksummed atomic container from
+//! [`logcl_tensor::serialize`]; a torn or corrupted checkpoint is rejected
+//! with a typed error, never silently half-loaded.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use logcl_tensor::optim::AdamState;
+use logcl_tensor::rng::RngState;
+use logcl_tensor::serialize::{self, Checkpoint, CheckpointError};
+
+/// When the trainer writes durable checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Destination file (written atomically; always the latest state).
+    pub path: PathBuf,
+    /// Write every N completed epochs (`0` disables the cadence).
+    pub every_epochs: usize,
+    /// Also write whenever validation MRR improves.
+    pub on_best_valid: bool,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint at `path` every `every_epochs` epochs and on best-valid.
+    pub fn new(path: impl Into<PathBuf>, every_epochs: usize) -> Self {
+        Self {
+            path: path.into(),
+            every_epochs,
+            on_best_valid: true,
+        }
+    }
+}
+
+/// One divergence-rollback incident, kept in the report (and checkpoint)
+/// so operators can see a run healed itself.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+pub struct RollbackEvent {
+    /// Epoch that diverged.
+    pub epoch: usize,
+    /// Timestamp (batch) where divergence was detected.
+    pub timestamp: usize,
+    /// Human-readable cause (non-finite loss, gradient explosion, …).
+    pub reason: String,
+    /// Learning rate when the divergence hit.
+    pub lr_before: f32,
+    /// Halved learning rate the retry uses.
+    pub lr_after: f32,
+}
+
+/// One validation measurement `(epoch, MRR)`; a named struct because the
+/// checkpoint payload avoids tuple encodings.
+#[derive(Serialize, Deserialize, Debug, Clone, Copy, PartialEq)]
+pub struct ValidPoint {
+    /// Epoch index the measurement was taken at.
+    pub epoch: usize,
+    /// Validation MRR (percent).
+    pub mrr: f64,
+}
+
+/// The complete durable state of an interrupted training run.
+#[derive(Serialize, Deserialize, Debug)]
+pub struct TrainCheckpoint {
+    /// Model parameters (with provenance metadata).
+    pub model: Checkpoint,
+    /// Adam step count, learning rate and both moment estimates.
+    pub optimizer: AdamState,
+    /// RNG state — dropout masks and noise draws continue the same stream.
+    pub rng: RngState,
+    /// Epoch cursor: how many epochs completed; resume starts here.
+    pub next_epoch: usize,
+    /// Total epochs the run was configured for (resume must match, since
+    /// the validation-selection cadence is derived from it).
+    pub total_epochs: usize,
+    /// Mean loss of every completed epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation MRR trace so far.
+    pub valid_trace: Vec<ValidPoint>,
+    /// Best-valid epoch so far.
+    pub selected_epoch: Option<usize>,
+    /// Best validation MRR so far.
+    pub best_valid: Option<f64>,
+    /// Parameters at the best-valid epoch (restored at the end of
+    /// training when selection is on).
+    pub best_params: Option<Checkpoint>,
+    /// Divergence rollbacks consumed so far (bounded by `max_rollbacks`).
+    pub rollbacks_used: usize,
+    /// The incidents themselves.
+    pub rollback_events: Vec<RollbackEvent>,
+}
+
+impl TrainCheckpoint {
+    /// Atomically writes the checkpoint (tmp file + fsync + rename).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        serialize::save_json_durable(self, path)
+    }
+
+    /// Loads and integrity-checks a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        serialize::load_json_durable(path)
+    }
+}
+
+/// Why training stopped without producing a model.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Saving or loading a checkpoint failed (I/O, corruption, version
+    /// skew, shape/config mismatch — see the inner error).
+    Checkpoint(CheckpointError),
+    /// A resume request could not be honoured (wrong run shape).
+    Resume(String),
+    /// The loss or gradients diverged and the rollback budget ran out.
+    Diverged {
+        /// Epoch the final divergence hit.
+        epoch: usize,
+        /// Rollbacks consumed before giving up.
+        rollbacks: usize,
+        /// Cause of the last incident.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Checkpoint(e) => write!(f, "training checkpoint error: {e}"),
+            Self::Resume(m) => write!(f, "cannot resume: {m}"),
+            Self::Diverged {
+                epoch,
+                rollbacks,
+                reason,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch} ({reason}) after exhausting {rollbacks} rollback(s); \
+                 lower the learning rate or raise --max-rollbacks"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logcl_tensor::nn::ParamSet;
+    use logcl_tensor::optim::Adam;
+    use logcl_tensor::{Rng, Tensor};
+
+    fn sample() -> TrainCheckpoint {
+        let mut rng = Rng::seed(4);
+        let mut params = ParamSet::new();
+        params.new_param("w", Tensor::randn(&[2, 3], 1.0, &mut rng));
+        let opt = Adam::new(&params, 1e-3);
+        TrainCheckpoint {
+            model: serialize::snapshot_with_meta(&params, "LogCL", "cfg"),
+            optimizer: opt.export_state(),
+            rng: rng.state(),
+            next_epoch: 7,
+            total_epochs: 12,
+            epoch_losses: vec![3.0, 2.5, 2.0, 1.9, 1.7, 1.6, 1.55],
+            valid_trace: vec![ValidPoint {
+                epoch: 5,
+                mrr: 31.25,
+            }],
+            selected_epoch: Some(5),
+            best_valid: Some(31.25),
+            best_params: Some(serialize::snapshot(&params)),
+            rollbacks_used: 1,
+            rollback_events: vec![RollbackEvent {
+                epoch: 3,
+                timestamp: 17,
+                reason: "non-finite loss NaN".into(),
+                lr_before: 1e-3,
+                lr_after: 5e-4,
+            }],
+        }
+    }
+
+    #[test]
+    fn train_checkpoint_file_round_trip() {
+        let dir = std::env::temp_dir().join("logcl-train-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let ck = sample();
+        ck.save(&path).unwrap();
+        let back = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(back.next_epoch, 7);
+        assert_eq!(back.total_epochs, 12);
+        assert_eq!(back.epoch_losses, ck.epoch_losses);
+        assert_eq!(back.valid_trace, ck.valid_trace);
+        assert_eq!(back.best_valid, ck.best_valid);
+        assert_eq!(back.rng, ck.rng);
+        assert_eq!(back.rollback_events, ck.rollback_events);
+        assert_eq!(back.model.params, ck.model.params);
+        assert!(back.best_params.is_some());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn corrupted_train_checkpoint_is_rejected() {
+        let dir = std::env::temp_dir().join("logcl-train-ckpt-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        sample().save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+        let err = TrainCheckpoint::load(&path).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn train_error_messages_name_the_remedy() {
+        let e = TrainError::Diverged {
+            epoch: 4,
+            rollbacks: 3,
+            reason: "gradient norm 1.0e9 breached limit 1.0e4".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("epoch 4") && msg.contains("max-rollbacks"),
+            "{msg}"
+        );
+    }
+}

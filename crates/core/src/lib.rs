@@ -15,6 +15,7 @@
 //! * [`predict`] — top-k readable predictions for the Table VI case study.
 
 pub mod api;
+pub mod checkpoint;
 pub mod config;
 pub mod contrast;
 pub mod diagnostics;
@@ -26,10 +27,9 @@ pub mod static_graph;
 pub mod trainer;
 
 pub use api::{evaluate, evaluate_with_phase, EvalContext, Phase, TkgModel, TrainOptions};
+pub use checkpoint::{CheckpointPolicy, RollbackEvent, TrainCheckpoint, TrainError};
 pub use config::{ContrastStrategy, LogClConfig};
 pub use diagnostics::{evaluate_detailed, DetailedReport};
 pub use model::LogCl;
-pub use predict::{
-    predict_topk, topk_from_scores, try_predict_topk, validate_query, PredictError, Prediction,
-};
+pub use predict::{predict_topk, topk_from_scores, validate_query, PredictError, Prediction};
 pub use trainer::{evaluate_online, TrainReport};

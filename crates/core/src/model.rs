@@ -115,6 +115,17 @@ impl LogCl {
         self.params.num_weights()
     }
 
+    /// Snapshots the model's RNG (dropout masks, noise draws) so a resumed
+    /// run continues the exact random stream an uninterrupted one would.
+    pub fn rng_state(&self) -> logcl_tensor::rng::RngState {
+        self.rng.state()
+    }
+
+    /// Restores a previously captured RNG state.
+    pub fn restore_rng_state(&mut self, state: logcl_tensor::rng::RngState) {
+        self.rng.restore(state);
+    }
+
     /// The initial entity embeddings for one forward pass: the trainable
     /// table, plus fresh Gaussian noise when the config asks for perturbed
     /// inputs (Figs. 2 & 5).
@@ -278,8 +289,12 @@ impl TkgModel for LogCl {
         self.cfg.variant_name()
     }
 
-    fn fit(&mut self, ds: &TkgDataset, opts: &TrainOptions) {
-        trainer::train(self, ds, opts);
+    fn fit(
+        &mut self,
+        ds: &TkgDataset,
+        opts: &TrainOptions,
+    ) -> Result<trainer::TrainReport, crate::checkpoint::TrainError> {
+        trainer::train(self, ds, opts)
     }
 
     fn score(&mut self, ctx: &EvalContext<'_>, queries: &[Quad]) -> Vec<Vec<f32>> {

@@ -116,9 +116,9 @@ pub fn topk_from_scores(ds: &TkgDataset, scores: &[f32], k: usize) -> Vec<Predic
 
 /// Asks `model` the query `(s, r, ?, t)` and returns the top-`k` candidate
 /// objects with softmax probabilities, like the paper's case-study tables.
-/// Fallible twin of [`predict_topk`]: malformed queries come back as
-/// [`PredictError`] instead of a panic.
-pub fn try_predict_topk(
+/// Malformed queries come back as [`PredictError`] — this module has no
+/// panicking path.
+pub fn predict_topk(
     model: &mut dyn TkgModel,
     ds: &TkgDataset,
     s: usize,
@@ -143,22 +143,6 @@ pub fn try_predict_topk(
     Ok(topk_from_scores(ds, &scores, k))
 }
 
-/// Panicking convenience wrapper around [`try_predict_topk`] for scripts
-/// and examples that prefer a crash over error plumbing.
-pub fn predict_topk(
-    model: &mut dyn TkgModel,
-    ds: &TkgDataset,
-    s: usize,
-    r: usize,
-    t: usize,
-    k: usize,
-) -> Vec<Prediction> {
-    match try_predict_topk(model, ds, s, r, t, k) {
-        Ok(preds) => preds,
-        Err(e) => panic!("{e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,7 +157,7 @@ mod tests {
             calls: 0,
         };
         let t = ds.test[0].t;
-        let preds = predict_topk(&mut model, &ds, 0, 0, t, 5);
+        let preds = predict_topk(&mut model, &ds, 0, 0, t, 5).unwrap();
         assert_eq!(preds.len(), 5);
         assert_eq!(preds[0].entity, 3, "favourite entity must rank first");
         assert!(preds
@@ -185,38 +169,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "subject out of range")]
-    fn rejects_bad_subject() {
+    fn reports_errors_instead_of_panicking() {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         let mut model = ConstModel {
             favourite: 0,
             calls: 0,
         };
-        predict_topk(&mut model, &ds, ds.num_entities + 5, 0, 10, 3);
-    }
-
-    #[test]
-    fn try_variant_reports_errors_instead_of_panicking() {
-        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
-        let mut model = ConstModel {
-            favourite: 0,
-            calls: 0,
-        };
-        let err = try_predict_topk(&mut model, &ds, ds.num_entities, 0, 5, 3).unwrap_err();
+        let err = predict_topk(&mut model, &ds, ds.num_entities, 0, 5, 3).unwrap_err();
         assert!(matches!(err, PredictError::SubjectOutOfRange { .. }));
-        let err =
-            try_predict_topk(&mut model, &ds, 0, ds.num_rels_with_inverse(), 5, 3).unwrap_err();
+        let err = predict_topk(&mut model, &ds, 0, ds.num_rels_with_inverse(), 5, 3).unwrap_err();
         assert!(matches!(err, PredictError::RelationOutOfRange { .. }));
-        let err = try_predict_topk(&mut model, &ds, 0, 0, ds.num_times + 1, 3).unwrap_err();
+        let err = predict_topk(&mut model, &ds, 0, 0, ds.num_times + 1, 3).unwrap_err();
         assert!(matches!(err, PredictError::TimeBeyondHorizon { .. }));
         assert_eq!(model.calls, 0, "invalid queries must never reach the model");
         // The boundary forecast t == |T| is legal.
-        let preds = try_predict_topk(&mut model, &ds, 0, 0, ds.num_times, 3).unwrap();
+        let preds = predict_topk(&mut model, &ds, 0, 0, ds.num_times, 3).unwrap();
         assert_eq!(preds.len(), 3);
     }
 
     #[test]
-    fn validate_query_matches_wrapper_panics() {
+    fn validate_query_messages_are_operator_readable() {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         assert!(validate_query(&ds, 0, 0, 0).is_ok());
         let msg = validate_query(&ds, ds.num_entities + 1, 0, 0)

@@ -1,12 +1,17 @@
 //! Offline training with two-phase forward propagation (Algorithm 1) and
-//! the online-update protocol of Fig. 10.
+//! the online-update protocol of Fig. 10 — now crash-safe: the loop writes
+//! durable checkpoints under a [`CheckpointPolicy`], resumes from them
+//! bit-identically, and heals transient divergence by rolling back to the
+//! last good epoch with a halved learning rate.
 
-use logcl_tensor::optim::Adam;
+use logcl_tensor::optim::{clip_grad_norm, Adam};
+use logcl_tensor::serialize::{self, Checkpoint};
 use logcl_tkg::eval::Metrics;
 use logcl_tkg::quad::Quad;
 use logcl_tkg::{HistoryIndex, TkgDataset};
 
 use crate::api::{evaluate_with_phase, EvalContext, Phase, TkgModel, TrainOptions};
+use crate::checkpoint::{RollbackEvent, TrainCheckpoint, TrainError, ValidPoint};
 use crate::model::LogCl;
 
 /// Per-epoch training diagnostics.
@@ -18,6 +23,12 @@ pub struct TrainReport {
     pub valid_trace: Vec<(usize, f64)>,
     /// The epoch whose parameters were kept.
     pub selected_epoch: Option<usize>,
+    /// Divergence incidents the sentinel healed (rollback + LR halving).
+    pub rollbacks: Vec<RollbackEvent>,
+    /// Epoch the run continued from, when it was resumed.
+    pub resumed_at_epoch: Option<usize>,
+    /// Set when the `halt_after_epoch` test hook cut the run short.
+    pub halted_at_epoch: Option<usize>,
 }
 
 impl TrainReport {
@@ -36,6 +47,39 @@ fn group_by_time(quads: &[Quad], num_times: usize) -> Vec<Vec<Quad>> {
     by_t
 }
 
+/// In-memory snapshot of everything the sentinel needs to rewind a
+/// diverged epoch: parameters, optimizer moments, RNG stream.
+struct GoodState {
+    params: Checkpoint,
+    opt: logcl_tensor::optim::AdamState,
+    rng: logcl_tensor::rng::RngState,
+}
+
+impl GoodState {
+    fn capture(model: &LogCl, opt: &Adam) -> Self {
+        Self {
+            params: serialize::snapshot(&model.params),
+            opt: opt.export_state(),
+            rng: model.rng_state(),
+        }
+    }
+
+    fn restore_into(&self, model: &mut LogCl, opt: &mut Adam) -> Result<(), TrainError> {
+        serialize::restore(&model.params, &self.params)?;
+        opt.import_state(&self.opt)?;
+        model.restore_rng_state(self.rng);
+        Ok(())
+    }
+}
+
+/// What one pass over the training timeline produced.
+enum EpochOutcome {
+    /// Mean loss over non-empty batches.
+    Completed(f32),
+    /// The sentinel tripped: (timestamp, cause).
+    Diverged(usize, String),
+}
+
 /// Trains `model` on `ds.train` for `opts.epochs` passes.
 ///
 /// Each timestamp is one batch (the paper's batching). Per timestamp the
@@ -43,19 +87,77 @@ fn group_by_time(quads: &[Quad], num_times: usize) -> Vec<Vec<Quad>> {
 /// phases (original queries, then inverse queries) are run on top of them —
 /// the separation that prevents the entity-aware attention from perceiving
 /// the answer entities (Section III-F).
-pub fn train(model: &mut LogCl, ds: &TkgDataset, opts: &TrainOptions) -> TrainReport {
+///
+/// With `opts.checkpoint` set, the complete training state (parameters,
+/// Adam moments, RNG, epoch cursor, selection state) is persisted
+/// atomically so `opts.resume` can continue an interrupted run to
+/// bit-identical final metrics. Non-finite losses and exploding gradients
+/// trip a sentinel that rewinds to the last completed epoch, halves the
+/// learning rate and retries, up to `opts.max_rollbacks` times.
+pub fn train(
+    model: &mut LogCl,
+    ds: &TkgDataset,
+    opts: &TrainOptions,
+) -> Result<TrainReport, TrainError> {
     let snapshots = ds.snapshots();
     let train_end = ds.train_end_time();
     let by_time = group_by_time(&ds.train, ds.num_times);
     let mut opt = Adam::new(&model.params, opts.lr);
     let mut report = TrainReport::default();
     let mut best_valid: Option<f64> = None;
-    let mut best_ckpt: Option<logcl_tensor::serialize::Checkpoint> = None;
+    let mut best_ckpt: Option<Checkpoint> = None;
+    let mut start_epoch = 0usize;
+    let mut rollbacks_used = 0usize;
 
-    for epoch in 0..opts.epochs {
-        let mut history = HistoryIndex::new();
+    if let Some(path) = &opts.resume {
+        let ck = TrainCheckpoint::load(path)?;
+        ck.model
+            .validate_meta(&model.cfg.variant_name(), &model.cfg.fingerprint())?;
+        if ck.total_epochs != opts.epochs {
+            return Err(TrainError::Resume(format!(
+                "checkpoint belongs to a {}-epoch run but this run asks for {} \
+                 (the validation-selection schedule depends on the total; \
+                 pass the original epoch count)",
+                ck.total_epochs, opts.epochs
+            )));
+        }
+        if ck.next_epoch > opts.epochs {
+            return Err(TrainError::Resume(format!(
+                "checkpoint already completed {} of {} epochs",
+                ck.next_epoch, opts.epochs
+            )));
+        }
+        serialize::restore(&model.params, &ck.model)?;
+        opt.import_state(&ck.optimizer)?;
+        model.restore_rng_state(ck.rng);
+        start_epoch = ck.next_epoch;
+        report.epoch_losses = ck.epoch_losses;
+        report.valid_trace = ck.valid_trace.iter().map(|p| (p.epoch, p.mrr)).collect();
+        report.selected_epoch = ck.selected_epoch;
+        report.rollbacks = ck.rollback_events;
+        report.resumed_at_epoch = Some(start_epoch);
+        best_valid = ck.best_valid;
+        best_ckpt = ck.best_params;
+        rollbacks_used = ck.rollbacks_used;
+        if opts.verbose {
+            eprintln!(
+                "[{}] resumed from {} at epoch {start_epoch}/{}",
+                model.name(),
+                path.display(),
+                opts.epochs
+            );
+        }
+    }
+
+    let mut good = GoodState::capture(model, &opt);
+    let mut nan_injected = false;
+
+    let mut epoch = start_epoch;
+    while epoch < opts.epochs {
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
+        let mut history = HistoryIndex::new();
+        let mut outcome = None;
         for t in 0..train_end {
             let quads = &by_time[t];
             if !quads.is_empty() {
@@ -79,25 +181,90 @@ pub fn train(model: &mut LogCl, ds: &TkgDataset, opts: &TrainOptions) -> TrainRe
                 }
 
                 let total = loss.add(&loss2);
-                epoch_loss += total.item() as f64;
-                batches += 1;
+                let mut loss_val = total.item();
+                if opts.inject_nan_loss_at_epoch == Some(epoch) && !nan_injected {
+                    nan_injected = true;
+                    loss_val = f32::NAN;
+                }
+                if !loss_val.is_finite() {
+                    model.params.zero_grad();
+                    outcome = Some(EpochOutcome::Diverged(
+                        t,
+                        format!("non-finite loss {loss_val}"),
+                    ));
+                    break;
+                }
                 total.backward();
-                opt.clip_and_step(opts.grad_clip);
+                let norm = clip_grad_norm(&model.params.vars(), opts.grad_clip);
+                if !norm.is_finite() || norm > opts.divergence_grad_limit {
+                    model.params.zero_grad();
+                    outcome = Some(EpochOutcome::Diverged(
+                        t,
+                        format!(
+                            "gradient norm {norm:.3e} breached limit {:.3e}",
+                            opts.divergence_grad_limit
+                        ),
+                    ));
+                    break;
+                }
+                opt.step();
+                epoch_loss += loss_val as f64;
+                batches += 1;
             }
             history.advance(&snapshots[t]);
         }
-        let mean = if batches > 0 {
-            epoch_loss / batches as f64
-        } else {
-            0.0
-        };
-        report.epoch_losses.push(mean as f32);
-        if opts.verbose {
-            eprintln!("[{}] epoch {epoch}: loss {mean:.4}", model.name());
+        let outcome = outcome.unwrap_or_else(|| {
+            EpochOutcome::Completed(if batches > 0 {
+                (epoch_loss / batches as f64) as f32
+            } else {
+                0.0
+            })
+        });
+
+        match outcome {
+            EpochOutcome::Diverged(t, reason) => {
+                rollbacks_used += 1;
+                if rollbacks_used > opts.max_rollbacks {
+                    return Err(TrainError::Diverged {
+                        epoch,
+                        rollbacks: rollbacks_used - 1,
+                        reason,
+                    });
+                }
+                let lr_before = opt.lr();
+                good.restore_into(model, &mut opt)?;
+                let lr_after = lr_before * 0.5;
+                opt.set_lr(lr_after);
+                if opts.verbose {
+                    eprintln!(
+                        "[{}] epoch {epoch}: DIVERGED at t={t} ({reason}); \
+                         rolled back, lr {lr_before:.2e} -> {lr_after:.2e} \
+                         (retry {rollbacks_used}/{})",
+                        model.name(),
+                        opts.max_rollbacks
+                    );
+                }
+                report.rollbacks.push(RollbackEvent {
+                    epoch,
+                    timestamp: t,
+                    reason,
+                    lr_before,
+                    lr_after,
+                });
+                continue; // retry the same epoch from the rewound state
+            }
+            EpochOutcome::Completed(mean) => {
+                report.epoch_losses.push(mean);
+                if opts.verbose {
+                    eprintln!("[{}] epoch {epoch}: loss {mean:.4}", model.name());
+                }
+            }
         }
+
         // Validation-MRR model selection (the paper's protocol): from the
         // midpoint of training, checkpoint whenever the valid score
         // improves, and restore the best checkpoint at the end.
+        let mut improved = false;
         if opts.select_on_valid
             && !ds.valid.is_empty()
             && (epoch + 1) * 2 > opts.epochs
@@ -106,25 +273,75 @@ pub fn train(model: &mut LogCl, ds: &TkgDataset, opts: &TrainOptions) -> TrainRe
             let valid = ds.valid.clone();
             let m = crate::api::evaluate(model, ds, &valid);
             report.valid_trace.push((epoch, m.mrr));
-            let improved = best_valid.is_none_or(|b| m.mrr > b);
+            improved = best_valid.is_none_or(|b| m.mrr > b);
             if improved {
                 best_valid = Some(m.mrr);
-                best_ckpt = Some(logcl_tensor::serialize::snapshot(&model.params));
+                best_ckpt = Some(serialize::snapshot(&model.params));
                 report.selected_epoch = Some(epoch);
             }
             if opts.verbose {
                 eprintln!("[{}] epoch {epoch}: valid {m}", model.name());
             }
         }
+
+        good = GoodState::capture(model, &opt);
+
+        if let Some(policy) = &opts.checkpoint {
+            let cadence_due = policy.every_epochs > 0
+                && (epoch + 1 - start_epoch).is_multiple_of(policy.every_epochs);
+            let best_due = policy.on_best_valid && improved;
+            let last_epoch = epoch + 1 == opts.epochs;
+            if cadence_due || best_due || last_epoch {
+                let ck = TrainCheckpoint {
+                    model: serialize::snapshot_with_meta(
+                        &model.params,
+                        &model.cfg.variant_name(),
+                        &model.cfg.fingerprint(),
+                    ),
+                    optimizer: opt.export_state(),
+                    rng: model.rng_state(),
+                    next_epoch: epoch + 1,
+                    total_epochs: opts.epochs,
+                    epoch_losses: report.epoch_losses.clone(),
+                    valid_trace: report
+                        .valid_trace
+                        .iter()
+                        .map(|&(epoch, mrr)| ValidPoint { epoch, mrr })
+                        .collect(),
+                    selected_epoch: report.selected_epoch,
+                    best_valid,
+                    best_params: best_ckpt.clone(),
+                    rollbacks_used,
+                    rollback_events: report.rollbacks.clone(),
+                };
+                ck.save(&policy.path)?;
+                if opts.verbose {
+                    eprintln!(
+                        "[{}] epoch {epoch}: checkpoint -> {}",
+                        model.name(),
+                        policy.path.display()
+                    );
+                }
+            }
+        }
+
+        if opts.halt_after_epoch == Some(epoch) {
+            // SIGKILL stand-in for the crash/resume test: stop immediately,
+            // skipping even the best-checkpoint restore a clean run does.
+            report.halted_at_epoch = Some(epoch);
+            return Ok(report);
+        }
+
+        epoch += 1;
     }
+
     if let Some(ckpt) = best_ckpt {
-        logcl_tensor::serialize::restore(&model.params, &ckpt)
-            .expect("self-produced checkpoint must restore");
+        serialize::restore(&model.params, &ckpt)?;
     }
     // Keep an optimizer around for online updates at a reduced rate.
     model.opt = Some(Adam::new(&model.params, opts.lr * 0.5));
     model.opt_options = opts.clone();
-    report
+    Ok(report)
 }
 
 /// One online gradient step on the ground-truth facts of the timestamp just
@@ -154,11 +371,9 @@ pub fn online_step(model: &mut LogCl, ctx: &EvalContext<'_>, quads: &[Quad]) {
     let total = loss.add(&loss2);
     total.backward();
     let clip = model.opt_options.grad_clip;
-    model
-        .opt
-        .as_mut()
-        .expect("online optimizer present")
-        .clip_and_step(clip);
+    if let Some(opt) = model.opt.as_mut() {
+        opt.clip_and_step(clip);
+    }
 }
 
 /// Evaluates under the online setting (Fig. 10): after scoring each test
@@ -171,6 +386,7 @@ pub fn evaluate_online(model: &mut dyn TkgModel, ds: &TkgDataset, quads: &[Quad]
 mod tests {
     use super::*;
     use crate::api::evaluate;
+    use crate::checkpoint::CheckpointPolicy;
     use crate::config::LogClConfig;
     use logcl_tkg::SyntheticPreset;
 
@@ -190,7 +406,7 @@ mod tests {
     #[test]
     fn loss_decreases_over_epochs() {
         let (ds, mut model) = tiny();
-        let report = train(&mut model, &ds, &TrainOptions::epochs(3));
+        let report = train(&mut model, &ds, &TrainOptions::epochs(3)).unwrap();
         assert_eq!(report.epoch_losses.len(), 3);
         assert!(
             report.epoch_losses[2] < report.epoch_losses[0],
@@ -202,7 +418,7 @@ mod tests {
     #[test]
     fn trained_model_beats_untrained() {
         let (ds, mut trained) = tiny();
-        train(&mut trained, &ds, &TrainOptions::epochs(4));
+        train(&mut trained, &ds, &TrainOptions::epochs(4)).unwrap();
         let (_, mut fresh) = tiny();
         let test = ds.test.clone();
         let m_trained = evaluate(&mut trained, &ds, &test);
@@ -218,7 +434,7 @@ mod tests {
     #[test]
     fn online_evaluation_runs_and_is_finite() {
         let (ds, mut model) = tiny();
-        train(&mut model, &ds, &TrainOptions::epochs(2));
+        train(&mut model, &ds, &TrainOptions::epochs(2)).unwrap();
         let test = ds.test.clone();
         let m = evaluate_online(&mut model, &ds, &test);
         assert!(m.mrr > 0.0 && m.mrr <= 100.0);
@@ -230,7 +446,7 @@ mod tests {
         let (ds, mut model) = tiny();
         let mut opts = TrainOptions::epochs(6);
         opts.select_on_valid = true;
-        let report = train(&mut model, &ds, &opts);
+        let report = train(&mut model, &ds, &opts).unwrap();
         // Selection only scans the second half of training.
         assert!(
             !report.valid_trace.is_empty(),
@@ -259,9 +475,85 @@ mod tests {
         let (ds, mut model) = tiny();
         let mut opts = TrainOptions::epochs(3);
         opts.select_on_valid = false;
-        let report = train(&mut model, &ds, &opts);
+        let report = train(&mut model, &ds, &opts).unwrap();
         assert!(report.valid_trace.is_empty());
         assert!(report.selected_epoch.is_none());
+    }
+
+    /// An injected NaN loss must not abort training: the sentinel rewinds
+    /// to the last good epoch, halves the LR, records the incident, and
+    /// the run still finishes all its epochs.
+    #[test]
+    fn divergence_rolls_back_and_heals() {
+        let (ds, mut model) = tiny();
+        let mut opts = TrainOptions::epochs(3);
+        opts.select_on_valid = false;
+        opts.inject_nan_loss_at_epoch = Some(1);
+        let report = train(&mut model, &ds, &opts).unwrap();
+        assert_eq!(report.epoch_losses.len(), 3, "all epochs must complete");
+        assert_eq!(report.rollbacks.len(), 1);
+        let ev = &report.rollbacks[0];
+        assert_eq!(ev.epoch, 1);
+        assert!(ev.reason.contains("non-finite"), "{}", ev.reason);
+        assert!((ev.lr_after - ev.lr_before * 0.5).abs() < 1e-12);
+        assert!(report.final_loss().is_finite());
+    }
+
+    /// When every retry diverges, training must stop with a typed error —
+    /// not loop forever, not abort the process.
+    #[test]
+    fn divergence_budget_is_bounded() {
+        let (ds, mut model) = tiny();
+        let mut opts = TrainOptions::epochs(2);
+        opts.select_on_valid = false;
+        opts.max_rollbacks = 2;
+        // A zero grad-norm limit trips the sentinel on every batch.
+        opts.divergence_grad_limit = 0.0;
+        match train(&mut model, &ds, &opts) {
+            Err(TrainError::Diverged { rollbacks, .. }) => assert_eq!(rollbacks, 2),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_policy_writes_resumable_file() {
+        let dir = std::env::temp_dir().join("logcl-trainer-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.ckpt");
+        let (ds, mut model) = tiny();
+        let mut opts = TrainOptions::epochs(4);
+        opts.select_on_valid = false;
+        opts.checkpoint = Some(CheckpointPolicy::new(&path, 2));
+        train(&mut model, &ds, &opts).unwrap();
+        let ck = TrainCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.next_epoch, 4);
+        assert_eq!(ck.total_epochs, 4);
+        assert_eq!(ck.epoch_losses.len(), 4);
+        ck.model
+            .validate_meta(&model.cfg.variant_name(), &model.cfg.fingerprint())
+            .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn resume_with_wrong_epoch_count_is_rejected() {
+        let dir = std::env::temp_dir().join("logcl-trainer-resume-guard");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("guard.ckpt");
+        let (ds, mut model) = tiny();
+        let mut opts = TrainOptions::epochs(2);
+        opts.select_on_valid = false;
+        opts.checkpoint = Some(CheckpointPolicy::new(&path, 1));
+        train(&mut model, &ds, &opts).unwrap();
+        let (_, mut resumed) = tiny();
+        let mut opts2 = TrainOptions::epochs(5);
+        opts2.select_on_valid = false;
+        opts2.resume = Some(path.clone());
+        match train(&mut resumed, &ds, &opts2) {
+            Err(TrainError::Resume(msg)) => assert!(msg.contains("epoch"), "{msg}"),
+            other => panic!("expected Resume error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub enum HttpError {
     MethodNotAllowed(String),
     /// Request line + headers exceed [`MAX_HEAD_BYTES`] (→ 431).
     HeadTooLarge,
-    /// Declared body exceeds [`MAX_BODY_BYTES`] (→ 413).
+    /// Declared body exceeds the configured limit (→ 413).
     BodyTooLarge,
     /// The peer closed the connection mid-request (→ 400).
     UnexpectedEof,
+    /// The peer stalled past the socket read timeout (→ 408).
+    ReadTimeout,
     /// Transport failure.
     Io(io::Error),
 }
@@ -58,6 +60,7 @@ impl HttpError {
         match self {
             Self::BadRequest(_) | Self::UnexpectedEof => 400,
             Self::MethodNotAllowed(_) => 405,
+            Self::ReadTimeout => 408,
             Self::BodyTooLarge => 413,
             Self::HeadTooLarge => 431,
             Self::Io(_) => 500,
@@ -73,6 +76,7 @@ impl std::fmt::Display for HttpError {
             Self::HeadTooLarge => write!(f, "request head too large"),
             Self::BodyTooLarge => write!(f, "request body too large"),
             Self::UnexpectedEof => write!(f, "connection closed mid-request"),
+            Self::ReadTimeout => write!(f, "timed out waiting for the request"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -82,13 +86,25 @@ impl std::error::Error for HttpError {}
 
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> Self {
-        Self::Io(e)
+        // A socket configured with `set_read_timeout` surfaces a stalled
+        // peer as WouldBlock (unix) or TimedOut (windows); both mean the
+        // client owes us bytes it never sent.
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Self::ReadTimeout,
+            _ => Self::Io(e),
+        }
     }
 }
 
 /// Reads one request from `r`, tolerating arbitrarily fragmented reads
-/// (a TCP stream may deliver the head one byte at a time).
+/// (a TCP stream may deliver the head one byte at a time). The body is
+/// bounded by the default [`MAX_BODY_BYTES`].
 pub fn read_request(r: &mut impl Read) -> Result<Request, HttpError> {
+    read_request_limited(r, MAX_BODY_BYTES)
+}
+
+/// [`read_request`] with a caller-chosen body limit (→ 413 above it).
+pub fn read_request_limited(r: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
     // Accumulate until the blank line that ends the head.
     let mut buf: Vec<u8> = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
@@ -159,7 +175,7 @@ pub fn read_request(r: &mut impl Read) -> Result<Request, HttpError> {
             .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {v:?}")))?,
         None => 0,
     };
-    if content_length > MAX_BODY_BYTES {
+    if content_length > max_body {
         return Err(HttpError::BodyTooLarge);
     }
 
@@ -223,6 +239,7 @@ fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
@@ -325,6 +342,31 @@ mod tests {
         );
         let err = read_request(&mut Cursor::new(raw.into_bytes())).unwrap_err();
         assert!(matches!(err, HttpError::BodyTooLarge));
+    }
+
+    #[test]
+    fn stalled_reader_maps_to_request_timeout() {
+        // A socket read timeout surfaces as WouldBlock/TimedOut.
+        struct Stall;
+        impl Read for Stall {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+        let err = read_request(&mut Stall).unwrap_err();
+        assert!(matches!(err, HttpError::ReadTimeout));
+        assert_eq!(err.status(), 408);
+    }
+
+    #[test]
+    fn custom_body_limit_is_enforced() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"time\":42}";
+        let err = read_request_limited(&mut Cursor::new(raw.to_vec()), 10).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge));
+        assert_eq!(err.status(), 413);
+        // The same request passes under a sufficient limit.
+        let req = read_request_limited(&mut Cursor::new(raw.to_vec()), 11).unwrap();
+        assert_eq!(req.body, b"{\"time\":42}");
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct Metrics {
     pub ingested_facts: AtomicU64,
     /// Online adaptation steps taken.
     pub online_updates: AtomicU64,
+    /// Connections answered `408` because the peer stalled past the read
+    /// timeout.
+    pub read_timeouts: AtomicU64,
+    /// Requests answered `413` because the declared body exceeded the limit.
+    pub oversized_bodies: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -123,6 +128,8 @@ impl Default for Metrics {
             cache_invalidations: AtomicU64::new(0),
             ingested_facts: AtomicU64::new(0),
             online_updates: AtomicU64::new(0),
+            read_timeouts: AtomicU64::new(0),
+            oversized_bodies: AtomicU64::new(0),
         }
     }
 }
@@ -214,6 +221,18 @@ impl Metrics {
             "logcl_online_updates_total",
             "Online adaptation steps taken after ingestion.",
             &[("", load(&self.online_updates))],
+        );
+        counter(
+            &mut out,
+            "logcl_read_timeouts_total",
+            "Connections answered 408 after stalling past the read timeout.",
+            &[("", load(&self.read_timeouts))],
+        );
+        counter(
+            &mut out,
+            "logcl_oversized_bodies_total",
+            "Requests answered 413 for exceeding the body-size limit.",
+            &[("", load(&self.oversized_bodies))],
         );
         self.latency.render(
             "logcl_request_duration_seconds",

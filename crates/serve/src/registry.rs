@@ -85,7 +85,8 @@ impl Registry {
                 logcl_tensor::serialize::restore(&model.params, ckpt)
                     .map_err(|e| format!("model {:?}: {e}", spec.name))?;
             } else if let Some(opts) = &spec.train {
-                trainer::train(&mut model, &ds, opts);
+                trainer::train(&mut model, &ds, opts)
+                    .map_err(|e| format!("model {:?}: training failed: {e}", spec.name))?;
             }
             entries.push(ModelEntry {
                 name: spec.name,

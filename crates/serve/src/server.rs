@@ -27,7 +27,7 @@ use logcl_tkg::TkgDataset;
 use serde_json::{json, Value};
 
 use crate::batcher::{run_batcher, BatcherOptions, IngestJob, PredictJob, ServeError, WorkItem};
-use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::http::{read_request_limited, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::registry::{ModelSpec, Registry};
 
@@ -54,6 +54,12 @@ pub struct ServeConfig {
     pub fused: bool,
     /// Serve `POST /shutdown` (disable when fronted by untrusted traffic).
     pub enable_shutdown_endpoint: bool,
+    /// Per-connection socket read timeout; a peer that stalls longer is
+    /// answered `408` and disconnected (counted in `/metrics`).
+    pub read_timeout: Duration,
+    /// Per-request body-size cap in bytes; larger declared bodies are
+    /// answered `413` without being read (counted in `/metrics`).
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +74,8 @@ impl Default for ServeConfig {
             cache_capacity: 64,
             fused: false,
             enable_shutdown_endpoint: true,
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: crate::http::MAX_BODY_BYTES,
         }
     }
 }
@@ -158,6 +166,8 @@ struct HandlerCtx {
     horizon: Arc<AtomicUsize>,
     default_k: usize,
     enable_shutdown_endpoint: bool,
+    read_timeout: Duration,
+    max_body_bytes: usize,
 }
 
 // ---------------------------------------------------------------- thread pool
@@ -301,6 +311,8 @@ impl Server {
             horizon,
             default_k: cfg.default_k.max(1),
             enable_shutdown_endpoint: cfg.enable_shutdown_endpoint,
+            read_timeout: cfg.read_timeout,
+            max_body_bytes: cfg.max_body_bytes,
         });
 
         let accept = {
@@ -391,15 +403,26 @@ impl Drop for Server {
 
 fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
     let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let resp = match read_request(&mut stream) {
+    let resp = match read_request_limited(&mut stream, ctx.max_body_bytes) {
         Ok(req) => {
             ctx.metrics.count_request(route_key(&req.path));
             route(&req, ctx)
         }
         Err(HttpError::Io(_)) => return, // peer vanished; nothing to answer
-        Err(e) => Response::json(e.status(), json!({ "error": e.to_string() }).to_string()),
+        Err(e) => {
+            match &e {
+                HttpError::ReadTimeout => {
+                    ctx.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                HttpError::BodyTooLarge => {
+                    ctx.metrics.oversized_bodies.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            Response::json(e.status(), json!({ "error": e.to_string() }).to_string())
+        }
     };
     ctx.metrics.count_response(resp.status, started.elapsed());
     let _ = write_response(&mut stream, &resp);

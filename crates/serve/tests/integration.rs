@@ -1,5 +1,5 @@
 //! End-to-end tests over real sockets: concurrent clients, micro-batching,
-//! exactness versus the library's `try_predict_topk`, online ingestion, and
+//! exactness versus the library's `predict_topk`, online ingestion, and
 //! graceful shutdown. Everything runs against an ephemeral port with a
 //! hand-rolled `TcpStream` HTTP client (no client-side dependencies either).
 
@@ -9,7 +9,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use logcl_core::{try_predict_topk, LogCl, LogClConfig};
+use logcl_core::{predict_topk, LogCl, LogClConfig};
 use logcl_serve::{ModelSpec, ServeConfig, Server};
 use logcl_tkg::{SyntheticPreset, TkgDataset};
 use serde_json::Value;
@@ -141,7 +141,7 @@ fn concurrent_clients_get_batched_answers_identical_to_sequential() {
         assert_eq!(*status, 200, "client {i}: {body}");
         let v = json(body);
         let got = predictions_of(&v);
-        let expected: Vec<(u64, f32)> = try_predict_topk(&mut reference, &ds, i, 0, t, 5)
+        let expected: Vec<(u64, f32)> = predict_topk(&mut reference, &ds, i, 0, t, 5)
             .unwrap()
             .into_iter()
             .map(|p| (p.entity as u64, p.probability))
@@ -291,4 +291,63 @@ fn graceful_shutdown_answers_requests_already_in_flight() {
     let (status, body) = client.join().unwrap();
     assert_eq!(status, 200, "in-flight request was dropped: {body}");
     assert!(!predictions_of(&json(&body)).is_empty());
+}
+
+#[test]
+fn stalled_connection_is_answered_408_and_counted() {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        read_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).unwrap();
+    let addr = server.addr();
+
+    // Open a connection, send half a request head, then stall.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /predict HTTP/1.1\r\nHost: t")
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8(raw).unwrap();
+    assert!(text.starts_with("HTTP/1.1 408 "), "{text:?}");
+    assert_eq!(server.metrics().read_timeouts.load(Ordering::Relaxed), 1);
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert!(metrics.contains("logcl_read_timeouts_total 1"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_body_is_answered_413_and_counted() {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        max_body_bytes: 64,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).unwrap();
+    let addr = server.addr();
+
+    let big = format!(
+        r#"{{"subject": 0, "relation": 0, "padding": "{}"}}"#,
+        "x".repeat(256)
+    );
+    let (status, body) = request(addr, "POST", "/predict", &big);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("too large"), "{body}");
+    assert_eq!(server.metrics().oversized_bodies.load(Ordering::Relaxed), 1);
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert!(
+        metrics.contains("logcl_oversized_bodies_total 1"),
+        "{metrics}"
+    );
+    // A normally-sized request on the same server still succeeds.
+    let (status, _) = request(addr, "POST", "/predict", r#"{"subject": 0, "relation": 0}"#);
+    assert_eq!(status, 200);
+    server.shutdown();
 }

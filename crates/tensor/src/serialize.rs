@@ -1,18 +1,81 @@
-//! JSON checkpointing of named parameter sets.
+//! Durable, checksummed checkpointing of named parameter sets.
 //!
-//! Checkpoints are plain JSON — human-inspectable and dependency-light —
-//! which is acceptable at this reproduction's model sizes (≤ a few hundred
-//! thousand weights).
+//! Payloads are plain JSON — human-inspectable and dependency-light — but
+//! every checkpoint written since format version 1 is wrapped in a small
+//! binary container that makes loading fail-closed:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"LGCL"
+//! 4       4     CRC32 (IEEE) over bytes 8.. , little-endian
+//! 8       4     format version, little-endian
+//! 12      8     payload length, little-endian
+//! 20      n     payload (JSON)
+//! ```
+//!
+//! The CRC covers the version and length fields as well as the payload, so
+//! *any* single corrupted bit after the magic surfaces as
+//! [`CheckpointError::Corrupt`] — never a panic, never a silently wrong
+//! load. A genuine file written by a newer format version has a valid CRC
+//! and is reported as [`CheckpointError::VersionSkew`] instead.
+//!
+//! Writes are atomic and durable: the container is written to a sibling
+//! `*.tmp` file, fsynced, renamed over the destination, and the directory
+//! is fsynced — a crash mid-write leaves either the old checkpoint or the
+//! new one, never a torn file. Pre-container (bare JSON) checkpoints are
+//! still readable.
 
 use std::collections::BTreeMap;
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
 use crate::nn::ParamSet;
 use crate::tensor::Tensor;
+
+/// Current checkpoint container format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Container magic bytes.
+pub const MAGIC: [u8; 4] = *b"LGCL";
+
+// ------------------------------------------------------------------- crc32
+
+/// CRC32 (IEEE 802.3, reflected, init `!0`, final xor `!0`) — the polynomial
+/// every `cksum`-family tool uses, implemented table-driven and dependency
+/// free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+// ------------------------------------------------------------------ records
 
 /// Serialisable form of one tensor.
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
@@ -33,7 +96,27 @@ impl From<&Tensor> for TensorRecord {
 }
 
 impl TensorRecord {
-    /// Rebuilds the tensor (validates shape/data consistency).
+    /// Number of scalars the declared shape implies.
+    fn declared_len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Rebuilds the tensor, rejecting records whose data length does not
+    /// match the declared shape instead of panicking deep in `Tensor`.
+    pub fn try_to_tensor(&self) -> Result<Tensor, CheckpointError> {
+        if self.declared_len() != self.data.len() {
+            return Err(CheckpointError::ShapeMismatch(format!(
+                "record declares shape {:?} ({} scalars) but carries {} values",
+                self.shape,
+                self.declared_len(),
+                self.data.len()
+            )));
+        }
+        Ok(Tensor::from_vec(self.data.clone(), &self.shape))
+    }
+
+    /// Rebuilds the tensor (panics on an inconsistent record; prefer
+    /// [`TensorRecord::try_to_tensor`] on untrusted input).
     pub fn to_tensor(&self) -> Tensor {
         Tensor::from_vec(self.data.clone(), &self.shape)
     }
@@ -54,7 +137,7 @@ pub struct CheckpointMeta {
 }
 
 /// A whole-model checkpoint: name → tensor.
-#[derive(Serialize, Deserialize, Debug, Default)]
+#[derive(Serialize, Deserialize, Debug, Default, Clone)]
 pub struct Checkpoint {
     /// Parameters keyed by registered name (sorted for stable output).
     pub params: BTreeMap<String, TensorRecord>,
@@ -86,14 +169,28 @@ impl Checkpoint {
     }
 }
 
+// ------------------------------------------------------------------- errors
+
 /// Errors raised while saving or loading checkpoints.
 #[derive(Debug)]
 pub enum CheckpointError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// JSON (de)serialisation failure.
+    /// JSON (de)serialisation failure while *writing*.
     Json(serde_json::Error),
-    /// Checkpoint and model disagree on a parameter.
+    /// The file is damaged: bad magic, truncated, failed CRC, or an
+    /// undecodable payload.
+    Corrupt(String),
+    /// The file is intact but written by an unsupported format version.
+    VersionSkew {
+        /// Version recorded in the file.
+        found: u32,
+        /// Latest version this build reads.
+        supported: u32,
+    },
+    /// A tensor's shape disagrees with the model (or with its own data).
+    ShapeMismatch(String),
+    /// Checkpoint and model disagree on provenance or parameter names.
     Mismatch(String),
 }
 
@@ -102,6 +199,12 @@ impl std::fmt::Display for CheckpointError {
         match self {
             Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
             Self::Json(e) => write!(f, "checkpoint JSON error: {e}"),
+            Self::Corrupt(m) => write!(f, "checkpoint corrupt: {m}"),
+            Self::VersionSkew { found, supported } => write!(
+                f,
+                "checkpoint version skew: file is format v{found}, this build reads up to v{supported}"
+            ),
+            Self::ShapeMismatch(m) => write!(f, "checkpoint shape mismatch: {m}"),
             Self::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
         }
     }
@@ -120,6 +223,115 @@ impl From<serde_json::Error> for CheckpointError {
         Self::Json(e)
     }
 }
+
+// ---------------------------------------------------------------- container
+
+/// Wraps `payload` in the checksummed container.
+pub fn encode_container(payload: &[u8]) -> Vec<u8> {
+    let mut tail = Vec::with_capacity(12 + payload.len());
+    tail.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    tail.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    tail.extend_from_slice(payload);
+    let mut out = Vec::with_capacity(8 + tail.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&crc32(&tail).to_le_bytes());
+    out.extend_from_slice(&tail);
+    out
+}
+
+/// Unwraps a container, verifying magic, CRC, version and length. Returns
+/// the payload slice.
+pub fn decode_container(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < 20 {
+        return Err(CheckpointError::Corrupt(format!(
+            "file is {} bytes, smaller than the {}-byte container header",
+            bytes.len(),
+            20
+        )));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic bytes".into()));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let actual_crc = crc32(&bytes[8..]);
+    if stored_crc != actual_crc {
+        return Err(CheckpointError::Corrupt(format!(
+            "CRC mismatch: header says {stored_crc:#010x}, contents hash to {actual_crc:#010x}"
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionSkew {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload = &bytes[20..];
+    if declared != payload.len() as u64 {
+        return Err(CheckpointError::Corrupt(format!(
+            "payload length mismatch: header declares {declared} bytes, file carries {}",
+            payload.len()
+        )));
+    }
+    Ok(payload)
+}
+
+/// Atomically and durably writes `bytes` to `path`: sibling tmp file,
+/// fsync, rename, directory fsync. A crash at any point leaves either the
+/// previous file or the complete new one.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    // Persist the rename itself (directory entry). Failure to open the
+    // directory (e.g. on filesystems without directory handles) downgrades
+    // gracefully: the data file itself is already synced.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        }) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Serialises any value as JSON inside the durable container at `path`.
+pub fn save_json_durable<T: Serialize>(
+    value: &T,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let json = serde_json::to_string(value)?;
+    write_atomic(path, &encode_container(json.as_bytes()))
+}
+
+/// Reads a durable container at `path` and deserialises its JSON payload.
+/// Never panics on damaged input: every corruption class maps to a typed
+/// [`CheckpointError`].
+pub fn load_json_durable<T: serde::de::DeserializeOwned>(
+    path: impl AsRef<Path>,
+) -> Result<T, CheckpointError> {
+    let bytes = fs::read(path)?;
+    let payload = decode_container(&bytes)?;
+    serde_json::from_slice(payload).map_err(|e| {
+        CheckpointError::Corrupt(format!("payload passed CRC but failed to parse: {e}"))
+    })
+}
+
+// -------------------------------------------------------------- public API
 
 /// Snapshots every parameter of `params` into a [`Checkpoint`].
 pub fn snapshot(params: &ParamSet) -> Checkpoint {
@@ -164,29 +376,35 @@ pub fn restore(params: &ParamSet, ckpt: &Checkpoint) -> Result<(), CheckpointErr
             params.len()
         )));
     }
+    // Validate everything before mutating anything, so a failed restore
+    // cannot leave the model half-overwritten.
+    let mut restored = Vec::with_capacity(params.len());
     for (name, var) in params.iter() {
         let rec = ckpt
             .params
             .get(name)
             .ok_or_else(|| CheckpointError::Mismatch(format!("missing parameter {name}")))?;
         if rec.shape != var.shape() {
-            return Err(CheckpointError::Mismatch(format!(
+            return Err(CheckpointError::ShapeMismatch(format!(
                 "parameter {name}: checkpoint shape {:?} vs model {:?}",
                 rec.shape,
                 var.shape()
             )));
         }
-        var.set_value(rec.to_tensor());
+        restored.push((var, rec.try_to_tensor()?));
+    }
+    for (var, tensor) in restored {
+        var.set_value(tensor);
     }
     Ok(())
 }
 
-/// Saves `params` as JSON at `path`.
+/// Saves `params` at `path` (durable container format).
 pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
     write(&snapshot(params), path)
 }
 
-/// Saves `params` as JSON at `path` with provenance metadata.
+/// Saves `params` at `path` with provenance metadata.
 pub fn save_with_meta(
     params: &ParamSet,
     model: &str,
@@ -196,21 +414,31 @@ pub fn save_with_meta(
     write(&snapshot_with_meta(params, model, config), path)
 }
 
-/// Writes an assembled checkpoint as JSON at `path`.
+/// Writes an assembled checkpoint at `path` (durable container format).
 pub fn write(ckpt: &Checkpoint, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-    let json = serde_json::to_string(ckpt)?;
-    fs::write(path, json)?;
-    Ok(())
+    save_json_durable(ckpt, path)
 }
 
 /// Reads a checkpoint file without restoring it into any parameter set
-/// (validation can then happen before a model is even built).
+/// (validation can then happen before a model is even built). Accepts both
+/// the durable container and the pre-container bare-JSON layout.
 pub fn read(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
-    let json = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    let bytes = fs::read(path)?;
+    if bytes.starts_with(&MAGIC) {
+        let payload = decode_container(&bytes)?;
+        return serde_json::from_slice(payload).map_err(|e| {
+            CheckpointError::Corrupt(format!("payload passed CRC but failed to parse: {e}"))
+        });
+    }
+    // Legacy bare-JSON checkpoint (written before the container existed).
+    serde_json::from_slice(&bytes).map_err(|e| {
+        CheckpointError::Corrupt(format!(
+            "not a checkpoint container and not legacy JSON: {e}"
+        ))
+    })
 }
 
-/// Loads a JSON checkpoint from `path` into `params`.
+/// Loads a checkpoint from `path` into `params`.
 pub fn load(params: &ParamSet, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
     restore(params, &read(path)?)
 }
@@ -226,6 +454,59 @@ mod tests {
         params.new_param("a", Tensor::randn(&[3, 2], 1.0, &mut rng));
         params.new_param("b", Tensor::randn(&[4], 1.0, &mut rng));
         params
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn container_round_trip() {
+        let payload = b"{\"hello\":1}";
+        let bytes = encode_container(payload);
+        assert_eq!(decode_container(&bytes).unwrap(), payload);
+    }
+
+    #[test]
+    fn container_rejects_every_single_bit_flip() {
+        let bytes = encode_container(b"some checkpoint payload");
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut evil = bytes.clone();
+                evil[byte] ^= 1 << bit;
+                let err = decode_container(&evil).unwrap_err();
+                assert!(
+                    matches!(err, CheckpointError::Corrupt(_)),
+                    "flip at {byte}:{bit} gave {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn container_rejects_truncation_and_version_skew() {
+        let bytes = encode_container(b"payload");
+        for cut in 0..bytes.len() {
+            assert!(decode_container(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // A well-formed file from a future version: valid CRC, higher number.
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        tail.extend_from_slice(&7u64.to_le_bytes());
+        tail.extend_from_slice(b"payload");
+        let mut future = Vec::new();
+        future.extend_from_slice(&MAGIC);
+        future.extend_from_slice(&crc32(&tail).to_le_bytes());
+        future.extend_from_slice(&tail);
+        let err = decode_container(&future).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::VersionSkew { found, supported }
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION),
+            "{err}"
+        );
     }
 
     #[test]
@@ -252,10 +533,32 @@ mod tests {
     fn file_round_trip() {
         let dir = std::env::temp_dir().join("logcl-tensor-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ckpt.json");
+        let path = dir.join("ckpt.bin");
         let src = sample_params(3);
         save(&src, &path).unwrap();
+        // On disk it is a container, not bare JSON.
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(&head[..4], &MAGIC);
         let dst = sample_params(4);
+        load(&dst, &path).unwrap();
+        assert_eq!(
+            src.get("a").unwrap().to_tensor(),
+            dst.get("a").unwrap().to_tensor()
+        );
+        // No tmp residue.
+        assert!(!dir.join("ckpt.bin.tmp").exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn legacy_bare_json_file_still_loads() {
+        let dir = std::env::temp_dir().join("logcl-tensor-legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        let src = sample_params(11);
+        let json = serde_json::to_string(&snapshot(&src)).unwrap();
+        std::fs::write(&path, json).unwrap();
+        let dst = sample_params(12);
         load(&dst, &path).unwrap();
         assert_eq!(
             src.get("a").unwrap().to_tensor(),
@@ -270,7 +573,23 @@ mod tests {
         let mut ckpt = snapshot(&src);
         ckpt.params.get_mut("a").unwrap().shape = vec![2, 3];
         let err = restore(&src, &ckpt).unwrap_err();
-        assert!(matches!(err, CheckpointError::Mismatch(_)));
+        assert!(matches!(err, CheckpointError::ShapeMismatch(_)));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_record_without_mutating() {
+        let src = sample_params(13);
+        let before = src.get("a").unwrap().to_tensor();
+        let mut ckpt = snapshot(&src);
+        // Shape agrees with the model but the data payload is short.
+        ckpt.params.get_mut("b").unwrap().data.pop();
+        let err = restore(&src, &ckpt).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch(_)), "{err}");
+        assert_eq!(
+            src.get("a").unwrap().to_tensor(),
+            before,
+            "failed restore must not partially overwrite the model"
+        );
     }
 
     #[test]

@@ -3,12 +3,108 @@
 
 use std::fmt;
 use std::io::{self, BufRead};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use rustc_hash::FxHashSet;
 
 use crate::quad::{Quad, Time};
 use crate::snapshot::Snapshot;
+
+/// Why a dataset failed to load or validate. Every variant carries enough
+/// context (file, line, column) for an operator to fix the offending input,
+/// and loading is fail-closed: a fact whose ids exceed the declared
+/// dimensions is an error, never a later index panic.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A cell failed to parse (missing or non-integer).
+    Parse {
+        /// File the bad cell is in.
+        file: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based byte column where the field starts (0: end of line).
+        column: usize,
+        /// Which field (`subject`, `relation`, `object`, `time`).
+        field: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// An id is out of range for the declared dimensions.
+    OutOfBounds {
+        /// File the bad id is in.
+        file: PathBuf,
+        /// 1-based line number (0 when detected outside a specific line).
+        line: usize,
+        /// 1-based byte column where the field starts.
+        column: usize,
+        /// Which field the id belongs to.
+        field: &'static str,
+        /// The offending id.
+        value: usize,
+        /// The declared exclusive upper bound it violated.
+        limit: usize,
+    },
+    /// The dataset contradicts itself (bad `stat.txt`, impossible split…).
+    Inconsistent(String),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "dataset I/O error: {e}"),
+            Self::Parse {
+                file,
+                line,
+                column,
+                field,
+                message,
+            } => write!(
+                f,
+                "{}:{line}:{column}: bad {field}: {message}",
+                file.display()
+            ),
+            Self::OutOfBounds {
+                file,
+                line,
+                column,
+                field,
+                value,
+                limit,
+            } => write!(
+                f,
+                "{}:{line}:{column}: {field} id {value} out of range (declared dimension {limit})",
+                file.display()
+            ),
+            Self::Inconsistent(m) => write!(f, "inconsistent dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Declared dimensions from `stat.txt`, when present.
+#[derive(Debug, Clone, Copy)]
+struct DeclaredDims {
+    num_entities: usize,
+    num_rels: usize,
+    /// Third column when the file has one (dense timestamp count).
+    num_times: Option<usize>,
+}
 
 /// A temporal knowledge graph split into train/valid/test by time, exactly
 /// as the extrapolation benchmarks are (all training timestamps precede all
@@ -166,28 +262,71 @@ impl TkgDataset {
     /// `train.txt`, `valid.txt`, `test.txt` with rows
     /// `subject<TAB>relation<TAB>object<TAB>time` (integer ids; an optional
     /// fifth column is ignored). Timestamps are renumbered densely in order.
-    pub fn load_tsv_dir(name: &str, dir: impl AsRef<Path>) -> io::Result<Self> {
+    ///
+    /// Loading is fail-closed: when the directory declares its dimensions in
+    /// `stat.txt` (`num_entities<TAB>num_relations[<TAB>num_times]`), every
+    /// entity/relation id is bounds-checked against them and the dense
+    /// timestamp count must fit the declared one — a single corrupt row is
+    /// reported with file/line/column context instead of becoming an
+    /// out-of-bounds index deep inside training.
+    pub fn load_tsv_dir(name: &str, dir: impl AsRef<Path>) -> Result<Self, DatasetError> {
         let dir = dir.as_ref();
-        let train = read_quads(&dir.join("train.txt"))?;
-        let valid = read_quads(&dir.join("valid.txt"))?;
-        let test = read_quads(&dir.join("test.txt"))?;
-        let mut all: Vec<Quad> = train.iter().chain(&valid).chain(&test).copied().collect();
+        let declared = read_declared_dims(&dir.join("stat.txt"))?;
+        let train = read_quads(&dir.join("train.txt"), declared.as_ref())?;
+        let valid = read_quads(&dir.join("valid.txt"), declared.as_ref())?;
+        let test = read_quads(&dir.join("test.txt"), declared.as_ref())?;
         // Dense time renumbering shared across splits.
-        let mut times: Vec<Time> = all.iter().map(|q| q.t).collect();
+        let mut times: Vec<Time> = train
+            .iter()
+            .chain(&valid)
+            .chain(&test)
+            .map(|q| q.t)
+            .collect();
         times.sort_unstable();
         times.dedup();
-        let remap = |t: Time| times.binary_search(&t).expect("time present");
-        for q in &mut all {
-            q.t = remap(q.t);
-        }
-        let num_entities = all.iter().map(|q| q.s.max(q.o) + 1).max().unwrap_or(0);
-        let num_rels = all.iter().map(|q| q.r + 1).max().unwrap_or(0);
+        let remap = |t: Time| -> Result<Time, DatasetError> {
+            times.binary_search(&t).map_err(|_| {
+                DatasetError::Inconsistent(format!(
+                    "timestamp {t} vanished during dense renumbering (loader invariant)"
+                ))
+            })
+        };
         let num_times = times.len();
+        if let Some(d) = &declared {
+            if let Some(nt) = d.num_times {
+                if num_times > nt {
+                    return Err(DatasetError::Inconsistent(format!(
+                        "{} distinct timestamps found but stat.txt declares {nt}",
+                        num_times
+                    )));
+                }
+            }
+        }
         let (mut tr, mut va, mut te) = (train, valid, test);
         for q in tr.iter_mut().chain(va.iter_mut()).chain(te.iter_mut()) {
-            q.t = remap(q.t);
+            q.t = remap(q.t)?;
         }
-        Ok(Self {
+        let seen_entities = tr
+            .iter()
+            .chain(&va)
+            .chain(&te)
+            .map(|q| q.s.max(q.o) + 1)
+            .max()
+            .unwrap_or(0);
+        let seen_rels = tr
+            .iter()
+            .chain(&va)
+            .chain(&te)
+            .map(|q| q.r + 1)
+            .max()
+            .unwrap_or(0);
+        // Trust declared dimensions when present (vocabularies may be larger
+        // than what the splits happen to mention); fall back to inference.
+        let (num_entities, num_rels) = match &declared {
+            Some(d) => (d.num_entities, d.num_rels),
+            None => (seen_entities, seen_rels),
+        };
+        let ds = Self {
             name: name.to_string(),
             num_entities,
             num_rels,
@@ -199,7 +338,47 @@ impl TkgDataset {
             rel_names: Vec::new(),
             static_facts: Vec::new(),
             num_static_rels: 0,
-        })
+        };
+        ds.validate()?;
+        Ok(ds)
+    }
+
+    /// Checks every fact of every split against this dataset's declared
+    /// dimensions. Cheap (one pass) and fail-closed: call it after any
+    /// mutation that could desynchronise facts and vocabulary sizes.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        for (split, quads) in [
+            ("train", &self.train),
+            ("valid", &self.valid),
+            ("test", &self.test),
+        ] {
+            for (i, q) in quads.iter().enumerate() {
+                let checks = [
+                    ("subject", q.s, self.num_entities),
+                    ("relation", q.r, self.num_rels),
+                    ("object", q.o, self.num_entities),
+                    ("time", q.t, self.num_times),
+                ];
+                for (field, value, limit) in checks {
+                    if value >= limit {
+                        return Err(DatasetError::Inconsistent(format!(
+                            "{split} fact #{i} has {field} id {value} but the dataset \
+                             declares only {limit}"
+                        )));
+                    }
+                }
+            }
+        }
+        for (i, &(e, r, a)) in self.static_facts.iter().enumerate() {
+            if e >= self.num_entities || a >= self.num_entities || r >= self.num_static_rels {
+                return Err(DatasetError::Inconsistent(format!(
+                    "static fact #{i} ({e}, {r}, {a}) exceeds declared dimensions \
+                     |E|={}, static |R|={}",
+                    self.num_entities, self.num_static_rels
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Writes the dataset in the standard benchmark TSV layout
@@ -275,7 +454,65 @@ fn names_file(names: &[String]) -> String {
     out
 }
 
-fn read_quads(path: &Path) -> io::Result<Vec<Quad>> {
+/// Splits a line into whitespace-separated tokens with their 1-based byte
+/// columns, so parse errors can point at the exact cell.
+fn tokens_with_columns(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s + 1, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s + 1, &line[s..]));
+    }
+    out
+}
+
+/// Reads the optional `stat.txt` (`num_entities num_rels [num_times]`).
+/// A missing file means "no declaration" (dims are inferred); a present but
+/// malformed file is an error — silently ignoring it would disable every
+/// bounds check the declaration exists to enable.
+fn read_declared_dims(path: &Path) -> Result<Option<DeclaredDims>, DatasetError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let first_line = text.lines().next().unwrap_or("");
+    let toks = tokens_with_columns(first_line);
+    let parse = |idx: usize, field: &'static str| -> Result<usize, DatasetError> {
+        let (column, tok) = toks.get(idx).copied().ok_or(DatasetError::Parse {
+            file: path.to_path_buf(),
+            line: 1,
+            column: 0,
+            field,
+            message: "missing".into(),
+        })?;
+        tok.parse().map_err(|e| DatasetError::Parse {
+            file: path.to_path_buf(),
+            line: 1,
+            column,
+            field,
+            message: format!("{e}"),
+        })
+    };
+    Ok(Some(DeclaredDims {
+        num_entities: parse(0, "num_entities")?,
+        num_rels: parse(1, "num_relations")?,
+        num_times: match toks.len() {
+            n if n >= 3 => Some(parse(2, "num_times")?),
+            _ => None,
+        },
+    }))
+}
+
+fn read_quads(path: &Path, declared: Option<&DeclaredDims>) -> Result<Vec<Quad>, DatasetError> {
     let file = std::fs::File::open(path)?;
     let mut out = Vec::new();
     for (lineno, line) in io::BufReader::new(file).lines().enumerate() {
@@ -283,30 +520,46 @@ fn read_quads(path: &Path) -> io::Result<Vec<Quad>> {
         if line.trim().is_empty() {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let mut field = |name: &str| -> io::Result<usize> {
-            parts
-                .next()
-                .ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{}:{}: missing {name}", path.display(), lineno + 1),
-                    )
-                })?
-                .parse()
-                .map_err(|e| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("{}:{}: bad {name}: {e}", path.display(), lineno + 1),
-                    )
-                })
+        let toks = tokens_with_columns(&line);
+        let field = |idx: usize, name: &'static str| -> Result<(usize, usize), DatasetError> {
+            let (column, tok) = toks.get(idx).copied().ok_or(DatasetError::Parse {
+                file: path.to_path_buf(),
+                line: lineno + 1,
+                column: 0,
+                field: name,
+                message: "missing".into(),
+            })?;
+            let value = tok.parse().map_err(|e| DatasetError::Parse {
+                file: path.to_path_buf(),
+                line: lineno + 1,
+                column,
+                field: name,
+                message: format!("{e}"),
+            })?;
+            Ok((column, value))
         };
-        let (s, r, o, t) = (
-            field("subject")?,
-            field("relation")?,
-            field("object")?,
-            field("time")?,
-        );
+        let (s_col, s) = field(0, "subject")?;
+        let (r_col, r) = field(1, "relation")?;
+        let (o_col, o) = field(2, "object")?;
+        let (_, t) = field(3, "time")?;
+        if let Some(d) = declared {
+            for (field, column, value, limit) in [
+                ("subject", s_col, s, d.num_entities),
+                ("relation", r_col, r, d.num_rels),
+                ("object", o_col, o, d.num_entities),
+            ] {
+                if value >= limit {
+                    return Err(DatasetError::OutOfBounds {
+                        file: path.to_path_buf(),
+                        line: lineno + 1,
+                        column,
+                        field,
+                        value,
+                        limit,
+                    });
+                }
+            }
+        }
         out.push(Quad::new(s, r, o, t));
     }
     Ok(out)
@@ -385,6 +638,104 @@ mod tests {
         std::fs::write(dir.join("valid.txt"), "").unwrap();
         std::fs::write(dir.join("test.txt"), "").unwrap();
         assert!(TkgDataset::load_tsv_dir("t", &dir).is_err());
+    }
+
+    #[test]
+    fn tsv_parse_errors_carry_file_line_column() {
+        let dir = std::env::temp_dir().join("logcl-tkg-tsv-ctx");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("train.txt"), "0\t0\t1\t0\n1\tbogus\t2\t1\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "").unwrap();
+        std::fs::write(dir.join("test.txt"), "").unwrap();
+        let err = TkgDataset::load_tsv_dir("t", &dir).unwrap_err();
+        match &err {
+            DatasetError::Parse {
+                line,
+                column,
+                field,
+                ..
+            } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*column, 3, "column of the bad token");
+                assert_eq!(*field, "relation");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains("train.txt:2:3") && msg.contains("relation"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn declared_dims_make_loading_fail_closed() {
+        let dir = std::env::temp_dir().join("logcl-tkg-tsv-bounds");
+        std::fs::create_dir_all(&dir).unwrap();
+        // stat.txt declares |E|=3, |R|=2; entity id 7 must be rejected.
+        std::fs::write(dir.join("stat.txt"), "3\t2\n").unwrap();
+        std::fs::write(dir.join("train.txt"), "0\t0\t1\t0\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "0\t1\t7\t1\n").unwrap();
+        std::fs::write(dir.join("test.txt"), "").unwrap();
+        let err = TkgDataset::load_tsv_dir("t", &dir).unwrap_err();
+        match &err {
+            DatasetError::OutOfBounds {
+                line,
+                field,
+                value,
+                limit,
+                ..
+            } => {
+                assert_eq!((*line, *field, *value, *limit), (1, "object", 7, 3));
+            }
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+        assert!(err.to_string().contains("valid.txt:1:5"), "{}", err);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn malformed_stat_file_is_an_error_not_ignored() {
+        let dir = std::env::temp_dir().join("logcl-tkg-tsv-badstat");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("stat.txt"), "three\t2\n").unwrap();
+        std::fs::write(dir.join("train.txt"), "0\t0\t1\t0\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "").unwrap();
+        std::fs::write(dir.join("test.txt"), "").unwrap();
+        let err = TkgDataset::load_tsv_dir("t", &dir).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { .. }), "{err:?}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn declared_dims_may_exceed_seen_ids() {
+        // A split that only mentions entity 0 must still get the declared
+        // vocabulary (real benchmarks list entities unseen in train).
+        let dir = std::env::temp_dir().join("logcl-tkg-tsv-declared");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("stat.txt"), "50\t9\n").unwrap();
+        std::fs::write(dir.join("train.txt"), "0\t0\t1\t0\n0\t0\t1\t1\n").unwrap();
+        std::fs::write(dir.join("valid.txt"), "0\t0\t1\t2\n").unwrap();
+        std::fs::write(dir.join("test.txt"), "0\t0\t1\t3\n").unwrap();
+        let ds = TkgDataset::load_tsv_dir("t", &dir).unwrap();
+        assert_eq!(ds.num_entities, 50);
+        assert_eq!(ds.num_rels, 9);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn validate_rejects_desynchronised_dims() {
+        let mut ds = toy();
+        ds.validate().unwrap();
+        ds.num_entities = 2; // entity id 2 exists in the facts
+        let err = ds.validate().unwrap_err();
+        assert!(matches!(err, DatasetError::Inconsistent(_)));
+        assert!(err.to_string().contains("declares only 2"), "{err}");
+        let mut ds = toy();
+        ds.static_facts = vec![(0, 0, 99)];
+        ds.num_static_rels = 1;
+        assert!(ds.validate().is_err());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod quad;
 pub mod snapshot;
 pub mod synthetic;
 
-pub use dataset::TkgDataset;
+pub use dataset::{DatasetError, TkgDataset};
 pub use eval::{Metrics, RankAccumulator};
 pub use history::{HistoryIndex, QuerySubgraph};
 pub use noise::NoiseSpec;

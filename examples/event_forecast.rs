@@ -20,11 +20,11 @@ fn main() {
     let test = ds.test.clone();
 
     let mut cygnet = CyGNet::new(&ds, 32, 0.8, 7);
-    cygnet.fit(&ds, &opts);
+    cygnet.fit(&ds, &opts).expect("training failed");
     let m_cyg = evaluate(&mut cygnet, &ds, &test);
 
     let mut regcn = ReGcn::new(&ds, 32, 4, 12, 7);
-    regcn.fit(&ds, &opts);
+    regcn.fit(&ds, &opts).expect("training failed");
     let m_regcn = evaluate(&mut regcn, &ds, &test);
 
     let cfg = LogClConfig {
@@ -34,7 +34,7 @@ fn main() {
         ..Default::default()
     };
     let mut logcl = LogCl::new(&ds, cfg);
-    logcl.fit(&ds, &opts);
+    logcl.fit(&ds, &opts).expect("training failed");
     let m_logcl = evaluate(&mut logcl, &ds, &test);
 
     println!("{:<10} {}", "CyGNet", m_cyg);
@@ -62,7 +62,7 @@ fn main() {
         ("RE-GCN", &mut regcn as &mut dyn TkgModel),
         ("LogCL", &mut logcl as &mut dyn TkgModel),
     ] {
-        let top = predict_topk(model, &ds, q.s, q.r, q.t, 3);
+        let top = predict_topk(model, &ds, q.s, q.r, q.t, 3).expect("prediction failed");
         let preds: Vec<String> = top
             .iter()
             .map(|p| format!("{} ({:.2})", p.name, p.probability))

@@ -20,7 +20,9 @@ fn run(ds: &TkgDataset, use_contrast: bool, noise: NoiseSpec) -> Metrics {
         ..Default::default()
     };
     let mut model = LogCl::new(ds, cfg);
-    model.fit(ds, &TrainOptions::epochs(6));
+    model
+        .fit(ds, &TrainOptions::epochs(6))
+        .expect("training failed");
     evaluate(&mut model, ds, &ds.test.clone())
 }
 

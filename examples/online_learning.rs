@@ -22,10 +22,10 @@ fn main() {
         let (offline, online) = match which {
             "CEN" => {
                 let mut a = CenLite::new(&ds, 32, 4, 12, 7);
-                a.fit(&ds, &opts);
+                a.fit(&ds, &opts).expect("training failed");
                 let off = evaluate(&mut a, &ds, &test);
                 let mut b = CenLite::new(&ds, 32, 4, 12, 7);
-                b.fit(&ds, &opts);
+                b.fit(&ds, &opts).expect("training failed");
                 let on = evaluate_online(&mut b, &ds, &test);
                 (off, on)
             }
@@ -37,10 +37,10 @@ fn main() {
                     ..Default::default()
                 };
                 let mut a = LogCl::new(&ds, cfg.clone());
-                a.fit(&ds, &opts);
+                a.fit(&ds, &opts).expect("training failed");
                 let off = evaluate(&mut a, &ds, &test);
                 let mut b = LogCl::new(&ds, cfg);
-                b.fit(&ds, &opts);
+                b.fit(&ds, &opts).expect("training failed");
                 let on = evaluate_online(&mut b, &ds, &test);
                 (off, on)
             }

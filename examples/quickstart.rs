@@ -31,7 +31,7 @@ fn main() {
         verbose: true,
         ..Default::default()
     };
-    model.fit(&ds, &opts);
+    model.fit(&ds, &opts).expect("training failed");
 
     let after = evaluate(&mut model, &ds, &test);
     println!("after training:  {after}");
@@ -45,7 +45,7 @@ fn main() {
         q.t,
         ds.entity_name(q.o)
     );
-    for p in predict_topk(&mut model, &ds, q.s, q.r, q.t, 5) {
+    for p in predict_topk(&mut model, &ds, q.s, q.r, q.t, 5).expect("prediction failed") {
         println!("  {:<28} {:.3}", p.name, p.probability);
     }
 }

@@ -30,7 +30,7 @@
 //! // A synthetic stand-in for ICEWS14 (see DESIGN.md).
 //! let ds = SyntheticPreset::Icews14.generate_scaled(0.3);
 //! let mut model = LogCl::new(&ds, LogClConfig::default());
-//! model.fit(&ds, &TrainOptions::epochs(10));
+//! model.fit(&ds, &TrainOptions::epochs(10)).expect("training failed");
 //! let metrics = evaluate(&mut model, &ds, &ds.test.clone());
 //! println!("{metrics}");
 //! ```
@@ -47,8 +47,8 @@ pub mod prelude {
     pub use logcl_baselines::BaselineKind;
     pub use logcl_core::{
         evaluate, evaluate_detailed, evaluate_online, evaluate_with_phase, predict_topk,
-        try_predict_topk, ContrastStrategy, DetailedReport, EvalContext, LogCl, LogClConfig, Phase,
-        TkgModel, TrainOptions,
+        ContrastStrategy, DetailedReport, EvalContext, LogCl, LogClConfig, Phase, TkgModel,
+        TrainOptions,
     };
     pub use logcl_serve::{ModelSpec, ServeConfig, Server};
     pub use logcl_tensor::{Rng, Tensor, Var};

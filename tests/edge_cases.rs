@@ -25,7 +25,9 @@ fn ping_pong(times: usize) -> TkgDataset {
 fn model_survives_two_entity_graph() {
     let ds = ping_pong(20);
     let mut model = LogCl::new(&ds, micro_cfg());
-    model.fit(&ds, &TrainOptions::epochs(3));
+    model
+        .fit(&ds, &TrainOptions::epochs(3))
+        .expect("training failed");
     let m = evaluate(&mut model, &ds, &ds.test.clone());
     assert!(m.mrr > 0.0 && m.mrr <= 100.0);
 }
@@ -57,7 +59,9 @@ fn window_longer_than_history_clips() {
         ..micro_cfg()
     }; // window >> timeline
     let mut model = LogCl::new(&ds, cfg);
-    model.fit(&ds, &TrainOptions::epochs(2));
+    model
+        .fit(&ds, &TrainOptions::epochs(2))
+        .expect("training failed");
     let m = evaluate(&mut model, &ds, &ds.test.clone());
     assert!(m.mrr.is_finite());
 }
@@ -113,7 +117,9 @@ fn single_timestamp_dataset_trains_without_panic() {
         .collect();
     let ds = TkgDataset::from_quads("flat", 3, 1, quads);
     let mut model = LogCl::new(&ds, micro_cfg());
-    model.fit(&ds, &TrainOptions::epochs(2)); // train split may be empty — must not panic
+    model
+        .fit(&ds, &TrainOptions::epochs(2))
+        .expect("training failed"); // train split may be empty — must not panic
 }
 
 #[test]
@@ -122,7 +128,9 @@ fn self_loop_facts_are_handled() {
     let quads: Vec<Quad> = (0..20).map(|t| Quad::new(t % 3, 0, t % 3, t)).collect();
     let ds = TkgDataset::from_quads("selfloop", 3, 1, quads);
     let mut model = LogCl::new(&ds, micro_cfg());
-    model.fit(&ds, &TrainOptions::epochs(2));
+    model
+        .fit(&ds, &TrainOptions::epochs(2))
+        .expect("training failed");
     let m = evaluate(&mut model, &ds, &ds.test.clone());
     assert!(m.mrr > 0.0, "reflexive pattern is perfectly predictable");
 }
@@ -150,7 +158,9 @@ fn all_models_handle_unseen_entities_in_queries() {
     let ds = TkgDataset::from_quads("unseen", 8, 1, quads);
     for kind in BaselineKind::TABLE3 {
         let mut model = kind.build(&ds, 8, 2, 3, 1);
-        model.fit(&ds, &TrainOptions::epochs(1));
+        model
+            .fit(&ds, &TrainOptions::epochs(1))
+            .expect("training failed");
         let m = evaluate(model.as_mut(), &ds, &ds.test.clone());
         assert!(m.mrr.is_finite(), "{} broke on unseen entity", kind.name());
     }

@@ -23,7 +23,9 @@ fn logcl_end_to_end_beats_chance_and_fresh_model() {
     let mut model = LogCl::new(&ds, tiny_cfg());
     let test = ds.test.clone();
     let fresh = evaluate(&mut model, &ds, &test);
-    model.fit(&ds, &TrainOptions::epochs(5));
+    model
+        .fit(&ds, &TrainOptions::epochs(5))
+        .expect("training failed");
     let trained = evaluate(&mut model, &ds, &test);
     // Chance MRR on |E| candidates is ≈ (ln E)/E — a few percent here.
     assert!(trained.mrr > 10.0, "trained MRR {}", trained.mrr);
@@ -36,7 +38,9 @@ fn full_roster_trains_and_produces_sane_metrics() {
     let ds = tiny_ds();
     for kind in BaselineKind::TABLE3 {
         let mut model = kind.build(&ds, 12, 2, 4, 3);
-        model.fit(&ds, &TrainOptions::epochs(2));
+        model
+            .fit(&ds, &TrainOptions::epochs(2))
+            .expect("training failed");
         let m = evaluate(model.as_mut(), &ds, &ds.test.clone());
         assert!(
             m.mrr > 0.0 && m.mrr <= 100.0 && m.hits1 <= m.hits3 && m.hits3 <= m.hits10,
@@ -53,7 +57,7 @@ fn ablations_do_not_exceed_reasonable_bounds() {
     let ds = tiny_ds();
     let opts = TrainOptions::epochs(4);
     let mut full = LogCl::new(&ds, tiny_cfg());
-    full.fit(&ds, &opts);
+    full.fit(&ds, &opts).expect("training failed");
     let m_full = evaluate(&mut full, &ds, &ds.test.clone());
     for cfg in [
         tiny_cfg().without_global(),
@@ -63,7 +67,7 @@ fn ablations_do_not_exceed_reasonable_bounds() {
     ] {
         let name = cfg.variant_name();
         let mut variant = LogCl::new(&ds, cfg);
-        variant.fit(&ds, &opts);
+        variant.fit(&ds, &opts).expect("training failed");
         let m = evaluate(&mut variant, &ds, &ds.test.clone());
         assert!(m.mrr > 0.0, "{name} failed to learn");
         assert!(
@@ -79,7 +83,9 @@ fn ablations_do_not_exceed_reasonable_bounds() {
 fn two_phase_counts_and_ordering() {
     let ds = tiny_ds();
     let mut model = LogCl::new(&ds, tiny_cfg());
-    model.fit(&ds, &TrainOptions::epochs(3));
+    model
+        .fit(&ds, &TrainOptions::epochs(3))
+        .expect("training failed");
     let test = ds.test.clone();
     let both = evaluate_with_phase(&mut model, &ds, &test, Phase::Both, false);
     let fp = evaluate_with_phase(&mut model, &ds, &test, Phase::FirstOnly, false);
@@ -94,9 +100,11 @@ fn two_phase_counts_and_ordering() {
 fn predictions_are_consistent_with_scores() {
     let ds = tiny_ds();
     let mut model = LogCl::new(&ds, tiny_cfg());
-    model.fit(&ds, &TrainOptions::epochs(3));
+    model
+        .fit(&ds, &TrainOptions::epochs(3))
+        .expect("training failed");
     let q = ds.test[0];
-    let preds = predict_topk(&mut model, &ds, q.s, q.r, q.t, 10);
+    let preds = predict_topk(&mut model, &ds, q.s, q.r, q.t, 10).expect("prediction failed");
     assert_eq!(preds.len(), 10);
     assert!(preds
         .windows(2)
@@ -112,7 +120,7 @@ fn noise_degrades_performance() {
     let ds = tiny_ds();
     let opts = TrainOptions::epochs(4);
     let mut clean = LogCl::new(&ds, tiny_cfg());
-    clean.fit(&ds, &opts);
+    clean.fit(&ds, &opts).expect("training failed");
     let m_clean = evaluate(&mut clean, &ds, &ds.test.clone());
     let mut noisy = LogCl::new(
         &ds,
@@ -121,7 +129,7 @@ fn noise_degrades_performance() {
             ..tiny_cfg()
         },
     );
-    noisy.fit(&ds, &opts);
+    noisy.fit(&ds, &opts).expect("training failed");
     let m_noisy = evaluate(&mut noisy, &ds, &ds.test.clone());
     assert!(
         m_noisy.mrr < m_clean.mrr,
@@ -140,7 +148,9 @@ fn static_kg_refinement_trains_end_to_end() {
         ..tiny_cfg()
     };
     let mut model = LogCl::new(&ds, cfg);
-    model.fit(&ds, &TrainOptions::epochs(4));
+    model
+        .fit(&ds, &TrainOptions::epochs(4))
+        .expect("training failed");
     let m = evaluate(&mut model, &ds, &ds.test.clone());
     assert!(
         m.mrr > 10.0,
@@ -153,7 +163,9 @@ fn static_kg_refinement_trains_end_to_end() {
 fn online_evaluation_runs_for_adaptive_models() {
     let ds = tiny_ds();
     let mut model = LogCl::new(&ds, tiny_cfg());
-    model.fit(&ds, &TrainOptions::epochs(3));
+    model
+        .fit(&ds, &TrainOptions::epochs(3))
+        .expect("training failed");
     let m = evaluate_online(&mut model, &ds, &ds.test.clone());
     assert!(m.mrr > 0.0 && m.count == 2 * ds.test.len());
 }
@@ -165,7 +177,7 @@ fn training_is_deterministic_given_seed() {
         let mut model = LogCl::new(&ds, tiny_cfg());
         let mut opts = TrainOptions::epochs(2);
         opts.select_on_valid = false;
-        model.fit(&ds, &opts);
+        model.fit(&ds, &opts).expect("training failed");
         evaluate(&mut model, &ds, &ds.test.clone())
     };
     let a = run();
@@ -177,7 +189,9 @@ fn training_is_deterministic_given_seed() {
 fn checkpoint_round_trip_preserves_predictions() {
     let ds = tiny_ds();
     let mut model = LogCl::new(&ds, tiny_cfg());
-    model.fit(&ds, &TrainOptions::epochs(2));
+    model
+        .fit(&ds, &TrainOptions::epochs(2))
+        .expect("training failed");
     let dir = std::env::temp_dir().join("logcl-integration");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("model.json");
