@@ -1,0 +1,407 @@
+//! `bench` — microbenchmarks for the pluggable kernel backend.
+//!
+//! ```sh
+//! cargo run --release -p logcl-bench --bin bench -- kernels
+//! cargo run --release -p logcl-bench --bin bench -- epoch --threads 1,2,4
+//! ```
+//!
+//! `bench kernels` times every major kernel entry point on each backend and
+//! writes `BENCH_kernels.json`; `bench epoch` times a full training epoch
+//! end to end and writes `BENCH_epoch.json`. Speedups are reported against
+//! the serial backend — whose output every parallel run must also match
+//! bit-for-bit, which this harness asserts as it measures.
+//!
+//! Records carry `host_threads` (the machine's available parallelism) so a
+//! reader can tell a kernel that failed to scale from a host with nothing
+//! to scale onto: on a single-core container every speedup is pinned ≈ 1.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use logcl_core::{LogCl, LogClConfig, TkgModel, TrainOptions};
+use logcl_tensor::kernels::{ops, Backend, Parallel, Serial};
+use logcl_tensor::{Rng, Tensor};
+use logcl_tkg::SyntheticPreset;
+use serde::Serialize;
+
+const USAGE: &str = "usage: bench <kernels|epoch> [--threads 1,2,4] [--min-ms MS] \
+                     [--scale S] [--dim D] [--epochs N] [--out DIR]";
+
+/// One measurement row in the emitted JSON.
+#[derive(Debug, Clone, Serialize)]
+struct Record {
+    /// Kernel or stage name (`matmul`, `train_epoch`, ...).
+    op: String,
+    /// Problem shape, human-readable.
+    shape: String,
+    /// Backend name (`serial` / `parallel`).
+    backend: String,
+    /// Compute threads the backend was built with.
+    threads: usize,
+    /// Mean wall time per iteration.
+    ns_per_iter: f64,
+    /// `serial ns_per_iter / this ns_per_iter` for the same op + shape.
+    speedup_vs_serial: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Dump {
+    command: String,
+    /// Available parallelism of the machine that produced the numbers.
+    host_threads: usize,
+    records: Vec<Record>,
+}
+
+#[derive(Debug, Clone)]
+struct BenchConfig {
+    threads: Vec<usize>,
+    min_ms: u64,
+    scale: f64,
+    dim: usize,
+    epochs: usize,
+    out_dir: PathBuf,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            threads: vec![1, 2, 4],
+            min_ms: 200,
+            scale: 0.3,
+            dim: 48,
+            epochs: 1,
+            out_dir: PathBuf::from("."),
+        }
+    }
+}
+
+impl BenchConfig {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--threads" => {
+                    cfg.threads = value("--threads")?
+                        .split(',')
+                        .map(|x| x.parse().map_err(|e| format!("bad thread count {x}: {e}")))
+                        .collect::<Result<Vec<usize>, String>>()?;
+                    if cfg.threads.is_empty() || cfg.threads.contains(&0) {
+                        return Err("--threads needs positive counts".into());
+                    }
+                }
+                "--min-ms" => {
+                    cfg.min_ms = value("--min-ms")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--scale" => cfg.scale = value("--scale")?.parse().map_err(|e| format!("{e}"))?,
+                "--dim" => cfg.dim = value("--dim")?.parse().map_err(|e| format!("{e}"))?,
+                "--epochs" => {
+                    cfg.epochs = value("--epochs")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--out" => cfg.out_dir = PathBuf::from(value("--out")?),
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        if !cfg.threads.contains(&1) {
+            // Speedups are defined against serial, so it always runs.
+            cfg.threads.insert(0, 1);
+        }
+        cfg.threads.sort_unstable();
+        cfg.threads.dedup();
+        Ok(cfg)
+    }
+
+    fn backends(&self) -> Vec<Arc<dyn Backend>> {
+        self.threads
+            .iter()
+            .map(|&t| -> Arc<dyn Backend> {
+                if t == 1 {
+                    Arc::new(Serial)
+                } else {
+                    Arc::new(Parallel::new(t))
+                }
+            })
+            .collect()
+    }
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` repeatedly for at least `min_ms` (after one warmup call) and
+/// returns the mean wall time per call in nanoseconds.
+fn time_ns(min_ms: u64, mut f: impl FnMut()) -> f64 {
+    f(); // warmup: faults pages, primes the pool
+    let budget = Duration::from_millis(min_ms);
+    let start = Instant::now();
+    let mut iters: u64 = 0;
+    while start.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn randn(n: usize, rng: &mut Rng) -> Vec<f32> {
+    Tensor::randn(&[n], 1.0, rng).data().to_vec()
+}
+
+/// One kernel case: a name, a shape label, and a runner returning the
+/// output (used both for timing and for the serial bit-identity check).
+type KernelRun = Box<dyn Fn(&dyn Backend) -> Vec<f32>>;
+
+struct Case {
+    op: &'static str,
+    shape: String,
+    run: KernelRun,
+}
+
+fn kernel_cases() -> Vec<Case> {
+    let mut rng = Rng::seed(7);
+    let a256 = randn(256 * 256, &mut rng);
+    let b256 = randn(256 * 256, &mut rng);
+    let a_tall = randn(4096 * 64, &mut rng);
+    let b_small = randn(64 * 64, &mut rng);
+    let x1m = randn(1 << 20, &mut rng);
+    let y1m = randn(1 << 20, &mut rng);
+    let soft = randn(512 * 512, &mut rng);
+    let table = randn(4096 * 64, &mut rng);
+    // Deterministic pseudo-random row indices (Knuth multiplicative hash).
+    let idx: Vec<usize> = (0..65536usize)
+        .map(|i| (i.wrapping_mul(2654435761)) % 4096)
+        .collect();
+    let scatter_src = randn(65536 * 64, &mut rng);
+
+    vec![
+        Case {
+            op: "matmul",
+            shape: "256x256 . 256x256".into(),
+            run: {
+                let (a, b) = (a256.clone(), b256.clone());
+                Box::new(move |bk| ops::matmul(bk, &a, &b, 256, 256, 256))
+            },
+        },
+        Case {
+            op: "matmul",
+            shape: "4096x64 . 64x64".into(),
+            run: {
+                let (a, b) = (a_tall.clone(), b_small.clone());
+                Box::new(move |bk| ops::matmul(bk, &a, &b, 4096, 64, 64))
+            },
+        },
+        Case {
+            op: "matmul_sparse_lhs",
+            shape: "4096x64 . 64x64".into(),
+            run: {
+                let (a, b) = (a_tall, b_small);
+                Box::new(move |bk| ops::matmul_sparse_lhs(bk, &a, &b, 4096, 64, 64))
+            },
+        },
+        Case {
+            op: "unary_sigmoid",
+            shape: "1048576".into(),
+            run: {
+                let x = x1m.clone();
+                Box::new(move |bk| ops::unary(bk, logcl_tensor::kernels::Unary::Sigmoid, &x))
+            },
+        },
+        Case {
+            op: "binary_add",
+            shape: "1048576".into(),
+            run: {
+                let (x, y) = (x1m.clone(), y1m);
+                Box::new(move |bk| ops::binary(bk, logcl_tensor::kernels::Binary::Add, &x, &y))
+            },
+        },
+        Case {
+            op: "sum",
+            shape: "1048576".into(),
+            run: {
+                let x = x1m;
+                Box::new(move |bk| vec![ops::sum(bk, &x)])
+            },
+        },
+        Case {
+            op: "softmax_rows",
+            shape: "512x512".into(),
+            run: {
+                let x = soft;
+                Box::new(move |bk| ops::softmax_rows(bk, &x, 512, 512))
+            },
+        },
+        Case {
+            op: "gather_rows",
+            shape: "65536 of 4096x64".into(),
+            run: {
+                let (x, idx) = (table, idx.clone());
+                Box::new(move |bk| ops::gather_rows(bk, &x, 64, &idx))
+            },
+        },
+        Case {
+            op: "scatter_add_rows",
+            shape: "65536 -> 4096x64".into(),
+            run: {
+                let (src, idx) = (scatter_src, idx);
+                Box::new(move |bk| ops::scatter_add_rows(bk, &src, 64, &idx, 4096))
+            },
+        },
+    ]
+}
+
+fn bench_kernels(cfg: &BenchConfig) -> Vec<Record> {
+    let backends = cfg.backends();
+    let mut records = Vec::new();
+    for case in kernel_cases() {
+        let reference = (case.run)(&Serial);
+        let mut serial_ns = f64::NAN;
+        for bk in &backends {
+            // Bit-identity is part of the backend contract; assert it on the
+            // exact inputs being timed before trusting the numbers.
+            let got = (case.run)(bk.as_ref());
+            assert_eq!(got.len(), reference.len(), "{}: length mismatch", case.op);
+            for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    r.to_bits(),
+                    "{} [{}] diverged from serial at element {i} on {} threads",
+                    case.op,
+                    case.shape,
+                    bk.threads()
+                );
+            }
+            let ns = time_ns(cfg.min_ms, || {
+                std::hint::black_box((case.run)(bk.as_ref()));
+            });
+            if bk.threads() == 1 {
+                serial_ns = ns;
+            }
+            let record = Record {
+                op: case.op.into(),
+                shape: case.shape.clone(),
+                backend: bk.name().into(),
+                threads: bk.threads(),
+                ns_per_iter: ns,
+                speedup_vs_serial: serial_ns / ns,
+            };
+            eprintln!(
+                "  {:<18} {:<20} {:>8} t={:<2} {:>12.0} ns/iter  {:>5.2}x",
+                record.op,
+                record.shape,
+                record.backend,
+                record.threads,
+                record.ns_per_iter,
+                record.speedup_vs_serial
+            );
+            records.push(record);
+        }
+    }
+    records
+}
+
+fn bench_epoch(cfg: &BenchConfig) -> Vec<Record> {
+    let ds = SyntheticPreset::Icews14.generate_scaled(cfg.scale);
+    eprintln!("  dataset: {ds}");
+    let shape = format!(
+        "icews14@{} dim={} epochs={}",
+        cfg.scale, cfg.dim, cfg.epochs
+    );
+    let opts = TrainOptions {
+        epochs: cfg.epochs,
+        verbose: false,
+        ..Default::default()
+    };
+    let mut records = Vec::new();
+    let mut serial_ns = f64::NAN;
+    for &t in &cfg.threads {
+        let model_cfg = LogClConfig {
+            dim: cfg.dim,
+            time_bank: (cfg.dim / 4).max(4),
+            m: 4,
+            threads: t,
+            ..Default::default()
+        };
+        // `LogCl::new` selects the process-wide backend from the config.
+        let mut model = LogCl::new(&ds, model_cfg);
+        let start = Instant::now();
+        model.fit(&ds, &opts).expect("training failed");
+        let ns = start.elapsed().as_nanos() as f64 / cfg.epochs as f64;
+        if t == 1 {
+            serial_ns = ns;
+        }
+        let record = Record {
+            op: "train_epoch".into(),
+            shape: shape.clone(),
+            backend: if t == 1 { "serial" } else { "parallel" }.into(),
+            threads: t,
+            ns_per_iter: ns,
+            speedup_vs_serial: serial_ns / ns,
+        };
+        eprintln!(
+            "  {:<18} {:>8} t={:<2} {:>12.0} ns/epoch  {:>5.2}x",
+            record.op, record.backend, record.threads, record.ns_per_iter, record.speedup_vs_serial
+        );
+        records.push(record);
+    }
+    records
+}
+
+fn write_dump(cfg: &BenchConfig, name: &str, command: &str, records: Vec<Record>) {
+    let dump = Dump {
+        command: command.into(),
+        host_threads: host_threads(),
+        records,
+    };
+    if let Err(e) = std::fs::create_dir_all(&cfg.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", cfg.out_dir.display());
+        return;
+    }
+    let path = cfg.out_dir.join(name);
+    let json = serde_json::to_string_pretty(&dump).expect("serialise records");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let cfg = match BenchConfig::parse(&args[1..]) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "bench {cmd}: threads={:?} host_threads={}",
+        cfg.threads,
+        host_threads()
+    );
+    match cmd.as_str() {
+        "kernels" => {
+            let records = bench_kernels(&cfg);
+            write_dump(&cfg, "BENCH_kernels.json", "kernels", records);
+        }
+        "epoch" => {
+            let records = bench_epoch(&cfg);
+            write_dump(&cfg, "BENCH_epoch.json", "epoch", records);
+        }
+        other => {
+            eprintln!("unknown command {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

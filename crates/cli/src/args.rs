@@ -11,16 +11,16 @@ commands:
   info       print dataset statistics                  (--data | --preset)
   train      train a model and optionally save it      (--data | --preset, --model,
                                                         --epochs, --dim, --m, --lr,
-                                                        --seed, --save, --checkpoint,
-                                                        --checkpoint-every, --resume,
-                                                        --max-rollbacks)
+                                                        --seed, --threads, --save,
+                                                        --checkpoint, --checkpoint-every,
+                                                        --resume, --max-rollbacks)
   eval       evaluate a trained or fresh model         (same as train, plus --load,
                                                         --online, --phase fp|sp|both)
   predict    top-k forecast for one query              (--load, --subject, --relation,
                                                         --time, --topk, --inverse)
   serve      HTTP inference server                     (--data | --preset, --load,
-                                                        --addr, --threads, --linger-ms,
-                                                        --max-batch, --fused)
+                                                        --addr, --threads, --http-threads,
+                                                        --linger-ms, --max-batch, --fused)
   help       this text
 
 flags:
@@ -49,7 +49,10 @@ flags:
   --phase P         fp | sp | both                      [default both]
   --subject NAME|ID --relation NAME|ID --time T --topk K --inverse
   --addr HOST:PORT  serve bind address                  [default 127.0.0.1:7878]
-  --threads N       serve connection handler threads    [default 4]
+  --threads N       compute threads for the kernel backend (1 = serial;
+                    results are bit-identical at any count)
+                                                        [default: all cores]
+  --http-threads N  serve connection handler threads    [default 4]
   --linger-ms MS    micro-batch linger window           [default 2]
   --max-batch N     micro-batch size cap                [default 32]
   --fused           fuse each batch into one forward pass (approximate)";
@@ -82,7 +85,10 @@ pub struct CliOptions {
     pub topk: usize,
     pub inverse: bool,
     pub addr: String,
+    /// Kernel-backend compute threads (`0` = auto, `1` = serial).
     pub threads: usize,
+    /// HTTP connection handler threads for `serve`.
+    pub http_threads: usize,
     pub linger_ms: u64,
     pub max_batch: usize,
     pub fused: bool,
@@ -116,7 +122,8 @@ impl Default for CliOptions {
             topk: 5,
             inverse: false,
             addr: "127.0.0.1:7878".into(),
-            threads: 4,
+            threads: 0,
+            http_threads: 4,
             linger_ms: 2,
             max_batch: 32,
             fused: false,
@@ -162,6 +169,7 @@ impl CliOptions {
                 "--inverse" => o.inverse = true,
                 "--addr" => o.addr = value("--addr")?,
                 "--threads" => o.threads = num(&value("--threads")?)?,
+                "--http-threads" => o.http_threads = num(&value("--http-threads")?)?,
                 "--linger-ms" => o.linger_ms = num(&value("--linger-ms")?)?,
                 "--max-batch" => o.max_batch = num(&value("--max-batch")?)?,
                 "--fused" => o.fused = true,
@@ -233,6 +241,8 @@ mod tests {
             "0.0.0.0:9000",
             "--threads",
             "8",
+            "--http-threads",
+            "6",
             "--linger-ms",
             "5",
             "--max-batch",
@@ -242,6 +252,7 @@ mod tests {
         .unwrap();
         assert_eq!(o.addr, "0.0.0.0:9000");
         assert_eq!(o.threads, 8);
+        assert_eq!(o.http_threads, 6);
         assert_eq!(o.linger_ms, 5);
         assert_eq!(o.max_batch, 64);
         assert!(o.fused);

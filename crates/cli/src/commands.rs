@@ -25,11 +25,15 @@ fn logcl_config(opts: &CliOptions) -> LogClConfig {
         time_bank: (opts.dim / 4).max(4),
         m: opts.m,
         seed: opts.seed,
+        threads: opts.threads,
         ..Default::default()
     }
 }
 
 fn build_model(opts: &CliOptions, ds: &TkgDataset) -> Result<Box<dyn TkgModel>, String> {
+    // Baselines bypass `LogCl::new` (which applies `LogClConfig::threads`),
+    // so select the kernel backend here for every model kind.
+    logcl_tensor::kernels::set_threads(opts.threads);
     let kind = match opts.model.as_str() {
         "logcl" => return Ok(Box::new(LogCl::new(ds, logcl_config(opts)))),
         "regcn" | "re-gcn" => BaselineKind::ReGcn,
@@ -352,7 +356,8 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
     };
     let serve_cfg = ServeConfig {
         addr: opts.addr.clone(),
-        threads: opts.threads,
+        threads: opts.http_threads,
+        compute_threads: opts.threads,
         linger: std::time::Duration::from_millis(opts.linger_ms),
         max_batch: opts.max_batch,
         default_k: opts.topk,

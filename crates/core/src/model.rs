@@ -60,6 +60,11 @@ impl LogCl {
     /// `cfg`.
     pub fn new(ds: &TkgDataset, cfg: LogClConfig) -> Self {
         cfg.validate();
+        // Select the process-wide kernel backend. Backends are bit-identical,
+        // so this affects wall-clock only, never results (see logcl-tensor's
+        // kernels module) — which is why `threads` stays out of the config
+        // fingerprint and checkpoints remain portable across thread counts.
+        logcl_tensor::kernels::set_threads(cfg.threads);
         let mut rng = Rng::seed(cfg.seed);
         let dim = cfg.dim;
         let ent = Embedding::new(ds.num_entities, dim, &mut rng);

@@ -97,14 +97,26 @@ impl LocalEntityAttention {
             return h_now.clone();
         }
         let h_q = r_mean.concat_cols(h_now).matmul(&self.w4); // Eq. 9
-                                                              // Eq. 10 (sigmoid-gate reading): one gate per past snapshot.
-                                                              // Eq. 11: h_now + Σ_i α_i · evolved_i.
-        let mut out = h_now.clone();
-        for (agg, ev) in agg_steps.iter().zip(evolved_steps) {
-            let alpha = agg.add(&h_q).matmul(&self.w5).add(&self.b5).sigmoid(); // [B, 1]
-            out = out.add(&ev.mul(&alpha));
-        }
-        out
+
+        // Eq. 10 (sigmoid-gate reading), batched: stack the m−1 snapshots
+        // into [(m−1)·B, D] so every gate comes out of ONE matmul instead of
+        // one per snapshot. Gates are row-local, so batching is exact.
+        let b = h_q.shape()[0];
+        let steps = agg_steps.len();
+        let tile_idx: Vec<usize> = (0..steps * b).map(|k| k % b).collect();
+        let agg_all = Var::concat_rows(agg_steps); // [(m−1)B, D]
+        let ev_all = Var::concat_rows(evolved_steps); // [(m−1)B, D]
+        let h_q_tiled = h_q.gather_rows(&tile_idx);
+        let alpha = agg_all
+            .add(&h_q_tiled)
+            .matmul(&self.w5)
+            .add(&self.b5)
+            .sigmoid(); // [(m−1)B, 1]
+
+        // Eq. 11: h_now + Σ_i α_i · evolved_i, as one segmented scatter-add
+        // back onto the B query rows (per-row accumulation in step order).
+        let weighted = ev_all.mul(&alpha);
+        h_now.add(&weighted.scatter_add_rows(&tile_idx, b))
     }
 
     /// Registers `W₄`, `W₅` and the gate bias.

@@ -47,7 +47,10 @@ impl ConvTransE {
         assert_eq!(e.shape()[1], self.dim, "entity dim mismatch");
         assert_eq!(e.shape(), r.shape(), "entity/relation shape mismatch");
         let cols = e.conv_im2col(r); // [B*D, 6]
-        let feat = cols.matmul(&self.kernels).add(&self.bias).relu(); // [B*D, K]
+
+        // The im2col matrix has structural zeros (boundary padding), so the
+        // sparse-lhs matmul kernel applies; the dense kernel stays branch-free.
+        let feat = cols.matmul_sparse_lhs(&self.kernels).add(&self.bias).relu(); // [B*D, K]
         let flat = feat.reshape(&[b, self.dim * self.channels]);
         let flat = dropout(&flat, self.dropout_p, training, rng);
         self.fc.forward(&flat) // [B, D]

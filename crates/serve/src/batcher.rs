@@ -192,7 +192,22 @@ pub fn run_batcher<H: BatchHandler>(
         }
 
         metrics.batch_size.observe(group.len() as f64);
+        // Utilisation = pool busy-time accrued during the batch divided by
+        // wall time: the average number of compute threads kept busy. The
+        // serial backend bypasses the pool, so it reads as 0 by design.
+        let busy0 = logcl_tensor::kernels::busy_nanos();
+        let started = Instant::now();
         handler.handle_predict_group(group);
+        let wall = started.elapsed().as_secs_f64();
+        let busy = logcl_tensor::kernels::busy_nanos().saturating_sub(busy0);
+        metrics
+            .kernel_busy_micros
+            .fetch_add(busy / 1_000, std::sync::atomic::Ordering::Relaxed);
+        if wall > 0.0 {
+            metrics
+                .compute_utilisation
+                .observe(busy as f64 / 1e9 / wall);
+        }
     }
 }
 

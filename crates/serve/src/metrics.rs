@@ -1,6 +1,7 @@
 //! Lock-free serving metrics rendered in the Prometheus text exposition
 //! format: request counters per endpoint, a latency histogram, the
-//! micro-batch size histogram, and encoding-cache hit/miss counters.
+//! micro-batch size histogram, encoding-cache hit/miss counters, and
+//! kernel-backend utilisation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -9,6 +10,9 @@ use std::time::Duration;
 pub const LATENCY_BUCKETS: [f64; 9] = [0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.0];
 /// Batch-size buckets (upper bounds; `+Inf` is implicit).
 pub const BATCH_BUCKETS: [f64; 7] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+/// Compute-utilisation buckets: average pool compute threads busy per
+/// wall-clock second while a batch executed (upper bounds; `+Inf` implicit).
+pub const UTIL_BUCKETS: [f64; 8] = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 8.0];
 
 /// A fixed-bucket histogram over `AtomicU64` counters.
 pub struct Histogram {
@@ -110,6 +114,12 @@ pub struct Metrics {
     pub read_timeouts: AtomicU64,
     /// Requests answered `413` because the declared body exceeded the limit.
     pub oversized_bodies: AtomicU64,
+    /// Average kernel-pool compute threads busy per wall-clock second while
+    /// each predict batch executed (0 under the serial backend, which runs
+    /// on the model worker thread itself).
+    pub compute_utilisation: Histogram,
+    /// Kernel-pool busy time attributed to predict batches, in microseconds.
+    pub kernel_busy_micros: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -130,6 +140,8 @@ impl Default for Metrics {
             online_updates: AtomicU64::new(0),
             read_timeouts: AtomicU64::new(0),
             oversized_bodies: AtomicU64::new(0),
+            compute_utilisation: Histogram::new(&UTIL_BUCKETS),
+            kernel_busy_micros: AtomicU64::new(0),
         }
     }
 }
@@ -234,6 +246,25 @@ impl Metrics {
             "Requests answered 413 for exceeding the body-size limit.",
             &[("", load(&self.oversized_bodies))],
         );
+        counter(
+            &mut out,
+            "logcl_kernel_busy_micros_total",
+            "Kernel-pool busy time attributed to predict batches (us).",
+            &[("", load(&self.kernel_busy_micros))],
+        );
+        // Backend identity gauge: label carries the name, value the thread
+        // count, following the Prometheus `_info` convention.
+        let _ = writeln!(
+            out,
+            "# HELP logcl_kernel_backend_info Active kernel backend (value = compute threads)."
+        );
+        let _ = writeln!(out, "# TYPE logcl_kernel_backend_info gauge");
+        let _ = writeln!(
+            out,
+            "logcl_kernel_backend_info{{backend=\"{}\"}} {}",
+            logcl_tensor::kernels::backend_name(),
+            logcl_tensor::kernels::current_threads()
+        );
         self.latency.render(
             "logcl_request_duration_seconds",
             "End-to-end request latency.",
@@ -242,6 +273,11 @@ impl Metrics {
         self.batch_size.render(
             "logcl_batch_size",
             "Queries coalesced per executed micro-batch.",
+            &mut out,
+        );
+        self.compute_utilisation.render(
+            "logcl_compute_utilisation",
+            "Pool compute threads busy per wall-second, per predict batch.",
             &mut out,
         );
         out
@@ -280,6 +316,9 @@ mod tests {
             "logcl_encoding_cache_hits_total 2",
             "logcl_request_duration_seconds_bucket",
             "logcl_batch_size_count 1",
+            "logcl_kernel_backend_info{backend=",
+            "logcl_compute_utilisation_bucket",
+            "logcl_kernel_busy_micros_total",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

@@ -38,6 +38,10 @@ pub struct ServeConfig {
     pub addr: String,
     /// Connection-handler threads.
     pub threads: usize,
+    /// Kernel-backend compute threads shared by the micro-batcher's model
+    /// worker (`0` = auto-detect, `1` = serial). The backends are
+    /// bit-identical, so this only affects latency, never rankings.
+    pub compute_threads: usize,
     /// Micro-batch linger window.
     pub linger: Duration,
     /// Micro-batch size cap.
@@ -67,6 +71,7 @@ impl Default for ServeConfig {
         Self {
             addr: "127.0.0.1:7878".into(),
             threads: 4,
+            compute_threads: 0,
             linger: Duration::from_millis(2),
             max_batch: 32,
             queue_cap: 1024,
@@ -242,6 +247,14 @@ impl Server {
         ds: TkgDataset,
         specs: Vec<ModelSpec>,
     ) -> Result<Server, String> {
+        // The server owns the compute-thread budget: apply it now and make
+        // every model spec agree, so `LogCl::new` (which applies its
+        // config's thread count) cannot silently override it.
+        logcl_tensor::kernels::set_threads(cfg.compute_threads);
+        let mut specs = specs;
+        for spec in &mut specs {
+            spec.cfg.threads = cfg.compute_threads;
+        }
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(ShutdownState::new());
         let horizon = Arc::new(AtomicUsize::new(ds.num_times));

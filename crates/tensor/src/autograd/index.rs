@@ -2,6 +2,7 @@
 //! and the im2col unrolling used by the ConvTransE decoder.
 
 use super::Var;
+use crate::kernels::{self, ops};
 use crate::tensor::Tensor;
 
 impl Var {
@@ -48,24 +49,7 @@ impl Var {
         assert_eq!(e.rank(), 2, "conv_im2col entity input must be rank-2");
         assert_eq!(e.shape(), r.shape(), "conv_im2col inputs must share shape");
         let (b, d) = (e.shape()[0], e.shape()[1]);
-        let mut data = vec![0.0f32; b * d * 6];
-        for bi in 0..b {
-            let er = e.row(bi);
-            let rr = r.row(bi);
-            for j in 0..d {
-                let base = (bi * d + j) * 6;
-                if j > 0 {
-                    data[base] = er[j - 1];
-                    data[base + 3] = rr[j - 1];
-                }
-                data[base + 1] = er[j];
-                data[base + 4] = rr[j];
-                if j + 1 < d {
-                    data[base + 2] = er[j + 1];
-                    data[base + 5] = rr[j + 1];
-                }
-            }
-        }
+        let data = ops::im2col3(&*kernels::backend(), e.data(), r.data(), b, d);
         drop(e);
         drop(r);
         let value = Tensor::from_vec(data, &[b * d, 6]);
@@ -73,24 +57,7 @@ impl Var {
             value,
             vec![self.clone(), rel.clone()],
             Box::new(move |g, _, _| {
-                let mut ge = vec![0.0f32; b * d];
-                let mut gr = vec![0.0f32; b * d];
-                for bi in 0..b {
-                    for j in 0..d {
-                        let base = (bi * d + j) * 6;
-                        let row = &g.data()[base..base + 6];
-                        if j > 0 {
-                            ge[bi * d + j - 1] += row[0];
-                            gr[bi * d + j - 1] += row[3];
-                        }
-                        ge[bi * d + j] += row[1];
-                        gr[bi * d + j] += row[4];
-                        if j + 1 < d {
-                            ge[bi * d + j + 1] += row[2];
-                            gr[bi * d + j + 1] += row[5];
-                        }
-                    }
-                }
+                let (ge, gr) = ops::im2col3_bwd(&*kernels::backend(), g.data(), b, d);
                 vec![
                     Some(Tensor::from_vec(ge, &[b, d])),
                     Some(Tensor::from_vec(gr, &[b, d])),

@@ -2,6 +2,7 @@
 //! concatenation.
 
 use super::Var;
+use crate::kernels::{self, ops};
 use crate::tensor::Tensor;
 
 impl Var {
@@ -17,6 +18,25 @@ impl Var {
                 // dA = G B^T ; dB = A^T G
                 let ga = g.matmul(&b.transpose2());
                 let gb = a.transpose2().matmul(g);
+                vec![Some(ga), Some(gb)]
+            }),
+        )
+    }
+
+    /// Matrix product for a lhs with many structural zeros (one-hot gathers,
+    /// zero-padded im2col windows). Forward and the `dB = Aᵀ G` backward use
+    /// the sparse-skipping kernel (`Aᵀ` shares the zeros of `A`); `dA` is
+    /// dense.
+    pub fn matmul_sparse_lhs(&self, other: &Var) -> Var {
+        let value = self.value().matmul_sparse_lhs(&other.value());
+        Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, _, parents| {
+                let a = parents[0].value();
+                let b = parents[1].value();
+                let ga = g.matmul(&b.transpose2());
+                let gb = a.transpose2().matmul_sparse_lhs(g);
                 vec![Some(ga), Some(gb)]
             }),
         )
@@ -51,11 +71,7 @@ impl Var {
         assert_eq!(b.rank(), 2, "concat_cols rhs must be rank-2");
         assert_eq!(a.shape()[0], b.shape()[0], "concat_cols row mismatch");
         let (n, da, db) = (a.shape()[0], a.shape()[1], b.shape()[1]);
-        let mut data = Vec::with_capacity(n * (da + db));
-        for i in 0..n {
-            data.extend_from_slice(a.row(i));
-            data.extend_from_slice(b.row(i));
-        }
+        let data = ops::concat_cols(&*kernels::backend(), a.data(), b.data(), n, da, db);
         drop(a);
         drop(b);
         let value = Tensor::from_vec(data, &[n, da + db]);
@@ -63,13 +79,7 @@ impl Var {
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, _, _| {
-                let mut ga = Vec::with_capacity(n * da);
-                let mut gb = Vec::with_capacity(n * db);
-                for i in 0..n {
-                    let row = g.row(i);
-                    ga.extend_from_slice(&row[..da]);
-                    gb.extend_from_slice(&row[da..]);
-                }
+                let (ga, gb) = ops::split_cols(&*kernels::backend(), g.data(), n, da, db);
                 vec![
                     Some(Tensor::from_vec(ga, &[n, da])),
                     Some(Tensor::from_vec(gb, &[n, db])),

@@ -1,6 +1,7 @@
 //! Fused loss and normalization ops.
 
 use super::Var;
+use crate::kernels::{self, ops};
 use crate::tensor::Tensor;
 
 impl Var {
@@ -15,15 +16,11 @@ impl Var {
         let (n, c) = (logits.shape()[0], logits.shape()[1]);
         assert_eq!(targets.len(), n, "cross_entropy target count mismatch");
         assert!(n > 0, "cross_entropy on empty batch");
-        let mut loss = 0.0f32;
-        for (i, &t) in targets.iter().enumerate() {
-            assert!(t < c, "target {t} out of bounds for {c} classes");
-            let row = logits.row(i);
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
-            loss += lse - row[t];
+        if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
+            panic!("target {bad} out of bounds for {c} classes");
         }
-        loss /= n as f32;
+        let loss =
+            ops::cross_entropy_fwd(&*kernels::backend(), logits.data(), n, c, targets) / n as f32;
         drop(logits);
         let targets_owned: Vec<usize> = targets.to_vec();
         Var::from_op(
@@ -31,15 +28,15 @@ impl Var {
             vec![self.clone()],
             Box::new(move |g, _, parents| {
                 let logits = parents[0].value();
-                let probs = logits.softmax_rows();
-                let mut grad = probs.into_vec();
                 let scale = g.item() / n as f32;
-                for (i, &t) in targets_owned.iter().enumerate() {
-                    grad[i * c + t] -= 1.0;
-                }
-                for v in &mut grad {
-                    *v *= scale;
-                }
+                let grad = ops::cross_entropy_bwd(
+                    &*kernels::backend(),
+                    logits.data(),
+                    n,
+                    c,
+                    &targets_owned,
+                    scale,
+                );
                 vec![Some(Tensor::from_vec(grad, &[n, c]))]
             }),
         )
@@ -51,31 +48,21 @@ impl Var {
         let x = self.value();
         assert_eq!(x.rank(), 2, "l2_normalize_rows expects rank-2");
         let (n, d) = (x.shape()[0], x.shape()[1]);
-        let mut norms = Vec::with_capacity(n);
-        let mut out = vec![0.0f32; n * d];
-        for i in 0..n {
-            let row = x.row(i);
-            let norm = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(1e-8);
-            norms.push(norm);
-            for j in 0..d {
-                out[i * d + j] = row[j] / norm;
-            }
-        }
+        let (out, norms) = ops::l2_normalize_rows_fwd(&*kernels::backend(), x.data(), n, d);
         drop(x);
         Var::from_op(
             Tensor::from_vec(out, &[n, d]),
             vec![self.clone()],
             Box::new(move |g, out_val, _| {
                 // grad_x = (g - (g·y) y) / ‖x‖ per row
-                let mut grad = vec![0.0f32; n * d];
-                for i in 0..n {
-                    let y = out_val.row(i);
-                    let gr = &g.data()[i * d..(i + 1) * d];
-                    let dot: f32 = y.iter().zip(gr).map(|(&a, &b)| a * b).sum();
-                    for j in 0..d {
-                        grad[i * d + j] = (gr[j] - dot * y[j]) / norms[i];
-                    }
-                }
+                let grad = ops::l2_normalize_rows_bwd(
+                    &*kernels::backend(),
+                    out_val.data(),
+                    g.data(),
+                    &norms,
+                    n,
+                    d,
+                );
                 vec![Some(Tensor::from_vec(grad, &[n, d]))]
             }),
         )
@@ -89,11 +76,7 @@ impl Var {
         assert_eq!(x.rank(), 2, "bce_with_logits expects [N, C]");
         let n = x.shape()[0].max(1) as f32;
         // loss = max(x,0) - x*y + ln(1 + e^{-|x|}), the numerically stable form.
-        let mut loss = 0.0f32;
-        for (&xi, &yi) in x.data().iter().zip(labels.data()) {
-            loss += xi.max(0.0) - xi * yi + (1.0 + (-xi.abs()).exp()).ln();
-        }
-        loss /= n;
+        let loss = ops::bce_fwd(&*kernels::backend(), x.data(), labels.data()) / n;
         drop(x);
         let labels_owned = labels.clone();
         Var::from_op(
@@ -102,12 +85,7 @@ impl Var {
             Box::new(move |g, _, parents| {
                 let x = parents[0].value();
                 let scale = g.item() / n;
-                let grad: Vec<f32> = x
-                    .data()
-                    .iter()
-                    .zip(labels_owned.data())
-                    .map(|(&xi, &yi)| scale * (1.0 / (1.0 + (-xi).exp()) - yi))
-                    .collect();
+                let grad = ops::bce_bwd(&*kernels::backend(), x.data(), labels_owned.data(), scale);
                 vec![Some(Tensor::from_vec(grad, x.shape()))]
             }),
         )

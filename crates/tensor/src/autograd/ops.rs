@@ -1,6 +1,7 @@
 //! Elementwise arithmetic, activations and reductions for [`Var`].
 
 use super::Var;
+use crate::kernels::{self, ops, Binary, Unary};
 use crate::tensor::Tensor;
 
 impl Var {
@@ -82,7 +83,7 @@ impl Var {
 
     /// Adds the constant `s` to every element.
     pub fn add_scalar(&self, s: f32) -> Var {
-        let value = self.value().map(|x| x + s);
+        let value = self.value().unary(Unary::AddScalar(s));
         Var::from_op(
             value,
             vec![self.clone()],
@@ -99,21 +100,21 @@ impl Var {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
-        let value = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let value = self.value().unary(Unary::Sigmoid);
         Var::from_op(
             value,
             vec![self.clone()],
-            Box::new(|g, out, _| vec![Some(g.zip(out, |gi, y| gi * y * (1.0 - y)))]),
+            Box::new(|g, out, _| vec![Some(g.binary(out, Binary::SigmoidBwd))]),
         )
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
-        let value = self.value().map(f32::tanh);
+        let value = self.value().unary(Unary::Tanh);
         Var::from_op(
             value,
             vec![self.clone()],
-            Box::new(|g, out, _| vec![Some(g.zip(out, |gi, y| gi * (1.0 - y * y)))]),
+            Box::new(|g, out, _| vec![Some(g.binary(out, Binary::TanhBwd))]),
         )
     }
 
@@ -128,15 +129,13 @@ impl Var {
     /// the mean slope of its range (PyTorch default range [1/8, 1/3] → slope
     /// 0.2292), which is what we use deterministically. See DESIGN.md.
     pub fn leaky_relu(&self, slope: f32) -> Var {
-        let value = self.value().map(|x| if x >= 0.0 { x } else { slope * x });
+        let value = self.value().unary(Unary::LeakyRelu(slope));
         Var::from_op(
             value,
             vec![self.clone()],
             Box::new(move |g, _, parents| {
                 let x = parents[0].value();
-                vec![Some(
-                    g.zip(&x, |gi, xi| if xi >= 0.0 { gi } else { slope * gi }),
-                )]
+                vec![Some(g.binary(&x, Binary::LeakyReluBwd(slope)))]
             }),
         )
     }
@@ -148,7 +147,7 @@ impl Var {
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var {
-        let value = self.value().map(f32::exp);
+        let value = self.value().unary(Unary::Exp);
         Var::from_op(
             value,
             vec![self.clone()],
@@ -158,26 +157,26 @@ impl Var {
 
     /// Elementwise natural logarithm (inputs clamped at 1e-12 for stability).
     pub fn ln(&self) -> Var {
-        let value = self.value().map(|x| x.max(1e-12).ln());
+        let value = self.value().unary(Unary::LnClamped);
         Var::from_op(
             value,
             vec![self.clone()],
             Box::new(|g, _, parents| {
                 let x = parents[0].value();
-                vec![Some(g.zip(&x, |gi, xi| gi / xi.max(1e-12)))]
+                vec![Some(g.binary(&x, Binary::LnBwd))]
             }),
         )
     }
 
     /// Elementwise cosine (the paper's periodic time activation, Eq. 2).
     pub fn cos(&self) -> Var {
-        let value = self.value().map(f32::cos);
+        let value = self.value().unary(Unary::Cos);
         Var::from_op(
             value,
             vec![self.clone()],
             Box::new(|g, _, parents| {
                 let x = parents[0].value();
-                vec![Some(g.zip(&x, |gi, xi| -gi * xi.sin()))]
+                vec![Some(g.binary(&x, Binary::CosBwd))]
             }),
         )
     }
@@ -228,15 +227,7 @@ impl Var {
             Box::new(|g, out, _| {
                 // dx = y * (g - sum(g*y, row))
                 let (n, d) = (out.shape()[0], out.shape()[1]);
-                let mut grad = vec![0.0f32; n * d];
-                for i in 0..n {
-                    let y = &out.data()[i * d..(i + 1) * d];
-                    let gr = &g.data()[i * d..(i + 1) * d];
-                    let dot: f32 = y.iter().zip(gr).map(|(&a, &b)| a * b).sum();
-                    for j in 0..d {
-                        grad[i * d + j] = y[j] * (gr[j] - dot);
-                    }
-                }
+                let grad = ops::softmax_rows_bwd(&*kernels::backend(), out.data(), g.data(), n, d);
                 vec![Some(Tensor::from_vec(grad, &[n, d]))]
             }),
         )

@@ -1,0 +1,273 @@
+//! A persistent, std-only worker pool for the [`Parallel`](super::Parallel)
+//! backend.
+//!
+//! Design constraints, in order of importance:
+//!
+//! 1. **Determinism.** The pool never decides *what* is computed — callers
+//!    hand it `n` tasks that each write a disjoint region of the output with
+//!    a fixed per-element flop order. Which worker runs which task (and in
+//!    what interleaving) therefore cannot affect a single output bit.
+//! 2. **No dependencies.** Workers are plain `std::thread`s parked on a
+//!    `Condvar`; work distribution is a shared counter under a `Mutex`.
+//! 3. **Low dispatch overhead.** The pool is created once and reused for
+//!    every kernel call; a dispatch is one lock + one `notify_all`.
+//!
+//! The job closure is passed by reference and erased to a raw pointer so the
+//! pool can store it without a lifetime parameter. This is sound because
+//! [`Pool::run`] does not return until every task has finished and the job
+//! slot has been cleared, so workers can never observe a dangling pointer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Total nanoseconds spent executing kernel tasks across all pool threads
+/// (workers and callers). `logcl-serve` samples this around each request to
+/// report compute-thread utilisation.
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative busy time (ns) of all compute threads since process start.
+pub fn busy_nanos() -> u64 {
+    BUSY_NANOS.load(Ordering::Relaxed)
+}
+
+/// Type-erased job: a closure invoked once per task index in `0..n_tasks`.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    n_tasks: usize,
+}
+
+// SAFETY: the pointee is `Sync` (asserted at erasure time in `Pool::run`) and
+// is kept alive by the caller blocking inside `run` until the job completes.
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+    /// Next task index to claim.
+    next: usize,
+    /// Tasks claimed but not yet finished, plus tasks not yet claimed.
+    pending: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a new job arrives (or shutdown).
+    work: Condvar,
+    /// Signalled when a job finishes (pending == 0) or the slot frees up.
+    done: Condvar,
+}
+
+/// Persistent worker pool; `threads` counts the caller, so `threads - 1`
+/// workers are spawned and the calling thread participates in every run.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    pub(crate) fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                next: 0,
+                pending: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("logcl-kernel-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn kernel worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..n_tasks`, distributing tasks across the
+    /// workers and the calling thread. Blocks until all tasks have finished.
+    ///
+    /// Tasks must write disjoint data; the pool provides no ordering between
+    /// them beyond "all done when `run` returns".
+    pub(crate) fn run(&self, n_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        if n_tasks == 1 || self.threads == 1 {
+            let t0 = Instant::now();
+            for i in 0..n_tasks {
+                f(i);
+            }
+            BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: we erase the lifetime only for the duration of this call;
+        // `run` blocks until `pending == 0` and the job slot is cleared, so
+        // no worker touches the pointer after we return.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        };
+        let mut st = self.shared.state.lock().unwrap();
+        // Another thread may be mid-run (e.g. parallel test harness); wait
+        // for the job slot to free up.
+        while st.job.is_some() {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = Some(Job { f: erased, n_tasks });
+        st.next = 0;
+        st.pending = n_tasks;
+        self.shared.work.notify_all();
+        // The caller participates in the run.
+        let job = st.job.unwrap();
+        loop {
+            if st.next >= n_tasks {
+                break;
+            }
+            let i = st.next;
+            st.next += 1;
+            drop(st);
+            let t0 = Instant::now();
+            // SAFETY: `job.f` points at `f`, alive for the whole call.
+            unsafe { (*job.f)(i) };
+            BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            st = self.shared.state.lock().unwrap();
+            st.pending -= 1;
+            if st.pending == 0 {
+                break;
+            }
+        }
+        while st.pending > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        // Wake any thread queued in the "slot busy" wait above.
+        self.shared.done.notify_all();
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        // Wait until there is a claimable task (or shutdown).
+        loop {
+            if st.shutdown {
+                return;
+            }
+            match st.job {
+                Some(job) if st.next < job.n_tasks => break,
+                _ => st = shared.work.wait(st).unwrap(),
+            }
+        }
+        // Claim-and-execute loop. The job is re-read from shared state on
+        // every claim (never cached across a completion): once this worker's
+        // last task is finished the installing caller may clear the slot and
+        // a different caller may install a new job, so a cached copy could
+        // pair a stale closure pointer with the new job's task counter.
+        while let Some(job) = st.job {
+            if st.next >= job.n_tasks {
+                break;
+            }
+            let i = st.next;
+            st.next += 1;
+            drop(st);
+            let t0 = Instant::now();
+            // SAFETY: task `i` is claimed but not finished, so `pending > 0`
+            // and the caller of `Pool::run` is still blocked, keeping the
+            // closure alive.
+            unsafe { (*job.f)(i) };
+            BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            st = shared.state.lock().unwrap();
+            st.pending -= 1;
+            if st.pending == 0 {
+                shared.done.notify_all();
+            }
+        }
+        // No claimable work right now; loop back and wait for the next job.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = Pool::new(4);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn reusable_across_many_runs() {
+        let pool = Pool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.run(7, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 700);
+    }
+
+    #[test]
+    fn single_thread_pool_degenerates_to_serial() {
+        let pool = Pool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.run(13, &|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 13);
+    }
+
+    #[test]
+    fn busy_nanos_increase_with_work() {
+        let pool = Pool::new(2);
+        let before = busy_nanos();
+        pool.run(8, &|_| {
+            let mut acc = 0.0f64;
+            for k in 0..50_000 {
+                acc += (k as f64).sqrt();
+            }
+            assert!(acc > 0.0);
+        });
+        assert!(busy_nanos() > before);
+    }
+}

@@ -16,10 +16,16 @@
 //!   initialisation.
 //! * [`optim`] — `Adam` and `Sgd` optimizers with gradient clipping.
 //! * [`serialize`] — JSON checkpointing of named parameter sets.
+//! * [`kernels`] — the pluggable compute backend that owns every inner loop
+//!   (`Serial` and the deterministic multi-threaded `Parallel`); selected
+//!   process-wide via [`kernels::set_threads`] or the `LOGCL_THREADS`
+//!   environment variable.
 //!
 //! The design goal is correctness and debuggability over raw speed: every op
 //! has a straightforward reference implementation and a gradient that is
-//! verified against finite differences in the test-suite.
+//! verified against finite differences in the test-suite. Both backends are
+//! bit-identical on every kernel (see [`kernels`] for the determinism
+//! contract), so the backend choice never affects results — only wall-clock.
 //!
 //! ## Example
 //!
@@ -36,6 +42,7 @@
 //! ```
 
 pub mod autograd;
+pub mod kernels;
 pub mod nn;
 pub mod optim;
 pub mod rng;

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::autograd::Var;
+use crate::kernels::{self, ops};
 use crate::nn::ParamSet;
 use crate::serialize::{CheckpointError, TensorRecord};
 use crate::tensor::Tensor;
@@ -14,7 +15,7 @@ pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
     let mut total = 0.0f32;
     for p in params {
         if let Some(g) = p.grad() {
-            total += g.data().iter().map(|&x| x * x).sum::<f32>();
+            total += ops::sum_sq(&*kernels::backend(), g.data());
         }
     }
     let norm = total.sqrt();
@@ -103,21 +104,20 @@ impl Adam {
             let (b1, b2, eps, lr, wd) =
                 (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
             p.update_value(|value| {
-                let md = m.data_mut();
-                let vd = v.data_mut();
-                let vals = value.data_mut();
-                for (((w, &g), mi), vi) in vals
-                    .iter_mut()
-                    .zip(grad.data())
-                    .zip(md.iter_mut())
-                    .zip(vd.iter_mut())
-                {
-                    *mi = b1 * *mi + (1.0 - b1) * g;
-                    *vi = b2 * *vi + (1.0 - b2) * g * g;
-                    let m_hat = *mi / bc1;
-                    let v_hat = *vi / bc2;
-                    *w -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *w);
-                }
+                ops::adam_step(
+                    &*kernels::backend(),
+                    value.data_mut(),
+                    grad.data(),
+                    m.data_mut(),
+                    v.data_mut(),
+                    lr,
+                    b1,
+                    b2,
+                    eps,
+                    wd,
+                    bc1,
+                    bc2,
+                );
             });
             p.zero_grad();
         }

@@ -4,7 +4,12 @@
 //! operations are eager and allocate their result. The autograd layer
 //! ([`crate::autograd`]) builds on these primitives; evaluation-time code
 //! (ranking, metric computation) uses them directly.
+//!
+//! No compute loop lives here: every op validates shapes and dispatches to
+//! [`crate::kernels`], which executes it on the process-wide backend
+//! (serial or deterministic multi-threaded — bit-identical either way).
 
+use crate::kernels::{self, ops, Binary, Unary};
 use crate::rng::Rng;
 use crate::shape;
 
@@ -120,11 +125,13 @@ impl Tensor {
 
     /// The `n × n` identity matrix.
     pub fn eye(n: usize) -> Self {
-        let mut t = Self::zeros(&[n, n]);
-        for i in 0..n {
-            t.data[i * n + i] = 1.0;
+        let data = (0..n * n)
+            .map(|i| if i % (n + 1) == 0 { 1.0 } else { 0.0 })
+            .collect();
+        Self {
+            shape: vec![n, n],
+            data,
         }
-        t
     }
 
     // ------------------------------------------------------------ accessors
@@ -237,70 +244,83 @@ impl Tensor {
             self.shape
         );
         let (r, c) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            for j in 0..c {
-                out[j * r + i] = self.data[i * c + j];
-            }
-        }
+        let out = ops::transpose2(&*kernels::backend(), &self.data, r, c);
         Tensor::from_vec(out, &[c, r])
     }
 
     // ------------------------------------------------------- elementwise ops
 
+    /// Applies a named unary kernel elementwise.
+    pub fn unary(&self, op: Unary) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: ops::unary(&*kernels::backend(), op, &self.data),
+        }
+    }
+
+    /// In-place variant of [`Tensor::unary`].
+    pub fn unary_inplace(&mut self, op: Unary) {
+        ops::unary_inplace(&*kernels::backend(), op, &mut self.data);
+    }
+
+    /// Applies a named binary kernel with broadcasting.
+    pub fn binary(&self, other: &Tensor, op: Binary) -> Tensor {
+        let bk = kernels::backend();
+        if self.shape == other.shape {
+            return Tensor {
+                shape: self.shape.clone(),
+                data: ops::binary(&*bk, op, &self.data, &other.data),
+            };
+        }
+        let out_shape = shape::broadcast_shape(&self.shape, &other.shape);
+        let data = ops::binary_bcast(
+            &*bk,
+            op,
+            &self.data,
+            &self.shape,
+            &other.data,
+            &other.shape,
+            &out_shape,
+        );
+        Tensor {
+            shape: out_shape,
+            data,
+        }
+    }
+
     /// Applies `f` elementwise, producing a new tensor.
+    ///
+    /// Arbitrary closures run sequentially (they cannot cross threads);
+    /// prefer [`Tensor::unary`] for the named hot-path ops.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: ops::map_fallback(&f, &self.data),
         }
     }
 
     /// In-place elementwise update.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
-            *x = f(*x);
-        }
+        ops::map_fallback_inplace(&f, &mut self.data);
     }
 
     /// Broadcasting binary op. The result has the broadcast shape of the two
-    /// inputs.
+    /// inputs. Arbitrary closures run sequentially; prefer
+    /// [`Tensor::binary`] for the named hot-path ops.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        if self.shape == other.shape {
-            // Fast path: no stride arithmetic.
-            let data = self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect();
-            return Tensor {
-                shape: self.shape.clone(),
-                data,
-            };
-        }
-        let out_shape = shape::broadcast_shape(&self.shape, &other.shape);
-        let sa = shape::broadcast_strides(&self.shape, &out_shape);
-        let sb = shape::broadcast_strides(&other.shape, &out_shape);
-        let n = shape::numel(&out_shape);
-        let mut data = Vec::with_capacity(n);
-        let mut idx = vec![0usize; out_shape.len()];
-        for _ in 0..n {
-            let (mut oa, mut ob) = (0usize, 0usize);
-            for (d, &i) in idx.iter().enumerate() {
-                oa += i * sa[d];
-                ob += i * sb[d];
-            }
-            data.push(f(self.data[oa], other.data[ob]));
-            // Increment the multi-index (row-major order).
-            for d in (0..out_shape.len()).rev() {
-                idx[d] += 1;
-                if idx[d] < out_shape[d] {
-                    break;
-                }
-                idx[d] = 0;
-            }
-        }
+        let out_shape = if self.shape == other.shape {
+            self.shape.clone()
+        } else {
+            shape::broadcast_shape(&self.shape, &other.shape)
+        };
+        let data = ops::zip_fallback(
+            &f,
+            &self.data,
+            &self.shape,
+            &other.data,
+            &other.shape,
+            &out_shape,
+        );
         Tensor {
             shape: out_shape,
             data,
@@ -309,50 +329,47 @@ impl Tensor {
 
     /// Elementwise (broadcasting) addition.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a + b)
+        self.binary(other, Binary::Add)
     }
 
     /// Elementwise (broadcasting) subtraction.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a - b)
+        self.binary(other, Binary::Sub)
     }
 
     /// Elementwise (broadcasting) multiplication.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a * b)
+        self.binary(other, Binary::Mul)
     }
 
     /// Elementwise (broadcasting) division.
     pub fn div(&self, other: &Tensor) -> Tensor {
-        self.zip(other, |a, b| a / b)
+        self.binary(other, Binary::Div)
     }
 
     /// Scales every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        self.unary(Unary::Scale(s))
     }
 
     /// `self += other` where shapes match exactly.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        ops::add_assign(&*kernels::backend(), &mut self.data, &other.data);
     }
 
     /// `self += s * other` (axpy) where shapes match exactly.
     pub fn axpy(&mut self, s: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        ops::axpy(&*kernels::backend(), &mut self.data, s, &other.data);
     }
 
     // ----------------------------------------------------------- reductions
 
-    /// Sum of all elements.
+    /// Sum of all elements (fixed-shape reduction tree; identical on every
+    /// backend and thread count).
     pub fn sum_all(&self) -> f32 {
-        self.data.iter().sum()
+        ops::sum(&*kernels::backend(), &self.data)
     }
 
     /// Mean of all elements.
@@ -376,43 +393,18 @@ impl Tensor {
             self.shape,
             target
         );
-        let mut out = Tensor::zeros(target);
-        let strides_out = shape::broadcast_strides(target, &self.shape);
-        let out_rank = self.shape.len();
-        let mut idx = vec![0usize; out_rank];
-        for &v in &self.data {
-            let mut o = 0usize;
-            for (d, &i) in idx.iter().enumerate() {
-                o += i * strides_out[d];
-            }
-            out.data[o] += v;
-            for d in (0..out_rank).rev() {
-                idx[d] += 1;
-                if idx[d] < self.shape[d] {
-                    break;
-                }
-                idx[d] = 0;
-            }
-        }
-        out
+        let data = ops::reduce_to(&*kernels::backend(), &self.data, &self.shape, target);
+        Tensor::from_vec(data, target)
     }
 
     /// Column-wise mean of a rank-2 tensor: `[N, D] -> [D]`.
     pub fn mean_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let (n, d) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; d];
-        for i in 0..n {
-            let row = &self.data[i * d..(i + 1) * d];
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += v;
-            }
-        }
+        let bk = kernels::backend();
+        let mut out = ops::col_sums(&*bk, &self.data, n, d);
         if n > 0 {
-            let inv = 1.0 / n as f32;
-            for v in &mut out {
-                *v *= inv;
-            }
+            ops::unary_inplace(&*bk, Unary::Scale(1.0 / n as f32), &mut out);
         }
         Tensor::from_vec(out, &[d])
     }
@@ -421,18 +413,32 @@ impl Tensor {
     pub fn max_per_row(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let (n, d) = (self.shape[0], self.shape[1]);
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            let row = &self.data[i * d..(i + 1) * d];
-            out.push(row.iter().copied().fold(f32::NEG_INFINITY, f32::max));
-        }
+        let out = ops::max_per_row(&*kernels::backend(), &self.data, n, d);
         Tensor::from_vec(out, &[n])
     }
 
     // --------------------------------------------------------------- linalg
 
     /// Matrix product of rank-2 tensors: `[N, K] x [K, M] -> [N, M]`.
+    ///
+    /// Dense kernel with a fixed flop order (no value-dependent skips); use
+    /// [`Tensor::matmul_sparse_lhs`] when the lhs is known to be sparse.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (n, k, m) = self.matmul_dims(other);
+        let out = ops::matmul(&*kernels::backend(), &self.data, &other.data, n, k, m);
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Matrix product for a lhs with many structural zeros (one-hot gathers,
+    /// zero-padded im2col windows): skips zero lhs entries. Same result as
+    /// [`Tensor::matmul`] up to floating-point summation order.
+    pub fn matmul_sparse_lhs(&self, other: &Tensor) -> Tensor {
+        let (n, k, m) = self.matmul_dims(other);
+        let out = ops::matmul_sparse_lhs(&*kernels::backend(), &self.data, &other.data, n, k, m);
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    fn matmul_dims(&self, other: &Tensor) -> (usize, usize, usize) {
         assert_eq!(
             self.rank(),
             2,
@@ -448,48 +454,19 @@ impl Tensor {
         let (n, k) = (self.shape[0], self.shape[1]);
         let (k2, m) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let mut out = vec![0.0f32; n * m];
-        // i-k-j loop order streams both `other` and `out` rows for cache
-        // friendliness; this is the hottest kernel in the crate.
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * m..(i + 1) * m];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Tensor::from_vec(out, &[n, m])
+        (n, k, m)
     }
 
     /// Frobenius / L2 norm of the whole tensor.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+        ops::sum_sq(&*kernels::backend(), &self.data).sqrt()
     }
 
     /// Row-wise softmax of a rank-2 tensor (numerically stabilised).
     pub fn softmax_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2);
         let (n, d) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; n * d];
-        for i in 0..n {
-            let row = &self.data[i * d..(i + 1) * d];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for (o, &x) in out[i * d..(i + 1) * d].iter_mut().zip(row) {
-                *o = (x - m).exp();
-                z += *o;
-            }
-            let inv = 1.0 / z;
-            for o in &mut out[i * d..(i + 1) * d] {
-                *o *= inv;
-            }
-        }
+        let out = ops::softmax_rows(&*kernels::backend(), &self.data, n, d);
         Tensor::from_vec(out, &[n, d])
     }
 
@@ -499,34 +476,25 @@ impl Tensor {
     pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
         assert_eq!(self.rank(), 2);
         let d = self.shape[1];
-        let mut data = Vec::with_capacity(idx.len() * d);
-        for &i in idx {
-            assert!(
-                i < self.shape[0],
-                "gather index {i} out of bounds {}",
-                self.shape[0]
-            );
-            data.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+        if let Some(&bad) = idx.iter().find(|&&i| i >= self.shape[0]) {
+            panic!("gather index {bad} out of bounds {}", self.shape[0]);
         }
+        let data = ops::gather_rows(&*kernels::backend(), &self.data, d, idx);
         Tensor::from_vec(data, &[idx.len(), d])
     }
 
     /// Scatter-adds rows of `self` (`[M, D]`) into a fresh `[n, D]` tensor at
-    /// row positions `idx`.
+    /// row positions `idx` (segmented, deterministic: per-row accumulation
+    /// order is always index order).
     pub fn scatter_add_rows(&self, idx: &[usize], n: usize) -> Tensor {
         assert_eq!(self.rank(), 2);
         assert_eq!(idx.len(), self.shape[0], "scatter index count mismatch");
-        let d = self.shape[1];
-        let mut out = Tensor::zeros(&[n, d]);
-        for (r, &i) in idx.iter().enumerate() {
-            assert!(i < n, "scatter index {i} out of bounds {n}");
-            let src = &self.data[r * d..(r + 1) * d];
-            let dst = &mut out.data[i * d..(i + 1) * d];
-            for (o, &s) in dst.iter_mut().zip(src) {
-                *o += s;
-            }
+        if let Some(&bad) = idx.iter().find(|&&i| i >= n) {
+            panic!("scatter index {bad} out of bounds {n}");
         }
-        out
+        let d = self.shape[1];
+        let data = ops::scatter_add_rows(&*kernels::backend(), &self.data, d, idx, n);
+        Tensor::from_vec(data, &[n, d])
     }
 
     // -------------------------------------------------------------- ranking
@@ -534,16 +502,7 @@ impl Tensor {
     /// Indices of the `k` largest entries of a rank-1 tensor, descending.
     pub fn topk(&self, k: usize) -> Vec<usize> {
         assert_eq!(self.rank(), 1);
-        let mut idx: Vec<usize> = (0..self.data.len()).collect();
-        let k = k.min(idx.len());
-        idx.sort_by(|&a, &b| {
-            self.data[b]
-                .partial_cmp(&self.data[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        idx.truncate(k);
-        idx
+        ops::topk(&self.data, k)
     }
 
     /// 1-based rank of `target` in a score vector under "average over ties of
@@ -551,28 +510,12 @@ impl Tensor {
     /// as removed candidates).
     pub fn rank_of(&self, target: usize, masked: &[usize]) -> usize {
         assert_eq!(self.rank(), 1);
-        let t = self.data[target];
-        let mut mask = vec![false; self.data.len()];
-        for &m in masked {
-            if m != target {
-                mask[m] = true;
-            }
-        }
-        let mut rank = 1usize;
-        for (i, &v) in self.data.iter().enumerate() {
-            if i == target || mask[i] {
-                continue;
-            }
-            if v > t {
-                rank += 1;
-            }
-        }
-        rank
+        ops::rank_of(&self.data, target, masked)
     }
 
     /// True when every element is finite.
     pub fn all_finite(&self) -> bool {
-        self.data.iter().all(|x| x.is_finite())
+        ops::all_finite(&self.data)
     }
 }
 
@@ -632,6 +575,15 @@ mod tests {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         let i = Tensor::eye(3);
         assert_eq!(a.matmul(&i).data(), a.data());
+    }
+
+    #[test]
+    fn matmul_sparse_lhs_matches_dense() {
+        // One-hot-ish lhs: the sparse kernel must agree exactly with the
+        // dense kernel here (products with zero contribute exact zeros).
+        let a = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0, 0.0, 2.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        assert_eq!(a.matmul_sparse_lhs(&b).data(), a.matmul(&b).data());
     }
 
     #[test]
@@ -696,5 +648,11 @@ mod tests {
     fn mean_rows_basic() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
         assert_eq!(a.mean_rows().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn eye_has_unit_diagonal() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.data(), &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
     }
 }
