@@ -1,0 +1,22 @@
+// L000 fixture: the suppression workflow itself. Two justified allows
+// (standalone + trailing) suppress their violations; one unused allow and
+// one malformed allow are reported by the meta lint.
+
+pub fn covered(x: Option<u32>) -> u32 {
+    // logcl-allow(L002): fixture — documented contract, caller guarantees Some
+    x.unwrap()
+}
+
+pub fn trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // logcl-allow(L002): fixture — trailing form covers its own line
+}
+
+// logcl-allow(L002): fixture — nothing below violates, so this allow is stale
+pub fn clean() -> u32 {
+    0
+}
+
+// logcl-allow(L002)
+pub fn missing_reason() -> u32 {
+    1
+}

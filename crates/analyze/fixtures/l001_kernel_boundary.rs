@@ -1,0 +1,28 @@
+// L001 fixture: raw float-buffer compute outside crates/tensor/src/kernels/.
+
+pub fn axpy(y: &mut [f32], a: f32, x: &[f32]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+pub fn halves(buf: &mut [f64]) -> (&mut [f64], &mut [f64]) {
+    let mid = buf.len() / 2;
+    buf.split_at_mut(mid)
+}
+
+pub fn tiles(buf: &mut Vec<f32>, width: usize) {
+    for row in buf.chunks_mut(width) {
+        row.reverse();
+    }
+    let base = buf.as_mut_ptr();
+    let _ = base;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt(y: &mut [f32]) {
+        y.split_at_mut(0);
+    }
+}

@@ -1,0 +1,30 @@
+// L002 fixture: panic paths in non-test library code.
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn need(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn boom() {
+    panic!("boom");
+}
+
+pub fn cold() -> u32 {
+    unreachable!()
+}
+
+pub fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_stay_legal_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+// L003 fixture: hash-ordered containers and wall-clock reads in a
+// compute/model path. Import lines are exempt; uses are not.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn dedup(xs: &[u32]) -> usize {
+    let seen: FxHashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}
+
+pub fn width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

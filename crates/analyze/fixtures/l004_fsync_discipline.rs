@@ -1,0 +1,11 @@
+// L004 fixture: atomic-replace (create + rename) without an fsync before
+// the rename — a crash can publish a name pointing at unflushed bytes.
+
+use std::fs::File;
+use std::io::Write as _;
+
+pub fn publish(tmp: &std::path::Path, dst: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(tmp)?;
+    f.write_all(bytes)?;
+    std::fs::rename(tmp, dst)
+}

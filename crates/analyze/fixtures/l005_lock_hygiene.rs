@@ -1,0 +1,24 @@
+// L005 fixture: a live mutex guard spanning a blocking wait on another
+// primitive. The dropped-guard and consume-the-guard forms are legal.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn both(&self) -> u32 {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        a.map_or(0, |g| *g) + b.map_or(0, |g| *g)
+    }
+
+    pub fn sequential(&self) -> u32 {
+        let a = self.left.lock().map_or(0, |g| *g);
+        drop(a);
+        let b = self.right.lock();
+        b.map_or(0, |g| *g)
+    }
+}

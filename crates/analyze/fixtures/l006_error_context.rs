@@ -1,0 +1,17 @@
+// L006 fixture: untyped errors crossing a public crate boundary.
+
+pub fn read_config(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    std::fs::read(path).map_err(Into::into)
+}
+
+pub fn parse_port(s: &str) -> Result<u16, String> {
+    s.parse().map_err(|_| format!("bad port: {s}"))
+}
+
+pub fn typed(path: &str) -> Result<Vec<u8>, std::io::Error> {
+    std::fs::read(path)
+}
+
+pub fn payload_string_is_fine(code: u16) -> Result<String, std::io::Error> {
+    Ok(code.to_string())
+}

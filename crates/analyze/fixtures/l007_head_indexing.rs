@@ -1,0 +1,16 @@
+// L007 fixture: literal-zero indexing of possibly-empty request data in
+// the serving stack. Array/vec literals are not indexing and stay legal.
+
+pub fn first_score(scores: &[f32]) -> f32 {
+    scores[0]
+}
+
+pub fn head(batch: &[Vec<u32>]) -> u32 {
+    batch[0][0]
+}
+
+pub fn literals() -> (usize, Vec<usize>) {
+    let a = [0];
+    let v = vec![0];
+    (a.len(), v)
+}

@@ -1,0 +1,214 @@
+//! The baseline ratchet.
+//!
+//! The committed baseline file freezes existing debt as per-`(lint, file)`
+//! counts. `check` then enforces a one-way ratchet:
+//!
+//! * **count grows** → the new violations fail the gate;
+//! * **count shrinks** → the gate fails too, with instructions to run
+//!   `--update-baseline` — so the committed file can only ever shrink, and
+//!   a PR that fixes debt must lock the improvement in;
+//! * **count equal** → the debt is tolerated (but reported in the summary).
+//!
+//! Format: plain text, one `lint<TAB>path<TAB>count` per line, sorted,
+//! `#` comments allowed — trivially reviewable in a diff, no parser deps.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::lints::Diagnostic;
+
+/// Baseline contents: `(lint, path)` → tolerated count.
+pub type Baseline = BTreeMap<(String, String), u32>;
+
+/// A problem with the baseline file itself.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Reading the file failed (other than not-found, which means empty).
+    Io(std::io::Error),
+    /// A line is not `lint<TAB>path<TAB>count`.
+    Malformed { line_no: usize, line: String },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Io(e) => write!(f, "baseline file: {e}"),
+            BaselineError::Malformed { line_no, line } => write!(
+                f,
+                "baseline line {line_no} is not `lint<TAB>path<TAB>count`: {line:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Loads a baseline file; a missing file is an empty baseline.
+pub fn load(path: &Path) -> Result<Baseline, BaselineError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::new()),
+        Err(e) => return Err(BaselineError::Io(e)),
+    };
+    parse(&text)
+}
+
+/// Parses baseline text.
+pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+    let mut map = Baseline::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let entry = (|| {
+            let lint = parts.next()?.to_string();
+            let path = parts.next()?.to_string();
+            let count: u32 = parts.next()?.parse().ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(((lint, path), count))
+        })();
+        match entry {
+            Some((key, count)) => {
+                *map.entry(key).or_insert(0) += count;
+            }
+            None => {
+                return Err(BaselineError::Malformed {
+                    line_no: i + 1,
+                    line: raw.to_string(),
+                })
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Renders a baseline for committing.
+pub fn render(map: &Baseline) -> String {
+    let mut out = String::from(
+        "# logcl-analyze baseline: frozen existing debt, one `lint<TAB>path<TAB>count` per line.\n\
+         # This file may only shrink. Regenerate with:\n\
+         #   cargo run -p logcl-analyze -- check --update-baseline\n",
+    );
+    for ((lint, path), count) in map {
+        let _ = writeln!(out, "{lint}\t{path}\t{count}");
+    }
+    out
+}
+
+/// The verdict of comparing current diagnostics against the baseline.
+#[derive(Debug, Default)]
+pub struct Verdict {
+    /// Diagnostics in groups whose count exceeds the baseline (gate fails).
+    pub new_violations: Vec<Diagnostic>,
+    /// Groups whose count shrank or vanished: `(lint, path, baseline, now)`
+    /// — the gate fails until `--update-baseline` locks the win in.
+    pub stale: Vec<(String, String, u32, u32)>,
+    /// Diagnostics tolerated by the baseline.
+    pub tolerated: usize,
+}
+
+impl Verdict {
+    /// True when the gate passes.
+    pub fn ok(&self) -> bool {
+        self.new_violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares diagnostics against the baseline (see module docs for the
+/// ratchet rules).
+pub fn compare(diags: &[Diagnostic], baseline: &Baseline) -> Verdict {
+    let mut verdict = Verdict::default();
+    let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for d in diags {
+        *counts.entry((d.lint.clone(), d.path.clone())).or_insert(0) += 1;
+    }
+    for (key, &now) in &counts {
+        let base = baseline.get(key).copied().unwrap_or(0);
+        if now > base {
+            verdict.new_violations.extend(
+                diags
+                    .iter()
+                    .filter(|d| d.lint == key.0 && d.path == key.1)
+                    .cloned(),
+            );
+        } else if now < base {
+            verdict
+                .stale
+                .push((key.0.clone(), key.1.clone(), base, now));
+            verdict.tolerated += now as usize;
+        } else {
+            verdict.tolerated += now as usize;
+        }
+    }
+    for (key, &base) in baseline {
+        if !counts.contains_key(key) {
+            verdict.stale.push((key.0.clone(), key.1.clone(), base, 0));
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint: lint.into(),
+            path: path.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_parse_render() {
+        let mut b = Baseline::new();
+        b.insert(("L002".into(), "crates/x/src/a.rs".into()), 3);
+        b.insert(("L003".into(), "crates/y/src/b.rs".into()), 1);
+        let parsed = parse(&render(&b)).expect("parses");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse("L002 crates/x.rs 3").is_err()); // spaces, not tabs
+        assert!(parse("L002\tcrates/x.rs\tmany").is_err());
+        assert!(parse("# comment\n\nL002\tcrates/x.rs\t2\n").is_ok());
+    }
+
+    #[test]
+    fn ratchet_up_fails_down_is_stale_equal_tolerated() {
+        let mut base = Baseline::new();
+        base.insert(("L002".into(), "a.rs".into()), 2);
+        base.insert(("L003".into(), "b.rs".into()), 1);
+        base.insert(("L004".into(), "gone.rs".into()), 1);
+
+        // a.rs grew to 3 → new violations; b.rs equal → tolerated;
+        // gone.rs vanished → stale.
+        let diags = vec![
+            diag("L002", "a.rs", 1),
+            diag("L002", "a.rs", 2),
+            diag("L002", "a.rs", 3),
+            diag("L003", "b.rs", 1),
+        ];
+        let v = compare(&diags, &base);
+        assert_eq!(v.new_violations.len(), 3);
+        assert_eq!(v.tolerated, 1);
+        assert_eq!(v.stale.len(), 1);
+        assert_eq!(v.stale[0].0, "L004");
+        assert!(!v.ok());
+    }
+
+    #[test]
+    fn empty_baseline_passes_clean_tree() {
+        let v = compare(&[], &Baseline::new());
+        assert!(v.ok());
+    }
+}

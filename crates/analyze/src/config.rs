@@ -1,0 +1,158 @@
+//! Path-scoped lint configuration.
+//!
+//! Scoping lives *here*, in one audited table, rather than as inline
+//! `logcl-allow` noise: a crate that is exempt from a lint by design (e.g.
+//! `bench` stamps `Instant`-derived wall times into its BENCH_*.json
+//! reports, and `cli` prints wall-clock progress) is excluded by path
+//! prefix, and DESIGN.md documents each exclusion. Inline allows are
+//! reserved for *individual* justified sites inside an in-scope file.
+//!
+//! Rules:
+//! * Paths are workspace-relative with `/` separators.
+//! * A file is in scope for a lint when it matches an `include` prefix and
+//!   no `exclude` prefix. The longest matching rule wins by construction
+//!   (excludes are checked after includes, so an exclude always carves a
+//!   hole out of a broader include).
+//! * Files under `tests/`, `benches/`, `examples/`, or `fixtures/`
+//!   directories are never linted (test/fixture code is exempt globally),
+//!   and `#[cfg(test)] mod` bodies inside library files are exempt via
+//!   token spans.
+
+/// Path scope of one lint (or one rule group inside a lint).
+#[derive(Debug, Clone, Copy)]
+pub struct Scope {
+    /// Prefixes a file must match to be linted.
+    pub include: &'static [&'static str],
+    /// Prefixes carved out of the includes.
+    pub exclude: &'static [&'static str],
+}
+
+impl Scope {
+    /// Whether `path` (workspace-relative, `/`-separated) is in scope.
+    pub fn contains(&self, path: &str) -> bool {
+        self.include.iter().any(|p| path.starts_with(p))
+            && !self.exclude.iter().any(|p| path.starts_with(p))
+    }
+}
+
+/// Directory names whose contents are never linted, anywhere.
+pub const GLOBAL_EXEMPT_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+
+/// True when `path` contains a globally exempt directory component.
+pub fn globally_exempt(path: &str) -> bool {
+    path.split('/').any(|seg| GLOBAL_EXEMPT_DIRS.contains(&seg))
+}
+
+/// L001 kernel-boundary: raw f32/f64 buffer compute may exist only inside
+/// `crates/tensor/src/kernels/` (the `Backend` seam of PR 3).
+pub const L001_SCOPE: Scope = Scope {
+    include: &["crates/", "src/"],
+    exclude: &["crates/tensor/src/kernels/", "crates/analyze/"],
+};
+
+/// L002 panic-freedom: no unwrap/expect/panic-family macros in non-test
+/// library code of the fail-closed crates (PR 2's contract).
+pub const L002_SCOPE: Scope = Scope {
+    include: &[
+        "crates/tensor/src/",
+        "crates/gnn/src/",
+        "crates/core/src/",
+        "crates/tkg/src/",
+        "crates/serve/src/",
+        "crates/analyze/src/",
+    ],
+    exclude: &[],
+};
+
+/// L003 (collections rule): hash-ordered containers are banned in compute,
+/// model, and serving paths — ordered collections or sorted drains only.
+/// `bench` and `cli` are excluded by design: they are presentation-layer
+/// code whose outputs are either explicitly sorted or human-facing logs.
+pub const L003_COLLECTIONS_SCOPE: Scope = Scope {
+    include: &[
+        "crates/tensor/src/",
+        "crates/gnn/src/",
+        "crates/core/src/",
+        "crates/tkg/src/",
+        "crates/baselines/src/",
+        "crates/serve/src/",
+    ],
+    exclude: &[],
+};
+
+/// L003 (time-source rule): wall-clock reads are banned in compute/model
+/// paths. `serve` is additionally excluded here (but *not* from the
+/// collections rule): request timing, linger deadlines, and latency
+/// metrics are wall-clock by nature and never feed model math. `bench`
+/// and `cli` are excluded for the same reason as above — `bench` exists
+/// to stamp `Instant`-derived wall times into BENCH_*.json.
+pub const L003_TIME_SCOPE: Scope = Scope {
+    include: &[
+        "crates/tensor/src/",
+        "crates/gnn/src/",
+        "crates/core/src/",
+        "crates/tkg/src/",
+        "crates/baselines/src/",
+    ],
+    exclude: &[],
+};
+
+/// L004 fsync-discipline: any file that both creates files and renames
+/// them (the atomic-replace pattern) must fsync before the rename.
+pub const L004_SCOPE: Scope = Scope {
+    include: &["crates/", "src/"],
+    exclude: &["crates/analyze/"],
+};
+
+/// L005 lock hygiene: guards must not span a blocking wait on another
+/// primitive. Scoped to the two places that hold locks around channels
+/// and condvars: the kernel thread pool and the serving stack.
+pub const L005_SCOPE: Scope = Scope {
+    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
+    exclude: &[],
+};
+
+/// L006 error-context: crate-boundary `Result`s must carry typed errors —
+/// no `Box<dyn Error>` and no `Result<_, String>` in public signatures.
+pub const L006_SCOPE: Scope = Scope {
+    include: &[
+        "crates/tensor/src/",
+        "crates/gnn/src/",
+        "crates/core/src/",
+        "crates/tkg/src/",
+        "crates/serve/src/",
+        "crates/analyze/src/",
+    ],
+    exclude: &[],
+};
+
+/// L007 head-indexing: `expr[0]` on possibly-empty request/batch data in
+/// the serving stack must be `.first()`/`.get(0)` instead. Scoped to
+/// `serve` where the data is attacker-controlled; numeric crates index
+/// shape vectors under validated invariants.
+pub const L007_SCOPE: Scope = Scope {
+    include: &["crates/serve/src/"],
+    exclude: &[],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_prefix_logic() {
+        assert!(L001_SCOPE.contains("crates/gnn/src/rgcn.rs"));
+        assert!(!L001_SCOPE.contains("crates/tensor/src/kernels/ops.rs"));
+        assert!(L003_COLLECTIONS_SCOPE.contains("crates/serve/src/server.rs"));
+        assert!(!L003_TIME_SCOPE.contains("crates/serve/src/server.rs"));
+        assert!(!L003_TIME_SCOPE.contains("crates/bench/src/common.rs"));
+    }
+
+    #[test]
+    fn global_exemptions() {
+        assert!(globally_exempt("crates/tensor/tests/proptest_kernels.rs"));
+        assert!(globally_exempt("examples/quickstart.rs"));
+        assert!(globally_exempt("crates/analyze/fixtures/l001.rs"));
+        assert!(!globally_exempt("crates/tensor/src/tensor.rs"));
+    }
+}

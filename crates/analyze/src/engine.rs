@@ -1,0 +1,256 @@
+//! The analysis engine: walks workspace sources, runs every in-scope lint,
+//! resolves `logcl-allow` suppressions, and reports unused allows as
+//! violations of the meta lint `L000`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config;
+use crate::lints::{registry, Diagnostic};
+use crate::source::SourceFile;
+
+/// The result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Surviving diagnostics (allows already applied), sorted by
+    /// path, line, column, lint id.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+    /// How many diagnostics inline allows suppressed.
+    pub suppressed: usize,
+}
+
+/// Errors the engine itself can hit (I/O, bad root).
+#[derive(Debug)]
+pub enum EngineError {
+    /// The given root is not a workspace (no Cargo.toml with [workspace]).
+    NotAWorkspace(PathBuf),
+    /// Reading a file or directory failed.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NotAWorkspace(p) => {
+                write!(f, "{} is not a cargo workspace root", p.display())
+            }
+            EngineError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Locates the workspace root: walks up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Analyzes every workspace source file under `root`.
+pub fn analyze_root(root: &Path) -> Result<Analysis, EngineError> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(EngineError::NotAWorkspace(root.to_path_buf()));
+    }
+    let mut files: Vec<(String, String)> = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, &mut files)?;
+        }
+    }
+    // Deterministic order regardless of filesystem enumeration.
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(analyze_sources(&files))
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, String)>,
+) -> Result<(), EngineError> {
+    let entries = fs::read_dir(dir).map_err(|e| EngineError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| EngineError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if config::globally_exempt(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = fs::read_to_string(&path).map_err(|e| EngineError::Io(path.clone(), e))?;
+            out.push((rel, text));
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes in-memory sources: `(workspace-relative path, contents)` pairs.
+/// This is the seam the fixture tests inject violations through.
+pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
+    let mut analysis = Analysis::default();
+    for (path, text) in files {
+        if config::globally_exempt(path) {
+            continue;
+        }
+        analysis.files_scanned += 1;
+        let file = SourceFile::parse(path, text);
+
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        for lint in registry() {
+            if lint.scope.contains(path) {
+                (lint.run)(&file, &mut raw);
+            }
+        }
+
+        // Resolve allows. A trailing allow covers its own line; a
+        // standalone allow covers the next line holding code (stacked
+        // standalone allows therefore all cover that same line).
+        let mut allow_used = vec![false; file.allows.len()];
+        'diag: for d in raw {
+            for (ai, a) in file.allows.iter().enumerate() {
+                if a.lint != d.lint {
+                    continue;
+                }
+                let target = if a.standalone {
+                    file.next_code_line(a.line)
+                } else {
+                    Some(a.line)
+                };
+                if target == Some(d.line) {
+                    allow_used[ai] = true;
+                    analysis.suppressed += 1;
+                    continue 'diag;
+                }
+            }
+            analysis.diagnostics.push(d);
+        }
+
+        // Meta lint L000: malformed and unused allows are themselves
+        // violations — a stale allow is a hole in the gate.
+        for b in &file.bad_allows {
+            analysis.diagnostics.push(Diagnostic {
+                lint: "L000".into(),
+                path: path.clone(),
+                line: b.line,
+                col: 1,
+                message: format!("malformed suppression: {}", b.problem),
+            });
+        }
+        for (ai, a) in file.allows.iter().enumerate() {
+            if !allow_used[ai] {
+                analysis.diagnostics.push(Diagnostic {
+                    lint: "L000".into(),
+                    path: path.clone(),
+                    line: a.line,
+                    col: 1,
+                    message: format!(
+                        "unused logcl-allow({}) — the violation it suppressed is gone; \
+                         remove the allow so the gate stays tight",
+                        a.lint
+                    ),
+                });
+            }
+        }
+    }
+    analysis
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.lint).cmp(&(&b.path, b.line, b.col, &b.lint)));
+    analysis
+}
+
+/// Per-`(lint, path)` diagnostic counts — the ratchet's unit of account.
+pub fn count_by_lint_and_path(diags: &[Diagnostic]) -> BTreeMap<(String, String), u32> {
+    let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for d in diags {
+        *counts.entry((d.lint.clone(), d.path.clone())).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> (String, String) {
+        (path.to_string(), text.to_string())
+    }
+
+    #[test]
+    fn allows_suppress_and_unused_allows_fire() {
+        let files = [src(
+            "crates/core/src/x.rs",
+            "// logcl-allow(L002): documented contract\nfn f() { a.unwrap(); }\n\
+             fn g() { b.unwrap(); } // logcl-allow(L002): also fine\n\
+             // logcl-allow(L002): nothing below violates\nfn h() {}\n",
+        )];
+        let a = analyze_sources(&files);
+        assert_eq!(a.suppressed, 2);
+        assert_eq!(a.diagnostics.len(), 1, "{:?}", a.diagnostics);
+        assert_eq!(a.diagnostics[0].lint, "L000");
+        assert!(a.diagnostics[0].message.contains("unused"));
+    }
+
+    #[test]
+    fn allow_for_wrong_lint_does_not_suppress() {
+        let files = [src(
+            "crates/core/src/x.rs",
+            "fn f() { a.unwrap(); } // logcl-allow(L003): wrong id\n",
+        )];
+        let a = analyze_sources(&files);
+        let lints: Vec<&str> = a.diagnostics.iter().map(|d| d.lint.as_str()).collect();
+        assert!(lints.contains(&"L002"), "{lints:?}");
+        assert!(lints.contains(&"L000"), "unused wrong-id allow: {lints:?}");
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_not_linted() {
+        let files = [
+            src(
+                "crates/bench/src/x.rs",
+                "fn f() { let t = Instant::now(); }",
+            ),
+            src("crates/cli/src/x.rs", "fn f() { let m: HashMap<u8,u8>; }"),
+            src("crates/core/tests/x.rs", "fn f() { a.unwrap(); }"),
+        ];
+        let a = analyze_sources(&files);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn diagnostics_sorted_and_counted() {
+        let files = [src(
+            "crates/core/src/x.rs",
+            "fn f() { b.unwrap(); a.unwrap(); }\nfn g() { c.expect(\"x\"); }\n",
+        )];
+        let a = analyze_sources(&files);
+        assert_eq!(a.diagnostics.len(), 3);
+        assert!(a
+            .diagnostics
+            .windows(2)
+            .all(|w| { (&w[0].path, w[0].line, w[0].col) <= (&w[1].path, w[1].line, w[1].col) }));
+        let counts = count_by_lint_and_path(&a.diagnostics);
+        assert_eq!(
+            counts[&("L002".to_string(), "crates/core/src/x.rs".to_string())],
+            3
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! `logcl-analyze`: the in-repo invariant lint engine.
+//!
+//! A std-only static-analysis pass (lexer, no `syn`) that walks every
+//! workspace source file and enforces the repo's determinism, panic-freedom
+//! and kernel-boundary invariants as hard CI gates. See DESIGN.md
+//! ("Static analysis & enforced invariants") for the lint table and
+//! CONTRIBUTING.md for the `logcl-allow` workflow.
+
+pub mod baseline;
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+
+pub use engine::{analyze_root, analyze_sources, find_workspace_root, Analysis};
+pub use lints::{lint_by_id, registry, Diagnostic};

@@ -1,0 +1,858 @@
+//! The lint registry and every lint implementation.
+//!
+//! Each lint is a pure function over one lexed [`SourceFile`]; scoping
+//! (which paths it applies to) lives in [`crate::config`], and suppression
+//! (`logcl-allow`) plus the baseline ratchet are applied by the engine
+//! afterwards, so lints here simply report every match.
+
+use crate::config::{self, Scope};
+use crate::lexer::{Tok, Token};
+use crate::source::SourceFile;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint id (`"L001"`…; `"L000"` is the engine's meta lint).
+    pub lint: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong, specifically.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(lint: &str, file: &SourceFile, t: &Token, message: String) -> Diagnostic {
+        Diagnostic {
+            lint: lint.to_string(),
+            path: file.path.clone(),
+            line: t.line,
+            col: t.col,
+            message,
+        }
+    }
+}
+
+/// A registered lint.
+pub struct LintDef {
+    /// Stable id, `L001`…
+    pub id: &'static str,
+    /// Short name for listings.
+    pub name: &'static str,
+    /// The invariant it protects (one line, shown in `lints` output).
+    pub invariant: &'static str,
+    /// Which PR's guarantee this lint machine-checks.
+    pub origin: &'static str,
+    /// Run the lint over one in-scope file.
+    pub run: fn(&SourceFile, &mut Vec<Diagnostic>),
+    /// Path scope. Lints with several rule groups (L003) check additional
+    /// scopes internally; this is the union.
+    pub scope: Scope,
+}
+
+/// All lints, in id order.
+pub fn registry() -> &'static [LintDef] {
+    &[
+        LintDef {
+            id: "L001",
+            name: "kernel-boundary",
+            invariant: "raw f32/f64 buffer compute only inside crates/tensor/src/kernels/",
+            origin: "PR 3 (pluggable Backend, bit-identical kernels)",
+            run: l001_kernel_boundary,
+            scope: config::L001_SCOPE,
+        },
+        LintDef {
+            id: "L002",
+            name: "panic-freedom",
+            invariant: "no unwrap/expect/panic!/unreachable!/todo! in non-test library code",
+            origin: "PR 2 (fail-closed training and serving)",
+            run: l002_panic_freedom,
+            scope: config::L002_SCOPE,
+        },
+        LintDef {
+            id: "L003",
+            name: "determinism",
+            invariant: "no hash-ordered iteration or wall-clock reads in compute/model paths",
+            origin: "PR 3 (bit-identical kernels) + paper Eq. 9-14 aggregation order",
+            run: l003_determinism,
+            scope: config::L003_COLLECTIONS_SCOPE,
+        },
+        LintDef {
+            id: "L004",
+            name: "fsync-discipline",
+            invariant: "File::create + rename (atomic replace) requires an fsync before the rename",
+            origin: "PR 2 (durable atomic checkpoints)",
+            run: l004_fsync_discipline,
+            scope: config::L004_SCOPE,
+        },
+        LintDef {
+            id: "L005",
+            name: "lock-hygiene",
+            invariant: "a held mutex guard must not span a blocking wait on another primitive",
+            origin: "PR 3 (kernel pool) + PR 1 (serve batcher)",
+            run: l005_lock_hygiene,
+            scope: config::L005_SCOPE,
+        },
+        LintDef {
+            id: "L006",
+            name: "error-context",
+            invariant: "public Results carry typed errors, not Box<dyn Error> or String",
+            origin: "PR 2 (typed checkpoint/dataset/training errors)",
+            run: l006_error_context,
+            scope: config::L006_SCOPE,
+        },
+        LintDef {
+            id: "L007",
+            name: "head-indexing",
+            invariant: "no literal-zero indexing of request/batch data in the serving stack",
+            origin: "PR 1 (serve) + PR 2 (fail-closed request validation)",
+            run: l007_head_indexing,
+            scope: config::L007_SCOPE,
+        },
+    ]
+}
+
+/// The lint def for `id`, if registered.
+pub fn lint_by_id(id: &str) -> Option<&'static LintDef> {
+    registry().iter().find(|l| l.id == id)
+}
+
+// ------------------------------------------------------------------ helpers
+
+/// A token-sequence pattern element.
+enum Pat {
+    /// Exactly this identifier.
+    I(&'static str),
+    /// Exactly this punctuation char.
+    P(char),
+    /// Any identifier.
+    AnyIdent,
+}
+
+fn match_at(tokens: &[Token], i: usize, pats: &[Pat]) -> bool {
+    if i + pats.len() > tokens.len() {
+        return false;
+    }
+    pats.iter().enumerate().all(|(k, p)| match p {
+        Pat::I(name) => tokens[i + k].tok.is_ident(name),
+        Pat::P(c) => tokens[i + k].tok.is_punct(*c),
+        Pat::AnyIdent => matches!(tokens[i + k].tok, Tok::Ident(_)),
+    })
+}
+
+// --------------------------------------------------------------------- L001
+
+/// Raw-buffer compute outside the kernel boundary: `&mut [f32]`/`&mut [f64]`
+/// signatures, mutable slice partitioning (`chunks_mut`, `split_at_mut`),
+/// and raw-pointer buffer access. Inner loops over tensor data belong in
+/// `crates/tensor/src/kernels/` behind the `Backend` trait, where the PR 3
+/// property tests prove them bit-identical across thread counts.
+fn l001_kernel_boundary(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+    for i in 0..ts.len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        let float_slice = |j: usize| {
+            match_at(ts, j, &[Pat::P('['), Pat::I("f32"), Pat::P(']')])
+                || match_at(ts, j, &[Pat::P('['), Pat::I("f64"), Pat::P(']')])
+        };
+        if match_at(ts, i, &[Pat::P('&'), Pat::I("mut")]) && float_slice(i + 2) {
+            out.push(Diagnostic::new(
+                "L001",
+                file,
+                &ts[i],
+                "mutable raw float-buffer (`&mut [f32]`/`&mut [f64]`) outside \
+                 crates/tensor/src/kernels/ — move the inner loop behind the Backend trait"
+                    .into(),
+            ));
+        }
+        for name in ["chunks_mut", "chunks_exact_mut", "split_at_mut"] {
+            if match_at(ts, i, &[Pat::P('.'), Pat::I(name), Pat::P('(')]) {
+                out.push(Diagnostic::new(
+                    "L001",
+                    file,
+                    &ts[i + 1],
+                    format!(
+                        "mutable slice partitioning (`.{name}`) outside the kernel boundary — \
+                         parallel buffer decomposition belongs in crates/tensor/src/kernels/"
+                    ),
+                ));
+            }
+        }
+        for name in ["from_raw_parts", "from_raw_parts_mut", "as_mut_ptr"] {
+            if ts[i].tok.is_ident(name) && !file.in_use_statement(i) {
+                out.push(Diagnostic::new(
+                    "L001",
+                    file,
+                    &ts[i],
+                    format!("raw-pointer buffer access (`{name}`) outside the kernel boundary"),
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------- L002
+
+/// Panic paths in library code: `.unwrap()`, `.expect(…)`, and the
+/// panic-family macros. Test code (`#[cfg(test)]` bodies, `tests/` dirs)
+/// keeps its unwraps. `assert!`/`debug_assert!` are deliberately out of
+/// scope: they state documented caller contracts, not input-dependent
+/// failure paths (see DESIGN.md).
+fn l002_panic_freedom(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+    for i in 0..ts.len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        if match_at(
+            ts,
+            i,
+            &[Pat::P('.'), Pat::I("unwrap"), Pat::P('('), Pat::P(')')],
+        ) {
+            out.push(Diagnostic::new(
+                "L002",
+                file,
+                &ts[i + 1],
+                "`.unwrap()` in library code — return a typed error (or recover) instead; \
+                 the fail-closed contract (PR 2) forbids panicking on representable states"
+                    .into(),
+            ));
+        }
+        if match_at(ts, i, &[Pat::P('.'), Pat::I("expect"), Pat::P('(')]) {
+            out.push(Diagnostic::new(
+                "L002",
+                file,
+                &ts[i + 1],
+                "`.expect(…)` in library code — return a typed error (or recover) instead".into(),
+            ));
+        }
+        for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+            if match_at(ts, i, &[Pat::I(mac), Pat::P('!')]) {
+                out.push(Diagnostic::new(
+                    "L002",
+                    file,
+                    &ts[i],
+                    format!(
+                        "`{mac}!` in library code — convert to a typed error, or justify the \
+                         invariant with `// logcl-allow(L002): reason`"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------- L003
+
+/// Nondeterminism sources in compute/model paths.
+///
+/// Rule 1 (collections): `HashMap`/`HashSet`/`FxHashMap`/`FxHashSet` are
+/// hash-ordered; iterating one feeds arbitrary order into float
+/// accumulation (the exact failure mode of the paper's Eq. 9-14 two-phase
+/// aggregation). Use `BTreeMap`/`BTreeSet` or an explicit sorted drain.
+/// Scope includes `serve` (caches and vocabularies feed responses).
+///
+/// Rule 2 (time sources): `Instant::now`/`SystemTime::now`/
+/// `available_parallelism` make compute depend on wall clock or host
+/// topology. Scope excludes `serve` (request timing is wall-clock by
+/// nature) and `bench`/`cli` via config.
+fn l003_determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+    let collections = config::L003_COLLECTIONS_SCOPE.contains(&file.path);
+    let time = config::L003_TIME_SCOPE.contains(&file.path);
+    for i in 0..ts.len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        if collections && !file.in_use_statement(i) {
+            for name in ["HashMap", "HashSet", "FxHashMap", "FxHashSet"] {
+                if ts[i].tok.is_ident(name) {
+                    out.push(Diagnostic::new(
+                        "L003",
+                        file,
+                        &ts[i],
+                        format!(
+                            "`{name}` in a compute/model/serving path — hash iteration order is \
+                             arbitrary; use BTreeMap/BTreeSet or a sorted drain (or justify a \
+                             lookup-only use with logcl-allow)"
+                        ),
+                    ));
+                }
+            }
+        }
+        if time {
+            for src in ["Instant", "SystemTime"] {
+                if match_at(
+                    ts,
+                    i,
+                    &[Pat::I(src), Pat::P(':'), Pat::P(':'), Pat::I("now")],
+                ) {
+                    out.push(Diagnostic::new(
+                        "L003",
+                        file,
+                        &ts[i],
+                        format!(
+                            "`{src}::now()` in a compute path — wall-clock reads make results \
+                             or control flow time-dependent"
+                        ),
+                    ));
+                }
+            }
+            if ts[i].tok.is_ident("available_parallelism") && !file.in_use_statement(i) {
+                out.push(Diagnostic::new(
+                    "L003",
+                    file,
+                    &ts[i],
+                    "`available_parallelism()` in a compute path — thread-count-dependent \
+                     branching; kernels must be bit-identical across thread counts (PR 3)"
+                        .into(),
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------- L004
+
+/// Atomic-replace durability: a file that creates files *and* renames them
+/// is doing the tmp-then-rename dance; every `rename` must be preceded (in
+/// the file) by an `fsync` (`sync_all`/`sync_data`), otherwise a crash can
+/// publish a name pointing at unflushed bytes.
+fn l004_fsync_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+    let creates = (0..ts.len()).any(|i| {
+        !file.in_test_code(i)
+            && (match_at(
+                ts,
+                i,
+                &[Pat::I("File"), Pat::P(':'), Pat::P(':'), Pat::I("create")],
+            ) || match_at(ts, i, &[Pat::P('.'), Pat::I("create"), Pat::P('(')])
+                && i > 0
+                && ts[..i]
+                    .iter()
+                    .rev()
+                    .take(8)
+                    .any(|t| t.tok.is_ident("OpenOptions")))
+    });
+    if !creates {
+        return;
+    }
+    let mut synced_before = vec![false; ts.len()];
+    let mut seen_sync = false;
+    for i in 0..ts.len() {
+        if !file.in_test_code(i)
+            && (ts[i].tok.is_ident("sync_all") || ts[i].tok.is_ident("sync_data"))
+        {
+            seen_sync = true;
+        }
+        synced_before[i] = seen_sync;
+    }
+    for i in 0..ts.len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        let is_rename = match_at(ts, i, &[Pat::I("rename"), Pat::P('(')])
+            && !file.in_use_statement(i)
+            // `fs::rename(` or `.rename(` — not a local fn definition.
+            && !(i > 0 && ts[i - 1].tok.is_ident("fn"));
+        if is_rename && !synced_before[i] {
+            out.push(Diagnostic::new(
+                "L004",
+                file,
+                &ts[i],
+                "rename without a preceding fsync in a file that creates files — the \
+                 atomic-replace pattern must sync_all() the tmp file (and ideally the \
+                 directory) before renaming (PR 2 checkpoint discipline)"
+                    .into(),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------------- L005
+
+/// Lock-hygiene: while a named mutex guard is live, no `.lock(`, `.recv(`,
+/// `.recv_timeout(`, or condvar `.wait*(` on anything other than the guard
+/// itself. Condvar waits that consume the guard (`cv.wait(guard)`) and
+/// channel reads *through* the guard (`guard.recv()`, for `Mutex<Receiver>`)
+/// are the sanctioned patterns and are exempt.
+fn l005_lock_hygiene(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+
+    #[derive(Debug)]
+    struct Guard {
+        name: String,
+        depth: i32,
+        live: bool,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+
+    // Scans one statement starting at `start` (a `let` or a reassignment),
+    // returning (end_index_past_semicolon, rhs_contains_lock).
+    let stmt_end = |start: usize| -> usize {
+        let mut j = start;
+        let mut d = 0i32;
+        while j < ts.len() {
+            match &ts[j].tok {
+                t if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') => d += 1,
+                t if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') => d -= 1,
+                t if t.is_punct(';') && d <= 0 => return j + 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        ts.len()
+    };
+
+    while i < ts.len() {
+        if file.in_test_code(i) {
+            i += 1;
+            continue;
+        }
+        match &ts[i].tok {
+            t if t.is_punct('{') => {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            t if t.is_punct('}') => {
+                depth -= 1;
+                for g in &mut guards {
+                    if g.live && depth < g.depth {
+                        g.live = false;
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+
+        // `drop(name)` kills a guard.
+        if match_at(
+            ts,
+            i,
+            &[Pat::I("drop"), Pat::P('('), Pat::AnyIdent, Pat::P(')')],
+        ) {
+            if let Tok::Ident(name) = &ts[i + 2].tok {
+                for g in &mut guards {
+                    if g.live && g.name == *name {
+                        g.live = false;
+                    }
+                }
+            }
+            i += 4;
+            continue;
+        }
+
+        // A guard binding: `let [mut] NAME = … .lock( … ;` — or a
+        // reassignment `NAME = … .lock( … ;` of a known guard name.
+        let binding = if ts[i].tok.is_ident("let") {
+            let mut j = i + 1;
+            if ts.get(j).is_some_and(|t| t.tok.is_ident("mut")) {
+                j += 1;
+            }
+            match (ts.get(j).map(|t| &t.tok), ts.get(j + 1).map(|t| &t.tok)) {
+                (Some(Tok::Ident(name)), Some(t))
+                    if t.is_punct('=') && !ts.get(j + 2).is_some_and(|n| n.tok.is_punct('=')) =>
+                {
+                    Some((name.clone(), i))
+                }
+                _ => None,
+            }
+        } else if let Tok::Ident(name) = &ts[i].tok {
+            let reassign = ts.get(i + 1).is_some_and(|t| t.tok.is_punct('='))
+                && !ts.get(i + 2).is_some_and(|t| t.tok.is_punct('='))
+                && guards.iter().any(|g| g.name == *name);
+            if reassign {
+                Some((name.clone(), i))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        if let Some((name, start)) = binding {
+            let end = stmt_end(start);
+            let stmt = &ts[start..end];
+            let has_lock = (0..stmt.len())
+                .any(|k| match_at(stmt, k, &[Pat::P('.'), Pat::I("lock"), Pat::P('(')]));
+            // Violations *within* the statement are judged against the
+            // other guards live at its start.
+            check_span(file, ts, start, end, &guards, Some(&name), out);
+            if has_lock {
+                if let Some(g) = guards.iter_mut().find(|g| g.name == name) {
+                    g.live = true; // revive at original depth
+                } else {
+                    guards.push(Guard {
+                        name,
+                        depth,
+                        live: true,
+                    });
+                }
+            }
+            // Walk the statement for depth changes it contains.
+            for t in stmt {
+                if t.tok.is_punct('{') {
+                    depth += 1;
+                } else if t.tok.is_punct('}') {
+                    depth -= 1;
+                }
+            }
+            i = end;
+            continue;
+        }
+
+        check_span(file, ts, i, i + 1, &guards, None, out);
+        i += 1;
+    }
+
+    /// Reports blocking calls in `ts[from..to]` that violate a live guard.
+    fn check_span(
+        file: &SourceFile,
+        ts: &[Token],
+        from: usize,
+        to: usize,
+        guards: &[Guard],
+        binding_of: Option<&str>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let live: Vec<&Guard> = guards
+            .iter()
+            .filter(|g| g.live && Some(g.name.as_str()) != binding_of)
+            .collect();
+        if live.is_empty() {
+            return;
+        }
+        for k in from..to {
+            if file.in_test_code(k) {
+                continue;
+            }
+            let blocking = [
+                "lock",
+                "recv",
+                "recv_timeout",
+                "wait",
+                "wait_timeout",
+                "wait_while",
+            ]
+            .iter()
+            .find(|&&name| match_at(ts, k, &[Pat::P('.'), Pat::I(name), Pat::P('(')]))
+            .copied();
+            let Some(call) = blocking else { continue };
+            // Exempt: the call is *through* a live guard (`guard.recv()`) …
+            let through_guard = k > 0
+                && matches!(&ts[k - 1].tok, Tok::Ident(n) if live.iter().any(|g| g.name == *n));
+            // … or a condvar wait that consumes a live guard
+            // (`cv.wait(guard)` / `cv.wait_timeout(guard, d)`).
+            let consumes_guard = call.starts_with("wait")
+                && matches!(ts.get(k + 3).map(|t| &t.tok), Some(Tok::Ident(n)) if live.iter().any(|g| g.name == *n));
+            if through_guard || consumes_guard {
+                continue;
+            }
+            let held: Vec<&str> = live.iter().map(|g| g.name.as_str()).collect();
+            out.push(Diagnostic::new(
+                "L005",
+                file,
+                &ts[k + 1],
+                format!(
+                    "blocking `.{call}(…)` while mutex guard(s) {held:?} are held — a guard \
+                     must not span a wait on another primitive (deadlock risk); drop the \
+                     guard first or wait on the guard itself"
+                ),
+            ));
+        }
+    }
+}
+
+// --------------------------------------------------------------------- L006
+
+/// Error-context discipline at crate boundaries: no `Box<dyn …Error…>`
+/// anywhere in scoped library code, and no `pub fn … -> Result<_, String>`.
+/// Stringly-typed errors destroy the caller's ability to branch on failure
+/// kind — PR 2 introduced typed `CheckpointError`/`DatasetError`/
+/// `TrainError` for exactly this reason.
+fn l006_error_context(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+    for i in 0..ts.len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        // Box<dyn …Error…>
+        if match_at(ts, i, &[Pat::I("Box"), Pat::P('<'), Pat::I("dyn")]) {
+            let mut d = 1i32;
+            let mut j = i + 2;
+            let mut has_error = false;
+            while j < ts.len() && d > 0 && j < i + 24 {
+                match &ts[j].tok {
+                    t if t.is_punct('<') => d += 1,
+                    t if t.is_punct('>') => d -= 1,
+                    Tok::Ident(n) if n.ends_with("Error") => has_error = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_error {
+                out.push(Diagnostic::new(
+                    "L006",
+                    file,
+                    &ts[i],
+                    "`Box<dyn Error>` erases the failure type at a crate boundary — \
+                     define a typed error enum with Display + From conversions (PR 2 style)"
+                        .into(),
+                ));
+            }
+        }
+        // pub fn … -> Result<…, String>
+        if ts[i].tok.is_ident("pub") {
+            if let Some((ret_start, ret_end, fn_tok)) = pub_fn_return_span(ts, i) {
+                if result_with_string_error(&ts[ret_start..ret_end]) {
+                    out.push(Diagnostic::new(
+                        "L006",
+                        file,
+                        fn_tok,
+                        "public fn returns `Result<_, String>` — stringly-typed errors \
+                         cross the crate boundary untyped; define an error enum and map \
+                         with `?`/From instead"
+                            .into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// For a `pub` at `i` introducing a fn, the token span of its return type
+/// (after `->`, before body/where/`;`), plus the `fn` token for reporting.
+fn pub_fn_return_span(ts: &[Token], i: usize) -> Option<(usize, usize, &Token)> {
+    let mut j = i + 1;
+    // pub(crate) / pub(super) / pub(in path)
+    if ts.get(j).is_some_and(|t| t.tok.is_punct('(')) {
+        let mut d = 1;
+        j += 1;
+        while j < ts.len() && d > 0 {
+            if ts[j].tok.is_punct('(') {
+                d += 1;
+            } else if ts[j].tok.is_punct(')') {
+                d -= 1;
+            }
+            j += 1;
+        }
+    }
+    // Qualifiers before `fn`.
+    while ts
+        .get(j)
+        .is_some_and(|t| matches!(t.tok.ident(), Some("const" | "async" | "unsafe" | "extern")))
+    {
+        j += 1;
+        if ts.get(j).is_some_and(|t| matches!(t.tok, Tok::Str)) {
+            j += 1; // extern "C"
+        }
+    }
+    if !ts.get(j).is_some_and(|t| t.tok.is_ident("fn")) {
+        return None;
+    }
+    let fn_tok = &ts[j];
+    // Skip name and generics to the parameter list.
+    let mut k = j + 1;
+    while k < ts.len() && !ts[k].tok.is_punct('(') {
+        if ts[k].tok.is_punct('{') || ts[k].tok.is_punct(';') {
+            return None;
+        }
+        k += 1;
+    }
+    // Match the parameter parens.
+    let mut d = 1i32;
+    k += 1;
+    while k < ts.len() && d > 0 {
+        if ts[k].tok.is_punct('(') {
+            d += 1;
+        } else if ts[k].tok.is_punct(')') {
+            d -= 1;
+        }
+        k += 1;
+    }
+    // Expect `->`; otherwise no return type.
+    if !(ts.get(k).is_some_and(|t| t.tok.is_punct('-'))
+        && ts.get(k + 1).is_some_and(|t| t.tok.is_punct('>')))
+    {
+        return None;
+    }
+    let ret_start = k + 2;
+    let mut e = ret_start;
+    while e < ts.len() {
+        match &ts[e].tok {
+            t if t.is_punct('{') || t.is_punct(';') => break,
+            Tok::Ident(n) if n == "where" => break,
+            _ => {}
+        }
+        e += 1;
+    }
+    Some((ret_start, e, fn_tok))
+}
+
+/// True when the return-type tokens contain `Result<…, String>` with
+/// `String` in the top-level error position.
+fn result_with_string_error(ret: &[Token]) -> bool {
+    for i in 0..ret.len() {
+        if !(ret[i].tok.is_ident("Result") && ret.get(i + 1).is_some_and(|t| t.tok.is_punct('<'))) {
+            continue;
+        }
+        let mut d = 1i32;
+        let mut j = i + 2;
+        let mut segments: Vec<Vec<&Tok>> = vec![Vec::new()];
+        while j < ret.len() && d > 0 {
+            let mut keep: Option<&Tok> = None;
+            match &ret[j].tok {
+                t if t.is_punct('<') => {
+                    d += 1;
+                    keep = Some(t);
+                }
+                t if t.is_punct('>') => {
+                    d -= 1;
+                    if d > 0 {
+                        keep = Some(t);
+                    }
+                }
+                t if t.is_punct(',') && d == 1 => segments.push(Vec::new()),
+                t => keep = Some(t),
+            }
+            if let (Some(t), Some(seg)) = (keep, segments.last_mut()) {
+                seg.push(t);
+            }
+            j += 1;
+        }
+        if segments.len() >= 2 {
+            let err_seg = &segments[segments.len() - 1];
+            if err_seg.iter().any(|t| t.is_ident("String")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// --------------------------------------------------------------------- L007
+
+/// Literal-zero indexing (`expr[0]`) in the serving stack: request bodies
+/// and batches can be empty, and `x[0]` on an empty Vec is a panic a remote
+/// caller can trigger. Use `.first()`/`.get(0)` with an error path.
+fn l007_head_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+    for i in 1..ts.len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        let indexable_receiver = matches!(ts[i - 1].tok, Tok::Ident(_))
+            || ts[i - 1].tok.is_punct(')')
+            || ts[i - 1].tok.is_punct(']');
+        let zero_index = match_at(ts, i, &[Pat::P('[')])
+            && matches!(&ts.get(i + 1).map(|t| &t.tok), Some(Tok::Num(n)) if n == "0")
+            && ts.get(i + 2).is_some_and(|t| t.tok.is_punct(']'));
+        if indexable_receiver && zero_index {
+            out.push(Diagnostic::new(
+                "L007",
+                file,
+                &ts[i],
+                "literal-zero indexing in the serving stack — `expr[0]` panics on empty \
+                 input a remote caller controls; use `.first()`/`.get(0)` with an error path"
+                    .into(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_lint(id: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let def = lint_by_id(id).expect("registered lint");
+        let mut out = Vec::new();
+        (def.run)(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn l002_flags_unwrap_and_macros_but_not_unwrap_or() {
+        let src = "fn f() { a.unwrap(); b.unwrap_or(0); c.expect(\"x\"); panic!(\"no\"); }";
+        let d = run_lint("L002", "crates/core/src/x.rs", src);
+        let kinds: Vec<&str> = d
+            .iter()
+            .map(|d| d.message.split_whitespace().next().unwrap_or(""))
+            .collect();
+        assert_eq!(d.len(), 3, "{kinds:?}");
+    }
+
+    #[test]
+    fn l003_flags_hashmap_use_but_not_import_or_btree() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u8,u8> = HashMap::new(); let b = std::collections::BTreeMap::<u8,u8>::new(); }";
+        let d = run_lint("L003", "crates/core/src/x.rs", src);
+        assert_eq!(d.len(), 2); // two non-import HashMap occurrences
+        assert!(d.iter().all(|d| d.line == 2));
+    }
+
+    #[test]
+    fn l003_time_rule_not_applied_in_serve() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert!(run_lint("L003", "crates/serve/src/x.rs", src).is_empty());
+        assert_eq!(run_lint("L003", "crates/core/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn l004_needs_sync_between_create_and_rename() {
+        let bad = "fn save() { let f = File::create(p)?; fs::rename(a, b)?; }";
+        let good = "fn save() { let f = File::create(p)?; f.sync_all()?; fs::rename(a, b)?; }";
+        let none = "fn save() { fs::rename(a, b)?; }"; // no create in file
+        assert_eq!(run_lint("L004", "crates/x/src/s.rs", bad).len(), 1);
+        assert!(run_lint("L004", "crates/x/src/s.rs", good).is_empty());
+        assert!(run_lint("L004", "crates/x/src/s.rs", none).is_empty());
+    }
+
+    #[test]
+    fn l005_flags_second_lock_but_not_condvar_or_through_guard() {
+        let bad = "fn f() { let st = a.lock().unwrap(); let other = b.lock().unwrap(); }";
+        let cv =
+            "fn f() { let mut st = a.lock().unwrap(); while x { st = cv.wait(st).unwrap(); } }";
+        let through = "fn f() { let g = rx.lock().unwrap(); let j = g.recv(); }";
+        let dropped = "fn f() { let st = a.lock().unwrap(); drop(st); let o = b.lock().unwrap(); }";
+        assert_eq!(run_lint("L005", "crates/serve/src/x.rs", bad).len(), 1);
+        assert!(run_lint("L005", "crates/serve/src/x.rs", cv).is_empty());
+        assert!(run_lint("L005", "crates/serve/src/x.rs", through).is_empty());
+        assert!(run_lint("L005", "crates/serve/src/x.rs", dropped).is_empty());
+    }
+
+    #[test]
+    fn l006_flags_string_error_position_only() {
+        let bad = "pub fn start() -> Result<Server, String> { x }";
+        let ok_payload = "pub fn name() -> Result<String, StartError> { x }";
+        let boxed = "pub fn f() -> Result<(), Box<dyn std::error::Error>> { x }";
+        let closure = "type Job = Box<dyn FnOnce() + Send>;";
+        assert_eq!(run_lint("L006", "crates/serve/src/x.rs", bad).len(), 1);
+        assert!(run_lint("L006", "crates/serve/src/x.rs", ok_payload).is_empty());
+        assert_eq!(run_lint("L006", "crates/serve/src/x.rs", boxed).len(), 1);
+        assert!(run_lint("L006", "crates/serve/src/x.rs", closure).is_empty());
+    }
+
+    #[test]
+    fn l007_flags_head_index_not_array_literal() {
+        let src = "fn f(g: &[Job]) { let t = g[0]; let a = [0]; let v = vec![0]; }";
+        let d = run_lint("L007", "crates/serve/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn l001_flags_mut_float_slices_outside_kernels() {
+        let src = "pub fn axpy(y: &mut [f32], x: &[f32]) {}";
+        assert_eq!(run_lint("L001", "crates/gnn/src/x.rs", src).len(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! CLI for the invariant lint engine.
+//!
+//! ```text
+//! cargo run -p logcl-analyze -- check                 # human output, exit 1 on violations
+//! cargo run -p logcl-analyze -- check --json          # machine output
+//! cargo run -p logcl-analyze -- check --update-baseline
+//! cargo run -p logcl-analyze -- lints                 # list registered lints
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use logcl_analyze::baseline::{self, Verdict};
+use logcl_analyze::engine::{analyze_root, count_by_lint_and_path, find_workspace_root};
+use logcl_analyze::lints::{registry, Diagnostic};
+
+const DEFAULT_BASELINE: &str = "analyze.baseline";
+
+struct Options {
+    command: Command,
+    json: bool,
+    update_baseline: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+}
+
+enum Command {
+    Check,
+    Lints,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match opts.command {
+        Command::Lints => {
+            print_lints();
+            ExitCode::SUCCESS
+        }
+        Command::Check => run_check(&opts),
+    }
+}
+
+const USAGE: &str = "usage: logcl-analyze <check|lints> [--json] [--update-baseline] \
+                     [--root DIR] [--baseline FILE]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = match args.next().as_deref() {
+        Some("check") => Command::Check,
+        Some("lints") => Command::Lints,
+        Some(other) => return Err(format!("unknown command {other:?}")),
+        None => return Err("missing command".into()),
+    };
+    let mut opts = Options {
+        command,
+        json: false,
+        update_baseline: false,
+        root: None,
+        baseline: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root needs a directory")?,
+                ))
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a file path")?,
+                ))
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_lints() {
+    for lint in registry() {
+        println!("{}  {:<16} {}", lint.id, lint.name, lint.invariant);
+        println!("      origin: {}", lint.origin);
+    }
+    println!("L000  meta             malformed or unused logcl-allow suppressions");
+}
+
+fn run_check(opts: &Options) -> ExitCode {
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no cargo workspace found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(DEFAULT_BASELINE));
+
+    let analysis = match analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let base = match baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let counts = count_by_lint_and_path(&analysis.diagnostics);
+        let rendered = baseline::render(&counts);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "baseline updated: {} entries ({} diagnostics) written to {}",
+            counts.len(),
+            analysis.diagnostics.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let verdict = baseline::compare(&analysis.diagnostics, &base);
+    if opts.json {
+        println!(
+            "{}",
+            render_json(&analysis.diagnostics, &verdict, &analysis)
+        );
+    } else {
+        render_human(&verdict, &analysis);
+    }
+    if verdict.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_human(verdict: &Verdict, analysis: &logcl_analyze::Analysis) {
+    for d in &verdict.new_violations {
+        println!("{}:{}:{} {} {}", d.path, d.line, d.col, d.lint, d.message);
+    }
+    for (lint, path, base, now) in &verdict.stale {
+        println!(
+            "stale baseline: {lint} {path} recorded {base}, now {now} — debt shrank; run \
+             `cargo run -p logcl-analyze -- check --update-baseline` to lock it in"
+        );
+    }
+    println!(
+        "logcl-analyze: {} files scanned, {} new violation(s), {} stale baseline entr(ies), \
+         {} tolerated by baseline, {} suppressed by logcl-allow",
+        analysis.files_scanned,
+        verdict.new_violations.len(),
+        verdict.stale.len(),
+        verdict.tolerated,
+        analysis.suppressed,
+    );
+    if verdict.ok() {
+        println!("logcl-analyze: OK");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(
+    all: &[Diagnostic],
+    verdict: &Verdict,
+    analysis: &logcl_analyze::Analysis,
+) -> String {
+    let diag_json = |d: &Diagnostic| {
+        format!(
+            "{{\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(&d.lint),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message)
+        )
+    };
+    let new: Vec<String> = verdict.new_violations.iter().map(diag_json).collect();
+    let stale: Vec<String> = verdict
+        .stale
+        .iter()
+        .map(|(lint, path, base, now)| {
+            format!(
+                "{{\"lint\":\"{}\",\"path\":\"{}\",\"baseline\":{base},\"now\":{now}}}",
+                json_escape(lint),
+                json_escape(path)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"ok\":{},\"files_scanned\":{},\"total_diagnostics\":{},\"suppressed\":{},\
+         \"tolerated\":{},\"new_violations\":[{}],\"stale_baseline\":[{}]}}",
+        verdict.ok(),
+        analysis.files_scanned,
+        all.len(),
+        analysis.suppressed,
+        verdict.tolerated,
+        new.join(","),
+        stale.join(",")
+    )
+}

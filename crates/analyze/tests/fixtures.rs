@@ -1,0 +1,152 @@
+//! Golden fixture tests: every registered lint must fire on its fixture
+//! with exactly the `file:line:col` positions recorded in the paired
+//! `.expected` file. Fixtures live in `../fixtures/` (a globally exempt
+//! directory, so real-tree scans never see them) and are injected through
+//! `analyze_sources`, the same entry point `analyze_root` funnels into.
+
+use logcl_analyze::engine::analyze_sources;
+use logcl_analyze::lints::registry;
+
+struct Fixture {
+    name: &'static str,
+    source: &'static str,
+    expected: &'static str,
+}
+
+const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "l001_kernel_boundary",
+        source: include_str!("../fixtures/l001_kernel_boundary.rs"),
+        expected: include_str!("../fixtures/l001_kernel_boundary.expected"),
+    },
+    Fixture {
+        name: "l002_panic_freedom",
+        source: include_str!("../fixtures/l002_panic_freedom.rs"),
+        expected: include_str!("../fixtures/l002_panic_freedom.expected"),
+    },
+    Fixture {
+        name: "l003_determinism",
+        source: include_str!("../fixtures/l003_determinism.rs"),
+        expected: include_str!("../fixtures/l003_determinism.expected"),
+    },
+    Fixture {
+        name: "l004_fsync_discipline",
+        source: include_str!("../fixtures/l004_fsync_discipline.rs"),
+        expected: include_str!("../fixtures/l004_fsync_discipline.expected"),
+    },
+    Fixture {
+        name: "l005_lock_hygiene",
+        source: include_str!("../fixtures/l005_lock_hygiene.rs"),
+        expected: include_str!("../fixtures/l005_lock_hygiene.expected"),
+    },
+    Fixture {
+        name: "l006_error_context",
+        source: include_str!("../fixtures/l006_error_context.rs"),
+        expected: include_str!("../fixtures/l006_error_context.expected"),
+    },
+    Fixture {
+        name: "l007_head_indexing",
+        source: include_str!("../fixtures/l007_head_indexing.rs"),
+        expected: include_str!("../fixtures/l007_head_indexing.expected"),
+    },
+    Fixture {
+        name: "l000_allows",
+        source: include_str!("../fixtures/l000_allows.rs"),
+        expected: include_str!("../fixtures/l000_allows.expected"),
+    },
+];
+
+/// Parses a `.expected` file: the `# path:` header, an optional
+/// `# suppressed:` count, and the golden `LINT line:col` lines.
+fn parse_expected(text: &str) -> (String, Option<usize>, Vec<String>) {
+    let mut path = None;
+    let mut suppressed = None;
+    let mut lines = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# path:") {
+            path = Some(rest.trim().to_string());
+        } else if let Some(rest) = line.strip_prefix("# suppressed:") {
+            suppressed = rest.trim().parse().ok();
+        } else if !line.starts_with('#') {
+            lines.push(line.to_string());
+        }
+    }
+    (
+        path.expect("fixture .expected needs a `# path:` header"),
+        suppressed,
+        lines,
+    )
+}
+
+#[test]
+fn every_fixture_matches_its_golden_diagnostics() {
+    for fx in FIXTURES {
+        let (path, want_suppressed, want) = parse_expected(fx.expected);
+        let files = [(path.clone(), fx.source.to_string())];
+        let analysis = analyze_sources(&files);
+        let got: Vec<String> = analysis
+            .diagnostics
+            .iter()
+            .map(|d| {
+                assert_eq!(d.path, path, "{}: diagnostic path mismatch", fx.name);
+                format!("{} {}:{}", d.lint, d.line, d.col)
+            })
+            .collect();
+        assert_eq!(
+            got, want,
+            "{}: diagnostics diverge from golden file\n  got:  {:?}\n  want: {:?}\n  full: {:#?}",
+            fx.name, got, want, analysis.diagnostics
+        );
+        if let Some(s) = want_suppressed {
+            assert_eq!(analysis.suppressed, s, "{}: suppression count", fx.name);
+        }
+    }
+}
+
+#[test]
+fn every_registered_lint_has_a_firing_fixture() {
+    let mut uncovered: Vec<&str> = registry().iter().map(|l| l.id).collect();
+    uncovered.push("L000");
+    for fx in FIXTURES {
+        let (path, _, _) = parse_expected(fx.expected);
+        let files = [(path, fx.source.to_string())];
+        let analysis = analyze_sources(&files);
+        uncovered.retain(|id| !analysis.diagnostics.iter().any(|d| &d.lint == id));
+    }
+    assert!(
+        uncovered.is_empty(),
+        "lints with no fixture proving they fire: {uncovered:?}"
+    );
+}
+
+#[test]
+fn fixtures_on_disk_are_globally_exempt_from_real_scans() {
+    // The violating fixtures must never leak into `check` runs over the
+    // real tree: their directory name is in GLOBAL_EXEMPT_DIRS.
+    assert!(logcl_analyze::config::globally_exempt(
+        "crates/analyze/fixtures/l002_panic_freedom.rs"
+    ));
+}
+
+#[test]
+fn one_allow_covers_all_same_lint_hits_on_its_line_only() {
+    let src = "\
+pub fn f(a: Option<u32>, b: Option<u32>) -> u32 {
+    // logcl-allow(L002): fixture — both unwraps on the next line are covered
+    a.unwrap() + b.unwrap()
+}
+pub fn g(c: Option<u32>) -> u32 {
+    c.unwrap()
+}
+";
+    let files = [("crates/core/src/x.rs".to_string(), src.to_string())];
+    let analysis = analyze_sources(&files);
+    assert_eq!(analysis.suppressed, 2, "{:#?}", analysis.diagnostics);
+    assert_eq!(analysis.diagnostics.len(), 1);
+    assert_eq!(analysis.diagnostics[0].lint, "L002");
+    assert_eq!(analysis.diagnostics[0].line, 6);
+}

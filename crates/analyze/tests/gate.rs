@@ -1,0 +1,180 @@
+//! End-to-end gate test: runs the real `logcl-analyze` binary against a
+//! synthetic workspace with an injected violation and walks the whole
+//! ratchet lifecycle — exactly what the CI `analyze` job would see.
+//!
+//! 1. violation present, no baseline      → `check` exits 1, `file:line:col`
+//! 2. `check --update-baseline`           → exits 0, writes the baseline
+//! 3. violation unchanged                 → `check` exits 0 (tolerated debt)
+//! 4. a second violation appears          → `check` exits 1 (ratchet up)
+//! 5. all violations fixed                → `check` exits 1 (stale baseline)
+//! 6. `--update-baseline` then `check`    → exits 0, baseline shrank to empty
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn ws(name: &str) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("crates/core/src")).expect("mkdir workspace");
+    fs::write(root.join("Cargo.toml"), "[workspace]\n").expect("write manifest");
+    root
+}
+
+fn check(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_logcl-analyze"))
+        .arg("check")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn logcl-analyze")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const ONE_VIOLATION: &str = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+const TWO_VIOLATIONS: &str =
+    "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\npub fn g() {\n    panic!(\"no\");\n}\n";
+const CLEAN: &str = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n";
+
+#[test]
+fn injected_violation_fails_the_gate_with_position() {
+    let root = ws("gate_position");
+    let lib = root.join("crates/core/src/lib.rs");
+    fs::write(&lib, ONE_VIOLATION).expect("write lib");
+
+    let out = check(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must fail: {}",
+        stdout(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("crates/core/src/lib.rs:2:7 L002"),
+        "diagnostic must carry file:line:col of the unwrap: {text}"
+    );
+}
+
+#[test]
+fn json_output_reports_the_injected_violation() {
+    let root = ws("gate_json");
+    fs::write(root.join("crates/core/src/lib.rs"), ONE_VIOLATION).expect("write lib");
+
+    let out = check(&root, &["--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("\"ok\":false"), "{text}");
+    assert!(
+        text.contains("\"lint\":\"L002\"")
+            && text.contains("\"line\":2")
+            && text.contains("\"col\":7"),
+        "{text}"
+    );
+}
+
+#[test]
+fn baseline_ratchet_lifecycle() {
+    let root = ws("gate_ratchet");
+    let lib = root.join("crates/core/src/lib.rs");
+    let baseline = root.join("analyze.baseline");
+    fs::write(&lib, ONE_VIOLATION).expect("write lib");
+
+    // (1) violation, no baseline → fail.
+    assert_eq!(check(&root, &[]).status.code(), Some(1));
+
+    // (2) freeze the debt.
+    let out = check(&root, &["--update-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let frozen = fs::read_to_string(&baseline).expect("baseline written");
+    assert!(
+        frozen.contains("L002\tcrates/core/src/lib.rs\t1"),
+        "{frozen}"
+    );
+
+    // (3) unchanged debt is tolerated.
+    let out = check(&root, &[]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("1 tolerated"), "{}", stdout(&out));
+
+    // (4) ratchet up: a second violation in the same file fails even though
+    // the file is already in the baseline.
+    fs::write(&lib, TWO_VIOLATIONS).expect("write lib");
+    let out = check(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("L002"), "{}", stdout(&out));
+
+    // (5) fixing everything makes the baseline stale — the gate still fails
+    // until the win is locked in, so the committed file can only shrink.
+    fs::write(&lib, CLEAN).expect("write lib");
+    let out = check(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("stale baseline"), "{}", stdout(&out));
+
+    // (6) lock it in: baseline shrinks to empty and the gate passes.
+    assert_eq!(check(&root, &["--update-baseline"]).status.code(), Some(0));
+    let shrunk = fs::read_to_string(&baseline).expect("baseline rewritten");
+    assert!(
+        !shrunk.contains("L002"),
+        "baseline must have shrunk to empty: {shrunk}"
+    );
+    let out = check(&root, &[]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("logcl-analyze: OK"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn suppressed_violation_passes_but_unused_allow_fails() {
+    let root = ws("gate_allows");
+    let lib = root.join("crates/core/src/lib.rs");
+
+    fs::write(
+        &lib,
+        "pub fn f(x: Option<u32>) -> u32 {\n    // logcl-allow(L002): gate test — caller guarantees Some\n    x.unwrap()\n}\n",
+    )
+    .expect("write lib");
+    let out = check(&root, &[]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("1 suppressed"), "{}", stdout(&out));
+
+    // Remove the violation but keep the allow: the stale allow itself
+    // becomes an L000 violation, so suppressions cannot rot.
+    fs::write(
+        &lib,
+        "pub fn f(x: Option<u32>) -> u32 {\n    // logcl-allow(L002): gate test — caller guarantees Some\n    x.unwrap_or(0)\n}\n",
+    )
+    .expect("write lib");
+    let out = check(&root, &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("L000"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("unused"), "{}", stdout(&out));
+}
+
+#[test]
+fn the_committed_workspace_passes_its_own_gate() {
+    // The real repo (two directories up from this crate) must be clean
+    // against its committed baseline — the same invariant CI enforces.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    if !repo_root.join("analyze.baseline").is_file() {
+        return; // packaged build without the repo checkout; nothing to gate
+    }
+    let out = check(&repo_root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the tree no longer passes its own lint gate:\n{}",
+        stdout(&out)
+    );
+}

@@ -364,7 +364,7 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
         fused: opts.fused,
         ..ServeConfig::default()
     };
-    let server = Server::start(serve_cfg, ds, vec![spec])?;
+    let server = Server::start(serve_cfg, ds, vec![spec]).map_err(|e| e.to_string())?;
     println!("listening on http://{}", server.addr());
     println!("  GET  /healthz   liveness + current horizon");
     println!("  GET  /metrics   Prometheus text format");

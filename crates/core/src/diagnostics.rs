@@ -7,7 +7,6 @@
 use logcl_tkg::eval::{rank_raw, rank_time_aware, Metrics, RankAccumulator};
 use logcl_tkg::quad::Quad;
 use logcl_tkg::{HistoryIndex, TkgDataset};
-use rustc_hash::FxHashMap;
 
 use crate::api::{EvalContext, TkgModel};
 
@@ -61,7 +60,8 @@ pub fn evaluate_detailed(
     let mut raw = RankAccumulator::new();
     let mut historical = RankAccumulator::new();
     let mut novel = RankAccumulator::new();
-    let mut per_rel: FxHashMap<usize, RankAccumulator> = FxHashMap::default();
+    let mut per_rel: std::collections::BTreeMap<usize, RankAccumulator> =
+        std::collections::BTreeMap::new();
 
     for &t in &times {
         while history.horizon() < t {

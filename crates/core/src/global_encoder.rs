@@ -19,7 +19,7 @@ use logcl_gnn::{GlobalEntityAttention, RelGnn};
 use logcl_tensor::nn::ParamSet;
 use logcl_tensor::{Rng, Var};
 use logcl_tkg::HistoryIndex;
-use rustc_hash::FxHashSet;
+use std::collections::BTreeSet;
 
 use crate::config::LogClConfig;
 
@@ -59,8 +59,8 @@ impl GlobalEncoder {
         queries: &[(usize, usize)],
     ) -> GlobalEncoding {
         let num_entities = h0.shape()[0];
-        let mut seen_pairs: FxHashSet<(usize, usize)> = FxHashSet::default();
-        let mut edge_set: FxHashSet<(usize, usize, usize)> = FxHashSet::default();
+        let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut edge_set: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
         let mut s_idx = Vec::new();
         let mut r_idx = Vec::new();
         let mut o_idx = Vec::new();

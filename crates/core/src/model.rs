@@ -184,7 +184,10 @@ impl LogCl {
         let cfg = &self.cfg;
 
         // ---------------------------------------------------------- local
-        let (local_rep, r_dec) = match &shared.local {
+        // The query representation travels with the encoding it was read
+        // from, so later stages never have to re-prove "rep implies
+        // encoding" with an expect.
+        let (local_ctx, r_dec) = match &shared.local {
             Some(enc) => {
                 let rep = self.local.query_representation(
                     enc,
@@ -192,26 +195,28 @@ impl LogCl {
                     &rels,
                     cfg.use_entity_attention,
                 );
-                (Some(rep), enc.rel_final.gather_rows(&rels))
+                (Some((enc, rep)), enc.rel_final.gather_rows(&rels))
             }
             None => (None, self.rel.weight.gather_rows(&rels)),
         };
 
         // --------------------------------------------------------- global
-        let global_enc: Option<GlobalEncoding> = if cfg.use_global {
+        let global_ctx: Option<(GlobalEncoding, _)> = if cfg.use_global {
             let pairs: Vec<(usize, usize)> =
                 subjects.iter().copied().zip(rels.iter().copied()).collect();
-            Some(
-                self.global
-                    .encode(&shared.h0, &self.rel.weight, history, &pairs),
-            )
+            let enc = self
+                .global
+                .encode(&shared.h0, &self.rel.weight, history, &pairs);
+            let rep = self.global.query_representation(
+                &enc,
+                &shared.h0,
+                &subjects,
+                cfg.use_entity_attention,
+            );
+            Some((enc, rep))
         } else {
             None
         };
-        let global_rep = global_enc.as_ref().map(|enc| {
-            self.global
-                .query_representation(enc, &shared.h0, &subjects, cfg.use_entity_attention)
-        });
 
         // ------------------------------------------------ fusion (Eq. 19)
         // λ is the *local* share (Fig. 8: "a larger value of λ indicates a
@@ -219,25 +224,14 @@ impl LogCl {
         // matrix is the local evolved entity matrix `H_{t_q}`; only the
         // decoder input ĥ is the λ-mixture.
         let lambda = cfg.lambda;
-        let (h_q, candidates) = match (&local_rep, &global_rep) {
-            (Some(l), Some(g)) => {
-                let enc_l = shared.local.as_ref().expect("local encoding present");
+        let (h_q, candidates) = match (&local_ctx, &global_ctx) {
+            (Some((enc_l, l)), Some((_, g))) => {
                 let h_q = l.scale(lambda).add(&g.scale(1.0 - lambda));
                 (h_q, enc_l.h_final.clone())
             }
-            (Some(l), None) => (
-                l.clone(),
-                shared
-                    .local
-                    .as_ref()
-                    .expect("local encoding")
-                    .h_final
-                    .clone(),
-            ),
-            (None, Some(g)) => (
-                g.clone(),
-                global_enc.as_ref().expect("global encoding").h_agg.clone(),
-            ),
+            (Some((enc_l, l)), None) => (l.clone(), enc_l.h_final.clone()),
+            (None, Some((enc_g, g))) => (g.clone(), enc_g.h_agg.clone()),
+            // logcl-allow(L002): LogClConfig validation rejects configs with no encoder; both-None is unrepresentable here
             (None, None) => unreachable!("config validation requires an encoder"),
         };
 
@@ -246,10 +240,8 @@ impl LogCl {
         let logits = self.decoder.score_all(&decoded, &candidates);
 
         // ------------------------------------- contrast (Eq. 15–17)
-        let contrast =
-            if training && cfg.use_contrast && local_rep.is_some() && global_rep.is_some() {
-                let enc_l = shared.local.as_ref().expect("local encoding present");
-                let enc_g = global_enc.as_ref().expect("global encoding present");
+        let contrast = match (&local_ctx, &global_ctx) {
+            (Some((enc_l, _)), Some((enc_g, _))) if training && cfg.use_contrast => {
                 // Eq. 15: z_t from the aggregated local view and evolved
                 // relations; Eq. 16: z_g from the aggregated global view and
                 // static relations.
@@ -262,9 +254,9 @@ impl LogCl {
                 let r_static = self.rel.weight.gather_rows(&rels);
                 let z_g = self.mlp_global.forward(&g_view.concat_cols(&r_static));
                 Some(contrastive_loss(&z_l, &z_g, cfg.tau, cfg.contrast))
-            } else {
-                None
-            };
+            }
+            _ => None,
+        };
 
         ForwardOutput { logits, contrast }
     }

@@ -24,7 +24,7 @@ pub fn mean_relation_per_query(rel_emb: &Var, subjects: &[usize], rels: &[usize]
     let b = subjects.len();
     // Group queries by subject.
     let mut group_of = vec![0usize; b];
-    let mut groups: rustc_hash::FxHashMap<usize, usize> = rustc_hash::FxHashMap::default();
+    let mut groups: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     for (i, &s) in subjects.iter().enumerate() {
         let next = groups.len();
         let g = *groups.entry(s).or_insert(next);

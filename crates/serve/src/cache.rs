@@ -47,8 +47,7 @@ impl<V> EncodingCache<V> {
     /// timestamp when full.
     pub fn insert(&mut self, t: usize, value: V) {
         if !self.map.contains_key(&t) && self.map.len() >= self.capacity {
-            let oldest = *self.map.keys().next().expect("non-empty at capacity");
-            self.map.remove(&oldest);
+            self.map.pop_first();
         }
         self.map.insert(t, value);
     }

@@ -1,0 +1,65 @@
+//! Typed startup errors for the serving stack.
+//!
+//! [`StartError`] is the serve crate's boundary error: everything that can
+//! go wrong between [`crate::Server::start`] and the first accepted
+//! connection maps onto one of its variants, preserving the typed causes
+//! ([`CheckpointError`], [`TrainError`], [`std::io::Error`]) instead of
+//! flattening them into strings at the crate boundary.
+
+use logcl_core::TrainError;
+use logcl_tensor::serialize::CheckpointError;
+
+/// Why the server (or its model registry) failed to start.
+#[derive(Debug)]
+pub enum StartError {
+    /// The registry was given no model specs.
+    NoModels,
+    /// A model's checkpoint failed metadata validation or restoration.
+    Checkpoint {
+        /// The registry key of the offending model spec.
+        model: String,
+        /// The underlying checkpoint failure.
+        source: CheckpointError,
+    },
+    /// Startup (train-from-scratch) training for a model failed.
+    Train {
+        /// The registry key of the offending model spec.
+        model: String,
+        /// The underlying training failure.
+        source: TrainError,
+    },
+    /// Binding, configuring, or spawning server infrastructure failed.
+    Io {
+        /// What was being attempted (e.g. `"bind 127.0.0.1:7878"`).
+        context: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// The model worker thread died before reporting readiness.
+    WorkerDied,
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::NoModels => write!(f, "registry needs at least one model spec"),
+            StartError::Checkpoint { model, source } => write!(f, "model {model:?}: {source}"),
+            StartError::Train { model, source } => {
+                write!(f, "model {model:?}: training failed: {source}")
+            }
+            StartError::Io { context, source } => write!(f, "{context}: {source}"),
+            StartError::WorkerDied => write!(f, "model worker died during startup"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StartError::Checkpoint { source, .. } => Some(source),
+            StartError::Train { source, .. } => Some(source),
+            StartError::Io { source, .. } => Some(source),
+            StartError::NoModels | StartError::WorkerDied => None,
+        }
+    }
+}

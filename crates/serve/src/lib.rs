@@ -19,6 +19,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod error;
 pub mod http;
 pub mod metrics;
 pub mod registry;
@@ -26,6 +27,7 @@ pub mod server;
 
 pub use batcher::{BatcherOptions, ServeError};
 pub use cache::EncodingCache;
+pub use error::StartError;
 pub use metrics::Metrics;
 pub use registry::{ModelSpec, Registry};
 pub use server::{ServeConfig, Server, ShutdownHandle};

@@ -19,6 +19,7 @@ use crate::batcher::{
     BatchHandler, IngestJob, IngestOutcome, PredictJob, PredictOutcome, ServeError,
 };
 use crate::cache::EncodingCache;
+use crate::error::StartError;
 use crate::metrics::Metrics;
 
 /// Everything needed to materialise one served model (all fields are
@@ -64,7 +65,7 @@ pub struct Registry {
 
 impl Registry {
     /// Builds every model, restoring and validating checkpoints; returns a
-    /// clear error (not a panic) for any mismatch.
+    /// typed [`StartError`] (not a panic) for any mismatch.
     pub fn build(
         ds: TkgDataset,
         specs: Vec<ModelSpec>,
@@ -72,21 +73,30 @@ impl Registry {
         horizon: Arc<AtomicUsize>,
         fused: bool,
         cache_capacity: usize,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, StartError> {
         if specs.is_empty() {
-            return Err("registry needs at least one model spec".into());
+            return Err(StartError::NoModels);
         }
         let mut entries = Vec::with_capacity(specs.len());
         for spec in specs {
             let mut model = LogCl::new(&ds, spec.cfg.clone());
             if let Some(ckpt) = &spec.checkpoint {
                 ckpt.validate_meta(&spec.cfg.variant_name(), &spec.cfg.fingerprint())
-                    .map_err(|e| format!("model {:?}: {e}", spec.name))?;
-                logcl_tensor::serialize::restore(&model.params, ckpt)
-                    .map_err(|e| format!("model {:?}: {e}", spec.name))?;
+                    .map_err(|e| StartError::Checkpoint {
+                        model: spec.name.clone(),
+                        source: e,
+                    })?;
+                logcl_tensor::serialize::restore(&model.params, ckpt).map_err(|e| {
+                    StartError::Checkpoint {
+                        model: spec.name.clone(),
+                        source: e,
+                    }
+                })?;
             } else if let Some(opts) = &spec.train {
-                trainer::train(&mut model, &ds, opts)
-                    .map_err(|e| format!("model {:?}: training failed: {e}", spec.name))?;
+                trainer::train(&mut model, &ds, opts).map_err(|e| StartError::Train {
+                    model: spec.name.clone(),
+                    source: e,
+                })?;
             }
             entries.push(ModelEntry {
                 name: spec.name,
@@ -118,9 +128,14 @@ impl Registry {
     /// Scores one group of same-`(model, t)` jobs against the shared (and
     /// cached) snapshot encoding, answering every job.
     fn predict_group(&mut self, group: Vec<PredictJob>) {
-        let t = group[0].t;
-        let Some(idx) = self.entry_index(&group[0].model) else {
-            let err = ServeError::not_found(format!("unknown model {:?}", group[0].model));
+        // The batcher only forms non-empty groups; an empty one is a no-op,
+        // not a panic.
+        let Some(first) = group.first() else {
+            return;
+        };
+        let t = first.t;
+        let Some(idx) = self.entry_index(&first.model) else {
+            let err = ServeError::not_found(format!("unknown model {:?}", first.model));
             for job in group {
                 let _ = job.reply.send(Err(err.clone()));
             }
@@ -165,7 +180,19 @@ impl Registry {
                     .fetch_add(batch_size as u64 - 1, Ordering::Relaxed);
             }
         }
-        let cached = entry.cache.get(t).expect("just inserted");
+        let Some(cached) = entry.cache.get(t) else {
+            // Unreachable by construction (inserted above when absent), but
+            // a cache miss here must degrade to an error reply, not a panic
+            // that takes the model worker down with it.
+            let err = ServeError {
+                status: 500,
+                message: "encoding cache lost the entry it just admitted".into(),
+            };
+            for job in valid {
+                let _ = job.reply.send(Err(err.clone()));
+            }
+            return;
+        };
 
         // Unique (s, r) pairs: concurrent requests for the same hot query
         // share one decode whichever mode is active.
@@ -204,11 +231,20 @@ impl Registry {
         }
 
         for job in valid {
-            let u = uniques
+            let scored = uniques
                 .iter()
                 .position(|&p| p == (job.s, job.r))
-                .expect("every job has a unique entry");
-            let predictions = logcl_core::topk_from_scores(&self.ds, &scores[u], job.k);
+                .and_then(|u| scores.get(u));
+            let Some(scored) = scored else {
+                // Every valid job seeded `uniques`, so this cannot happen —
+                // but answering 500 beats poisoning the worker thread.
+                let _ = job.reply.send(Err(ServeError {
+                    status: 500,
+                    message: "batch bookkeeping lost a query's scores".into(),
+                }));
+                continue;
+            };
+            let predictions = logcl_core::topk_from_scores(&self.ds, scored, job.k);
             let _ = job.reply.send(Ok(PredictOutcome {
                 predictions,
                 batch_size,
@@ -253,7 +289,7 @@ impl Registry {
 
         // Append new (deduplicated) facts to the test split — snapshots and
         // time-aware filtering read all splits uniformly.
-        let existing: std::collections::HashSet<(usize, usize, usize)> = self
+        let existing: std::collections::BTreeSet<(usize, usize, usize)> = self
             .ds
             .all_quads()
             .iter()
@@ -343,7 +379,7 @@ mod tests {
         SyntheticPreset::Icews14.generate_scaled(0.15)
     }
 
-    fn build(specs: Vec<ModelSpec>) -> Result<Registry, String> {
+    fn build(specs: Vec<ModelSpec>) -> Result<Registry, StartError> {
         Registry::build(
             tiny_ds(),
             specs,
@@ -377,7 +413,11 @@ mod tests {
         }])
         .err()
         .expect("mismatched fingerprint must be rejected");
-        assert!(err.contains("config"), "{err}");
+        assert!(
+            matches!(err, StartError::Checkpoint { .. }),
+            "expected a checkpoint error, got: {err}"
+        );
+        assert!(err.to_string().contains("config"), "{err}");
     }
 
     #[test]
@@ -398,7 +438,7 @@ mod tests {
         }])
         .err()
         .expect("mismatched shapes must be rejected");
-        assert!(err.contains("mismatch"), "{err}");
+        assert!(err.to_string().contains("mismatch"), "{err}");
     }
 
     #[test]

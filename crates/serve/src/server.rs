@@ -14,7 +14,7 @@
 //!   pure-std processes cannot install signal handlers, so the flag is
 //!   raised over HTTP or programmatically via [`Server::shutdown_handle`]).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -27,6 +27,7 @@ use logcl_tkg::TkgDataset;
 use serde_json::{json, Value};
 
 use crate::batcher::{run_batcher, BatcherOptions, IngestJob, PredictJob, ServeError, WorkItem};
+use crate::error::StartError;
 use crate::http::{read_request_limited, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::registry::{ModelSpec, Registry};
@@ -101,10 +102,12 @@ impl ShutdownState {
         }
     }
 
-    /// Raises the flag and wakes every waiter. Idempotent.
+    /// Raises the flag and wakes every waiter. Idempotent. A poisoned lock
+    /// (a handler panicked mid-notify) cannot stop shutdown: the boolean
+    /// state is valid regardless, so the poison is shrugged off.
     pub fn trigger(&self) {
         self.raised.store(true, Ordering::SeqCst);
-        *self.lock.lock().unwrap() = true;
+        *self.lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
         self.cv.notify_all();
     }
 
@@ -113,11 +116,12 @@ impl ShutdownState {
         self.raised.load(Ordering::SeqCst)
     }
 
-    /// Blocks until [`ShutdownState::trigger`] is called.
+    /// Blocks until [`ShutdownState::trigger`] is called. Poison-tolerant
+    /// for the same reason as [`ShutdownState::trigger`].
     pub fn wait(&self) {
-        let mut raised = self.lock.lock().unwrap();
+        let mut raised = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         while !*raised {
-            raised = self.cv.wait(raised).unwrap();
+            raised = self.cv.wait(raised).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -139,8 +143,8 @@ impl ShutdownHandle {
 /// lives in an atomic).
 struct Vocab {
     num_rels: usize,
-    entity_by_name: HashMap<String, usize>,
-    rel_by_name: HashMap<String, usize>,
+    entity_by_name: BTreeMap<String, usize>,
+    rel_by_name: BTreeMap<String, usize>,
 }
 
 impl Vocab {
@@ -191,30 +195,43 @@ impl ThreadPool {
     fn new(size: usize) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..size.max(1))
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                thread::Builder::new()
-                    .name(format!("logcl-serve-conn-{i}"))
-                    .spawn(move || loop {
-                        let job = match rx.lock().unwrap().recv() {
-                            Ok(job) => job,
-                            Err(_) => return,
-                        };
-                        job();
-                    })
-                    .expect("spawn pool worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(size.max(1));
+        for i in 0..size.max(1) {
+            let rx = Arc::clone(&rx);
+            let spawned = thread::Builder::new()
+                .name(format!("logcl-serve-conn-{i}"))
+                .spawn(move || loop {
+                    // A worker that panicked mid-job poisons the receiver
+                    // lock; the queue itself is still coherent, so the
+                    // survivors keep draining it.
+                    let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                        Ok(job) => job,
+                        Err(_) => return,
+                    };
+                    job();
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                // Thread exhaustion: serve degraded with however many
+                // workers materialised instead of killing the accept loop.
+                Err(_) => break,
+            }
+        }
         Self {
-            tx: Some(tx),
+            tx: (!workers.is_empty()).then_some(tx),
             workers,
         }
     }
 
     fn execute(&self, job: Job) {
-        if let Some(tx) = &self.tx {
-            let _ = tx.send(job);
+        let Some(tx) = &self.tx else {
+            // Zero workers could be spawned: run connections inline on the
+            // accept thread — slow, but the server still answers.
+            job();
+            return;
+        };
+        if let Err(mpsc::SendError(job)) = tx.send(job) {
+            job();
         }
     }
 
@@ -241,12 +258,13 @@ pub struct Server {
 
 impl Server {
     /// Binds, builds the model registry on the worker thread (propagating
-    /// load/validation errors), and starts accepting connections.
+    /// load/validation errors as typed [`StartError`]s), and starts
+    /// accepting connections.
     pub fn start(
         cfg: ServeConfig,
         ds: TkgDataset,
         specs: Vec<ModelSpec>,
-    ) -> Result<Server, String> {
+    ) -> Result<Server, StartError> {
         // The server owns the compute-thread budget: apply it now and make
         // every model spec agree, so `LogCl::new` (which applies its
         // config's thread count) cannot silently override it.
@@ -263,7 +281,7 @@ impl Server {
 
         // Model worker: owns the registry (the model is not Send, so it is
         // built on this thread); reports startup success/failure first.
-        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), StartError>>();
         let worker = {
             let metrics = Arc::clone(&metrics);
             let horizon = Arc::clone(&horizon);
@@ -295,7 +313,10 @@ impl Server {
                     };
                     run_batcher(&mut registry, &work_rx, &opts, &metrics);
                 })
-                .map_err(|e| format!("spawn model worker: {e}"))?
+                .map_err(|e| StartError::Io {
+                    context: "spawn model worker".into(),
+                    source: e,
+                })?
         };
         match ready_rx.recv() {
             Ok(Ok(())) => {}
@@ -305,16 +326,22 @@ impl Server {
             }
             Err(_) => {
                 let _ = worker.join();
-                return Err("model worker died during startup".into());
+                return Err(StartError::WorkerDied);
             }
         }
 
-        let listener =
-            TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
-        let addr = listener.local_addr().map_err(|e| e.to_string())?;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| format!("set_nonblocking: {e}"))?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| StartError::Io {
+            context: format!("bind {}", cfg.addr),
+            source: e,
+        })?;
+        let addr = listener.local_addr().map_err(|e| StartError::Io {
+            context: "local_addr".into(),
+            source: e,
+        })?;
+        listener.set_nonblocking(true).map_err(|e| StartError::Io {
+            context: "set_nonblocking".into(),
+            source: e,
+        })?;
 
         let ctx = Arc::new(HandlerCtx {
             vocab,
@@ -352,7 +379,10 @@ impl Server {
                     // handlers hold live work_tx clones until they return.
                     pool.join();
                 })
-                .map_err(|e| format!("spawn accept loop: {e}"))?
+                .map_err(|e| StartError::Io {
+                    context: "spawn accept loop".into(),
+                    source: e,
+                })?
         };
 
         Ok(Server {
@@ -484,7 +514,7 @@ fn parse_body(req: &Request) -> Result<Value, ServeError> {
 fn resolve_id(
     value: &Value,
     what: &str,
-    by_name: &HashMap<String, usize>,
+    by_name: &BTreeMap<String, usize>,
 ) -> Result<usize, ServeError> {
     match value {
         Value::Number(n) => n
@@ -633,13 +663,20 @@ fn ingest_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError>
         .ok_or_else(|| ServeError::bad_request("missing field \"facts\" (array of [s, r, o])"))?;
     let mut facts = Vec::with_capacity(facts_json.len());
     for fact in facts_json {
-        let triple = fact
-            .as_array()
-            .filter(|a| a.len() == 3)
-            .ok_or_else(|| ServeError::bad_request("each fact must be a [s, r, o] triple"))?;
-        let s = resolve_id(&triple[0], "subject", &ctx.vocab.entity_by_name)?;
-        let r = resolve_id(&triple[1], "relation", &ctx.vocab.rel_by_name)?;
-        let o = resolve_id(&triple[2], "object", &ctx.vocab.entity_by_name)?;
+        let Some([sv, rv, ov]) = fact.as_array().map(Vec::as_slice).and_then(|a| {
+            if let [s, r, o] = a {
+                Some([s, r, o])
+            } else {
+                None
+            }
+        }) else {
+            return Err(ServeError::bad_request(
+                "each fact must be a [s, r, o] triple",
+            ));
+        };
+        let s = resolve_id(sv, "subject", &ctx.vocab.entity_by_name)?;
+        let r = resolve_id(rv, "relation", &ctx.vocab.rel_by_name)?;
+        let o = resolve_id(ov, "object", &ctx.vocab.entity_by_name)?;
         facts.push((s, r, o));
     }
     let update = body.get("update").and_then(Value::as_bool).unwrap_or(true);

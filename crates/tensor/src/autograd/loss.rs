@@ -17,6 +17,7 @@ impl Var {
         assert_eq!(targets.len(), n, "cross_entropy target count mismatch");
         assert!(n > 0, "cross_entropy on empty batch");
         if let Some(&bad) = targets.iter().find(|&&t| t >= c) {
+            // logcl-allow(L002): bounds contract, same class as the adjacent asserts — a bad target is a caller bug, not a representable state
             panic!("target {bad} out of bounds for {c} classes");
         }
         let loss =

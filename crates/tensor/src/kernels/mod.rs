@@ -130,6 +130,7 @@ pub fn default_threads() -> usize {
             }
         }
     }
+    // logcl-allow(L003): thread-count only sizes the worker pool — backends are bit-identical across counts (PR 3)
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -140,8 +141,10 @@ fn cell() -> &'static RwLock<Arc<dyn Backend>> {
 }
 
 /// The process-wide backend every `Tensor`/`Var` op routes through.
+/// Poison-tolerant: the stored `Arc` is always a fully constructed backend,
+/// so a panic elsewhere cannot leave it half-swapped.
 pub fn backend() -> Arc<dyn Backend> {
-    cell().read().unwrap().clone()
+    cell().read().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
 /// Selects the process-wide backend by thread count: `1` selects [`Serial`],
@@ -155,7 +158,7 @@ pub fn set_threads(threads: usize) {
     } else {
         threads
     };
-    let mut guard = cell().write().unwrap();
+    let mut guard = cell().write().unwrap_or_else(|e| e.into_inner());
     if guard.threads() == t {
         return;
     }

@@ -59,6 +59,15 @@ struct Shared {
     done: Condvar,
 }
 
+/// Locks the pool state, shrugging off poison. The state is a plain
+/// counter triple that is only ever mutated under the lock and left
+/// coherent before each unlock, so a panic on some other thread (poison)
+/// cannot leave it half-updated; recovering keeps sibling kernel calls
+/// from deadlocking behind a poisoned mutex.
+fn lock_state(shared: &Shared) -> std::sync::MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Persistent worker pool; `threads` counts the caller, so `threads - 1`
 /// workers are spawned and the calling thread participates in every run.
 pub(crate) struct Pool {
@@ -80,15 +89,21 @@ impl Pool {
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let workers = (1..threads)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("logcl-kernel-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn kernel worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(threads - 1);
+        for i in 1..threads {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("logcl-kernel-{i}"))
+                .spawn(move || worker_loop(&shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                // Thread exhaustion: run with the workers that materialised
+                // (the caller always participates, so at least one thread
+                // computes). Thread count never affects results (PR 3).
+                Err(_) => break,
+            }
+        }
+        let threads = workers.len() + 1;
         Pool {
             shared,
             threads,
@@ -110,6 +125,7 @@ impl Pool {
             return;
         }
         if n_tasks == 1 || self.threads == 1 {
+            // logcl-allow(L003): busy-time telemetry only — the reading never feeds results or control flow
             let t0 = Instant::now();
             for i in 0..n_tasks {
                 f(i);
@@ -126,18 +142,19 @@ impl Pool {
                 *const (dyn Fn(usize) + Sync + 'static),
             >(f as *const _)
         };
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_state(&self.shared);
         // Another thread may be mid-run (e.g. parallel test harness); wait
         // for the job slot to free up.
         while st.job.is_some() {
-            st = self.shared.done.wait(st).unwrap();
+            st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
         }
-        st.job = Some(Job { f: erased, n_tasks });
+        // The caller participates in the run, so it keeps its own copy of
+        // the job instead of re-reading (and re-unwrapping) the slot.
+        let job = Job { f: erased, n_tasks };
+        st.job = Some(job);
         st.next = 0;
         st.pending = n_tasks;
         self.shared.work.notify_all();
-        // The caller participates in the run.
-        let job = st.job.unwrap();
         loop {
             if st.next >= n_tasks {
                 break;
@@ -145,18 +162,19 @@ impl Pool {
             let i = st.next;
             st.next += 1;
             drop(st);
+            // logcl-allow(L003): busy-time telemetry only — the reading never feeds results or control flow
             let t0 = Instant::now();
             // SAFETY: `job.f` points at `f`, alive for the whole call.
             unsafe { (*job.f)(i) };
             BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            st = self.shared.state.lock().unwrap();
+            st = lock_state(&self.shared);
             st.pending -= 1;
             if st.pending == 0 {
                 break;
             }
         }
         while st.pending > 0 {
-            st = self.shared.done.wait(st).unwrap();
+            st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         st.job = None;
         // Wake any thread queued in the "slot busy" wait above.
@@ -167,9 +185,10 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_state(&self.shared);
             st.shutdown = true;
             self.shared.work.notify_all();
+            drop(st);
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -178,7 +197,7 @@ impl Drop for Pool {
 }
 
 fn worker_loop(shared: &Shared) {
-    let mut st = shared.state.lock().unwrap();
+    let mut st = lock_state(shared);
     loop {
         // Wait until there is a claimable task (or shutdown).
         loop {
@@ -187,7 +206,7 @@ fn worker_loop(shared: &Shared) {
             }
             match st.job {
                 Some(job) if st.next < job.n_tasks => break,
-                _ => st = shared.work.wait(st).unwrap(),
+                _ => st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner()),
             }
         }
         // Claim-and-execute loop. The job is re-read from shared state on
@@ -202,13 +221,14 @@ fn worker_loop(shared: &Shared) {
             let i = st.next;
             st.next += 1;
             drop(st);
+            // logcl-allow(L003): busy-time telemetry only — the reading never feeds results or control flow
             let t0 = Instant::now();
             // SAFETY: task `i` is claimed but not finished, so `pending > 0`
             // and the caller of `Pool::run` is still blocked, keeping the
             // closure alive.
             unsafe { (*job.f)(i) };
             BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            st = shared.state.lock().unwrap();
+            st = lock_state(shared);
             st.pending -= 1;
             if st.pending == 0 {
                 shared.done.notify_all();

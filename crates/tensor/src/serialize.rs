@@ -239,6 +239,15 @@ pub fn encode_container(payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Reads a fixed-size window out of the container header, failing closed
+/// (never panicking) if the window is out of range.
+fn header_array<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], CheckpointError> {
+    bytes
+        .get(at..at + N)
+        .and_then(|w| w.try_into().ok())
+        .ok_or_else(|| CheckpointError::Corrupt(format!("container header truncated at byte {at}")))
+}
+
 /// Unwraps a container, verifying magic, CRC, version and length. Returns
 /// the payload slice.
 pub fn decode_container(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
@@ -252,21 +261,21 @@ pub fn decode_container(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
     if bytes[0..4] != MAGIC {
         return Err(CheckpointError::Corrupt("bad magic bytes".into()));
     }
-    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(header_array(bytes, 4)?);
     let actual_crc = crc32(&bytes[8..]);
     if stored_crc != actual_crc {
         return Err(CheckpointError::Corrupt(format!(
             "CRC mismatch: header says {stored_crc:#010x}, contents hash to {actual_crc:#010x}"
         )));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(header_array(bytes, 8)?);
     if version != FORMAT_VERSION {
         return Err(CheckpointError::VersionSkew {
             found: version,
             supported: FORMAT_VERSION,
         });
     }
-    let declared = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let declared = u64::from_le_bytes(header_array(bytes, 12)?);
     let payload = &bytes[20..];
     if declared != payload.len() as u64 {
         return Err(CheckpointError::Corrupt(format!(

@@ -162,6 +162,7 @@ impl Tensor {
 
     /// Mutable view of the underlying row-major buffer.
     #[inline]
+    // logcl-allow(L001): sanctioned accessor seam — hands the buffer *to* the kernel boundary; no compute happens here
     pub fn data_mut(&mut self) -> &mut [f32] {
         &mut self.data
     }
@@ -209,6 +210,7 @@ impl Tensor {
     }
 
     /// Mutable borrow of row `i` of a rank-2 tensor.
+    // logcl-allow(L001): sanctioned accessor seam — hands the buffer *to* the kernel boundary; no compute happens here
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
         assert_eq!(
             self.rank(),
@@ -477,6 +479,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         let d = self.shape[1];
         if let Some(&bad) = idx.iter().find(|&&i| i >= self.shape[0]) {
+            // logcl-allow(L002): bounds contract, same class as the adjacent asserts — a bad index is a caller bug, not a representable state
             panic!("gather index {bad} out of bounds {}", self.shape[0]);
         }
         let data = ops::gather_rows(&*kernels::backend(), &self.data, d, idx);
@@ -490,6 +493,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         assert_eq!(idx.len(), self.shape[0], "scatter index count mismatch");
         if let Some(&bad) = idx.iter().find(|&&i| i >= n) {
+            // logcl-allow(L002): bounds contract, same class as the adjacent asserts — a bad index is a caller bug, not a representable state
             panic!("scatter index {bad} out of bounds {n}");
         }
         let d = self.shape[1];

@@ -1,11 +1,10 @@
 //! The dataset container: splits, vocabulary, inverse-relation closure and a
 //! loader for the standard ICEWS/GDELT TSV layout.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::io::{self, BufRead};
 use std::path::{Path, PathBuf};
-
-use rustc_hash::FxHashSet;
 
 use crate::quad::{Quad, Time};
 use crate::snapshot::Snapshot;
@@ -247,9 +246,10 @@ impl TkgDataset {
 
     /// Ground-truth object sets at each timestamp, for time-aware filtering:
     /// returns, for timestamp `t`, the set of `(s, r, o)` facts (with
-    /// inverses) true at `t` across all splits.
-    pub fn facts_at(&self, t: Time) -> FxHashSet<(usize, usize, usize)> {
-        let mut set = FxHashSet::default();
+    /// inverses) true at `t` across all splits. Ordered so any iteration
+    /// over it is deterministic.
+    pub fn facts_at(&self, t: Time) -> BTreeSet<(usize, usize, usize)> {
+        let mut set = BTreeSet::new();
         for q in self.all_quads().iter().filter(|q| q.t == t) {
             set.insert((q.s, q.r, q.o));
             let inv = q.inverse(self.num_rels);

@@ -6,7 +6,7 @@
 //! timestamp** — never facts from other timestamps (that would leak the
 //! static filter criticised by recent work).
 
-use rustc_hash::FxHashSet;
+use std::collections::BTreeSet;
 
 use crate::quad::Quad;
 
@@ -119,7 +119,7 @@ impl RankAccumulator {
 pub fn rank_time_aware(
     scores: &[f32],
     q: &Quad,
-    truth_at_t: &FxHashSet<(usize, usize, usize)>,
+    truth_at_t: &BTreeSet<(usize, usize, usize)>,
 ) -> usize {
     let target = q.o;
     let target_score = scores[target];
@@ -192,7 +192,7 @@ mod tests {
         // first, then 1, then 2.
         let scores = vec![0.9, 0.8, 0.7, 0.1];
         let q = Quad::new(7, 1, 2, 5);
-        let mut truth = FxHashSet::default();
+        let mut truth = BTreeSet::new();
         assert_eq!(rank_time_aware(&scores, &q, &truth), 3);
         // Entity 0 is another true answer at t=5 -> filtered out.
         truth.insert((7, 1, 0));
@@ -207,7 +207,7 @@ mod tests {
     fn target_never_filtered_even_if_true() {
         let scores = vec![0.9, 0.1];
         let q = Quad::new(0, 0, 1, 0);
-        let mut truth = FxHashSet::default();
+        let mut truth = BTreeSet::new();
         truth.insert((0, 0, 1)); // the target itself
         assert_eq!(rank_time_aware(&scores, &q, &truth), 2);
     }

@@ -5,7 +5,7 @@
 //! time `t_q` are answered, it contains exactly the facts with `t < t_q` —
 //! the extrapolation setting's information boundary.
 
-use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::quad::{EntityId, RelId, Time};
 use crate::snapshot::Snapshot;
@@ -53,12 +53,13 @@ impl QuerySubgraph {
 #[derive(Debug, Default)]
 pub struct HistoryIndex {
     /// `(s, r)` → object → occurrence count (the CyGNet/CENET "copy
-    /// vocabulary" and the subgraph seed).
-    sr_objects: FxHashMap<(EntityId, RelId), FxHashMap<EntityId, u32>>,
+    /// vocabulary" and the subgraph seed). Ordered maps so every iteration
+    /// order is a function of the keys, never of hasher internals.
+    sr_objects: BTreeMap<(EntityId, RelId), BTreeMap<EntityId, u32>>,
     /// Entity → incident triples in first-seen order (for subgraph
     /// sampling); the set deduplicates.
-    incident: FxHashMap<EntityId, Vec<(EntityId, RelId, EntityId)>>,
-    seen: FxHashSet<(EntityId, RelId, EntityId)>,
+    incident: BTreeMap<EntityId, Vec<(EntityId, RelId, EntityId)>>,
+    seen: BTreeSet<(EntityId, RelId, EntityId)>,
     /// Next timestamp expected by [`HistoryIndex::advance`].
     t_next: Time,
 }
@@ -107,15 +108,12 @@ impl HistoryIndex {
         self.t_next
     }
 
-    /// Historical answer objects of `(s, r)` with their frequencies.
+    /// Historical answer objects of `(s, r)` with their frequencies,
+    /// ascending by object id (BTreeMap iteration order — no sort needed).
     pub fn seen_objects(&self, s: EntityId, r: RelId) -> Vec<(EntityId, u32)> {
         self.sr_objects
             .get(&(s, r))
-            .map(|m| {
-                let mut v: Vec<(EntityId, u32)> = m.iter().map(|(&o, &c)| (o, c)).collect();
-                v.sort_unstable();
-                v
-            })
+            .map(|m| m.iter().map(|(&o, &c)| (o, c)).collect())
             .unwrap_or_default()
     }
 
@@ -140,8 +138,8 @@ impl HistoryIndex {
     /// the most recently first-seen ones.
     pub fn query_subgraph(&self, s: EntityId, r: RelId, max_edges: usize) -> QuerySubgraph {
         let mut edges: Vec<(EntityId, RelId, EntityId)> = Vec::new();
-        let mut dedup: FxHashSet<(EntityId, RelId, EntityId)> = FxHashSet::default();
-        let push_incident = |e: EntityId, edges: &mut Vec<_>, dedup: &mut FxHashSet<_>| {
+        let mut dedup: BTreeSet<(EntityId, RelId, EntityId)> = BTreeSet::new();
+        let push_incident = |e: EntityId, edges: &mut Vec<_>, dedup: &mut BTreeSet<_>| {
             if let Some(list) = self.incident.get(&e) {
                 for &tr in list {
                     if dedup.insert(tr) {
@@ -216,7 +214,7 @@ mod tests {
         // Query (0, 0, ?): one-hop of 0 = {(0,0,1)}; historical answers of
         // (0,0) = {1}; one-hop of 1 = {(0,0,1), (1,1,2), (1,0,4)}.
         let g = idx.query_subgraph(0, 0, 100);
-        let set: FxHashSet<_> = g.edges.iter().copied().collect();
+        let set: BTreeSet<_> = g.edges.iter().copied().collect();
         assert!(set.contains(&(0, 0, 1)));
         assert!(set.contains(&(1, 1, 2)));
         assert!(set.contains(&(1, 0, 4)));

@@ -1,7 +1,7 @@
 //! Per-timestamp KG snapshots `G_t` and the adjacency bookkeeping needed by
 //! the relational GCN aggregators.
 
-use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 
 use crate::quad::{EntityId, Quad, RelId, Time};
 
@@ -69,8 +69,8 @@ impl Snapshot {
     /// For each relation, the subject entities of its edges — used by the
     /// relation-evolution mean pooling `f_ave(H_{t,r})` of Eq. 6. Returns a
     /// map `r -> Vec<s>`.
-    pub fn rel_subjects(&self) -> FxHashMap<RelId, Vec<EntityId>> {
-        let mut map: FxHashMap<RelId, Vec<EntityId>> = FxHashMap::default();
+    pub fn rel_subjects(&self) -> BTreeMap<RelId, Vec<EntityId>> {
+        let mut map: BTreeMap<RelId, Vec<EntityId>> = BTreeMap::new();
         for &(s, r, _) in &self.edges {
             map.entry(r).or_default().push(s);
         }
