@@ -1,0 +1,24 @@
+// L008 fixture: fault-injection machinery referenced outside a
+// `#[cfg(feature = …)]` gate. Gated references — the sanctioned
+// pattern — stay silent, as do unrelated idents containing `fault`.
+
+pub mod fault;
+
+pub fn stall(batch_idx: u64) {
+    if let Some(delay) = crate::fault::compute_delay(batch_idx) {
+        std::thread::sleep(delay);
+    }
+}
+
+pub fn plan_type() -> Option<FaultPlan> {
+    None
+}
+
+#[cfg(feature = "fault-inject")]
+pub fn gated(batch_idx: u64) -> bool {
+    crate::fault::batcher_dies(batch_idx)
+}
+
+pub fn fault_tolerance() -> f32 {
+    0.5
+}

@@ -135,6 +135,15 @@ pub const L007_SCOPE: Scope = Scope {
     exclude: &[],
 };
 
+/// L008 fault-isolation: references to the deterministic fault-injection
+/// machinery (`fault::…` hooks, `FaultPlan`/`FaultPoint`) must sit inside a
+/// `#[cfg(feature = …)]` gate, so default release builds contain no fault
+/// hooks at all. `fault.rs` itself is the gated module and is excluded.
+pub const L008_SCOPE: Scope = Scope {
+    include: &["crates/serve/src/"],
+    exclude: &["crates/serve/src/fault.rs"],
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +155,8 @@ mod tests {
         assert!(L003_COLLECTIONS_SCOPE.contains("crates/serve/src/server.rs"));
         assert!(!L003_TIME_SCOPE.contains("crates/serve/src/server.rs"));
         assert!(!L003_TIME_SCOPE.contains("crates/bench/src/common.rs"));
+        assert!(L008_SCOPE.contains("crates/serve/src/batcher.rs"));
+        assert!(!L008_SCOPE.contains("crates/serve/src/fault.rs"));
     }
 
     #[test]

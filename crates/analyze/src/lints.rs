@@ -112,6 +112,14 @@ pub fn registry() -> &'static [LintDef] {
             run: l007_head_indexing,
             scope: config::L007_SCOPE,
         },
+        LintDef {
+            id: "L008",
+            name: "fault-isolation",
+            invariant: "fault-injection hooks reachable only under the fault-inject feature",
+            origin: "PR 5 (overload resilience + deterministic fault injection)",
+            run: l008_fault_isolation,
+            scope: config::L008_SCOPE,
+        },
     ]
 }
 
@@ -770,6 +778,49 @@ fn l007_head_indexing(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+// --------------------------------------------------------------------- L008
+
+/// Fault-injection reachable outside its feature gate: any reference to the
+/// `fault` module (`fault::hook(…)`, `mod fault;`) or to its plan types
+/// (`FaultPlan`, `FaultPoint`) in the serving stack must be wrapped in a
+/// `#[cfg(feature = …)]` gate. Chaos tooling is a test-time instrument; the
+/// default release binary must not contain a single fault branch.
+fn l008_fault_isolation(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let ts = &file.tokens;
+    for i in 0..ts.len() {
+        if file.in_test_code(i) || file.in_feature_gated(i) {
+            continue;
+        }
+        for ty in ["FaultPlan", "FaultPoint"] {
+            if ts[i].tok.is_ident(ty) {
+                out.push(Diagnostic::new(
+                    "L008",
+                    file,
+                    &ts[i],
+                    format!(
+                        "`{ty}` referenced outside a `#[cfg(feature = …)]` gate — \
+                         fault-injection types must be unreachable in default builds"
+                    ),
+                ));
+            }
+        }
+        let fault_path =
+            ts[i].tok.is_ident("fault") && match_at(ts, i + 1, &[Pat::P(':'), Pat::P(':')]);
+        let fault_import = ts[i].tok.is_ident("fault") && file.in_use_statement(i) && !fault_path;
+        let fault_mod = match_at(ts, i, &[Pat::I("mod"), Pat::I("fault")]);
+        if fault_path || fault_import || fault_mod {
+            out.push(Diagnostic::new(
+                "L008",
+                file,
+                &ts[i],
+                "`fault` module reachable outside a `#[cfg(feature = …)]` gate — \
+                 wrap the hook call (or the `mod`/`use` declaration) in the feature gate"
+                    .into(),
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -854,5 +905,28 @@ mod tests {
     fn l001_flags_mut_float_slices_outside_kernels() {
         let src = "pub fn axpy(y: &mut [f32], x: &[f32]) {}";
         assert_eq!(run_lint("L001", "crates/gnn/src/x.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn l008_flags_ungated_fault_refs_but_not_gated_ones() {
+        let gated = "#[cfg(feature = \"fault-inject\")]\npub mod fault;\nfn f() {\n    #[cfg(feature = \"fault-inject\")]\n    {\n        if let Some(d) = crate::fault::compute_delay(0) { use_it(d); }\n    }\n}";
+        assert!(
+            run_lint("L008", "crates/serve/src/x.rs", gated).is_empty(),
+            "feature-gated hooks are the sanctioned pattern"
+        );
+        let bare_mod = "pub mod fault;";
+        assert_eq!(run_lint("L008", "crates/serve/src/x.rs", bare_mod).len(), 1);
+        let bare_call = "fn f() { let d = crate::fault::compute_delay(0); }";
+        assert_eq!(
+            run_lint("L008", "crates/serve/src/x.rs", bare_call).len(),
+            1
+        );
+        let bare_type = "use crate::fault::FaultPlan;";
+        assert_eq!(
+            run_lint("L008", "crates/serve/src/x.rs", bare_type).len(),
+            2
+        );
+        let default_ident = "fn f() { let fault = tolerance; }";
+        assert!(run_lint("L008", "crates/serve/src/x.rs", default_ident).is_empty());
     }
 }

@@ -50,6 +50,11 @@ const FIXTURES: &[Fixture] = &[
         expected: include_str!("../fixtures/l007_head_indexing.expected"),
     },
     Fixture {
+        name: "l008_fault_isolation",
+        source: include_str!("../fixtures/l008_fault_isolation.rs"),
+        expected: include_str!("../fixtures/l008_fault_isolation.expected"),
+    },
+    Fixture {
         name: "l000_allows",
         source: include_str!("../fixtures/l000_allows.rs"),
         expected: include_str!("../fixtures/l000_allows.expected"),

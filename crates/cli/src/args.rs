@@ -20,7 +20,11 @@ commands:
                                                         --time, --topk, --inverse)
   serve      HTTP inference server                     (--data | --preset, --load,
                                                         --addr, --threads, --http-threads,
-                                                        --linger-ms, --max-batch, --fused)
+                                                        --linger-ms, --max-batch, --fused,
+                                                        --deadline-ms, --max-deadline-ms,
+                                                        --write-timeout-ms, --brownout-ms,
+                                                        --shed-ms, --brownout-k,
+                                                        --max-inflight)
   help       this text
 
 flags:
@@ -55,7 +59,20 @@ flags:
   --http-threads N  serve connection handler threads    [default 4]
   --linger-ms MS    micro-batch linger window           [default 2]
   --max-batch N     micro-batch size cap                [default 32]
-  --fused           fuse each batch into one forward pass (approximate)";
+  --fused           fuse each batch into one forward pass (approximate)
+  --deadline-ms MS  default per-request deadline when the client sends no
+                    X-LogCL-Deadline-Ms header          [default 30000]
+  --max-deadline-ms MS
+                    ceiling clamped onto client deadlines [default 120000]
+  --write-timeout-ms MS
+                    per-connection socket write timeout [default 10000]
+  --brownout-ms MS  queue sojourn entering the Brownout tier (capped top-k,
+                    local-only decode)                  [default 50]
+  --shed-ms MS      queue sojourn entering the Shed tier (503 + Retry-After
+                    on /predict; /healthz and /metrics never shed)
+                                                        [default 250]
+  --brownout-k N    effective top-k cap in Brownout     [default 3]
+  --max-inflight N  concurrent in-flight /predict cap   [default 256]";
 
 /// Parsed CLI options (superset across commands).
 #[derive(Debug, Clone)]
@@ -92,6 +109,20 @@ pub struct CliOptions {
     pub linger_ms: u64,
     pub max_batch: usize,
     pub fused: bool,
+    /// Default per-request deadline (ms) without a client header.
+    pub deadline_ms: u64,
+    /// Ceiling (ms) clamped onto client-supplied deadlines.
+    pub max_deadline_ms: u64,
+    /// Socket write timeout (ms).
+    pub write_timeout_ms: u64,
+    /// Queue sojourn (ms) entering the Brownout tier.
+    pub brownout_ms: u64,
+    /// Queue sojourn (ms) entering the Shed tier.
+    pub shed_ms: u64,
+    /// Effective top-k cap while in Brownout.
+    pub brownout_k: usize,
+    /// Concurrent in-flight `/predict` cap.
+    pub max_inflight: usize,
 }
 
 impl Default for CliOptions {
@@ -127,6 +158,13 @@ impl Default for CliOptions {
             linger_ms: 2,
             max_batch: 32,
             fused: false,
+            deadline_ms: 30_000,
+            max_deadline_ms: 120_000,
+            write_timeout_ms: 10_000,
+            brownout_ms: 50,
+            shed_ms: 250,
+            brownout_k: 3,
+            max_inflight: 256,
         }
     }
 }
@@ -173,6 +211,13 @@ impl CliOptions {
                 "--linger-ms" => o.linger_ms = num(&value("--linger-ms")?)?,
                 "--max-batch" => o.max_batch = num(&value("--max-batch")?)?,
                 "--fused" => o.fused = true,
+                "--deadline-ms" => o.deadline_ms = num(&value("--deadline-ms")?)?,
+                "--max-deadline-ms" => o.max_deadline_ms = num(&value("--max-deadline-ms")?)?,
+                "--write-timeout-ms" => o.write_timeout_ms = num(&value("--write-timeout-ms")?)?,
+                "--brownout-ms" => o.brownout_ms = num(&value("--brownout-ms")?)?,
+                "--shed-ms" => o.shed_ms = num(&value("--shed-ms")?)?,
+                "--brownout-k" => o.brownout_k = num(&value("--brownout-k")?)?,
+                "--max-inflight" => o.max_inflight = num(&value("--max-inflight")?)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -256,6 +301,34 @@ mod tests {
         assert_eq!(o.linger_ms, 5);
         assert_eq!(o.max_batch, 64);
         assert!(o.fused);
+    }
+
+    #[test]
+    fn parses_overload_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--deadline-ms",
+            "5000",
+            "--max-deadline-ms",
+            "60000",
+            "--write-timeout-ms",
+            "2000",
+            "--brownout-ms",
+            "40",
+            "--shed-ms",
+            "200",
+            "--brownout-k",
+            "2",
+            "--max-inflight",
+            "128",
+        ]))
+        .unwrap();
+        assert_eq!(o.deadline_ms, 5000);
+        assert_eq!(o.max_deadline_ms, 60000);
+        assert_eq!(o.write_timeout_ms, 2000);
+        assert_eq!(o.brownout_ms, 40);
+        assert_eq!(o.shed_ms, 200);
+        assert_eq!(o.brownout_k, 2);
+        assert_eq!(o.max_inflight, 128);
     }
 
     #[test]

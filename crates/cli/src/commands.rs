@@ -362,6 +362,13 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
         max_batch: opts.max_batch,
         default_k: opts.topk,
         fused: opts.fused,
+        default_deadline: std::time::Duration::from_millis(opts.deadline_ms),
+        max_deadline: std::time::Duration::from_millis(opts.max_deadline_ms),
+        write_timeout: std::time::Duration::from_millis(opts.write_timeout_ms),
+        brownout_sojourn: std::time::Duration::from_millis(opts.brownout_ms),
+        shed_sojourn: std::time::Duration::from_millis(opts.shed_ms),
+        brownout_k_cap: opts.brownout_k,
+        max_inflight_predict: opts.max_inflight,
         ..ServeConfig::default()
     };
     let server = Server::start(serve_cfg, ds, vec![spec]).map_err(|e| e.to_string())?;

@@ -178,7 +178,38 @@ impl LogCl {
         queries: &[Quad],
         training: bool,
     ) -> ForwardOutput {
+        self.forward_queries_impl(shared, history, queries, training, false)
+    }
+
+    /// [`LogCl::forward_queries`] with the global two-hop encoder skipped:
+    /// the decoder input falls back to the pure local representation (the
+    /// λ-mixture of Eq. 19 collapses to its local term) and the candidate
+    /// matrix stays the local evolved entity matrix of Eq. 18. Used by the
+    /// serving stack's brownout tier, where the query-dependent global
+    /// subgraph encoding is the serve-time cost it cannot afford. The skip
+    /// is a no-op when the configuration has no local encoder (there would
+    /// be nothing to fall back to) or no global encoder (nothing to skip).
+    pub fn forward_queries_local_only(
+        &mut self,
+        shared: &SharedEncoding,
+        history: &HistoryIndex,
+        queries: &[Quad],
+    ) -> ForwardOutput {
+        self.forward_queries_impl(shared, history, queries, false, true)
+    }
+
+    fn forward_queries_impl(
+        &mut self,
+        shared: &SharedEncoding,
+        history: &HistoryIndex,
+        queries: &[Quad],
+        training: bool,
+        skip_global: bool,
+    ) -> ForwardOutput {
         assert!(!queries.is_empty(), "forward_queries on empty batch");
+        // Only honour the skip when a local encoding exists to fall back
+        // to; otherwise degrading would leave no representation at all.
+        let skip_global = skip_global && shared.local.is_some();
         let subjects: Vec<usize> = queries.iter().map(|q| q.s).collect();
         let rels: Vec<usize> = queries.iter().map(|q| q.r).collect();
         let cfg = &self.cfg;
@@ -201,7 +232,7 @@ impl LogCl {
         };
 
         // --------------------------------------------------------- global
-        let global_ctx: Option<(GlobalEncoding, _)> = if cfg.use_global {
+        let global_ctx: Option<(GlobalEncoding, _)> = if cfg.use_global && !skip_global {
             let pairs: Vec<(usize, usize)> =
                 subjects.iter().copied().zip(rels.iter().copied()).collect();
             let enc = self

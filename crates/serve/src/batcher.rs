@@ -8,17 +8,28 @@
 //! one batch, waiting up to a configurable linger for stragglers and
 //! cutting the batch at a configurable maximum size.
 //!
+//! Every job carries an absolute deadline. The worker re-checks it at each
+//! dequeue boundary and once more immediately before compute: an expired
+//! job is answered `504` with the time it already spent queued and is shed
+//! *before* any model work — under overload the queue never burns compute
+//! on answers nobody is waiting for. Each dequeue also feeds the observed
+//! sojourn time into the [`crate::shed`] state machine.
+//!
 //! On shutdown the senders are dropped; the worker drains every queued item
 //! — answering each one — before it exits, so graceful shutdown never
-//! abandons an accepted request.
+//! abandons an accepted request. A disconnect observed *mid-linger* is not
+//! a linger expiry: it closes the batch and marks the worker unhealthy so
+//! admission stops routing new work at a channel nobody consumes.
 
 use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use logcl_core::Prediction;
 
 use crate::metrics::Metrics;
+use crate::shed::OverloadState;
 
 /// A scoring request travelling from a handler thread to the worker.
 pub struct PredictJob {
@@ -32,11 +43,16 @@ pub struct PredictJob {
     pub t: usize,
     /// How many candidates to return.
     pub k: usize,
+    /// Absolute deadline: at or past it the job is shed (504), not computed.
+    pub deadline: Instant,
+    /// When the job entered the work queue (sojourn and shed accounting).
+    pub enqueued_at: Instant,
     /// Where the worker sends the answer.
     pub reply: Sender<Result<PredictOutcome, ServeError>>,
 }
 
 /// A successful prediction, plus how it was served.
+#[derive(Debug)]
 pub struct PredictOutcome {
     /// Ranked candidates with softmax probabilities.
     pub predictions: Vec<Prediction>,
@@ -44,6 +60,9 @@ pub struct PredictOutcome {
     pub batch_size: usize,
     /// Whether the snapshot encoding came from the cache.
     pub cache_hit: bool,
+    /// Whether the answer was degraded (Brownout: capped k and/or
+    /// local-only decoding).
+    pub degraded: bool,
 }
 
 /// A fact-ingestion request.
@@ -56,11 +75,16 @@ pub struct IngestJob {
     pub facts: Vec<(usize, usize, usize)>,
     /// Run one online adaptation step (Fig. 10) after appending.
     pub update: bool,
+    /// Absolute deadline: at or past it the job is shed (504), not applied.
+    pub deadline: Instant,
+    /// When the job entered the work queue.
+    pub enqueued_at: Instant,
     /// Where the worker sends the answer.
     pub reply: Sender<Result<IngestOutcome, ServeError>>,
 }
 
 /// The result of an ingestion.
+#[derive(Debug)]
 pub struct IngestOutcome {
     /// Facts actually appended (duplicates are dropped).
     pub appended: usize,
@@ -78,6 +102,22 @@ pub enum WorkItem {
     Predict(PredictJob),
     /// Append facts and optionally adapt online.
     Ingest(IngestJob),
+}
+
+impl WorkItem {
+    fn enqueued_at(&self) -> Instant {
+        match self {
+            WorkItem::Predict(j) => j.enqueued_at,
+            WorkItem::Ingest(j) => j.enqueued_at,
+        }
+    }
+
+    fn deadline(&self) -> Instant {
+        match self {
+            WorkItem::Predict(j) => j.deadline,
+            WorkItem::Ingest(j) => j.deadline,
+        }
+    }
 }
 
 /// An error answered to the client with the given HTTP status.
@@ -134,15 +174,57 @@ pub trait BatchHandler {
     fn handle_ingest(&mut self, job: IngestJob);
 }
 
+/// The 504 answered to a job shed in the queue, carrying the time it spent.
+fn expired_error(enqueued_at: Instant, now: Instant) -> ServeError {
+    let waited = now.saturating_duration_since(enqueued_at).as_millis();
+    ServeError {
+        status: 504,
+        message: format!("deadline exceeded after {waited}ms in queue; shed before compute"),
+    }
+}
+
+fn count_queue_shed(metrics: &Metrics) {
+    metrics.shed_deadline_queue.fetch_add(1, Ordering::Relaxed);
+    metrics.shed_before_compute.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Answers `job` 504 without compute (its deadline has passed).
+fn shed_expired_predict(job: PredictJob, now: Instant, metrics: &Metrics) {
+    count_queue_shed(metrics);
+    let _ = job.reply.send(Err(expired_error(job.enqueued_at, now)));
+}
+
+/// Passes a still-live item through, or answers an expired one 504 and
+/// swallows it — the shed-before-compute boundary at every dequeue.
+fn shed_if_expired(item: WorkItem, metrics: &Metrics) -> Option<WorkItem> {
+    let now = Instant::now();
+    if now < item.deadline() {
+        return Some(item);
+    }
+    match item {
+        WorkItem::Predict(job) => shed_expired_predict(job, now, metrics),
+        WorkItem::Ingest(job) => {
+            count_queue_shed(metrics);
+            let _ = job.reply.send(Err(expired_error(job.enqueued_at, now)));
+        }
+    }
+    None
+}
+
 /// Runs the worker loop until every sender is gone and the queue is drained.
 pub fn run_batcher<H: BatchHandler>(
     handler: &mut H,
     rx: &Receiver<WorkItem>,
     opts: &BatcherOptions,
     metrics: &Metrics,
+    overload: &OverloadState,
 ) {
     // Items received while lingering for a different batch key.
     let mut pending: VecDeque<WorkItem> = VecDeque::new();
+    // Index of the next predict batch to execute — the key deterministic
+    // fault schedules are expressed in.
+    #[cfg(feature = "fault-inject")]
+    let mut fault_batches: u64 = 0;
     loop {
         let item = match pending.pop_front() {
             Some(item) => item,
@@ -150,9 +232,28 @@ pub fn run_batcher<H: BatchHandler>(
             // the server dropped its sender and every handler finished —
             // the drain is complete.
             None => match rx.recv() {
-                Ok(item) => item,
+                Ok(item) => {
+                    overload.note_dequeued(item.enqueued_at(), Instant::now());
+                    item
+                }
                 Err(_) => return,
             },
+        };
+
+        #[cfg(feature = "fault-inject")]
+        {
+            if crate::fault::batcher_dies(fault_batches) {
+                // Simulated worker-thread death: the in-hand item is
+                // dropped unanswered (its reply channel closes) and the
+                // tier machine learns the worker is gone.
+                overload.mark_worker_unhealthy();
+                return;
+            }
+        }
+
+        let item = match shed_if_expired(item, metrics) {
+            Some(item) => item,
+            None => continue,
         };
         let first = match item {
             WorkItem::Ingest(job) => {
@@ -168,6 +269,10 @@ pub fn run_batcher<H: BatchHandler>(
         let mut group = vec![first];
         let mut skipped = VecDeque::new();
         while let Some(item) = pending.pop_front() {
+            let item = match shed_if_expired(item, metrics) {
+                Some(item) => item,
+                None => continue,
+            };
             match item {
                 WorkItem::Predict(j)
                     if group.len() < opts.max_batch && j.model == key.0 && j.t == key.1 =>
@@ -178,16 +283,56 @@ pub fn run_batcher<H: BatchHandler>(
             }
         }
         pending = skipped;
-        let deadline = Instant::now() + opts.linger;
+        let linger_deadline = Instant::now() + opts.linger;
         while group.len() < opts.max_batch {
             let now = Instant::now();
-            if now >= deadline {
+            if now >= linger_deadline {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
-                Ok(WorkItem::Predict(j)) if j.model == key.0 && j.t == key.1 => group.push(j),
-                Ok(other) => pending.push_back(other),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            match rx.recv_timeout(linger_deadline - now) {
+                Ok(item) => {
+                    overload.note_dequeued(item.enqueued_at(), Instant::now());
+                    let item = match shed_if_expired(item, metrics) {
+                        Some(item) => item,
+                        None => continue,
+                    };
+                    match item {
+                        WorkItem::Predict(j) if j.model == key.0 && j.t == key.1 => group.push(j),
+                        other => pending.push_back(other),
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every sender vanished mid-linger: that is shutdown or
+                    // worker isolation, not a linger expiry. Close the
+                    // batch now and flag the worker unhealthy so admission
+                    // stops routing work at a channel nobody will consume.
+                    overload.mark_worker_unhealthy();
+                    break;
+                }
+            }
+        }
+
+        // The linger window may have outlived some deadlines; this is the
+        // last boundary before compute.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(group.len());
+        for job in group {
+            if now >= job.deadline {
+                shed_expired_predict(job, now, metrics);
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let group = live;
+
+        #[cfg(feature = "fault-inject")]
+        {
+            if let Some(delay) = crate::fault::compute_delay(fault_batches) {
+                std::thread::sleep(delay);
             }
         }
 
@@ -202,11 +347,15 @@ pub fn run_batcher<H: BatchHandler>(
         let busy = logcl_tensor::kernels::busy_nanos().saturating_sub(busy0);
         metrics
             .kernel_busy_micros
-            .fetch_add(busy / 1_000, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(busy / 1_000, Ordering::Relaxed);
         if wall > 0.0 {
-            metrics
-                .compute_utilisation
-                .observe(busy as f64 / 1e9 / wall);
+            let util = busy as f64 / 1e9 / wall;
+            metrics.compute_utilisation.observe(util);
+            overload.observe_utilisation(util);
+        }
+        #[cfg(feature = "fault-inject")]
+        {
+            fault_batches += 1;
         }
     }
 }
@@ -214,7 +363,9 @@ pub fn run_batcher<H: BatchHandler>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shed::OverloadPolicy;
     use std::sync::mpsc;
+    use std::sync::Arc;
     use std::thread;
 
     /// Records group shapes and answers every job (so reply channels see a
@@ -234,6 +385,7 @@ mod tests {
                     predictions: Vec::new(),
                     batch_size: 1,
                     cache_hit: false,
+                    degraded: false,
                 }));
             }
         }
@@ -248,7 +400,19 @@ mod tests {
         }
     }
 
+    fn overload() -> OverloadState {
+        OverloadState::new(OverloadPolicy::default(), Arc::new(Metrics::default()))
+    }
+
     fn job(s: usize, t: usize) -> (PredictJob, Receiver<Result<PredictOutcome, ServeError>>) {
+        job_with_deadline(s, t, Instant::now() + Duration::from_secs(30))
+    }
+
+    fn job_with_deadline(
+        s: usize,
+        t: usize,
+        deadline: Instant,
+    ) -> (PredictJob, Receiver<Result<PredictOutcome, ServeError>>) {
         let (reply, reply_rx) = mpsc::channel();
         (
             PredictJob {
@@ -257,6 +421,8 @@ mod tests {
                 r: 0,
                 t,
                 k: 3,
+                deadline,
+                enqueued_at: Instant::now(),
                 reply,
             },
             reply_rx,
@@ -282,6 +448,7 @@ mod tests {
                 max_batch: 4,
             },
             &Metrics::default(),
+            &overload(),
         );
         let sizes: Vec<usize> = rec.groups.iter().map(|g| g.len()).collect();
         assert_eq!(sizes, vec![4, 4, 2]);
@@ -308,6 +475,7 @@ mod tests {
             &rx,
             &BatcherOptions::default(),
             &Metrics::default(),
+            &overload(),
         );
         for g in &rec.groups {
             let t0 = g[0].2;
@@ -336,6 +504,7 @@ mod tests {
         });
         let started = Instant::now();
         let mut rec = Recorder::default();
+        let state = overload();
         run_batcher(
             &mut rec,
             &rx,
@@ -344,6 +513,7 @@ mod tests {
                 max_batch: 8,
             },
             &Metrics::default(),
+            &state,
         );
         reply.recv().unwrap().unwrap();
         assert!(
@@ -352,6 +522,124 @@ mod tests {
         );
         assert_eq!(rec.groups, vec![vec![(0, 0, 3)]]);
         holder.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_mid_linger_closes_the_batch_and_marks_unhealthy() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let (j, reply) = job(0, 3);
+        tx.send(WorkItem::Predict(j)).unwrap();
+        // Drop the sender early inside a long linger window: the batch must
+        // close on the disconnect, not sit out the full linger, and the
+        // worker must read as unhealthy afterwards.
+        let dropper = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            drop(tx);
+        });
+        let started = Instant::now();
+        let mut rec = Recorder::default();
+        let state = overload();
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions {
+                linger: Duration::from_millis(2_000),
+                max_batch: 8,
+            },
+            &Metrics::default(),
+            &state,
+        );
+        dropper.join().unwrap();
+        reply
+            .recv()
+            .expect("job accepted before the disconnect must be answered")
+            .expect("recorder answers Ok");
+        assert!(
+            started.elapsed() < Duration::from_millis(1_500),
+            "disconnect must close the batch before the linger expires"
+        );
+        assert_eq!(rec.groups, vec![vec![(0, 0, 3)]]);
+        assert!(
+            !state.worker_healthy(),
+            "mid-linger disconnect must mark the worker unhealthy"
+        );
+    }
+
+    #[test]
+    fn sender_dropped_mid_batch_still_answers_every_accepted_job() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let mut replies = Vec::new();
+        for s in 0..3 {
+            let (j, r) = job(s, 4);
+            tx.send(WorkItem::Predict(j)).unwrap();
+            replies.push(r);
+        }
+        drop(tx); // sender gone while the batch is still being assembled
+        let mut rec = Recorder::default();
+        let state = overload();
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions {
+                linger: Duration::from_millis(500),
+                max_batch: 8,
+            },
+            &Metrics::default(),
+            &state,
+        );
+        assert_eq!(rec.groups, vec![vec![(0, 0, 4), (1, 0, 4), (2, 0, 4)]]);
+        for r in replies {
+            r.recv().unwrap().unwrap();
+        }
+    }
+
+    #[test]
+    fn expired_jobs_are_shed_before_compute_with_504() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let past = Instant::now() - Duration::from_millis(5);
+        let (dead, dead_rx) = job_with_deadline(0, 2, past);
+        let (live, live_rx) = job(1, 2);
+        tx.send(WorkItem::Predict(dead)).unwrap();
+        tx.send(WorkItem::Predict(live)).unwrap();
+        let (ingest_reply, ingest_rx) = mpsc::channel();
+        tx.send(WorkItem::Ingest(IngestJob {
+            model: "default".into(),
+            t: 9,
+            facts: vec![(0, 0, 1)],
+            update: false,
+            deadline: past,
+            enqueued_at: Instant::now(),
+            reply: ingest_reply,
+        }))
+        .unwrap();
+        drop(tx);
+        let mut rec = Recorder::default();
+        let metrics = Metrics::default();
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions::default(),
+            &metrics,
+            &overload(),
+        );
+        // Only the live job reached compute.
+        assert_eq!(rec.groups, vec![vec![(1, 0, 2)]]);
+        assert_eq!(rec.ingests, 0, "expired ingest must not apply");
+        let err = dead_rx
+            .recv()
+            .unwrap()
+            .expect_err("expired job answers Err");
+        assert_eq!(err.status, 504);
+        assert!(
+            err.message.contains("shed before compute"),
+            "{}",
+            err.message
+        );
+        let ingest_err = ingest_rx.recv().unwrap().expect_err("expired ingest Err");
+        assert_eq!(ingest_err.status, 504);
+        live_rx.recv().unwrap().expect("live job answered Ok");
+        assert_eq!(metrics.shed_before_compute.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.shed_deadline_queue.load(Ordering::Relaxed), 2);
     }
 
     #[test]
@@ -369,13 +657,21 @@ mod tests {
             t: 9,
             facts: vec![(0, 0, 1)],
             update: false,
+            deadline: Instant::now() + Duration::from_secs(30),
+            enqueued_at: Instant::now(),
             reply: ingest_reply,
         }))
         .unwrap();
         drop(tx); // "SIGTERM": no more senders
         let mut rec = Recorder::default();
         let metrics = Metrics::default();
-        run_batcher(&mut rec, &rx, &BatcherOptions::default(), &metrics);
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions::default(),
+            &metrics,
+            &overload(),
+        );
         assert_eq!(rec.groups.len(), 5, "each timestamp drained as a batch");
         assert_eq!(rec.ingests, 1);
         for r in replies {

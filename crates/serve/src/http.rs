@@ -209,6 +209,9 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Extra headers (`Retry-After`, `X-LogCL-Degradation`, …), written in
+    /// order after the fixed ones.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -219,6 +222,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -228,8 +232,15 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
+    }
+
+    /// Appends one extra header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 }
 
@@ -253,12 +264,16 @@ fn status_text(status: u16) -> &'static str {
 pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
         resp.body.len()
     )?;
+    for (name, value) in &resp.headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(&resp.body)?;
     w.flush()
 }
@@ -390,5 +405,19 @@ mod tests {
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
         assert!(s.contains("Content-Length: 11\r\n"), "{s}");
         assert!(s.ends_with("{\"ok\":true}"), "{s}");
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_blank_line() {
+        let resp = Response::json(503, "{}".into())
+            .with_header("Retry-After", "1")
+            .with_header("X-LogCL-Degradation", "shed");
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        let (head, body) = s.split_once("\r\n\r\n").expect("head/body split");
+        assert!(head.contains("\r\nRetry-After: 1"), "{head}");
+        assert!(head.contains("\r\nX-LogCL-Degradation: shed"), "{head}");
+        assert_eq!(body, "{}");
     }
 }

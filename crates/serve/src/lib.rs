@@ -13,6 +13,12 @@
 //! * [`registry`] — checkpoint loading/validation and the actual model
 //!   calls behind the batcher.
 //! * [`server`] — the thread-pool, routing, and graceful shutdown glue.
+//! * [`shed`] — overload resilience: deadline-aware shedding and the
+//!   Normal → Brownout → Shed degradation state machine.
+//!
+//! Under the `fault-inject` cargo feature (tests only — lint L008 proves it
+//! never reaches a default build) the `fault` module adds deterministic
+//! fault injection at audited boundaries for chaos testing.
 //!
 //! Start one with [`Server::start`] and a [`ServeConfig`]; see the README's
 //! "Serving" section for the HTTP API.
@@ -20,10 +26,13 @@
 pub mod batcher;
 pub mod cache;
 pub mod error;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod shed;
 
 pub use batcher::{BatcherOptions, ServeError};
 pub use cache::EncodingCache;
@@ -31,3 +40,4 @@ pub use error::StartError;
 pub use metrics::Metrics;
 pub use registry::{ModelSpec, Registry};
 pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use shed::{OverloadPolicy, OverloadState, Tier};

@@ -114,6 +114,32 @@ pub struct Metrics {
     pub read_timeouts: AtomicU64,
     /// Requests answered `413` because the declared body exceeded the limit.
     pub oversized_bodies: AtomicU64,
+    /// Requests answered `503` because the bounded work queue was full.
+    pub shed_queue_full: AtomicU64,
+    /// Requests answered `504` at admission: the deadline had already
+    /// passed (or was unsatisfiable) before any work was queued.
+    pub shed_deadline_admission: AtomicU64,
+    /// Requests answered `504` by the batcher: the deadline expired while
+    /// the request sat in the work queue (shed *before* compute).
+    pub shed_deadline_queue: AtomicU64,
+    /// Requests answered `503` by queue-delay admission control (the
+    /// CoDel-style sojourn signal or the Shed degradation tier).
+    pub shed_overload: AtomicU64,
+    /// Requests answered `503` by the per-endpoint concurrency cap.
+    pub shed_concurrency: AtomicU64,
+    /// Requests shed after admission but before entering model compute
+    /// (the load-shedding guarantee: expired work never burns the model
+    /// worker). Superset sum lives in `logcl_shed_total`.
+    pub shed_before_compute: AtomicU64,
+    /// Predict requests answered under a degraded tier (Brownout effects:
+    /// reduced top-k and/or local-only decoding).
+    pub degraded_responses: AtomicU64,
+    /// Current degradation tier (0 = normal, 1 = brownout, 2 = shed),
+    /// mirrored from the overload state machine on every transition.
+    pub degradation_tier: AtomicU64,
+    /// Queue sojourn (enqueue → dequeue) of work items, observed by the
+    /// batcher — the CoDel-style overload signal.
+    pub queue_sojourn: Histogram,
     /// Average kernel-pool compute threads busy per wall-clock second while
     /// each predict batch executed (0 under the serial backend, which runs
     /// on the model worker thread itself).
@@ -140,6 +166,15 @@ impl Default for Metrics {
             online_updates: AtomicU64::new(0),
             read_timeouts: AtomicU64::new(0),
             oversized_bodies: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline_admission: AtomicU64::new(0),
+            shed_deadline_queue: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            shed_concurrency: AtomicU64::new(0),
+            shed_before_compute: AtomicU64::new(0),
+            degraded_responses: AtomicU64::new(0),
+            degradation_tier: AtomicU64::new(0),
+            queue_sojourn: Histogram::new(&LATENCY_BUCKETS),
             compute_utilisation: Histogram::new(&UTIL_BUCKETS),
             kernel_busy_micros: AtomicU64::new(0),
         }
@@ -248,6 +283,43 @@ impl Metrics {
         );
         counter(
             &mut out,
+            "logcl_shed_total",
+            "Requests shed (503/504 with Retry-After), by cause.",
+            &[
+                ("reason=\"queue_full\"", load(&self.shed_queue_full)),
+                (
+                    "reason=\"deadline_admission\"",
+                    load(&self.shed_deadline_admission),
+                ),
+                ("reason=\"deadline_queue\"", load(&self.shed_deadline_queue)),
+                ("reason=\"overload\"", load(&self.shed_overload)),
+                ("reason=\"concurrency\"", load(&self.shed_concurrency)),
+            ],
+        );
+        counter(
+            &mut out,
+            "logcl_shed_before_compute_total",
+            "Admitted requests shed by the batcher before model compute.",
+            &[("", load(&self.shed_before_compute))],
+        );
+        counter(
+            &mut out,
+            "logcl_degraded_responses_total",
+            "Predict responses answered under a degraded (brownout) tier.",
+            &[("", load(&self.degraded_responses))],
+        );
+        let _ = writeln!(
+            out,
+            "# HELP logcl_degradation_tier Current degradation tier (0 normal, 1 brownout, 2 shed)."
+        );
+        let _ = writeln!(out, "# TYPE logcl_degradation_tier gauge");
+        let _ = writeln!(
+            out,
+            "logcl_degradation_tier {}",
+            load(&self.degradation_tier)
+        );
+        counter(
+            &mut out,
             "logcl_kernel_busy_micros_total",
             "Kernel-pool busy time attributed to predict batches (us).",
             &[("", load(&self.kernel_busy_micros))],
@@ -273,6 +345,11 @@ impl Metrics {
         self.batch_size.render(
             "logcl_batch_size",
             "Queries coalesced per executed micro-batch.",
+            &mut out,
+        );
+        self.queue_sojourn.render(
+            "logcl_queue_sojourn_seconds",
+            "Work-queue sojourn (enqueue to dequeue) per item.",
             &mut out,
         );
         self.compute_utilisation.render(
@@ -319,6 +396,11 @@ mod tests {
             "logcl_kernel_backend_info{backend=",
             "logcl_compute_utilisation_bucket",
             "logcl_kernel_busy_micros_total",
+            "logcl_shed_total{reason=\"queue_full\"} 0",
+            "logcl_shed_total{reason=\"deadline_queue\"} 0",
+            "logcl_shed_before_compute_total 0",
+            "logcl_degradation_tier 0",
+            "logcl_queue_sojourn_seconds_count",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

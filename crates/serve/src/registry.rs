@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use logcl_core::model::SharedEncoding;
 use logcl_core::{trainer, EvalContext, LogCl, LogClConfig, TrainOptions};
@@ -21,6 +22,7 @@ use crate::batcher::{
 use crate::cache::EncodingCache;
 use crate::error::StartError;
 use crate::metrics::Metrics;
+use crate::shed::{OverloadState, Tier};
 
 /// Everything needed to materialise one served model (all fields are
 /// `Send`, unlike the model itself).
@@ -61,6 +63,10 @@ pub struct Registry {
     /// subgraphs — answers may depend on co-batched requests). Off by
     /// default: exact single-query semantics, encoding still shared.
     fused: bool,
+    /// Degradation tier and brownout policy, shared with the admission
+    /// path; in Brownout predictions are answered with a capped top-k and
+    /// (optionally) without the global encoder.
+    overload: Arc<OverloadState>,
 }
 
 impl Registry {
@@ -73,12 +79,24 @@ impl Registry {
         horizon: Arc<AtomicUsize>,
         fused: bool,
         cache_capacity: usize,
+        overload: Arc<OverloadState>,
     ) -> Result<Self, StartError> {
         if specs.is_empty() {
             return Err(StartError::NoModels);
         }
         let mut entries = Vec::with_capacity(specs.len());
         for spec in specs {
+            #[cfg(feature = "fault-inject")]
+            {
+                if crate::fault::checkpoint_read_error() {
+                    return Err(StartError::Checkpoint {
+                        model: spec.name.clone(),
+                        source: logcl_tensor::serialize::CheckpointError::Corrupt(
+                            "injected checkpoint read fault".into(),
+                        ),
+                    });
+                }
+            }
             let mut model = LogCl::new(&ds, spec.cfg.clone());
             if let Some(ckpt) = &spec.checkpoint {
                 ckpt.validate_meta(&spec.cfg.variant_name(), &spec.cfg.fingerprint())
@@ -113,6 +131,7 @@ impl Registry {
             metrics,
             horizon,
             fused,
+            overload,
         })
     }
 
@@ -157,6 +176,25 @@ impl Registry {
             return;
         }
         let batch_size = valid.len();
+
+        // Brownout degradation (crate::shed): under pressure, cap the
+        // effective top-k and — when the model has a local encoder to fall
+        // back on — skip the per-query global subgraph encoder entirely, so
+        // the cached snapshot encoding alone answers the batch (the decoder
+        // λ-mixture, Eq. 18–19, collapses to its local term).
+        let brownout = self.overload.tier(Instant::now()) >= Tier::Brownout;
+        let policy = self.overload.policy();
+        let k_cap = if brownout {
+            policy.brownout_k_cap.max(1)
+        } else {
+            usize::MAX
+        };
+        // Only meaningful for models that actually have a local encoding to
+        // fall back on; global-only variants keep full-fidelity decoding.
+        let skip_global = brownout
+            && policy.brownout_skip_global
+            && self.entries[idx].model.cfg.use_local
+            && self.entries[idx].model.cfg.use_global;
 
         // Snapshot-encoding cache: compute once per (model, t), reuse for
         // every other request in this batch and every later one at `t`.
@@ -211,9 +249,15 @@ impl Registry {
                 .iter()
                 .map(|&(s, r)| Quad::new(s, r, 0, t))
                 .collect();
-            let out = entry
-                .model
-                .forward_queries(&cached.shared, &cached.history, &queries, false);
+            let out = if skip_global {
+                entry
+                    .model
+                    .forward_queries_local_only(&cached.shared, &cached.history, &queries)
+            } else {
+                entry
+                    .model
+                    .forward_queries(&cached.shared, &cached.history, &queries, false)
+            };
             let logits = out.logits.to_tensor();
             scores.extend((0..uniques.len()).map(|i| logits.row(i).to_vec()));
         } else {
@@ -222,10 +266,15 @@ impl Registry {
             // whatever else happens to be in the batch.
             for &(s, r) in &uniques {
                 let query = [Quad::new(s, r, 0, t)];
-                let out =
+                let out = if skip_global {
                     entry
                         .model
-                        .forward_queries(&cached.shared, &cached.history, &query, false);
+                        .forward_queries_local_only(&cached.shared, &cached.history, &query)
+                } else {
+                    entry
+                        .model
+                        .forward_queries(&cached.shared, &cached.history, &query, false)
+                };
                 scores.push(out.logits.to_tensor().row(0).to_vec());
             }
         }
@@ -244,11 +293,19 @@ impl Registry {
                 }));
                 continue;
             };
-            let predictions = logcl_core::topk_from_scores(&self.ds, scored, job.k);
+            let k_eff = job.k.min(k_cap);
+            let degraded = skip_global || k_eff < job.k;
+            if degraded {
+                self.metrics
+                    .degraded_responses
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            let predictions = logcl_core::topk_from_scores(&self.ds, scored, k_eff);
             let _ = job.reply.send(Ok(PredictOutcome {
                 predictions,
                 batch_size,
                 cache_hit,
+                degraded,
             }));
         }
     }
@@ -387,6 +444,10 @@ mod tests {
             Arc::new(AtomicUsize::new(0)),
             false,
             16,
+            Arc::new(OverloadState::new(
+                crate::shed::OverloadPolicy::default(),
+                Arc::new(Metrics::default()),
+            )),
         )
     }
 
@@ -463,6 +524,10 @@ mod tests {
             horizon.clone(),
             false,
             16,
+            Arc::new(OverloadState::new(
+                crate::shed::OverloadPolicy::default(),
+                Arc::new(Metrics::default()),
+            )),
         )
         .unwrap();
         assert_eq!(reg.model_names(), vec!["default".to_string()]);

@@ -31,6 +31,7 @@ use crate::error::StartError;
 use crate::http::{read_request_limited, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
 use crate::registry::{ModelSpec, Registry};
+use crate::shed::{OverloadPolicy, OverloadState};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +66,36 @@ pub struct ServeConfig {
     /// Per-request body-size cap in bytes; larger declared bodies are
     /// answered `413` without being read (counted in `/metrics`).
     pub max_body_bytes: usize,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Per-request deadline applied when the client sends no
+    /// `X-LogCL-Deadline-Ms` header.
+    pub default_deadline: Duration,
+    /// Ceiling clamped onto client-supplied deadlines.
+    pub max_deadline: Duration,
+    /// Queue sojourn at which the degradation tier escalates to Brownout
+    /// ([`crate::shed`]).
+    pub brownout_sojourn: Duration,
+    /// Queue sojourn at which the degradation tier escalates to Shed and
+    /// incoming `/predict` is answered `503` (`/healthz` and `/metrics`
+    /// are never shed).
+    pub shed_sojourn: Duration,
+    /// Consecutive healthy observations needed to step the tier down once.
+    pub recovery_streak: u32,
+    /// Compute-utilisation threshold feeding Brownout (`0.0` disables the
+    /// utilisation signal).
+    pub brownout_utilisation: f64,
+    /// Effective top-k cap applied to predictions while in Brownout.
+    pub brownout_k_cap: usize,
+    /// Skip the per-query global encoder in Brownout: decode local-only,
+    /// i.e. the λ-mixture of Eq. 18–19 collapses to its local term.
+    pub brownout_skip_global: bool,
+    /// Concurrent in-flight `/predict` requests admitted.
+    pub max_inflight_predict: usize,
+    /// Concurrent in-flight `/ingest` requests admitted.
+    pub max_inflight_ingest: usize,
+    /// `Retry-After` seconds advertised on shed (503/504) responses.
+    pub retry_after_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +113,18 @@ impl Default for ServeConfig {
             enable_shutdown_endpoint: true,
             read_timeout: Duration::from_secs(10),
             max_body_bytes: crate::http::MAX_BODY_BYTES,
+            write_timeout: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(120),
+            brownout_sojourn: Duration::from_millis(50),
+            shed_sojourn: Duration::from_millis(250),
+            recovery_streak: 3,
+            brownout_utilisation: 0.0,
+            brownout_k_cap: 3,
+            brownout_skip_global: true,
+            max_inflight_predict: 256,
+            max_inflight_ingest: 32,
+            retry_after_secs: 1,
         }
     }
 }
@@ -173,10 +216,15 @@ struct HandlerCtx {
     metrics: Arc<Metrics>,
     shutdown: Arc<ShutdownState>,
     horizon: Arc<AtomicUsize>,
+    overload: Arc<OverloadState>,
     default_k: usize,
     enable_shutdown_endpoint: bool,
     read_timeout: Duration,
     max_body_bytes: usize,
+    write_timeout: Duration,
+    default_deadline: Duration,
+    max_deadline: Duration,
+    retry_after_secs: u64,
 }
 
 // ---------------------------------------------------------------- thread pool
@@ -254,6 +302,7 @@ pub struct Server {
     worker: Option<JoinHandle<()>>,
     work_tx: Option<SyncSender<WorkItem>>,
     metrics: Arc<Metrics>,
+    overload: Arc<OverloadState>,
 }
 
 impl Server {
@@ -275,6 +324,19 @@ impl Server {
         }
         let metrics = Arc::new(Metrics::default());
         let shutdown = Arc::new(ShutdownState::new());
+        let overload = Arc::new(OverloadState::new(
+            OverloadPolicy {
+                brownout_sojourn: cfg.brownout_sojourn,
+                shed_sojourn: cfg.shed_sojourn.max(cfg.brownout_sojourn),
+                recovery_streak: cfg.recovery_streak.max(1),
+                brownout_utilisation: cfg.brownout_utilisation,
+                brownout_k_cap: cfg.brownout_k_cap,
+                brownout_skip_global: cfg.brownout_skip_global,
+                max_inflight_predict: cfg.max_inflight_predict,
+                max_inflight_ingest: cfg.max_inflight_ingest,
+            },
+            Arc::clone(&metrics),
+        ));
         let horizon = Arc::new(AtomicUsize::new(ds.num_times));
         let vocab = Vocab::from_dataset(&ds);
         let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_cap.max(1));
@@ -291,6 +353,7 @@ impl Server {
             };
             let fused = cfg.fused;
             let cache_capacity = cfg.cache_capacity;
+            let overload = Arc::clone(&overload);
             thread::Builder::new()
                 .name("logcl-serve-model".into())
                 .spawn(move || {
@@ -301,6 +364,7 @@ impl Server {
                         horizon,
                         fused,
                         cache_capacity,
+                        Arc::clone(&overload),
                     ) {
                         Ok(r) => {
                             let _ = ready_tx.send(Ok(()));
@@ -311,7 +375,7 @@ impl Server {
                             return;
                         }
                     };
-                    run_batcher(&mut registry, &work_rx, &opts, &metrics);
+                    run_batcher(&mut registry, &work_rx, &opts, &metrics, &overload);
                 })
                 .map_err(|e| StartError::Io {
                     context: "spawn model worker".into(),
@@ -349,10 +413,15 @@ impl Server {
             metrics: Arc::clone(&metrics),
             shutdown: Arc::clone(&shutdown),
             horizon,
+            overload: Arc::clone(&overload),
             default_k: cfg.default_k.max(1),
             enable_shutdown_endpoint: cfg.enable_shutdown_endpoint,
             read_timeout: cfg.read_timeout,
             max_body_bytes: cfg.max_body_bytes,
+            write_timeout: cfg.write_timeout,
+            default_deadline: cfg.default_deadline,
+            max_deadline: cfg.max_deadline.max(cfg.default_deadline),
+            retry_after_secs: cfg.retry_after_secs.max(1),
         });
 
         let accept = {
@@ -392,6 +461,7 @@ impl Server {
             worker: Some(worker),
             work_tx: Some(work_tx),
             metrics,
+            overload,
         })
     }
 
@@ -403,6 +473,13 @@ impl Server {
     /// Server-wide metrics (shared with `GET /metrics`).
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The overload/degradation state (tier machine, queue-age signal) —
+    /// shared with admission and the batcher; useful for tests and
+    /// programmatic health probes.
+    pub fn overload(&self) -> Arc<OverloadState> {
+        Arc::clone(&self.overload)
     }
 
     /// A handle that can initiate shutdown from another thread.
@@ -447,11 +524,18 @@ impl Drop for Server {
 fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(ctx.read_timeout));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let resp = match read_request_limited(&mut stream, ctx.max_body_bytes) {
+    let _ = stream.set_write_timeout(Some(ctx.write_timeout));
+    #[cfg(feature = "fault-inject")]
+    {
+        // Simulated slow/stalled client socket holding a handler thread.
+        if let Some(stall) = crate::fault::socket_stall() {
+            thread::sleep(stall);
+        }
+    }
+    let mut resp = match read_request_limited(&mut stream, ctx.max_body_bytes) {
         Ok(req) => {
             ctx.metrics.count_request(route_key(&req.path));
-            route(&req, ctx)
+            route(&req, ctx, started)
         }
         Err(HttpError::Io(_)) => return, // peer vanished; nothing to answer
         Err(e) => {
@@ -467,6 +551,15 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
             Response::json(e.status(), json!({ "error": e.to_string() }).to_string())
         }
     };
+    // Overload surface: every response names the current degradation tier,
+    // and every shed/timeout answer tells the client when to come back.
+    let tier = ctx.overload.tier(Instant::now());
+    resp = resp.with_header("X-LogCL-Degradation", tier.name());
+    if matches!(resp.status, 503 | 504)
+        && !resp.headers.iter().any(|(name, _)| *name == "Retry-After")
+    {
+        resp = resp.with_header("Retry-After", ctx.retry_after_secs.to_string());
+    }
     ctx.metrics.count_response(resp.status, started.elapsed());
     let _ = write_response(&mut stream, &resp);
     let _ = stream.flush();
@@ -476,15 +569,22 @@ fn route_key(path: &str) -> &str {
     path.split('?').next().unwrap_or(path)
 }
 
-fn route(req: &Request, ctx: &HandlerCtx) -> Response {
+fn route(req: &Request, ctx: &HandlerCtx, started: Instant) -> Response {
     match (req.method.as_str(), route_key(&req.path)) {
+        // `/healthz` and `/metrics` are never shed, whatever the tier: an
+        // overloaded server must stay observable.
         ("GET", "/healthz") => Response::json(
             200,
-            json!({ "status": "ok", "horizon": ctx.horizon.load(Ordering::SeqCst) }).to_string(),
+            json!({
+                "status": "ok",
+                "horizon": ctx.horizon.load(Ordering::SeqCst),
+                "tier": ctx.overload.tier(Instant::now()).name(),
+            })
+            .to_string(),
         ),
         ("GET", "/metrics") => Response::text(200, ctx.metrics.render()),
-        ("POST", "/predict") => predict(req, ctx),
-        ("POST", "/ingest") => ingest(req, ctx),
+        ("POST", "/predict") => predict(req, ctx, started),
+        ("POST", "/ingest") => ingest(req, ctx, started),
         ("POST", "/shutdown") if ctx.enable_shutdown_endpoint => {
             ctx.shutdown.trigger();
             Response::json(200, json!({ "status": "shutting down" }).to_string())
@@ -532,42 +632,145 @@ fn resolve_id(
     }
 }
 
-fn submit(ctx: &HandlerCtx, item: WorkItem) -> Result<(), ServeError> {
-    match ctx.work_tx.try_send(item) {
-        Ok(()) => Ok(()),
-        Err(TrySendError::Full(_)) => Err(ServeError {
-            status: 503,
-            message: "work queue full, retry later".into(),
-        }),
-        Err(TrySendError::Disconnected(_)) => Err(ServeError {
-            status: 503,
-            message: "server is shutting down".into(),
-        }),
+/// Parses the client's `X-LogCL-Deadline-Ms` header into an absolute
+/// deadline (clamped to the server ceiling); absent means the server
+/// default applies.
+fn request_deadline(
+    req: &Request,
+    ctx: &HandlerCtx,
+    started: Instant,
+) -> Result<Instant, ServeError> {
+    let budget = match req.header("x-logcl-deadline-ms") {
+        Some(raw) => {
+            let ms: u64 = raw.trim().parse().map_err(|_| {
+                ServeError::bad_request(format!(
+                    "invalid X-LogCL-Deadline-Ms value {raw:?} (want milliseconds)"
+                ))
+            })?;
+            Duration::from_millis(ms).min(ctx.max_deadline)
+        }
+        None => ctx.default_deadline,
+    };
+    Ok(started + budget)
+}
+
+/// Admission gates shared by the model-backed endpoints: expired deadline
+/// (504) and, for `/predict`, the Shed tier (503). Returns the deadline.
+fn admit_deadline(
+    req: &Request,
+    ctx: &HandlerCtx,
+    started: Instant,
+) -> Result<Instant, ServeError> {
+    let deadline = request_deadline(req, ctx, started)?;
+    if Instant::now() >= deadline {
+        ctx.metrics
+            .shed_deadline_admission
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError {
+            status: 504,
+            message: "deadline expired before admission".into(),
+        });
+    }
+    Ok(deadline)
+}
+
+fn queue_full_error() -> ServeError {
+    ServeError {
+        status: 503,
+        message: "work queue full, retry later".into(),
     }
 }
 
-fn await_reply<T>(rx: &Receiver<Result<T, ServeError>>) -> Result<T, ServeError> {
-    match rx.recv_timeout(Duration::from_secs(60)) {
+fn submit(ctx: &HandlerCtx, item: WorkItem) -> Result<(), ServeError> {
+    #[cfg(feature = "fault-inject")]
+    {
+        if crate::fault::queue_saturated() {
+            ctx.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return Err(queue_full_error());
+        }
+    }
+    let enqueued_at = match &item {
+        WorkItem::Predict(j) => j.enqueued_at,
+        WorkItem::Ingest(j) => j.enqueued_at,
+    };
+    // Count the enqueue *before* the send makes the item visible: if the
+    // batcher's dequeue accounting ran first, the queue-age anchor would be
+    // left permanently stale (see OverloadState::note_enqueued).
+    ctx.overload.note_enqueued(enqueued_at);
+    match ctx.work_tx.try_send(item) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(_)) => {
+            ctx.overload.note_send_failed();
+            ctx.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            Err(queue_full_error())
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            // The worker's receiver is gone while we are still admitting:
+            // the model worker died (graceful shutdown keeps it alive until
+            // every handler finishes). Route future admissions to Shed.
+            ctx.overload.note_send_failed();
+            ctx.overload.mark_worker_unhealthy();
+            Err(ServeError {
+                status: 503,
+                message: "model worker unavailable; retry against a healthy replica".into(),
+            })
+        }
+    }
+}
+
+fn await_reply<T>(
+    rx: &Receiver<Result<T, ServeError>>,
+    deadline: Instant,
+) -> Result<T, ServeError> {
+    let budget = deadline.saturating_duration_since(Instant::now());
+    match rx.recv_timeout(budget) {
         Ok(result) => result,
         Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError {
             status: 504,
-            message: "model worker timed out".into(),
+            message: "deadline exceeded waiting for the model worker".into(),
         }),
         Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError {
-            status: 500,
-            message: "model worker dropped the request".into(),
+            status: 503,
+            message: "model worker dropped the request; retry against a healthy replica".into(),
         }),
     }
 }
 
-fn predict(req: &Request, ctx: &HandlerCtx) -> Response {
-    match predict_inner(req, ctx) {
+fn predict(req: &Request, ctx: &HandlerCtx, started: Instant) -> Response {
+    match predict_inner(req, ctx, started) {
         Ok(resp) => resp,
         Err(e) => error_response(&e),
     }
 }
 
-fn predict_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError> {
+fn predict_inner(
+    req: &Request,
+    ctx: &HandlerCtx,
+    started: Instant,
+) -> Result<Response, ServeError> {
+    let deadline = admit_deadline(req, ctx, started)?;
+    // CoDel-style admission: in the Shed tier with a live backlog (or a
+    // dead worker) `/predict` is refused before any parsing or queueing
+    // (the central header logic adds Retry-After). With the queue drained,
+    // probes pass through so recovery observations can happen at all.
+    let now = Instant::now();
+    if ctx.overload.should_shed_predict(now) {
+        ctx.metrics.shed_overload.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError {
+            status: 503,
+            message: format!(
+                "server overloaded (queue delay {}ms); retry later",
+                ctx.overload.queue_wait(now).as_millis()
+            ),
+        });
+    }
+    let Some(_inflight) = ctx.overload.try_acquire_predict() else {
+        ctx.metrics.shed_concurrency.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError {
+            status: 503,
+            message: "too many in-flight predict requests".into(),
+        });
+    };
     let body = parse_body(req)?;
     let subject = body
         .get("subject")
@@ -615,10 +818,12 @@ fn predict_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError
             r,
             t,
             k,
+            deadline,
+            enqueued_at: Instant::now(),
             reply,
         }),
     )?;
-    let outcome = await_reply(&reply_rx)?;
+    let outcome = await_reply(&reply_rx, deadline)?;
     let predictions: Vec<Value> = outcome
         .predictions
         .iter()
@@ -638,19 +843,28 @@ fn predict_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError
             "predictions": predictions,
             "batch_size": outcome.batch_size,
             "cache_hit": outcome.cache_hit,
+            "degraded": outcome.degraded,
         })
         .to_string(),
     ))
 }
 
-fn ingest(req: &Request, ctx: &HandlerCtx) -> Response {
-    match ingest_inner(req, ctx) {
+fn ingest(req: &Request, ctx: &HandlerCtx, started: Instant) -> Response {
+    match ingest_inner(req, ctx, started) {
         Ok(resp) => resp,
         Err(e) => error_response(&e),
     }
 }
 
-fn ingest_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError> {
+fn ingest_inner(req: &Request, ctx: &HandlerCtx, started: Instant) -> Result<Response, ServeError> {
+    let deadline = admit_deadline(req, ctx, started)?;
+    let Some(_inflight) = ctx.overload.try_acquire_ingest() else {
+        ctx.metrics.shed_concurrency.fetch_add(1, Ordering::Relaxed);
+        return Err(ServeError {
+            status: 503,
+            message: "too many in-flight ingest requests".into(),
+        });
+    };
     let body = parse_body(req)?;
     let t = body
         .get("time")
@@ -694,10 +908,12 @@ fn ingest_inner(req: &Request, ctx: &HandlerCtx) -> Result<Response, ServeError>
             t,
             facts,
             update,
+            deadline,
+            enqueued_at: Instant::now(),
             reply,
         }),
     )?;
-    let outcome = await_reply(&reply_rx)?;
+    let outcome = await_reply(&reply_rx, deadline)?;
     Ok(Response::json(
         200,
         json!({

@@ -1,0 +1,336 @@
+//! Deterministic chaos suite (`--features fault-inject`).
+//!
+//! Each test installs a seeded [`logcl_serve::fault::FaultPlan`] and drives
+//! a real server over sockets, asserting the overload-resilience contract:
+//! no panics, `/healthz` and `/metrics` always answer, every shed response
+//! carries `Retry-After`, the tier recovers to Normal once the fault
+//! clears, and predictions after a degradation episode are bit-identical
+//! to predictions before it.
+//!
+//! The fault plan is process-global, so the tests serialise on a mutex and
+//! clear the plan before releasing it.
+
+#![cfg(feature = "fault-inject")]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use logcl_core::LogClConfig;
+use logcl_serve::fault::{self, FaultPlan, FaultPoint};
+use logcl_serve::{ModelSpec, ServeConfig, Server, StartError};
+use logcl_tkg::{SyntheticPreset, TkgDataset};
+use serde_json::Value;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Serialises chaos tests (the fault plan is process-global) and clears
+/// any plan a previous — possibly panicked — test left installed.
+fn serial() -> MutexGuard<'static, ()> {
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    fault::clear();
+    guard
+}
+
+fn tiny_ds() -> TkgDataset {
+    SyntheticPreset::Icews14.generate_scaled(0.15)
+}
+
+fn tiny_cfg() -> LogClConfig {
+    LogClConfig {
+        dim: 16,
+        time_bank: 4,
+        channels: 6,
+        m: 3,
+        ..Default::default()
+    }
+}
+
+fn untrained_spec() -> ModelSpec {
+    ModelSpec {
+        name: "default".into(),
+        cfg: tiny_cfg(),
+        checkpoint: None,
+        train: None,
+    }
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        linger: Duration::from_millis(1),
+        ..ServeConfig::default()
+    }
+}
+
+/// Minimal blocking HTTP/1.1 client returning status, headers
+/// (lower-cased names), and body.
+fn request(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text:?}"));
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or_default();
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    (status, headers, body)
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    let want = name.to_ascii_lowercase();
+    headers
+        .iter()
+        .find(|(n, _)| *n == want)
+        .map(|(_, v)| v.as_str())
+}
+
+fn json(body: &str) -> Value {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e}"))
+}
+
+fn horizon_of(addr: std::net::SocketAddr) -> u64 {
+    let (status, _, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "healthz must always be live");
+    json(&body).get("horizon").and_then(Value::as_u64).unwrap()
+}
+
+/// Asserts the liveness endpoints answer 200 and returns the tier healthz
+/// reports — callable at any point of any fault episode.
+fn health_always_live(addr: std::net::SocketAddr) -> String {
+    let (status, _, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "healthz shed: {body}");
+    let tier = json(&body)
+        .get("tier")
+        .and_then(Value::as_str)
+        .expect("healthz reports the tier")
+        .to_string();
+    let (status, _, _) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "metrics shed");
+    tier
+}
+
+#[test]
+fn injected_checkpoint_fault_fails_startup_with_a_typed_error() {
+    let _guard = serial();
+    fault::install(FaultPlan {
+        checkpoint_read_error: true,
+        ..FaultPlan::default()
+    });
+    let err = match Server::start(serve_config(), tiny_ds(), vec![untrained_spec()]) {
+        Ok(_) => panic!("injected checkpoint fault must fail startup"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, StartError::Checkpoint { .. }),
+        "wrong error kind: {err}"
+    );
+    assert_eq!(fault::fired(FaultPoint::CheckpointRead), 1);
+
+    // With the plan cleared, the same configuration starts cleanly.
+    fault::clear();
+    let server =
+        Server::start(serve_config(), tiny_ds(), vec![untrained_spec()]).expect("clean start");
+    assert_eq!(health_always_live(server.addr()), "normal");
+    server.shutdown();
+}
+
+#[test]
+fn compute_delay_overload_sheds_then_recovers_bit_identically() {
+    let _guard = serial();
+    let cfg = ServeConfig {
+        brownout_sojourn: Duration::from_millis(20),
+        shed_sojourn: Duration::from_millis(60),
+        recovery_streak: 2,
+        ..serve_config()
+    };
+    let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t = horizon_of(addr);
+    let query = format!(r#"{{"subject": 0, "relation": 0, "time": {t}, "k": 5}}"#);
+
+    // Unloaded baseline, full fidelity.
+    let (status, headers, baseline) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 200, "{baseline}");
+    assert_eq!(header_of(&headers, "X-LogCL-Degradation"), Some("normal"));
+    let baseline = json(&baseline)
+        .get("predictions")
+        .expect("predictions array")
+        .to_string();
+
+    // Inject a deterministic compute stall into every batch, then pile
+    // work up behind it.
+    fault::install(FaultPlan {
+        seed: 42,
+        compute_delay: Some(Duration::from_millis(400)),
+        ..FaultPlan::default()
+    });
+    let stalled = std::thread::spawn(move || {
+        let body = format!(r#"{{"subject": 1, "relation": 0, "time": {t}, "k": 5}}"#);
+        request(addr, "POST", "/predict", &body)
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let queued = std::thread::spawn(move || {
+        let body = format!(r#"{{"subject": 2, "relation": 0, "time": {t}, "k": 5}}"#);
+        request(addr, "POST", "/predict", &body)
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // By now the queued job is far older than shed_sojourn: fresh predicts
+    // must be refused with Retry-After, while liveness stays untouched.
+    let (status, headers, body) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 503, "overloaded server must shed: {body}");
+    assert!(
+        header_of(&headers, "Retry-After").is_some(),
+        "shed without Retry-After: {headers:?}"
+    );
+    let tier = health_always_live(addr);
+    assert_ne!(tier, "normal", "tier must reflect the episode");
+
+    // Work admitted before the overload is still answered, not dropped.
+    let (status, _, body) = stalled.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, _, body) = queued.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(fault::fired(FaultPoint::ComputeDelay) >= 1);
+    assert!(
+        server.metrics().shed_overload.load(Ordering::Relaxed) >= 1,
+        "admission shed must be counted"
+    );
+
+    // Clear the fault: probe traffic must walk the tier back to Normal
+    // (recovery is streak-bounded, so a handful of probes suffices).
+    fault::clear();
+    let mut recovered = None;
+    for _ in 0..50 {
+        let (status, headers, body) = request(addr, "POST", "/predict", &query);
+        if status == 200 && header_of(&headers, "X-LogCL-Degradation") == Some("normal") {
+            let v = json(&body);
+            if v.get("degraded").and_then(Value::as_bool) == Some(false) {
+                recovered = Some(v.get("predictions").expect("predictions").to_string());
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let recovered = recovered.expect("tier never recovered to normal");
+    assert_eq!(
+        recovered, baseline,
+        "post-episode predictions must be bit-identical to the unloaded baseline"
+    );
+    assert_eq!(health_always_live(addr), "normal");
+    server.shutdown();
+}
+
+#[test]
+fn batcher_death_sheds_predicts_but_leaves_liveness_up() {
+    let _guard = serial();
+    let server = Server::start(serve_config(), tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t = horizon_of(addr);
+    let query = format!(r#"{{"subject": 0, "relation": 0, "time": {t}}}"#);
+
+    // One healthy answer first (also advances the batch counter past 0).
+    let (status, _, _) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 200);
+
+    fault::install(FaultPlan {
+        batcher_death_at_batch: Some(0),
+        ..FaultPlan::default()
+    });
+    // The next dequeue kills the worker: the in-hand request is answered
+    // 503 (dropped reply channel), not left hanging.
+    let (status, headers, body) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 503, "{body}");
+    assert!(header_of(&headers, "Retry-After").is_some(), "{headers:?}");
+    assert_eq!(fault::fired(FaultPoint::BatcherDeath), 1);
+
+    // Subsequent predicts shed at admission — the worker is known dead —
+    // while health stays live and names the tier.
+    let (status, headers, _) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 503);
+    assert!(header_of(&headers, "Retry-After").is_some());
+    assert_eq!(health_always_live(addr), "shed");
+
+    fault::clear();
+    server.shutdown();
+}
+
+#[test]
+fn queue_saturation_fault_sheds_with_retry_after() {
+    let _guard = serial();
+    let server = Server::start(serve_config(), tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t = horizon_of(addr);
+    let query = format!(r#"{{"subject": 0, "relation": 0, "time": {t}}}"#);
+
+    fault::install(FaultPlan {
+        queue_saturated: true,
+        ..FaultPlan::default()
+    });
+    let (status, headers, body) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("queue full"), "{body}");
+    assert!(header_of(&headers, "Retry-After").is_some(), "{headers:?}");
+    assert!(fault::fired(FaultPoint::QueueSaturate) >= 1);
+    assert!(server.metrics().shed_queue_full.load(Ordering::Relaxed) >= 1);
+    health_always_live(addr);
+
+    fault::clear();
+    let (status, _, _) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 200, "cleared saturation must admit again");
+    server.shutdown();
+}
+
+#[test]
+fn socket_stall_fault_slows_connections_but_never_drops_them() {
+    let _guard = serial();
+    let server = Server::start(serve_config(), tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+
+    fault::install(FaultPlan {
+        socket_stall: Some(Duration::from_millis(120)),
+        ..FaultPlan::default()
+    });
+    let started = Instant::now();
+    let (status, _, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "stalled connection must still be answered");
+    assert!(
+        started.elapsed() >= Duration::from_millis(120),
+        "stall was not applied"
+    );
+    assert!(fault::fired(FaultPoint::SocketStall) >= 1);
+
+    fault::clear();
+    server.shutdown();
+}

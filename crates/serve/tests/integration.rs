@@ -45,6 +45,12 @@ fn test_server(linger_ms: u64, threads: usize) -> Server {
         threads,
         linger: Duration::from_millis(linger_ms),
         max_batch: 32,
+        // Tests in this binary run in parallel and contend for CPU; push
+        // the degradation thresholds out of reach so exactness tests never
+        // see a browned-out answer. Overload behaviour has its own tests
+        // with deliberately tight thresholds.
+        brownout_sojourn: Duration::from_secs(10),
+        shed_sojourn: Duration::from_secs(60),
         ..ServeConfig::default()
     };
     Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("server must start")
@@ -52,13 +58,30 @@ fn test_server(linger_ms: u64, threads: usize) -> Server {
 
 /// Minimal blocking HTTP/1.1 client: one request per connection.
 fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = request_full(addr, method, path, body, &[]);
+    (status, body)
+}
+
+/// Like [`request`] but sends extra request headers and returns the
+/// response headers (lower-cased names) alongside status and body.
+fn request_full(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> (u16, Vec<(String, String)>, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
         .unwrap();
+    let extra: String = extra_headers
+        .iter()
+        .map(|(name, value)| format!("{name}: {value}\r\n"))
+        .collect();
     let req = format!(
         "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(req.as_bytes()).expect("write request");
@@ -70,11 +93,28 @@ fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> 
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("malformed response: {text:?}"));
-    let body = text
+    let (head, body) = text
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    (status, body)
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    (status, headers, body)
+}
+
+/// The value of `name` (case-insensitive) among parsed response headers.
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    let want = name.to_ascii_lowercase();
+    headers
+        .iter()
+        .find(|(n, _)| *n == want)
+        .map(|(_, v)| v.as_str())
 }
 
 fn json(body: &str) -> Value {
@@ -275,6 +315,8 @@ fn serial_and_default_backends_rank_identically() {
             addr: "127.0.0.1:0".into(),
             threads: 2,
             compute_threads,
+            brownout_sojourn: Duration::from_secs(10),
+            shed_sojourn: Duration::from_secs(60),
             ..ServeConfig::default()
         };
         let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("start");
@@ -365,6 +407,195 @@ fn stalled_connection_is_answered_408_and_counted() {
     assert_eq!(server.metrics().read_timeouts.load(Ordering::Relaxed), 1);
     let (_, metrics) = request(addr, "GET", "/metrics", "");
     assert!(metrics.contains("logcl_read_timeouts_total 1"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadline_is_shed_before_compute_and_admitted_work_stays_exact() {
+    // A long linger holds the batch open past the short deadline: the
+    // expired job must be answered 504 *without* reaching the model, while
+    // the patient job in the same batch is answered exactly as an unloaded
+    // server would. Degradation thresholds are pushed out of reach so the
+    // admitted answer is full-fidelity.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        linger: Duration::from_millis(300),
+        brownout_sojourn: Duration::from_secs(10),
+        shed_sojourn: Duration::from_secs(60),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t = {
+        let (_, body) = request(addr, "GET", "/healthz", "");
+        json(&body).get("horizon").and_then(Value::as_u64).unwrap() as usize
+    };
+
+    // The impatient client: 100ms budget against a 300ms linger.
+    let impatient = std::thread::spawn(move || {
+        request_full(
+            addr,
+            "POST",
+            "/predict",
+            &format!(r#"{{"subject": 0, "relation": 0, "time": {t}, "k": 5}}"#),
+            &[("X-LogCL-Deadline-Ms", "100")],
+        )
+    });
+    // The patient client joins the same (model, t) batch mid-linger.
+    std::thread::sleep(Duration::from_millis(40));
+    let patient = std::thread::spawn(move || {
+        request_full(
+            addr,
+            "POST",
+            "/predict",
+            &format!(r#"{{"subject": 1, "relation": 0, "time": {t}, "k": 5}}"#),
+            &[],
+        )
+    });
+
+    // The impatient client sees 504 either way the race falls: its handler
+    // times out at the 100ms deadline, or reads the batcher's shed answer.
+    // Either message names the deadline; the counters below prove the job
+    // never reached compute.
+    let (status, headers, body) = impatient.join().unwrap();
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("deadline"), "{body}");
+    assert!(
+        header_of(&headers, "Retry-After").is_some(),
+        "shed responses must carry Retry-After: {headers:?}"
+    );
+    let (status, headers, body) = patient.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header_of(&headers, "X-LogCL-Degradation"), Some("normal"));
+    let v = json(&body);
+    assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(false));
+
+    // Byte-identical to the unloaded path: same untrained config scored
+    // sequentially in-process.
+    let ds = tiny_ds();
+    let mut reference = LogCl::new(&ds, tiny_cfg());
+    let expected: Vec<(u64, f32)> = predict_topk(&mut reference, &ds, 1, 0, t, 5)
+        .unwrap()
+        .into_iter()
+        .map(|p| (p.entity as u64, p.probability))
+        .collect();
+    assert_eq!(
+        predictions_of(&v),
+        expected,
+        "admitted request diverged from the unloaded answer"
+    );
+
+    // The shed happened in the queue, before compute, and the scrape says so.
+    let metrics = server.metrics();
+    assert_eq!(metrics.shed_before_compute.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.shed_deadline_queue.load(Ordering::Relaxed), 1);
+    let (_, text) = request(addr, "GET", "/metrics", "");
+    assert!(
+        text.contains("logcl_shed_total{reason=\"deadline_queue\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("logcl_shed_before_compute_total 1"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn brownout_degrades_answers_and_names_the_tier() {
+    // A zero brownout threshold pins the tier at (at least) Brownout from
+    // the first observation: answers must be degraded — capped k, local-only
+    // decoding — and every response must name the tier. /healthz is never
+    // shed and reports the tier too.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        brownout_sojourn: Duration::ZERO,
+        shed_sojourn: Duration::from_secs(60),
+        brownout_k_cap: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t = {
+        let (status, headers, body) = request_full(addr, "GET", "/healthz", "", &[]);
+        assert_eq!(status, 200);
+        assert_eq!(
+            header_of(&headers, "X-LogCL-Degradation"),
+            Some("brownout"),
+            "{headers:?}"
+        );
+        let v = json(&body);
+        assert_eq!(v.get("tier").and_then(Value::as_str), Some("brownout"));
+        v.get("horizon").and_then(Value::as_u64).unwrap()
+    };
+
+    let (status, headers, body) = request_full(
+        addr,
+        "POST",
+        "/predict",
+        &format!(r#"{{"subject": 0, "relation": 0, "time": {t}, "k": 7}}"#),
+        &[],
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header_of(&headers, "X-LogCL-Degradation"), Some("brownout"));
+    let v = json(&body);
+    assert_eq!(
+        v.get("degraded").and_then(Value::as_bool),
+        Some(true),
+        "{body}"
+    );
+    assert!(
+        predictions_of(&v).len() <= 2,
+        "brownout must cap k at brownout_k_cap: {body}"
+    );
+    assert!(server.metrics().degraded_responses.load(Ordering::Relaxed) >= 1);
+    let (_, text) = request(addr, "GET", "/metrics", "");
+    assert!(text.contains("logcl_degradation_tier 1"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn deadline_header_is_validated_and_expired_budgets_never_queue() {
+    let server = test_server(1, 2);
+    let addr = server.addr();
+
+    let (status, _, body) = request_full(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 0, "relation": 0}"#,
+        &[("X-LogCL-Deadline-Ms", "soon")],
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("X-LogCL-Deadline-Ms"), "{body}");
+
+    // A zero budget is expired by the time admission runs: 504 without any
+    // model work, counted as an admission shed, with Retry-After.
+    let (status, headers, body) = request_full(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 0, "relation": 0}"#,
+        &[("X-LogCL-Deadline-Ms", "0")],
+    );
+    assert_eq!(status, 504, "{body}");
+    assert!(body.contains("before admission"), "{body}");
+    assert!(header_of(&headers, "Retry-After").is_some(), "{headers:?}");
+    assert_eq!(
+        server
+            .metrics()
+            .shed_deadline_admission
+            .load(Ordering::Relaxed),
+        1
+    );
+    // A sane budget still answers.
+    let (status, _, _) = request_full(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 0, "relation": 0}"#,
+        &[("X-LogCL-Deadline-Ms", "30000")],
+    );
+    assert_eq!(status, 200);
     server.shutdown();
 }
 
