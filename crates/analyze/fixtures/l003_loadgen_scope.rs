@@ -1,0 +1,17 @@
+// L003 loadgen-scope fixture: this same source is analyzed twice — once
+// as `crates/loadgen/src/schedule.rs` (a deterministic module: both the
+// collections rule and the time rule apply) and once as
+// `crates/loadgen/src/timing.rs` (the harness clock carve-out: wall-clock
+// reads are allowed there, hash-ordered containers still are not).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn arrivals(n: u32) -> HashMap<u32, u64> {
+    let mut gaps = HashMap::new();
+    let t0 = Instant::now();
+    for i in 0..n {
+        gaps.insert(i, t0.elapsed().as_micros() as u64);
+    }
+    gaps
+}

@@ -76,6 +76,7 @@ pub const L003_COLLECTIONS_SCOPE: Scope = Scope {
         "crates/tkg/src/",
         "crates/baselines/src/",
         "crates/serve/src/",
+        "crates/loadgen/src/",
     ],
     exclude: &[],
 };
@@ -86,6 +87,11 @@ pub const L003_COLLECTIONS_SCOPE: Scope = Scope {
 /// metrics are wall-clock by nature and never feed model math. `bench`
 /// and `cli` are excluded for the same reason as above — `bench` exists
 /// to stamp `Instant`-derived wall times into BENCH_*.json.
+///
+/// `loadgen` IS in scope with one narrow carve-out: its schedule, histogram
+/// and report modules must stay deterministic (the seeded-schedule guarantee
+/// depends on it), so only `timing.rs` — the harness's single clock
+/// module — may read the wall clock.
 pub const L003_TIME_SCOPE: Scope = Scope {
     include: &[
         "crates/tensor/src/",
@@ -93,8 +99,9 @@ pub const L003_TIME_SCOPE: Scope = Scope {
         "crates/core/src/",
         "crates/tkg/src/",
         "crates/baselines/src/",
+        "crates/loadgen/src/",
     ],
-    exclude: &[],
+    exclude: &["crates/loadgen/src/timing.rs"],
 };
 
 /// L004 fsync-discipline: any file that both creates files and renames
@@ -155,6 +162,16 @@ mod tests {
         assert!(L003_COLLECTIONS_SCOPE.contains("crates/serve/src/server.rs"));
         assert!(!L003_TIME_SCOPE.contains("crates/serve/src/server.rs"));
         assert!(!L003_TIME_SCOPE.contains("crates/bench/src/common.rs"));
+        // Loadgen: deterministic modules are time-checked, the clock module
+        // is the single carve-out — and the carve-out must not leak to
+        // siblings, to other crates' files of the same name, or to the
+        // collections rule.
+        assert!(L003_TIME_SCOPE.contains("crates/loadgen/src/schedule.rs"));
+        assert!(L003_TIME_SCOPE.contains("crates/loadgen/src/runner.rs"));
+        assert!(!L003_TIME_SCOPE.contains("crates/loadgen/src/timing.rs"));
+        assert!(L003_COLLECTIONS_SCOPE.contains("crates/loadgen/src/timing.rs"));
+        assert!(L003_COLLECTIONS_SCOPE.contains("crates/loadgen/src/hist.rs"));
+        assert!(L003_TIME_SCOPE.contains("crates/loadgen/src/timing_helpers.rs"));
         assert!(L008_SCOPE.contains("crates/serve/src/batcher.rs"));
         assert!(!L008_SCOPE.contains("crates/serve/src/fault.rs"));
     }

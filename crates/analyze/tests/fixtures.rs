@@ -29,6 +29,20 @@ const FIXTURES: &[Fixture] = &[
         source: include_str!("../fixtures/l003_determinism.rs"),
         expected: include_str!("../fixtures/l003_determinism.expected"),
     },
+    // The loadgen pair analyzes ONE source under two virtual paths: in a
+    // deterministic module both L003 rule groups fire; in the timing.rs
+    // clock carve-out the wall-clock hit disappears but the hash-container
+    // hits must remain — proving the exclusion does not leak.
+    Fixture {
+        name: "l003_loadgen_scope",
+        source: include_str!("../fixtures/l003_loadgen_scope.rs"),
+        expected: include_str!("../fixtures/l003_loadgen_scope.expected"),
+    },
+    Fixture {
+        name: "l003_loadgen_carveout",
+        source: include_str!("../fixtures/l003_loadgen_scope.rs"),
+        expected: include_str!("../fixtures/l003_loadgen_carveout.expected"),
+    },
     Fixture {
         name: "l004_fsync_discipline",
         source: include_str!("../fixtures/l004_fsync_discipline.rs"),

@@ -42,7 +42,7 @@ impl CenetLite {
         let rel = Embedding::new(ds.num_rels_with_inverse(), dim, &mut rng);
         let gen_head = Linear::new(2 * dim, dim, &mut rng);
         let w_freq = Var::param(Tensor::scalar(1.0));
-        let classifier = Linear::new(2 * dim, 1, &mut rng);
+        let classifier = Linear::new(2 * dim + 1, 1, &mut rng);
         let mut params = ParamSet::new();
         ent.register(&mut params, "ent");
         rel.register(&mut params, "rel");
@@ -88,9 +88,28 @@ impl CenetLite {
         gen.add(&freq.mul(&self.w_freq))
     }
 
+    /// History-volume feature `log(1 + Σ count(s, r, ·))` per query, `[B, 1]`.
+    ///
+    /// Without it the boundary classifier is time-blind: it sees only the
+    /// (s, r) embeddings, so it learns the label marginal of the training
+    /// timeline (mostly "non-historical" — early timesteps have little
+    /// history) and carries that prior to test time, where the full history
+    /// makes most answers historical. CENET's classifier conditions on
+    /// history-dependent features for exactly this reason.
+    fn history_feature(history: &HistoryIndex, queries: &[Quad]) -> Tensor {
+        let mut feat = Tensor::zeros(&[queries.len(), 1]);
+        for (i, q) in queries.iter().enumerate() {
+            let total: u32 = history.seen_objects(q.s, q.r).iter().map(|&(_, c)| c).sum();
+            feat.set2(i, 0, (1.0 + total as f32).ln());
+        }
+        feat
+    }
+
     /// Historical-boundary classifier logit per query, `[B, 1]`.
-    fn boundary_logits(&self, queries: &[Quad]) -> Var {
-        self.classifier.forward(&self.query_emb(queries))
+    fn boundary_logits(&self, history: &HistoryIndex, queries: &[Quad]) -> Var {
+        let feat = Var::constant(Self::history_feature(history, queries));
+        self.classifier
+            .forward(&self.query_emb(queries).concat_cols(&feat))
     }
 
     fn joint_loss(&self, history: &HistoryIndex, queries: &[Quad]) -> Var {
@@ -108,7 +127,9 @@ impl CenetLite {
             })
             .collect();
         let labels = Tensor::from_vec(labels, &[queries.len(), 1]);
-        let bce = self.boundary_logits(queries).bce_with_logits(&labels);
+        let bce = self
+            .boundary_logits(history, queries)
+            .bce_with_logits(&labels);
         ce.add(&bce)
     }
 }
@@ -145,7 +166,7 @@ impl TkgModel for CenetLite {
             return Vec::new();
         }
         let logits = self.logits(ctx.history, queries).to_tensor();
-        let boundary = self.boundary_logits(queries).to_tensor();
+        let boundary = self.boundary_logits(ctx.history, queries).to_tensor();
         let e = self.ent.len();
         let mut rows = Vec::with_capacity(queries.len());
         for (i, q) in queries.iter().enumerate() {
@@ -157,10 +178,14 @@ impl TkgModel for CenetLite {
             for (o, _) in ctx.history.seen_objects(q.s, q.r) {
                 is_hist[o] = true;
             }
+            // Confidence-weighted mask: +MASK_BOOST on historical candidates
+            // when the classifier is sure the answer is historical (p → 1),
+            // -MASK_BOOST when sure it is novel (p → 0), and ~0 when
+            // uncertain — an unsure classifier must not distort the ranking.
+            let boost = MASK_BOOST * (2.0 * p_hist - 1.0);
             for (o, v) in row.iter_mut().enumerate() {
-                // Boost the candidate set the classifier favours.
-                if (p_hist >= 0.5) == is_hist[o] {
-                    *v += MASK_BOOST;
+                if is_hist[o] {
+                    *v += boost;
                 }
             }
             rows.push(row);
@@ -205,7 +230,10 @@ mod tests {
     fn boundary_classifier_produces_finite_logits() {
         let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
         let model = CenetLite::new(&ds, 8, 7);
-        let b = model.boundary_logits(&[Quad::new(0, 0, 0, 0), Quad::new(1, 1, 0, 0)]);
+        let b = model.boundary_logits(
+            &HistoryIndex::new(),
+            &[Quad::new(0, 0, 0, 0), Quad::new(1, 1, 0, 0)],
+        );
         assert_eq!(b.shape(), vec![2, 1]);
         assert!(b.value().all_finite());
     }

@@ -25,6 +25,13 @@ commands:
                                                         --write-timeout-ms, --brownout-ms,
                                                         --shed-ms, --brownout-k,
                                                         --max-inflight)
+  loadgen    open-loop load harness for serve          (--rps, --duration-ms,
+                                                        --arrival, --predict-pct,
+                                                        --req-deadline-ms, --workers,
+                                                        --target, --bench-out,
+                                                        --baseline, --noise-pct,
+                                                        --capacity, --slo-p99-ms,
+                                                        --validate)
   help       this text
 
 flags:
@@ -72,7 +79,29 @@ flags:
                     on /predict; /healthz and /metrics never shed)
                                                         [default 250]
   --brownout-k N    effective top-k cap in Brownout     [default 3]
-  --max-inflight N  concurrent in-flight /predict cap   [default 256]";
+  --max-inflight N  concurrent in-flight /predict cap   [default 256]
+  --rps F           loadgen offered rate, requests/s    [default 50]
+  --duration-ms MS  loadgen trace length                [default 3000]
+  --arrival A       constant | poisson | burst[:PERIOD_MS:DUTY_PCT:PEAK_MULT]
+                                                        [default poisson]
+  --predict-pct P   predict share of the mix, 0-100     [default 90]
+  --req-deadline-ms MS
+                    X-LogCL-Deadline-Ms budget per request; 0 sends none
+                                                        [default 250]
+  --deadline-jitter-pct P
+                    uniform deadline jitter, +/- percent [default 50]
+  --workers N       loadgen client threads              [default 16]
+  --target ADDR     drive an already-running server instead of booting one
+  --bench-out FILE  benchmark report path               [default BENCH_serve.json]
+  --baseline FILE   committed report to ratchet against (regressions beyond
+                    the noise band exit non-zero)
+  --ratchet-report  report ratchet violations without failing (for noisy
+                    shared runners)
+  --noise-pct P     ratchet latency noise band, percent [default 25]
+  --capacity        binary-search capacity at the p99 SLO after the main run
+  --slo-p99-ms MS   p99 objective for --capacity        [default 50]
+  --slo-max-rps F   capacity search ceiling             [default 1000]
+  --validate FILE   validate a bench report against the schema and exit";
 
 /// Parsed CLI options (superset across commands).
 #[derive(Debug, Clone)]
@@ -123,6 +152,38 @@ pub struct CliOptions {
     pub brownout_k: usize,
     /// Concurrent in-flight `/predict` cap.
     pub max_inflight: usize,
+    /// Loadgen offered rate, requests/second.
+    pub rps: f64,
+    /// Loadgen trace length (ms).
+    pub duration_ms: u64,
+    /// Loadgen arrival process spec.
+    pub arrival: String,
+    /// Loadgen predict share of the mix (0-100).
+    pub predict_pct: u8,
+    /// Loadgen per-request deadline budget (ms); 0 sends no header.
+    pub req_deadline_ms: u64,
+    /// Loadgen deadline jitter, ± percent of the base budget.
+    pub deadline_jitter_pct: u8,
+    /// Loadgen client worker threads.
+    pub workers: usize,
+    /// Loadgen external target (`host:port`); boots a server when absent.
+    pub target: Option<String>,
+    /// Loadgen benchmark report output path.
+    pub bench_out: String,
+    /// Loadgen baseline report to ratchet against.
+    pub baseline: Option<String>,
+    /// Report ratchet violations without failing.
+    pub ratchet_report: bool,
+    /// Ratchet latency noise band, percent.
+    pub noise_pct: u8,
+    /// Run the capacity-at-SLO search after the main trace.
+    pub capacity: bool,
+    /// p99 objective for the capacity search (ms).
+    pub slo_p99_ms: f64,
+    /// Capacity search rate ceiling (requests/second).
+    pub slo_max_rps: f64,
+    /// Validate a bench report file and exit.
+    pub validate: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -165,6 +226,22 @@ impl Default for CliOptions {
             shed_ms: 250,
             brownout_k: 3,
             max_inflight: 256,
+            rps: 50.0,
+            duration_ms: 3_000,
+            arrival: "poisson".into(),
+            predict_pct: 90,
+            req_deadline_ms: 250,
+            deadline_jitter_pct: 50,
+            workers: 16,
+            target: None,
+            bench_out: "BENCH_serve.json".into(),
+            baseline: None,
+            ratchet_report: false,
+            noise_pct: 25,
+            capacity: false,
+            slo_p99_ms: 50.0,
+            slo_max_rps: 1_000.0,
+            validate: None,
         }
     }
 }
@@ -218,6 +295,24 @@ impl CliOptions {
                 "--shed-ms" => o.shed_ms = num(&value("--shed-ms")?)?,
                 "--brownout-k" => o.brownout_k = num(&value("--brownout-k")?)?,
                 "--max-inflight" => o.max_inflight = num(&value("--max-inflight")?)?,
+                "--rps" => o.rps = num(&value("--rps")?)?,
+                "--duration-ms" => o.duration_ms = num(&value("--duration-ms")?)?,
+                "--arrival" => o.arrival = value("--arrival")?.to_lowercase(),
+                "--predict-pct" => o.predict_pct = num(&value("--predict-pct")?)?,
+                "--req-deadline-ms" => o.req_deadline_ms = num(&value("--req-deadline-ms")?)?,
+                "--deadline-jitter-pct" => {
+                    o.deadline_jitter_pct = num(&value("--deadline-jitter-pct")?)?
+                }
+                "--workers" => o.workers = num(&value("--workers")?)?,
+                "--target" => o.target = Some(value("--target")?),
+                "--bench-out" => o.bench_out = value("--bench-out")?,
+                "--baseline" => o.baseline = Some(value("--baseline")?),
+                "--ratchet-report" => o.ratchet_report = true,
+                "--noise-pct" => o.noise_pct = num(&value("--noise-pct")?)?,
+                "--capacity" => o.capacity = true,
+                "--slo-p99-ms" => o.slo_p99_ms = num(&value("--slo-p99-ms")?)?,
+                "--slo-max-rps" => o.slo_max_rps = num(&value("--slo-max-rps")?)?,
+                "--validate" => o.validate = Some(value("--validate")?),
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -348,6 +443,66 @@ mod tests {
         assert_eq!(o.checkpoint_every, 3);
         assert_eq!(o.resume.as_deref(), Some("/tmp/ck.json"));
         assert_eq!(o.max_rollbacks, 5);
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--rps",
+            "120.5",
+            "--duration-ms",
+            "2000",
+            "--arrival",
+            "burst:500:30:8",
+            "--predict-pct",
+            "70",
+            "--req-deadline-ms",
+            "100",
+            "--deadline-jitter-pct",
+            "20",
+            "--workers",
+            "4",
+            "--target",
+            "127.0.0.1:7878",
+            "--bench-out",
+            "/tmp/bench.json",
+            "--baseline",
+            "BENCH_serve.json",
+            "--ratchet-report",
+            "--noise-pct",
+            "40",
+            "--capacity",
+            "--slo-p99-ms",
+            "25",
+            "--slo-max-rps",
+            "800",
+        ]))
+        .unwrap();
+        assert_eq!(o.rps, 120.5);
+        assert_eq!(o.duration_ms, 2000);
+        assert_eq!(o.arrival, "burst:500:30:8");
+        assert_eq!(o.predict_pct, 70);
+        assert_eq!(o.req_deadline_ms, 100);
+        assert_eq!(o.deadline_jitter_pct, 20);
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.target.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(o.bench_out, "/tmp/bench.json");
+        assert_eq!(o.baseline.as_deref(), Some("BENCH_serve.json"));
+        assert!(o.ratchet_report);
+        assert_eq!(o.noise_pct, 40);
+        assert!(o.capacity);
+        assert_eq!(o.slo_p99_ms, 25.0);
+        assert_eq!(o.slo_max_rps, 800.0);
+    }
+
+    #[test]
+    fn loadgen_defaults_are_sane() {
+        let o = CliOptions::parse(&strs(&[])).unwrap();
+        assert_eq!(o.rps, 50.0);
+        assert_eq!(o.bench_out, "BENCH_serve.json");
+        assert_eq!(o.arrival, "poisson");
+        assert!(o.validate.is_none());
+        assert!(!o.ratchet_report);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! logcl predict --data data/icews14-s --load model.json \
 //!     --subject China --relation Cooperate --time 115 --topk 5
 //! logcl serve --data data/icews14-s --load model.json --addr 127.0.0.1:7878
+//! logcl loadgen --rps 200 --duration-ms 5000 --baseline BENCH_serve.json
 //! ```
 
 mod args;
@@ -37,6 +38,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "eval" => commands::eval(&opts),
         "predict" => commands::predict(&opts),
         "serve" => commands::serve(&opts),
+        "loadgen" => commands::loadgen(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             Ok(())

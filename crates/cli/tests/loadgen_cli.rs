@@ -1,0 +1,93 @@
+//! End-to-end exit-code contract of `logcl loadgen`'s perf ratchet: a
+//! fault-injected slowdown must drive the process to a non-zero exit.
+//!
+//! Gated on the `fault-inject` feature (which forwards to the server's
+//! deterministic-latency knob); run with
+//! `cargo test -p logcl-cli --features fault-inject --test loadgen_cli`.
+#![cfg(feature = "fault-inject")]
+
+use std::process::Command;
+
+const COMMON_FLAGS: &[&str] = &[
+    "loadgen",
+    "--rps",
+    "25",
+    "--duration-ms",
+    "1000",
+    "--workers",
+    "8",
+    "--predict-pct",
+    "100",
+    "--req-deadline-ms",
+    "0",
+    "--seed",
+    "11",
+];
+
+fn logcl(extra: &[&str], delay_us: Option<&str>) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_logcl"));
+    cmd.args(COMMON_FLAGS).args(extra);
+    // The knob only exists in fault-inject builds; unset means healthy.
+    cmd.env_remove("LOGCL_FAULT_COMPUTE_DELAY_US");
+    if let Some(us) = delay_us {
+        cmd.env("LOGCL_FAULT_COMPUTE_DELAY_US", us);
+    }
+    cmd.output().expect("logcl binary must run")
+}
+
+#[test]
+fn ratchet_regression_exits_non_zero() {
+    let dir = std::env::temp_dir().join("logcl-loadgen-cli-ratchet");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json").to_string_lossy().to_string();
+    let slow = dir.join("slow.json").to_string_lossy().to_string();
+
+    // 1. Healthy run writes the baseline.
+    let out = logcl(&["--bench-out", &base], None);
+    assert!(
+        out.status.success(),
+        "baseline run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 2. Same trace against a server slowed ~60ms/batch: the ratchet must
+    //    fail the process (exit code 2 = CLI error path).
+    let out = logcl(&["--bench-out", &slow, "--baseline", &base], Some("60000"));
+    assert!(
+        !out.status.success(),
+        "slowed run must fail the ratchet: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ratchet"), "stderr: {stderr}");
+    assert!(stderr.contains("latency"), "stderr: {stderr}");
+
+    // 3. --ratchet-report downgrades the same regression to a warning.
+    let out = logcl(
+        &[
+            "--bench-out",
+            &slow,
+            "--baseline",
+            &base,
+            "--ratchet-report",
+        ],
+        Some("60000"),
+    );
+    assert!(
+        out.status.success(),
+        "report-only mode must not fail: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("report-only"), "stdout: {stdout}");
+
+    // 4. A healthy re-run passes the ratchet it wrote.
+    let out = logcl(&["--bench-out", &slow, "--baseline", &base], None);
+    assert!(
+        out.status.success(),
+        "healthy run must pass its own baseline: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,188 @@
+//! Capacity-at-SLO: the highest offered rate whose p99 still meets a
+//! latency objective, found by bisection over short probe runs.
+//!
+//! The search itself is pure — it drives an injected probe closure
+//! (`rps -> p99 ms`), so it unit-tests against synthetic latency curves and
+//! the CLI plugs in a real schedule-replay probe.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LoadgenError;
+
+/// Search parameters.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// The p99 objective, milliseconds.
+    pub p99_ms: f64,
+    /// Lower bound of the search window, requests/second.
+    pub min_rps: f64,
+    /// Upper bound of the search window, requests/second.
+    pub max_rps: f64,
+    /// Bisection steps after the two endpoint probes.
+    pub iterations: u32,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            p99_ms: 50.0,
+            min_rps: 10.0,
+            max_rps: 2_000.0,
+            iterations: 4,
+        }
+    }
+}
+
+/// One probe run during the search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityProbe {
+    /// Offered rate for this probe.
+    pub rps: f64,
+    /// Measured p99, milliseconds.
+    pub p99_ms: f64,
+    /// Whether the probe met the SLO.
+    pub met_slo: bool,
+}
+
+/// Result of a capacity search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityReport {
+    /// The p99 objective searched against, milliseconds.
+    pub slo_p99_ms: f64,
+    /// Highest probed rate that met the SLO; 0 when even `min_rps` missed.
+    pub capacity_rps: f64,
+    /// Every probe, in search order.
+    pub probes: Vec<CapacityProbe>,
+}
+
+/// Bisects `[min_rps, max_rps]` for the highest rate meeting the SLO.
+///
+/// `probe` replays a short trace at the given rate and returns its p99 in
+/// milliseconds. Probes at the window's endpoints bound the search first:
+/// if `max_rps` passes, capacity is at least the whole window; if `min_rps`
+/// fails, capacity is reported as 0.
+pub fn search(
+    policy: &SloPolicy,
+    probe: &mut dyn FnMut(f64) -> Result<f64, LoadgenError>,
+) -> Result<CapacityReport, LoadgenError> {
+    if !policy.min_rps.is_finite() || policy.min_rps <= 0.0 || policy.max_rps < policy.min_rps {
+        return Err(LoadgenError::Config(format!(
+            "capacity window [{}, {}] is invalid",
+            policy.min_rps, policy.max_rps
+        )));
+    }
+    let mut probes = Vec::new();
+    let mut check = |rps: f64, probes: &mut Vec<CapacityProbe>| -> Result<bool, LoadgenError> {
+        let p99_ms = probe(rps)?;
+        let met_slo = p99_ms <= policy.p99_ms;
+        probes.push(CapacityProbe {
+            rps,
+            p99_ms,
+            met_slo,
+        });
+        Ok(met_slo)
+    };
+
+    if !check(policy.min_rps, &mut probes)? {
+        return Ok(CapacityReport {
+            slo_p99_ms: policy.p99_ms,
+            capacity_rps: 0.0,
+            probes,
+        });
+    }
+    let mut lo = policy.min_rps; // highest known-good rate
+    let mut hi = policy.max_rps; // search ceiling
+    if check(policy.max_rps, &mut probes)? {
+        lo = policy.max_rps;
+    } else {
+        for _ in 0..policy.iterations {
+            let mid = (lo + hi) / 2.0;
+            if check(mid, &mut probes)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    Ok(CapacityReport {
+        slo_p99_ms: policy.p99_ms,
+        capacity_rps: lo,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic server: p99 is 5ms until `knee` rps, then grows linearly.
+    fn knee_curve(knee: f64) -> impl FnMut(f64) -> Result<f64, LoadgenError> {
+        move |rps| {
+            Ok(if rps <= knee {
+                5.0
+            } else {
+                5.0 + (rps - knee) * 0.5
+            })
+        }
+    }
+
+    #[test]
+    fn converges_to_the_knee() {
+        let policy = SloPolicy {
+            p99_ms: 10.0,
+            min_rps: 10.0,
+            max_rps: 1_000.0,
+            iterations: 8,
+        };
+        let mut probe = knee_curve(400.0);
+        let report = search(&policy, &mut probe).unwrap();
+        // SLO allows p99 up to 10ms => capacity a touch above the knee.
+        assert!(
+            (report.capacity_rps - 410.0).abs() < 10.0,
+            "capacity {}",
+            report.capacity_rps
+        );
+        assert_eq!(report.probes.len() as u32, 2 + policy.iterations);
+        assert!(report.probes[0].met_slo);
+    }
+
+    #[test]
+    fn saturated_even_at_min_reports_zero() {
+        let policy = SloPolicy {
+            p99_ms: 1.0,
+            ..SloPolicy::default()
+        };
+        let report = search(&policy, &mut knee_curve(0.0)).unwrap();
+        assert_eq!(report.capacity_rps, 0.0);
+        assert_eq!(report.probes.len(), 1);
+    }
+
+    #[test]
+    fn headroom_past_max_reports_the_ceiling() {
+        let policy = SloPolicy {
+            p99_ms: 100.0,
+            min_rps: 10.0,
+            max_rps: 500.0,
+            iterations: 6,
+        };
+        let report = search(&policy, &mut knee_curve(10_000.0)).unwrap();
+        assert_eq!(report.capacity_rps, 500.0);
+        assert_eq!(report.probes.len(), 2);
+    }
+
+    #[test]
+    fn probe_errors_propagate() {
+        let mut probe =
+            |_rps: f64| -> Result<f64, LoadgenError> { Err(LoadgenError::Config("boom".into())) };
+        assert!(search(&SloPolicy::default(), &mut probe).is_err());
+    }
+
+    #[test]
+    fn invalid_window_is_rejected() {
+        let policy = SloPolicy {
+            min_rps: 0.0,
+            ..SloPolicy::default()
+        };
+        assert!(search(&policy, &mut knee_curve(1.0)).is_err());
+    }
+}

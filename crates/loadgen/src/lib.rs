@@ -1,0 +1,123 @@
+//! `logcl-loadgen` — an open-loop, trace-driven load harness for
+//! `logcl-serve`.
+//!
+//! The harness separates *what* traffic to send from *when* results are
+//! judged:
+//!
+//! - [`schedule`] builds a deterministic request schedule from a seed: every
+//!   arrival time, query id and per-request deadline is derived from the
+//!   workspace's pinned xoshiro256++ PRNG, so two runs with the same
+//!   [`schedule::TraceConfig`] send byte-identical traffic on an identical
+//!   timeline (the schedule [`schedule::fingerprint`] proves it).
+//! - [`runner`] replays a schedule *open loop* against a live server: the
+//!   dispatcher never waits for responses, so a slow server cannot slow the
+//!   offered load down (no coordinated omission). Latency is measured from
+//!   the *scheduled* send time as well as the actual one.
+//! - [`hist`] records latencies in log-bucketed histograms (HDR-style,
+//!   integer-only) so tail quantiles stay accurate without unbounded memory.
+//! - [`report`] renders a run as a stable `BENCH_serve.json` document.
+//! - [`capacity`] binary-searches the highest offered rate whose p99 still
+//!   meets an SLO.
+//! - [`ratchet`] compares a fresh report against a committed baseline and
+//!   fails on regressions beyond a configurable noise band.
+//! - [`timing`] is the only module allowed to read the wall clock
+//!   (enforced by `logcl-analyze` rule L003).
+
+pub mod capacity;
+pub mod hist;
+pub mod ratchet;
+pub mod report;
+pub mod runner;
+pub mod schedule;
+pub mod timing;
+
+/// Errors surfaced by the load harness.
+///
+/// Every variant carries enough context to act on: file paths, header names,
+/// and — for ratchet failures — the full list of violated bounds.
+#[derive(Debug)]
+pub enum LoadgenError {
+    /// An I/O operation failed; `context` names what was being done.
+    Io {
+        /// What the harness was doing when the error hit.
+        context: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A trace or run configuration was rejected before any traffic.
+    Config(String),
+    /// A benchmark report failed schema validation or did not parse.
+    Schema(String),
+    /// The current run regressed past the baseline's noise band.
+    Ratchet {
+        /// One human-readable line per violated bound.
+        violations: Vec<String>,
+    },
+    /// Baseline and current report measure different workloads.
+    IncomparableBaseline(String),
+}
+
+impl LoadgenError {
+    /// Wraps an I/O error with a description of the failed operation.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        LoadgenError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for LoadgenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadgenError::Io { context, source } => write!(f, "{context}: {source}"),
+            LoadgenError::Config(msg) => write!(f, "invalid loadgen config: {msg}"),
+            LoadgenError::Schema(msg) => write!(f, "bench report schema violation: {msg}"),
+            LoadgenError::Ratchet { violations } => {
+                write!(f, "perf ratchet failed ({} violations):", violations.len())?;
+                for v in violations {
+                    write!(f, "\n  - {v}")?;
+                }
+                Ok(())
+            }
+            LoadgenError::IncomparableBaseline(msg) => {
+                write!(f, "baseline is not comparable: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadgenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadgenError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratchet_error_lists_every_violation() {
+        let e = LoadgenError::Ratchet {
+            violations: vec!["p99 too slow".into(), "goodput collapsed".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("2 violations"), "{s}");
+        assert!(s.contains("p99 too slow"), "{s}");
+        assert!(s.contains("goodput collapsed"), "{s}");
+    }
+
+    #[test]
+    fn io_error_keeps_context_and_source() {
+        let e = LoadgenError::io(
+            "reading baseline BENCH_serve.json",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.to_string().contains("baseline"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,254 @@
+//! The serve perf ratchet: compare a fresh benchmark report against the
+//! committed baseline and fail on regressions beyond a noise band.
+//!
+//! Mirrors `logcl-analyze`'s one-way finding ratchet in spirit: the
+//! committed `BENCH_serve.json` is the floor, a run may match or improve it
+//! freely, and worsening past the band is an error — [`check`] returns
+//! [`LoadgenError::Ratchet`] listing every violated bound, which the CLI
+//! maps to a non-zero exit.
+
+use crate::report::BenchReport;
+use crate::LoadgenError;
+
+/// How much worse than the baseline still counts as noise.
+#[derive(Debug, Clone)]
+pub struct RatchetPolicy {
+    /// Multiplicative band on latency quantiles: current may be up to
+    /// `baseline * (1 + band)` (plus the absolute floor) before failing.
+    pub latency_band_frac: f64,
+    /// Absolute latency slack in milliseconds, so microsecond-scale
+    /// baselines don't fail on scheduler jitter.
+    pub latency_floor_ms: f64,
+    /// Additive band on goodput rate: current may be up to this much below
+    /// the baseline's rate.
+    pub goodput_band: f64,
+}
+
+impl Default for RatchetPolicy {
+    fn default() -> Self {
+        RatchetPolicy {
+            latency_band_frac: 0.25,
+            latency_floor_ms: 2.0,
+            goodput_band: 0.05,
+        }
+    }
+}
+
+impl RatchetPolicy {
+    /// A policy whose noise band is `pct` percent on latency.
+    pub fn with_noise_pct(pct: u8) -> Self {
+        RatchetPolicy {
+            latency_band_frac: f64::from(pct) / 100.0,
+            ..RatchetPolicy::default()
+        }
+    }
+}
+
+/// Verifies baseline and current measured the same workload; comparing
+/// different traces would make the ratchet meaningless.
+fn check_comparable(current: &BenchReport, baseline: &BenchReport) -> Result<(), LoadgenError> {
+    let mut mismatches = Vec::new();
+    if current.bench != baseline.bench {
+        mismatches.push(format!("bench {:?} vs {:?}", current.bench, baseline.bench));
+    }
+    if current.seed != baseline.seed {
+        mismatches.push(format!("seed {} vs {}", current.seed, baseline.seed));
+    }
+    if current.rps != baseline.rps {
+        mismatches.push(format!("rps {} vs {}", current.rps, baseline.rps));
+    }
+    if current.duration_ms != baseline.duration_ms {
+        mismatches.push(format!(
+            "duration_ms {} vs {}",
+            current.duration_ms, baseline.duration_ms
+        ));
+    }
+    if current.arrival != baseline.arrival {
+        mismatches.push(format!(
+            "arrival {:?} vs {:?}",
+            current.arrival, baseline.arrival
+        ));
+    }
+    if current.schedule_fingerprint != baseline.schedule_fingerprint {
+        mismatches.push(format!(
+            "schedule fingerprint {} vs {}",
+            current.schedule_fingerprint, baseline.schedule_fingerprint
+        ));
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(LoadgenError::IncomparableBaseline(mismatches.join("; ")))
+    }
+}
+
+/// Compares `current` against `baseline` under `policy`.
+///
+/// Ratcheted quantities: end-to-end p50/p99/p999 and the goodput rate.
+/// Returns `Ok(())` when every bound holds, [`LoadgenError::Ratchet`] with
+/// one line per violation otherwise.
+pub fn check(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    policy: &RatchetPolicy,
+) -> Result<(), LoadgenError> {
+    check_comparable(current, baseline)?;
+    let mut violations = Vec::new();
+    let quantiles = [
+        ("p50", current.latency_ms.p50, baseline.latency_ms.p50),
+        ("p99", current.latency_ms.p99, baseline.latency_ms.p99),
+        ("p999", current.latency_ms.p999, baseline.latency_ms.p999),
+    ];
+    for (name, cur, base) in quantiles {
+        let bound = base * (1.0 + policy.latency_band_frac) + policy.latency_floor_ms;
+        if cur > bound {
+            violations.push(format!(
+                "latency {name} regressed: {cur:.3}ms > {bound:.3}ms \
+                 (baseline {base:.3}ms + {:.0}% + {:.1}ms)",
+                policy.latency_band_frac * 100.0,
+                policy.latency_floor_ms
+            ));
+        }
+    }
+    let floor = baseline.goodput_rate - policy.goodput_band;
+    if current.goodput_rate < floor {
+        violations.push(format!(
+            "goodput regressed: {:.4} < {:.4} (baseline {:.4} - {:.2} band)",
+            current.goodput_rate, floor, baseline.goodput_rate, policy.goodput_band
+        ));
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(LoadgenError::Ratchet { violations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchReport, LatencySummary, OutcomeCounts};
+    use std::collections::BTreeMap;
+
+    fn report(p50: f64, p99: f64, p999: f64, goodput: f64) -> BenchReport {
+        let latency = LatencySummary {
+            p50,
+            p90: p99.min(p50.max(p99 - 1.0)),
+            p99,
+            p999,
+            max: p999 + 1.0,
+            mean: p50,
+        };
+        BenchReport {
+            schema_version: 1,
+            bench: "serve".into(),
+            seed: 7,
+            rps: 100.0,
+            duration_ms: 1_000,
+            arrival: "poisson".into(),
+            predict_percent: 90,
+            schedule_fingerprint: "00112233445566aa".into(),
+            scheduled: 100,
+            completed: 100,
+            goodput_rate: goodput,
+            outcomes: OutcomeCounts {
+                ok: 100,
+                degraded: 0,
+                shed_503: 0,
+                deadline_504: 0,
+                http_errors: 0,
+                transport_errors: 0,
+                retry_after_missing: 0,
+            },
+            tiers: BTreeMap::new(),
+            latency_ms: latency.clone(),
+            service_latency_ms: latency,
+            capacity: None,
+            build: None,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(5.0, 20.0, 40.0, 0.99);
+        check(&r, &r, &RatchetPolicy::default()).unwrap();
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let base = report(5.0, 20.0, 40.0, 0.95);
+        let cur = report(2.0, 8.0, 15.0, 1.0);
+        check(&cur, &base, &RatchetPolicy::default()).unwrap();
+    }
+
+    #[test]
+    fn regression_past_the_band_fails_with_named_quantiles() {
+        let base = report(5.0, 20.0, 40.0, 0.99);
+        // p99 bound: 20 * 1.25 + 2 = 27. A 60ms p99 is well past it.
+        let cur = report(5.0, 60.0, 90.0, 0.99);
+        let err = check(&cur, &base, &RatchetPolicy::default()).unwrap_err();
+        let LoadgenError::Ratchet { violations } = err else {
+            panic!("expected ratchet error, got {err}");
+        };
+        assert!(
+            violations.iter().any(|v| v.contains("p99")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("p999")),
+            "{violations:?}"
+        );
+        assert!(
+            !violations.iter().any(|v| v.contains("p50")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn within_band_noise_passes() {
+        let base = report(5.0, 20.0, 40.0, 0.99);
+        // +20% on every quantile: inside the default 25% band.
+        let cur = report(6.0, 24.0, 48.0, 0.97);
+        check(&cur, &base, &RatchetPolicy::default()).unwrap();
+    }
+
+    #[test]
+    fn absolute_floor_protects_microsecond_baselines() {
+        let base = report(0.05, 0.2, 0.4, 1.0);
+        // 10x relative blowup but under the 2ms absolute floor: still noise.
+        let cur = report(0.5, 2.0, 2.2, 1.0);
+        check(&cur, &base, &RatchetPolicy::default()).unwrap();
+    }
+
+    #[test]
+    fn goodput_collapse_fails() {
+        let base = report(5.0, 20.0, 40.0, 0.99);
+        let cur = report(5.0, 20.0, 40.0, 0.80);
+        let err = check(&cur, &base, &RatchetPolicy::default()).unwrap_err();
+        assert!(err.to_string().contains("goodput"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_workloads_are_incomparable() {
+        let base = report(5.0, 20.0, 40.0, 0.99);
+        let mut cur = report(5.0, 20.0, 40.0, 0.99);
+        cur.seed = 8;
+        cur.schedule_fingerprint = "ffffffffffffffff".into();
+        let err = check(&cur, &base, &RatchetPolicy::default()).unwrap_err();
+        assert!(
+            matches!(err, LoadgenError::IncomparableBaseline(_)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn noise_pct_constructor_widens_the_band() {
+        let base = report(5.0, 20.0, 40.0, 0.99);
+        let cur = report(5.0, 35.0, 60.0, 0.99);
+        // 25% band fails...
+        assert!(check(&cur, &base, &RatchetPolicy::default()).is_err());
+        // ...but a 100% band absorbs it.
+        check(&cur, &base, &RatchetPolicy::with_noise_pct(100)).unwrap();
+    }
+}

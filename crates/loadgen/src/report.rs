@@ -1,0 +1,365 @@
+//! The `BENCH_serve.json` document: a stable, versioned rendering of one
+//! load-harness run, fit both for eyeballs and for the perf ratchet.
+//!
+//! Schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "serve",
+//!   "seed": 7, "rps": 200.0, "duration_ms": 3000,
+//!   "arrival": "poisson", "predict_percent": 90,
+//!   "schedule_fingerprint": "a1b2c3d4e5f60718",
+//!   "scheduled": 600, "completed": 600,
+//!   "outcomes": { "ok": .., "degraded": .., "shed_503": .., ... },
+//!   "tiers": { "none": .., "brownout": .., "shed": .. },
+//!   "latency_ms": { "p50": .., "p90": .., "p99": .., "p999": .., "max": .., "mean": .. },
+//!   "service_latency_ms": { ... },
+//!   "capacity": { "slo_p99_ms": .., "capacity_rps": .., "probes": [..] },
+//!   "build": { "version": .., "backend": .., ... }
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::capacity::CapacityReport;
+use crate::hist::LogHistogram;
+use crate::runner::RunStats;
+use crate::schedule::TraceConfig;
+use crate::LoadgenError;
+
+/// Current `BENCH_serve.json` schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Latency quantiles in milliseconds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Exact observed maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a microsecond histogram in milliseconds.
+    pub fn from_hist(h: &LogHistogram) -> Self {
+        let ms = |us: u64| us as f64 / 1_000.0;
+        LatencySummary {
+            p50: ms(h.quantile(0.50)),
+            p90: ms(h.quantile(0.90)),
+            p99: ms(h.quantile(0.99)),
+            p999: ms(h.quantile(0.999)),
+            max: ms(h.max()),
+            mean: h.mean() / 1_000.0,
+        }
+    }
+
+    fn check_ordered(&self, label: &str) -> Result<(), LoadgenError> {
+        let q = [self.p50, self.p90, self.p99, self.p999, self.max];
+        if q.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(LoadgenError::Schema(format!(
+                "{label}: quantiles must be finite and non-negative"
+            )));
+        }
+        if q.windows(2).any(|w| w[0] > w[1]) {
+            return Err(LoadgenError::Schema(format!(
+                "{label}: quantiles must be non-decreasing (p50 <= p90 <= p99 <= p999 <= max)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Request outcome counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Full-fidelity 200s.
+    pub ok: u64,
+    /// Degraded 200s.
+    pub degraded: u64,
+    /// 503s (admission control shed).
+    pub shed_503: u64,
+    /// 504s (deadline exhausted).
+    pub deadline_504: u64,
+    /// Other HTTP statuses.
+    pub http_errors: u64,
+    /// Transport-level failures.
+    pub transport_errors: u64,
+    /// 503/504 responses missing `Retry-After` (should be 0).
+    pub retry_after_missing: u64,
+}
+
+impl OutcomeCounts {
+    fn total(&self) -> u64 {
+        self.ok
+            + self.degraded
+            + self.shed_503
+            + self.deadline_504
+            + self.http_errors
+            + self.transport_errors
+    }
+}
+
+/// Server build identity scraped from `/metrics` (`logcl_build_info`).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BuildInfo {
+    /// Crate version.
+    #[serde(default)]
+    pub version: String,
+    /// Kernel backend name.
+    #[serde(default)]
+    pub backend: String,
+    /// Compiled feature flags.
+    #[serde(default)]
+    pub features: String,
+}
+
+/// One complete benchmark report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Benchmark family; always `"serve"` for this harness.
+    pub bench: String,
+    /// Trace seed.
+    pub seed: u64,
+    /// Offered base rate, requests/second.
+    pub rps: f64,
+    /// Trace duration, milliseconds.
+    pub duration_ms: u64,
+    /// Arrival process name.
+    pub arrival: String,
+    /// Predict share of the mix, percent.
+    pub predict_percent: u64,
+    /// Hex digest of the replayed schedule.
+    pub schedule_fingerprint: String,
+    /// Requests in the schedule.
+    pub scheduled: u64,
+    /// Requests that completed (any outcome).
+    pub completed: u64,
+    /// Share of scheduled requests answered 200, in `[0, 1]`.
+    pub goodput_rate: f64,
+    /// Outcome breakdown.
+    pub outcomes: OutcomeCounts,
+    /// Responses per degradation tier.
+    pub tiers: BTreeMap<String, u64>,
+    /// End-to-end latency (from scheduled dispatch time).
+    pub latency_ms: LatencySummary,
+    /// Service latency (from actual send).
+    pub service_latency_ms: LatencySummary,
+    /// Capacity-at-SLO search result, when run.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub capacity: Option<CapacityReport>,
+    /// Server build identity, when scraped.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub build: Option<BuildInfo>,
+}
+
+impl BenchReport {
+    /// Assembles a report from a trace config and its run stats.
+    pub fn from_run(cfg: &TraceConfig, fingerprint: u64, stats: &RunStats) -> Self {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench: "serve".into(),
+            seed: cfg.seed,
+            rps: cfg.rps,
+            duration_ms: cfg.duration_ms,
+            arrival: cfg.arrival.name(),
+            predict_percent: u64::from(cfg.predict_percent),
+            schedule_fingerprint: format!("{fingerprint:016x}"),
+            scheduled: stats.scheduled,
+            completed: stats.completed,
+            goodput_rate: stats.goodput_rate(),
+            outcomes: OutcomeCounts {
+                ok: stats.ok,
+                degraded: stats.degraded,
+                shed_503: stats.shed_503,
+                deadline_504: stats.deadline_504,
+                http_errors: stats.http_errors,
+                transport_errors: stats.transport_errors,
+                retry_after_missing: stats.retry_after_missing,
+            },
+            tiers: stats.tiers.clone(),
+            latency_ms: LatencySummary::from_hist(&stats.latency),
+            service_latency_ms: LatencySummary::from_hist(&stats.service_latency),
+            capacity: None,
+            build: None,
+        }
+    }
+
+    /// Parses and validates a report from JSON text.
+    pub fn from_json_str(s: &str) -> Result<Self, LoadgenError> {
+        let report: BenchReport = serde_json::from_str(s)
+            .map_err(|e| LoadgenError::Schema(format!("parse error: {e}")))?;
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// Pretty JSON rendering (what gets committed as `BENCH_serve.json`).
+    pub fn to_json_pretty(&self) -> Result<String, LoadgenError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| LoadgenError::Schema(format!("serialize error: {e}")))
+    }
+
+    /// Checks the internal consistency rules of schema version 1.
+    pub fn validate(&self) -> Result<(), LoadgenError> {
+        if self.schema_version != SCHEMA_VERSION {
+            return Err(LoadgenError::Schema(format!(
+                "unsupported schema_version {} (expected {SCHEMA_VERSION})",
+                self.schema_version
+            )));
+        }
+        if self.bench != "serve" {
+            return Err(LoadgenError::Schema(format!(
+                "unknown bench family {:?}",
+                self.bench
+            )));
+        }
+        if self.schedule_fingerprint.len() != 16
+            || !self
+                .schedule_fingerprint
+                .bytes()
+                .all(|b| b.is_ascii_hexdigit())
+        {
+            return Err(LoadgenError::Schema(
+                "schedule_fingerprint must be 16 hex digits".into(),
+            ));
+        }
+        if self.completed > self.scheduled {
+            return Err(LoadgenError::Schema(format!(
+                "completed {} exceeds scheduled {}",
+                self.completed, self.scheduled
+            )));
+        }
+        if self.outcomes.total() != self.completed {
+            return Err(LoadgenError::Schema(format!(
+                "outcome counts sum to {} but completed is {}",
+                self.outcomes.total(),
+                self.completed
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.goodput_rate) {
+            return Err(LoadgenError::Schema(format!(
+                "goodput_rate {} outside [0, 1]",
+                self.goodput_rate
+            )));
+        }
+        self.latency_ms.check_ordered("latency_ms")?;
+        self.service_latency_ms
+            .check_ordered("service_latency_ms")?;
+        Ok(())
+    }
+
+    /// Reads and validates a report file.
+    pub fn read(path: &str) -> Result<Self, LoadgenError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| LoadgenError::io(format!("reading bench report {path}"), e))?;
+        Self::from_json_str(&text)
+    }
+
+    /// Writes the report as pretty JSON.
+    pub fn write(&self, path: &str) -> Result<(), LoadgenError> {
+        let mut text = self.to_json_pretty()?;
+        text.push('\n');
+        std::fs::write(path, text)
+            .map_err(|e| LoadgenError::io(format!("writing bench report {path}"), e))
+    }
+}
+
+/// Extracts [`BuildInfo`] from a `/metrics` Prometheus text exposition by
+/// reading the `logcl_build_info` info-gauge's labels.
+pub fn parse_build_info(metrics_text: &str) -> Option<BuildInfo> {
+    let line = metrics_text
+        .lines()
+        .find(|l| l.starts_with("logcl_build_info{"))?;
+    let labels = &line[line.find('{')? + 1..line.find('}')?];
+    let mut info = BuildInfo::default();
+    for pair in labels.split(',') {
+        let (key, value) = pair.split_once('=')?;
+        let value = value.trim_matches('"').to_string();
+        match key.trim() {
+            "version" => info.version = value,
+            "backend" => info.backend = value,
+            "features" => info.features = value,
+            _ => {}
+        }
+    }
+    Some(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunStats;
+
+    fn sample_report() -> BenchReport {
+        let cfg = TraceConfig::default();
+        let schedule = crate::schedule::build_schedule(&cfg).unwrap();
+        let fp = crate::schedule::fingerprint(&schedule);
+        let mut stats = RunStats::new(schedule.len() as u64);
+        stats.ok = stats.scheduled;
+        stats.completed = stats.scheduled;
+        for i in 0..stats.scheduled {
+            stats.latency.record(1_000 + i * 7);
+            stats.service_latency.record(900 + i * 7);
+        }
+        BenchReport::from_run(&cfg, fp, &stats)
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let text = report.to_json_pretty().unwrap();
+        let back = BenchReport::from_json_str(&text).unwrap();
+        assert_eq!(back.schedule_fingerprint, report.schedule_fingerprint);
+        assert_eq!(back.scheduled, report.scheduled);
+        assert_eq!(back.outcomes.ok, report.outcomes.ok);
+        assert_eq!(back.latency_ms.p99, report.latency_ms.p99);
+        assert!(back.capacity.is_none());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistencies() {
+        let mut r = sample_report();
+        r.schema_version = 99;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.schedule_fingerprint = "zz".into();
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.outcomes.ok += 1;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.latency_ms.p50 = r.latency_ms.p99 + 1.0;
+        assert!(r.validate().is_err());
+
+        let mut r = sample_report();
+        r.goodput_rate = 1.5;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn parse_build_info_reads_the_info_gauge() {
+        let text = "# HELP logcl_build_info Build identity.\n\
+                    logcl_build_info{version=\"0.1.0\",backend=\"threaded\",features=\"fault-inject\"} 1\n\
+                    logcl_requests_total 5\n";
+        let info = parse_build_info(text).unwrap();
+        assert_eq!(info.version, "0.1.0");
+        assert_eq!(info.backend, "threaded");
+        assert_eq!(info.features, "fault-inject");
+        assert!(parse_build_info("logcl_requests_total 5\n").is_none());
+    }
+}

@@ -1,0 +1,499 @@
+//! Open-loop schedule replay against a live `logcl-serve` instance.
+//!
+//! The dispatcher walks the schedule on its own thread, sleeping to each
+//! request's offset and handing the rendered request to a worker pool — it
+//! never waits for a response, so a slow server cannot throttle the offered
+//! load (the coordinated-omission trap). Each request is one HTTP/1.1
+//! connection, mirroring the server's `Connection: close` model.
+//!
+//! Two latencies are recorded per good response:
+//!
+//! - **end-to-end** (`latency`): scheduled dispatch time → response read.
+//!   This is the honest open-loop number — queueing delay caused by an
+//!   overloaded harness or server is *included*.
+//! - **service** (`service_latency`): actual send → response read.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::hist::LogHistogram;
+use crate::schedule::{Op, PlannedRequest};
+use crate::timing::Clock;
+use crate::LoadgenError;
+
+/// How to replay a schedule.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Worker threads issuing requests.
+    pub workers: usize,
+    /// Per-connection I/O timeout (connect, read, write).
+    pub io_timeout: Duration,
+    /// Snapshot time used for every ingest. Ingesting repeatedly at the
+    /// horizon observed before the run is always valid (`t <= horizon`) no
+    /// matter how requests reorder, and still exercises append +
+    /// cache-invalidation.
+    pub ingest_time: usize,
+    /// Whether ingests request an online model update.
+    pub ingest_update: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 16,
+            io_timeout: Duration::from_secs(5),
+            ingest_time: 0,
+            ingest_update: false,
+        }
+    }
+}
+
+/// How one request ended, from the harness's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// 200 with full-fidelity answer.
+    Ok,
+    /// 200 served degraded (brownout tier reduced the work).
+    Degraded,
+    /// 503 — shed by admission control.
+    Shed,
+    /// 504 — deadline exhausted.
+    DeadlineExpired,
+    /// Any other HTTP status.
+    HttpError,
+    /// Connect/read/write failure or malformed response.
+    Transport,
+}
+
+/// One completed request, as reported by a worker.
+struct Sample {
+    scheduled_micros: u64,
+    sent_micros: u64,
+    done_micros: u64,
+    kind: OutcomeKind,
+    tier: Option<String>,
+    retry_after_missing: bool,
+}
+
+/// Aggregated results of one replay.
+#[derive(Debug)]
+pub struct RunStats {
+    /// Requests in the schedule.
+    pub scheduled: u64,
+    /// Requests that produced a sample (including errors).
+    pub completed: u64,
+    /// Full-fidelity 200s.
+    pub ok: u64,
+    /// Degraded 200s.
+    pub degraded: u64,
+    /// 503s.
+    pub shed_503: u64,
+    /// 504s.
+    pub deadline_504: u64,
+    /// Other HTTP statuses.
+    pub http_errors: u64,
+    /// Transport-level failures.
+    pub transport_errors: u64,
+    /// 503/504 responses missing the mandatory `Retry-After` header.
+    pub retry_after_missing: u64,
+    /// Responses per degradation tier (`X-LogCL-Degradation` header).
+    pub tiers: BTreeMap<String, u64>,
+    /// End-to-end latency of good (200) responses, µs from scheduled time.
+    pub latency: LogHistogram,
+    /// Service latency of good (200) responses, µs from actual send.
+    pub service_latency: LogHistogram,
+}
+
+impl RunStats {
+    /// Empty stats for a schedule of `scheduled` requests.
+    pub fn new(scheduled: u64) -> Self {
+        RunStats {
+            scheduled,
+            completed: 0,
+            ok: 0,
+            degraded: 0,
+            shed_503: 0,
+            deadline_504: 0,
+            http_errors: 0,
+            transport_errors: 0,
+            retry_after_missing: 0,
+            tiers: BTreeMap::new(),
+            latency: LogHistogram::new(),
+            service_latency: LogHistogram::new(),
+        }
+    }
+
+    /// Share of scheduled requests answered with a 200, in `[0, 1]`.
+    pub fn goodput_rate(&self) -> f64 {
+        if self.scheduled == 0 {
+            return 0.0;
+        }
+        (self.ok + self.degraded) as f64 / self.scheduled as f64
+    }
+
+    fn absorb(&mut self, s: Sample) {
+        self.completed += 1;
+        match s.kind {
+            OutcomeKind::Ok => self.ok += 1,
+            OutcomeKind::Degraded => self.degraded += 1,
+            OutcomeKind::Shed => self.shed_503 += 1,
+            OutcomeKind::DeadlineExpired => self.deadline_504 += 1,
+            OutcomeKind::HttpError => self.http_errors += 1,
+            OutcomeKind::Transport => self.transport_errors += 1,
+        }
+        if s.retry_after_missing {
+            self.retry_after_missing += 1;
+        }
+        if let Some(tier) = s.tier {
+            *self.tiers.entry(tier).or_insert(0) += 1;
+        }
+        if matches!(s.kind, OutcomeKind::Ok | OutcomeKind::Degraded) {
+            self.latency
+                .record(s.done_micros.saturating_sub(s.scheduled_micros));
+            self.service_latency
+                .record(s.done_micros.saturating_sub(s.sent_micros));
+        }
+    }
+}
+
+/// A rendered request ready to go on the wire.
+struct Job {
+    scheduled_micros: u64,
+    path: &'static str,
+    body: String,
+    deadline_ms: Option<u64>,
+}
+
+/// Renders a planned op to its HTTP path and JSON body.
+fn render(op: &Op, cfg: &RunConfig) -> (&'static str, String, Option<u64>) {
+    match op {
+        Op::Predict {
+            subject,
+            relation,
+            k,
+            deadline_ms,
+        } => (
+            "/predict",
+            format!("{{\"subject\":{subject},\"relation\":{relation},\"k\":{k}}}"),
+            *deadline_ms,
+        ),
+        Op::Ingest { facts, deadline_ms } => {
+            let rendered: Vec<String> = facts
+                .iter()
+                .map(|(s, r, o)| format!("[{s},{r},{o}]"))
+                .collect();
+            (
+                "/ingest",
+                format!(
+                    "{{\"time\":{},\"facts\":[{}],\"update\":{}}}",
+                    cfg.ingest_time,
+                    rendered.join(","),
+                    cfg.ingest_update
+                ),
+                *deadline_ms,
+            )
+        }
+    }
+}
+
+/// Replays `schedule` against `cfg.addr` and aggregates the results.
+pub fn run(schedule: &[PlannedRequest], cfg: &RunConfig) -> Result<RunStats, LoadgenError> {
+    let addr = resolve(&cfg.addr)?;
+    let clock = Clock::start();
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let (sample_tx, sample_rx) = mpsc::channel::<Sample>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let io_timeout = cfg.io_timeout;
+
+    let mut workers = Vec::new();
+    for _ in 0..cfg.workers.max(1) {
+        let rx = Arc::clone(&job_rx);
+        let tx = sample_tx.clone();
+        workers.push(std::thread::spawn(move || loop {
+            let job = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+            let Ok(job) = job else { break };
+            let sample = execute(addr, io_timeout, &job, clock);
+            if tx.send(sample).is_err() {
+                break;
+            }
+        }));
+    }
+    drop(sample_tx);
+
+    // Open-loop dispatch on this thread: sleep to each offset, hand off,
+    // never wait for the response.
+    for req in schedule {
+        clock.sleep_until_micros(req.at_micros);
+        let (path, body, deadline_ms) = render(&req.op, cfg);
+        let job = Job {
+            scheduled_micros: req.at_micros,
+            path,
+            body,
+            deadline_ms,
+        };
+        if job_tx.send(job).is_err() {
+            break;
+        }
+    }
+    drop(job_tx);
+
+    let mut stats = RunStats::new(schedule.len() as u64);
+    for sample in sample_rx {
+        stats.absorb(sample);
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(stats)
+}
+
+/// One plain GET against the server, for `/healthz` and `/metrics` scrapes.
+/// Returns `(status, body)`.
+pub fn http_get(
+    addr: &str,
+    path: &str,
+    io_timeout: Duration,
+) -> Result<(u16, String), LoadgenError> {
+    let sock = resolve(addr)?;
+    let ctx = || format!("GET {path} against {addr}");
+    let mut stream =
+        TcpStream::connect_timeout(&sock, io_timeout).map_err(|e| LoadgenError::io(ctx(), e))?;
+    stream
+        .set_read_timeout(Some(io_timeout))
+        .map_err(|e| LoadgenError::io(ctx(), e))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| LoadgenError::io(ctx(), e))?;
+    let mut buf = Vec::new();
+    stream
+        .read_to_end(&mut buf)
+        .map_err(|e| LoadgenError::io(ctx(), e))?;
+    let text = String::from_utf8(buf)
+        .map_err(|_| LoadgenError::Config(format!("{}: non-UTF-8 response", ctx())))?;
+    let head_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| LoadgenError::Config(format!("{}: malformed response", ctx())))?;
+    let status: u16 = text[..head_end]
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| LoadgenError::Config(format!("{}: missing status line", ctx())))?;
+    Ok((status, text[head_end + 4..].to_string()))
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr, LoadgenError> {
+    addr.to_socket_addrs()
+        .map_err(|e| LoadgenError::io(format!("resolving {addr}"), e))?
+        .next()
+        .ok_or_else(|| LoadgenError::Config(format!("{addr} resolved to no addresses")))
+}
+
+/// Issues one request and classifies the response; never fails — transport
+/// errors become [`OutcomeKind::Transport`] samples.
+fn execute(addr: SocketAddr, io_timeout: Duration, job: &Job, clock: Clock) -> Sample {
+    let sent_micros = clock.elapsed_micros();
+    let parsed = roundtrip(addr, io_timeout, job);
+    let done_micros = clock.elapsed_micros();
+    match parsed {
+        Ok(resp) => {
+            let kind = match resp.status {
+                200 if resp.degraded => OutcomeKind::Degraded,
+                200 => OutcomeKind::Ok,
+                503 => OutcomeKind::Shed,
+                504 => OutcomeKind::DeadlineExpired,
+                _ => OutcomeKind::HttpError,
+            };
+            let retry_after_missing = matches!(resp.status, 503 | 504) && !resp.retry_after_present;
+            Sample {
+                scheduled_micros: job.scheduled_micros,
+                sent_micros,
+                done_micros,
+                kind,
+                tier: resp.tier,
+                retry_after_missing,
+            }
+        }
+        Err(_) => Sample {
+            scheduled_micros: job.scheduled_micros,
+            sent_micros,
+            done_micros,
+            kind: OutcomeKind::Transport,
+            tier: None,
+            retry_after_missing: false,
+        },
+    }
+}
+
+struct RawResponse {
+    status: u16,
+    degraded: bool,
+    tier: Option<String>,
+    retry_after_present: bool,
+}
+
+/// One request over one fresh connection (the server closes after
+/// responding, so `read_to_end` delimits the response).
+fn roundtrip(addr: SocketAddr, io_timeout: Duration, job: &Job) -> std::io::Result<RawResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, io_timeout)?;
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let mut head = format!(
+        "POST {} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        job.path,
+        job.body.len()
+    );
+    if let Some(d) = job.deadline_ms {
+        head.push_str(&format!("X-LogCL-Deadline-Ms: {d}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(job.body.as_bytes())?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    parse_response(&buf).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+    })
+}
+
+/// Minimal HTTP/1.1 response parse: status code, the two headers the
+/// harness cares about, and the `degraded` flag from predict bodies.
+fn parse_response(buf: &[u8]) -> Option<RawResponse> {
+    let text = std::str::from_utf8(buf).ok()?;
+    let head_end = text.find("\r\n\r\n")?;
+    let (head, body) = (&text[..head_end], &text[head_end + 4..]);
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let mut tier = None;
+    let mut retry_after_present = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name == "x-logcl-degradation" {
+            tier = Some(value.trim().to_string());
+        } else if name == "retry-after" {
+            retry_after_present = true;
+        }
+    }
+    let degraded = serde_json::from_str::<serde_json::Value>(body)
+        .ok()
+        .and_then(|v| v.get("degraded").and_then(|d| d.as_bool()))
+        .unwrap_or(false);
+    Some(RawResponse {
+        status,
+        degraded,
+        tier,
+        retry_after_present,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Op;
+
+    #[test]
+    fn render_predict_matches_serve_wire_format() {
+        let (path, body, d) = render(
+            &Op::Predict {
+                subject: 3,
+                relation: 1,
+                k: 5,
+                deadline_ms: Some(250),
+            },
+            &RunConfig::default(),
+        );
+        assert_eq!(path, "/predict");
+        assert_eq!(body, "{\"subject\":3,\"relation\":1,\"k\":5}");
+        assert_eq!(d, Some(250));
+        // The body must be valid JSON for the server's parser.
+        serde_json::from_str::<serde_json::Value>(&body).unwrap();
+    }
+
+    #[test]
+    fn render_ingest_pins_time_and_update_flag() {
+        let cfg = RunConfig {
+            ingest_time: 12,
+            ingest_update: true,
+            ..RunConfig::default()
+        };
+        let (path, body, _) = render(
+            &Op::Ingest {
+                facts: vec![(0, 1, 2), (3, 4, 5)],
+                deadline_ms: None,
+            },
+            &cfg,
+        );
+        assert_eq!(path, "/ingest");
+        assert_eq!(
+            body,
+            "{\"time\":12,\"facts\":[[0,1,2],[3,4,5]],\"update\":true}"
+        );
+        serde_json::from_str::<serde_json::Value>(&body).unwrap();
+    }
+
+    #[test]
+    fn parse_response_extracts_status_headers_and_degraded() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-LogCL-Degradation: brownout\r\n\r\n{\"degraded\":true}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.degraded);
+        assert_eq!(r.tier.as_deref(), Some("brownout"));
+        assert!(!r.retry_after_present);
+
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert!(r.retry_after_present);
+
+        assert!(parse_response(b"not http").is_none());
+    }
+
+    #[test]
+    fn stats_classify_and_count_every_outcome() {
+        let mut stats = RunStats::new(6);
+        let sample = |kind, tier: Option<&str>, missing| Sample {
+            scheduled_micros: 0,
+            sent_micros: 10,
+            done_micros: 1_010,
+            kind,
+            tier: tier.map(String::from),
+            retry_after_missing: missing,
+        };
+        stats.absorb(sample(OutcomeKind::Ok, Some("none"), false));
+        stats.absorb(sample(OutcomeKind::Degraded, Some("brownout"), false));
+        stats.absorb(sample(OutcomeKind::Shed, Some("shed"), true));
+        stats.absorb(sample(OutcomeKind::DeadlineExpired, Some("none"), false));
+        stats.absorb(sample(OutcomeKind::HttpError, None, false));
+        stats.absorb(sample(OutcomeKind::Transport, None, false));
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.ok, 1);
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.shed_503, 1);
+        assert_eq!(stats.deadline_504, 1);
+        assert_eq!(stats.http_errors, 1);
+        assert_eq!(stats.transport_errors, 1);
+        assert_eq!(stats.retry_after_missing, 1);
+        assert_eq!(stats.tiers.get("none"), Some(&2));
+        // Only the two 200s entered the latency histograms.
+        assert_eq!(stats.latency.count(), 2);
+        assert_eq!(stats.service_latency.count(), 2);
+        assert_eq!(stats.latency.quantile(1.0), 1_010);
+        assert!((stats.goodput_rate() - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolve_rejects_garbage() {
+        assert!(resolve("definitely not an address").is_err());
+        assert!(resolve("127.0.0.1:80").is_ok());
+    }
+}

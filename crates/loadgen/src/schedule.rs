@@ -1,0 +1,474 @@
+//! Deterministic request schedules.
+//!
+//! A schedule is the full description of a load test's traffic: for every
+//! request, *when* it is dispatched (microseconds from run start), *what* it
+//! asks (predict or ingest, with concrete ids) and *how urgent* it is (the
+//! `X-LogCL-Deadline-Ms` budget). All of it derives from a single seed via
+//! the workspace's pinned xoshiro256++ PRNG, so the same
+//! [`TraceConfig`] always produces the same schedule — byte for byte, as
+//! [`fingerprint`] proves. Wall-clock time never enters here; replaying the
+//! schedule is [`crate::runner`]'s job.
+
+use logcl_tensor::Rng;
+
+use crate::LoadgenError;
+
+/// Inter-arrival process for the offered load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arrival {
+    /// Evenly spaced arrivals at the configured rate.
+    Constant,
+    /// Memoryless (exponential) inter-arrival gaps — the classic open-system
+    /// model; produces natural short bursts.
+    Poisson,
+    /// Square-wave load: each `period_ms` window starts with `duty_pct`% of
+    /// its duration at `peak_mult`× the base rate, then drops back to 1×.
+    Burst {
+        /// Length of one base+peak cycle, in milliseconds.
+        period_ms: u64,
+        /// Share of each period spent at the peak rate, in percent (0-100).
+        duty_pct: u8,
+        /// Rate multiplier during the peak phase (≥ 1).
+        peak_mult: u32,
+    },
+}
+
+impl Arrival {
+    /// Parses `constant`, `poisson`, `burst` or `burst:PERIOD_MS:DUTY:MULT`.
+    pub fn parse(s: &str) -> Result<Arrival, LoadgenError> {
+        match s {
+            "constant" => return Ok(Arrival::Constant),
+            "poisson" => return Ok(Arrival::Poisson),
+            "burst" => {
+                return Ok(Arrival::Burst {
+                    period_ms: 1_000,
+                    duty_pct: 20,
+                    peak_mult: 4,
+                })
+            }
+            _ => {}
+        }
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() == 4 && parts[0] == "burst" {
+            let bad = |what: &str| {
+                LoadgenError::Config(format!("bad {what} in burst arrival spec {s:?}"))
+            };
+            let period_ms: u64 = parts[1].parse().map_err(|_| bad("period"))?;
+            let duty_pct: u8 = parts[2].parse().map_err(|_| bad("duty"))?;
+            let peak_mult: u32 = parts[3].parse().map_err(|_| bad("multiplier"))?;
+            if period_ms == 0 || duty_pct > 100 || peak_mult == 0 {
+                return Err(bad("value range"));
+            }
+            return Ok(Arrival::Burst {
+                period_ms,
+                duty_pct,
+                peak_mult,
+            });
+        }
+        Err(LoadgenError::Config(format!(
+            "unknown arrival {s:?} (use constant|poisson|burst[:PERIOD_MS:DUTY_PCT:PEAK_MULT])"
+        )))
+    }
+
+    /// Canonical name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Arrival::Constant => "constant".into(),
+            Arrival::Poisson => "poisson".into(),
+            Arrival::Burst {
+                period_ms,
+                duty_pct,
+                peak_mult,
+            } => format!("burst:{period_ms}:{duty_pct}:{peak_mult}"),
+        }
+    }
+
+    /// Instantaneous rate multiplier at offset `t_micros`.
+    fn rate_multiplier(&self, t_micros: u64) -> f64 {
+        match self {
+            Arrival::Constant | Arrival::Poisson => 1.0,
+            Arrival::Burst {
+                period_ms,
+                duty_pct,
+                peak_mult,
+            } => {
+                let in_period = (t_micros / 1_000) % period_ms;
+                if in_period * 100 < period_ms * u64::from(*duty_pct) {
+                    f64::from(*peak_mult)
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// Everything needed to derive a schedule from a seed.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// PRNG seed; same seed + same config = same schedule.
+    pub seed: u64,
+    /// Base offered rate, requests per second.
+    pub rps: f64,
+    /// Trace length in milliseconds.
+    pub duration_ms: u64,
+    /// Inter-arrival process.
+    pub arrival: Arrival,
+    /// Share of requests that are predicts (the rest are ingests), 0-100.
+    pub predict_percent: u8,
+    /// Base `X-LogCL-Deadline-Ms` budget; 0 sends no deadline header.
+    pub deadline_ms: u64,
+    /// Uniform jitter on the deadline, ± this percent of the base.
+    pub deadline_jitter_pct: u8,
+    /// Entity-id vocabulary size for sampled queries and facts.
+    pub num_entities: usize,
+    /// Relation-id vocabulary size (forward relations only).
+    pub num_rels: usize,
+    /// `k` requested on each predict.
+    pub k: usize,
+    /// Facts per ingest request.
+    pub ingest_facts: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 7,
+            rps: 50.0,
+            duration_ms: 3_000,
+            arrival: Arrival::Poisson,
+            predict_percent: 90,
+            deadline_ms: 250,
+            deadline_jitter_pct: 50,
+            num_entities: 100,
+            num_rels: 10,
+            k: 5,
+            ingest_facts: 4,
+        }
+    }
+}
+
+/// One planned request body (ids only; rendering to JSON is the runner's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// A `POST /predict` query.
+    Predict {
+        /// Subject entity id.
+        subject: u32,
+        /// Relation id (forward direction).
+        relation: u32,
+        /// Requested top-k.
+        k: u32,
+        /// Deadline budget for the `X-LogCL-Deadline-Ms` header.
+        deadline_ms: Option<u64>,
+    },
+    /// A `POST /ingest` batch of facts.
+    Ingest {
+        /// `(s, r, o)` triples to append.
+        facts: Vec<(u32, u32, u32)>,
+        /// Deadline budget for the `X-LogCL-Deadline-Ms` header.
+        deadline_ms: Option<u64>,
+    },
+}
+
+/// A request pinned to its dispatch offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedRequest {
+    /// Dispatch offset from run start, in microseconds.
+    pub at_micros: u64,
+    /// What to send.
+    pub op: Op,
+}
+
+/// Builds the full request schedule for `cfg`.
+pub fn build_schedule(cfg: &TraceConfig) -> Result<Vec<PlannedRequest>, LoadgenError> {
+    if !cfg.rps.is_finite() || cfg.rps <= 0.0 {
+        return Err(LoadgenError::Config(format!(
+            "rps must be positive, got {}",
+            cfg.rps
+        )));
+    }
+    if cfg.duration_ms == 0 {
+        return Err(LoadgenError::Config("duration must be > 0 ms".into()));
+    }
+    if cfg.num_entities == 0 || cfg.num_rels == 0 {
+        return Err(LoadgenError::Config(
+            "entity and relation vocabularies must be non-empty".into(),
+        ));
+    }
+    if cfg.predict_percent > 100 {
+        return Err(LoadgenError::Config(format!(
+            "predict_percent must be 0-100, got {}",
+            cfg.predict_percent
+        )));
+    }
+    let mut rng = Rng::seed(cfg.seed);
+    let horizon = cfg.duration_ms.saturating_mul(1_000) as f64;
+    let mut t = 0.0f64;
+    let mut out = Vec::new();
+    loop {
+        let rate_per_us = cfg.rps * cfg.arrival.rate_multiplier(t as u64) / 1e6;
+        let gap = match cfg.arrival {
+            Arrival::Poisson => {
+                // Exponential gap via inverse transform; clamp u away from 1
+                // so ln(0) can never produce an infinite gap.
+                let u = f64::from(rng.uniform(0.0, 1.0)).min(0.999_999);
+                -(1.0 - u).ln() / rate_per_us
+            }
+            _ => 1.0 / rate_per_us,
+        };
+        // ≥ 1µs apart keeps the schedule strictly ordered.
+        t += gap.max(1.0);
+        if t >= horizon {
+            break;
+        }
+        out.push(PlannedRequest {
+            at_micros: t as u64,
+            op: sample_op(cfg, &mut rng),
+        });
+    }
+    Ok(out)
+}
+
+/// Draws one request body from the PRNG.
+fn sample_op(cfg: &TraceConfig, rng: &mut Rng) -> Op {
+    let deadline_ms = if cfg.deadline_ms == 0 {
+        None
+    } else {
+        let j = u64::from(cfg.deadline_jitter_pct.min(100));
+        let lo = cfg.deadline_ms.saturating_mul(100 - j) / 100;
+        let hi = cfg.deadline_ms.saturating_mul(100 + j) / 100;
+        let span = (hi - lo + 1) as usize;
+        Some(lo + rng.below(span) as u64)
+    };
+    let is_predict = match cfg.predict_percent {
+        0 => false,
+        100 => true,
+        p => rng.chance(f64::from(p) / 100.0),
+    };
+    if is_predict {
+        Op::Predict {
+            subject: rng.below(cfg.num_entities) as u32,
+            relation: rng.below(cfg.num_rels) as u32,
+            k: cfg.k as u32,
+            deadline_ms,
+        }
+    } else {
+        let facts = (0..cfg.ingest_facts.max(1))
+            .map(|_| {
+                (
+                    rng.below(cfg.num_entities) as u32,
+                    rng.below(cfg.num_rels) as u32,
+                    rng.below(cfg.num_entities) as u32,
+                )
+            })
+            .collect();
+        Op::Ingest { facts, deadline_ms }
+    }
+}
+
+/// FNV-1a accumulator over the schedule's canonical encoding.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Digest of the complete schedule — arrival times, ops, ids and deadlines.
+///
+/// Two runs are replaying the same traffic if and only if their
+/// fingerprints match; the determinism test and the report both rely on it.
+pub fn fingerprint(schedule: &[PlannedRequest]) -> u64 {
+    let mut h = Fnv::new();
+    h.eat(schedule.len() as u64);
+    for req in schedule {
+        h.eat(req.at_micros);
+        match &req.op {
+            Op::Predict {
+                subject,
+                relation,
+                k,
+                deadline_ms,
+            } => {
+                h.eat(0);
+                h.eat(u64::from(*subject));
+                h.eat(u64::from(*relation));
+                h.eat(u64::from(*k));
+                h.eat(deadline_ms.map_or(u64::MAX, |d| d));
+            }
+            Op::Ingest { facts, deadline_ms } => {
+                h.eat(1);
+                h.eat(facts.len() as u64);
+                for (s, r, o) in facts {
+                    h.eat(u64::from(*s));
+                    h.eat(u64::from(*r));
+                    h.eat(u64::from(*o));
+                }
+                h.eat(deadline_ms.map_or(u64::MAX, |d| d));
+            }
+        }
+    }
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_produce_identical_schedules() {
+        // The PR's determinism guarantee: same config, same schedule —
+        // arrival times included. (Observed latencies may differ between
+        // runs; the schedule may not.)
+        let cfg = TraceConfig::default();
+        let a = build_schedule(&cfg).unwrap();
+        let b = build_schedule(&cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = build_schedule(&TraceConfig::default()).unwrap();
+        let b = build_schedule(&TraceConfig {
+            seed: 8,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn schedule_is_strictly_ordered_and_bounded() {
+        let cfg = TraceConfig {
+            rps: 500.0,
+            duration_ms: 1_000,
+            ..TraceConfig::default()
+        };
+        let s = build_schedule(&cfg).unwrap();
+        for w in s.windows(2) {
+            assert!(w[0].at_micros < w[1].at_micros);
+        }
+        assert!(s.last().map_or(0, |r| r.at_micros) < 1_000_000);
+        // Poisson at 500 rps over 1s: expect roughly 500 arrivals.
+        assert!((300..700).contains(&s.len()), "got {}", s.len());
+    }
+
+    #[test]
+    fn constant_arrivals_are_evenly_spaced() {
+        let cfg = TraceConfig {
+            arrival: Arrival::Constant,
+            rps: 100.0,
+            duration_ms: 500,
+            ..TraceConfig::default()
+        };
+        let s = build_schedule(&cfg).unwrap();
+        for w in s.windows(2) {
+            assert_eq!(w[1].at_micros - w[0].at_micros, 10_000);
+        }
+    }
+
+    #[test]
+    fn burst_peak_phase_is_denser() {
+        let cfg = TraceConfig {
+            arrival: Arrival::Burst {
+                period_ms: 1_000,
+                duty_pct: 50,
+                peak_mult: 4,
+            },
+            rps: 100.0,
+            duration_ms: 1_000,
+            ..TraceConfig::default()
+        };
+        let s = build_schedule(&cfg).unwrap();
+        let peak = s.iter().filter(|r| r.at_micros < 500_000).count();
+        let base = s.len() - peak;
+        assert!(peak > 3 * base, "peak {peak} vs base {base}");
+    }
+
+    #[test]
+    fn predict_percent_bounds_are_exact() {
+        let all_predict = build_schedule(&TraceConfig {
+            predict_percent: 100,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        assert!(all_predict
+            .iter()
+            .all(|r| matches!(r.op, Op::Predict { .. })));
+        let all_ingest = build_schedule(&TraceConfig {
+            predict_percent: 0,
+            ..TraceConfig::default()
+        })
+        .unwrap();
+        assert!(all_ingest.iter().all(|r| matches!(r.op, Op::Ingest { .. })));
+    }
+
+    #[test]
+    fn deadlines_stay_inside_the_jitter_band() {
+        let cfg = TraceConfig {
+            deadline_ms: 200,
+            deadline_jitter_pct: 25,
+            ..TraceConfig::default()
+        };
+        for req in build_schedule(&cfg).unwrap() {
+            let d = match req.op {
+                Op::Predict { deadline_ms, .. } | Op::Ingest { deadline_ms, .. } => deadline_ms,
+            };
+            let d = d.expect("deadline_ms > 0 must emit a deadline");
+            assert!((150..=250).contains(&d), "deadline {d} outside band");
+        }
+    }
+
+    #[test]
+    fn zero_deadline_config_sends_no_header() {
+        let cfg = TraceConfig {
+            deadline_ms: 0,
+            ..TraceConfig::default()
+        };
+        for req in build_schedule(&cfg).unwrap() {
+            let d = match req.op {
+                Op::Predict { deadline_ms, .. } | Op::Ingest { deadline_ms, .. } => deadline_ms,
+            };
+            assert_eq!(d, None);
+        }
+    }
+
+    #[test]
+    fn arrival_parse_round_trips() {
+        for s in ["constant", "poisson", "burst:500:30:8"] {
+            assert_eq!(Arrival::parse(s).unwrap().name(), s);
+        }
+        assert!(matches!(
+            Arrival::parse("burst").unwrap(),
+            Arrival::Burst { .. }
+        ));
+        assert!(Arrival::parse("uniform").is_err());
+        assert!(Arrival::parse("burst:0:30:8").is_err());
+        assert!(Arrival::parse("burst:500:101:8").is_err());
+        assert!(Arrival::parse("burst:500:30:0").is_err());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = |f: fn(&mut TraceConfig)| {
+            let mut cfg = TraceConfig::default();
+            f(&mut cfg);
+            build_schedule(&cfg).is_err()
+        };
+        assert!(bad(|c| c.rps = 0.0));
+        assert!(bad(|c| c.rps = f64::NAN));
+        assert!(bad(|c| c.duration_ms = 0));
+        assert!(bad(|c| c.num_entities = 0));
+        assert!(bad(|c| c.predict_percent = 101));
+    }
+}

@@ -337,6 +337,27 @@ impl Metrics {
             logcl_tensor::kernels::backend_name(),
             logcl_tensor::kernels::current_threads()
         );
+        // Build identity info-gauge: lets bench reports and dashboards pin
+        // down exactly which binary produced a measurement.
+        let _ = writeln!(
+            out,
+            "# HELP logcl_build_info Server build identity (value is always 1)."
+        );
+        let _ = writeln!(out, "# TYPE logcl_build_info gauge");
+        let features: &[&str] = &[
+            #[cfg(feature = "fault-inject")]
+            "fault-inject",
+        ];
+        // The git hash is baked in when CI exports LOGCL_GIT_HASH at build
+        // time; plain local builds report "unknown".
+        let _ = writeln!(
+            out,
+            "logcl_build_info{{version=\"{}\",git=\"{}\",backend=\"{}\",features=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION"),
+            option_env!("LOGCL_GIT_HASH").unwrap_or("unknown"),
+            logcl_tensor::kernels::backend_name(),
+            features.join(",")
+        );
         self.latency.render(
             "logcl_request_duration_seconds",
             "End-to-end request latency.",
@@ -394,6 +415,7 @@ mod tests {
             "logcl_request_duration_seconds_bucket",
             "logcl_batch_size_count 1",
             "logcl_kernel_backend_info{backend=",
+            "logcl_build_info{version=\"",
             "logcl_compute_utilisation_bucket",
             "logcl_kernel_busy_micros_total",
             "logcl_shed_total{reason=\"queue_full\"} 0",

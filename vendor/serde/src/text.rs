@@ -1,0 +1,418 @@
+//! JSON text encoding and decoding for [`Value`].
+
+use crate::value::{Map, Number, Value};
+use crate::Error;
+
+/// Parser recursion ceiling: bodies come off the network, and a deeply
+/// nested `[[[[…]]]]` must produce an error, not a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+// -------------------------------------------------------------- writing
+
+/// Appends the compact encoding of `v` to `out`.
+pub fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(xs) => {
+            out.push('[');
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(x, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, x)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_compact(x, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Appends the two-space-indented encoding of `v` to `out`.
+pub fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(xs) if !xs.is_empty() => {
+            out.push_str("[\n");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(x, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, x)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(x, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    use std::fmt::Write as _;
+    match n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        // Debug float formatting is shortest-round-trip and always keeps a
+        // decimal point or exponent, so the value re-parses as a float.
+        Number::Float(v) => {
+            let _ = write!(out, "{v:?}");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// -------------------------------------------------------------- parsing
+
+/// Parses one JSON document (surrounding whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect("null").map(|()| Value::Null),
+            Some(b't') => self.expect("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.pos += 1; // consume '['
+        let mut xs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(xs));
+        }
+        loop {
+            self.skip_ws();
+            xs.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(xs));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.pos += 1; // consume '{'
+        let mut m = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            m.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(m));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // consume '"'
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                s.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut s)?;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, s: &mut String) -> Result<(), Error> {
+        let c = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => s.push('"'),
+            b'\\' => s.push('\\'),
+            b'/' => s.push('/'),
+            b'n' => s.push('\n'),
+            b'r' => s.push('\r'),
+            b't' => s.push('\t'),
+            b'b' => s.push('\u{08}'),
+            b'f' => s.push('\u{0c}'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: a second \uXXXX must follow.
+                    if self.expect("\\u").is_err() {
+                        return Err(self.err("unpaired surrogate in \\u escape"));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate in \\u escape"));
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                s.push(char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?);
+            }
+            _ => return Err(self.err("unknown escape")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(n)));
+            }
+        }
+        let f: f64 = text
+            .parse()
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))?;
+        if !f.is_finite() {
+            return Err(Error::custom(format!("number `{text}` overflows f64")));
+        }
+        Ok(Value::Number(Number::Float(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) -> String {
+        parse_str(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(round_trip("null"), "null");
+        assert_eq!(round_trip("true"), "true");
+        assert_eq!(round_trip(" 42 "), "42");
+        assert_eq!(round_trip("-7"), "-7");
+        assert_eq!(round_trip("1.5"), "1.5");
+        assert_eq!(round_trip("\"a\\nb\""), "\"a\\nb\"");
+        assert_eq!(round_trip("18446744073709551615"), "18446744073709551615");
+    }
+
+    #[test]
+    fn composites() {
+        assert_eq!(round_trip("[1, 2, [3]]"), "[1,2,[3]]");
+        assert_eq!(round_trip("{\"b\":1,\"a\":{}}"), "{\"a\":{},\"b\":1}");
+        assert_eq!(round_trip("[]"), "[]");
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for f in [0.1, 1.0 / 3.0, 1e-300, 123_456_789.123_456_78] {
+            let text = Value::from_f64(f).to_string();
+            let back = parse_str(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            parse_str("\"\\u00e9\\uD83D\\uDE00\"").unwrap(),
+            Value::String("é😀".to_string())
+        );
+        assert!(parse_str("\"\\uD800\"").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "tru", "1 2", "\"", "nul"] {
+            assert!(parse_str(bad).is_err(), "{bad:?} must not parse");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse_str(&deep).is_err(), "depth limit must hold");
+    }
+
+    #[test]
+    fn pretty_prints_nested() {
+        let v = parse_str("{\"a\":[1,2],\"b\":{}}").unwrap();
+        let mut out = String::new();
+        write_pretty(&v, &mut out, 0);
+        assert_eq!(out, "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {}\n}");
+    }
+}

@@ -1,0 +1,187 @@
+//! The JSON tree: [`Value`], [`Number`] and the object [`Map`].
+
+/// JSON objects. Sorted keys, matching serde_json's default `Map` ordering.
+pub type Map = std::collections::BTreeMap<String, Value>;
+
+/// A JSON number, keeping 64-bit integers exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// Anything with a fractional part or exponent.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::PosInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::PosInt(n) => i64::try_from(*n).ok(),
+            Number::NegInt(n) => Some(*n),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::PosInt(n) => Some(*n as f64),
+            Number::NegInt(n) => Some(*n as f64),
+            Number::Float(f) => Some(*f),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with sorted keys.
+    Object(Map),
+}
+
+impl Value {
+    /// Wraps an `f64`, demoting non-finite values to `null` (JSON has no
+    /// NaN/Infinity; serde_json does the same for such floats).
+    pub fn from_f64(f: f64) -> Value {
+        if f.is_finite() {
+            Value::Number(Number::Float(f))
+        } else {
+            Value::Null
+        }
+    }
+
+    /// Object field lookup; `None` on non-objects and absent keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The key→value map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A short noun for error messages ("string", "object", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON encoding (what `serde_json::Value::to_string` gives).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        crate::text::write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Bool(true));
+        let v = Value::Object(m);
+        assert_eq!(v.get("k").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Null.get("k"), None);
+        assert_eq!(Value::Number(Number::PosInt(7)).as_u64(), Some(7));
+        assert_eq!(Value::Number(Number::NegInt(-7)).as_u64(), None);
+        assert_eq!(Value::Number(Number::NegInt(-7)).as_i64(), Some(-7));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert!(Value::from_f64(f64::NAN).is_null());
+        assert!(Value::from_f64(f64::INFINITY).is_null());
+        assert!(!Value::from_f64(0.0).is_null());
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the stand-in serde's
+//! JSON-value data model, using only the compiler's `proc_macro` API (no
+//! syn/quote). Supports exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields (optionally lifetime-generic, e.g.
+//!   `Dump<'a>` — Serialize only);
+//! - enums whose variants are all units (serialized as the variant name);
+//! - the field attribute `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Unknown input fields are ignored on deserialize, like real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let generics = &item.generics;
+    let name_ty = format!("{}{}", item.name, generics);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inserts = String::new();
+            for f in fields {
+                let insert = format!(
+                    "map.insert(::std::string::String::from(\"{n}\"), \
+                     ::serde::Serialize::serialize_value(&self.{n}));",
+                    n = f.name
+                );
+                if let Some(path) = &f.skip_serializing_if {
+                    inserts.push_str(&format!("if !{path}(&self.{n}) {{ {insert} }}", n = f.name));
+                } else {
+                    inserts.push_str(&insert);
+                }
+            }
+            format!("let mut map = ::serde::Map::new(); {inserts} ::serde::Value::Object(map)")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => \"{v}\","))
+                .collect();
+            format!("::serde::Value::String(::std::string::String::from(match self {{ {arms} }}))")
+        }
+    };
+    format!(
+        "impl{generics} ::serde::Serialize for {name_ty} {{ \
+           fn serialize_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    assert!(
+        item.generics.is_empty(),
+        "derive(Deserialize) supports non-generic types only"
+    );
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let absent = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!("return Err(::serde::Error::missing_field(\"{}\"))", f.name)
+                };
+                inits.push_str(&format!(
+                    "{n}: match obj.get(\"{n}\") {{ \
+                       Some(x) => ::serde::Deserialize::deserialize_value(x)?, \
+                       None => {absent}, \
+                     }},",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                   format!(\"expected object for {name}, got {{}}\", v.kind())))?; \
+                 Ok(Self {{ {inits} }})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok(Self::{v}),"))
+                .collect();
+            format!(
+                "match v.as_str() {{ \
+                   Some(s) => match s {{ \
+                     {arms} \
+                     other => Err(::serde::Error::custom(\
+                       format!(\"unknown {name} variant {{other:?}}\"))), \
+                   }}, \
+                   None => Err(::serde::Error::custom(\
+                     format!(\"expected string for {name}, got {{}}\", v.kind()))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn deserialize_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize) generated invalid Rust")
+}
+
+// --------------------------------------------------------------- parsing
+
+struct Item {
+    name: String,
+    /// Raw generics text including angle brackets (`<'a>`), or empty.
+    generics: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility.
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => panic!("derive expects a struct or enum, found {other}"),
+    };
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => {
+            i += 1;
+            id.to_string()
+        }
+        other => panic!("expected type name, found {other}"),
+    };
+
+    // Optional generics: collect raw tokens between matching < and >.
+    let mut generics = String::new();
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        let mut depth = 0usize;
+        let start = i;
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        generics = tokens[start..i]
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("");
+    }
+
+    // The body brace group (skipping any where clause would go here; the
+    // workspace derives on no such types).
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("derive does not support unit or tuple structs")
+            }
+            _ => i += 1,
+        }
+    };
+
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (default, skip) = field_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => {
+                i += 1;
+                id.to_string()
+            }
+            other => panic!("expected field name, found {other}"),
+        };
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle = 0isize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default,
+            skip_serializing_if: skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+            }
+            other => panic!("expected enum variant, found {other}"),
+        }
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => panic!("derive supports unit enum variants only, found {other}"),
+        }
+    }
+    variants
+}
+
+/// Skips attributes, returning the parsed `#[serde(...)]` field options.
+fn field_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut default = false;
+    let mut skip = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            parse_serde_attr(g.stream(), &mut default, &mut skip);
+        }
+        *i += 2;
+    }
+    (default, skip)
+}
+
+/// Parses `serde(default, skip_serializing_if = "path")` inside one `#[...]`.
+fn parse_serde_attr(attr: TokenStream, default: &mut bool, skip: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // a doc comment or some other attribute
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                *default = true;
+                j += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                match (args.get(j + 1), args.get(j + 2)) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let quoted = lit.to_string();
+                        *skip = Some(quoted.trim_matches('"').to_string());
+                        j += 3;
+                    }
+                    _ => panic!("skip_serializing_if expects a quoted path"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => panic!("unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 2; // `#` plus the bracket group
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1; // pub(crate) and friends
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The JSON tree type lives in the stand-in `serde` crate (the two crates
+//! share one data model); this facade provides the familiar `serde_json`
+//! entry points on top: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`from_slice`], [`json!`] and the re-exported [`Value`] family.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_compact(&value.serialize_value(), &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_pretty(&value.serialize_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Parses `T` from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    T::deserialize_value(&serde::parse_str(s)?)
+}
+
+/// Parses `T` from JSON bytes (must be UTF-8).
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from an object / array / expression literal.
+///
+/// Values inside `{ ... }` and `[ ... ]` are arbitrary serializable
+/// expressions; nest further objects with explicit inner `json!` calls
+/// (the style used throughout this workspace).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $(map.insert(::std::string::String::from($key), $crate::to_value(&$val));)*
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![$($crate::to_value(&$elem)),*])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let inner = json!({ "a": 1u64 });
+        let v = json!({
+            "s": "text",
+            "n": 2.5f64,
+            "b": true,
+            "nested": inner,
+            "list": vec![json!(1u64), json!(2u64)],
+        });
+        assert_eq!(
+            v.to_string(),
+            "{\"b\":true,\"list\":[1,2],\"n\":2.5,\"nested\":{\"a\":1},\"s\":\"text\"}"
+        );
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1u64, 2u64]).to_string(), "[1,2]");
+        assert_eq!(json!({}).to_string(), "{}");
+    }
+
+    #[test]
+    fn from_str_into_value_and_back() {
+        let v: Value = from_str("{\"x\": [1, 2.0, \"three\"]}").unwrap();
+        assert_eq!(v.get("x").and_then(Value::as_array).unwrap().len(), 3);
+        assert_eq!(to_string(&v).unwrap(), "{\"x\":[1,2.0,\"three\"]}");
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_slice::<Value>(&[0xff, 0xfe]).is_err());
+    }
+}
