@@ -1,0 +1,18 @@
+// L004 append-mode fixture: an OpenOptions append-mode writer in a file
+// that never fsyncs — acked appends can vanish on crash. `Vec::append`
+// and `wal.append(record)` (no OpenOptions chain nearby) stay exempt.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+
+pub fn open_log(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    OpenOptions::new().create(true).append(true).open(path)
+}
+
+pub fn log_line(f: &mut std::fs::File, line: &str) -> std::io::Result<()> {
+    f.write_all(line.as_bytes())
+}
+
+pub fn merge(dst: &mut Vec<u64>, src: &mut Vec<u64>) {
+    dst.append(src);
+}

@@ -83,8 +83,9 @@ pub fn registry() -> &'static [LintDef] {
         LintDef {
             id: "L004",
             name: "fsync-discipline",
-            invariant: "File::create + rename (atomic replace) requires an fsync before the rename",
-            origin: "PR 2 (durable atomic checkpoints)",
+            invariant: "atomic replace needs an fsync before the rename; append-mode \
+                        writers (WALs) need an fsync somewhere in the file",
+            origin: "PR 2 (durable atomic checkpoints) + PR 7 (WAL group commit)",
             run: l004_fsync_discipline,
             scope: config::L004_SCOPE,
         },
@@ -331,8 +332,40 @@ fn l003_determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 /// is doing the tmp-then-rename dance; every `rename` must be preceded (in
 /// the file) by an `fsync` (`sync_all`/`sync_data`), otherwise a crash can
 /// publish a name pointing at unflushed bytes.
+///
+/// Append-mode durability (PR 7 WAL discipline): a file that opens a file
+/// with `OpenOptions ... .append(true)` is a log-shaped writer; if the file
+/// never fsyncs, every acked append can be lost on crash. The
+/// `OpenOptions` lookback keeps `Vec::append`/`wal.append` out of scope.
 fn l004_fsync_discipline(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     let ts = &file.tokens;
+    let any_sync = (0..ts.len()).any(|i| {
+        !file.in_test_code(i) && (ts[i].tok.is_ident("sync_all") || ts[i].tok.is_ident("sync_data"))
+    });
+    if !any_sync {
+        for i in 0..ts.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            let is_append = match_at(ts, i, &[Pat::P('.'), Pat::I("append"), Pat::P('(')])
+                && ts[..i]
+                    .iter()
+                    .rev()
+                    .take(24)
+                    .any(|t| t.tok.is_ident("OpenOptions"));
+            if is_append {
+                out.push(Diagnostic::new(
+                    "L004",
+                    file,
+                    &ts[i + 1],
+                    "append-mode file writer in a file with no fsync — a write-ahead \
+                     log that never calls sync_all()/sync_data() can lose every acked \
+                     append on crash (PR 7 WAL discipline)"
+                        .into(),
+                ));
+            }
+        }
+    }
     let creates = (0..ts.len()).any(|i| {
         !file.in_test_code(i)
             && (match_at(

@@ -49,6 +49,11 @@ const FIXTURES: &[Fixture] = &[
         expected: include_str!("../fixtures/l004_fsync_discipline.expected"),
     },
     Fixture {
+        name: "l004_wal_append",
+        source: include_str!("../fixtures/l004_wal_append.rs"),
+        expected: include_str!("../fixtures/l004_wal_append.expected"),
+    },
+    Fixture {
         name: "l005_lock_hygiene",
         source: include_str!("../fixtures/l005_lock_hygiene.rs"),
         expected: include_str!("../fixtures/l005_lock_hygiene.expected"),

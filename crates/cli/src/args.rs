@@ -24,7 +24,9 @@ commands:
                                                         --deadline-ms, --max-deadline-ms,
                                                         --write-timeout-ms, --brownout-ms,
                                                         --shed-ms, --brownout-k,
-                                                        --max-inflight)
+                                                        --max-inflight, --wal-dir,
+                                                        --wal-compact-every,
+                                                        --no-durability)
   loadgen    open-loop load harness for serve          (--rps, --duration-ms,
                                                         --arrival, --predict-pct,
                                                         --req-deadline-ms, --workers,
@@ -80,6 +82,13 @@ flags:
                                                         [default 250]
   --brownout-k N    effective top-k cap in Brownout     [default 3]
   --max-inflight N  concurrent in-flight /predict cap   [default 256]
+  --wal-dir DIR     durable-ingest WAL + snapshot directory; every acked
+                    /ingest is fsynced and replayed on restart
+                                                        [default logcl-wal]
+  --wal-compact-every N
+                    snapshot-compact the WAL after N logged ingests
+                    (0 = never compact)                 [default 64]
+  --no-durability   disable the ingest WAL (accepted facts are lost on crash)
   --rps F           loadgen offered rate, requests/s    [default 50]
   --duration-ms MS  loadgen trace length                [default 3000]
   --arrival A       constant | poisson | burst[:PERIOD_MS:DUTY_PCT:PEAK_MULT]
@@ -152,6 +161,12 @@ pub struct CliOptions {
     pub brownout_k: usize,
     /// Concurrent in-flight `/predict` cap.
     pub max_inflight: usize,
+    /// Durable-ingest WAL + snapshot directory for `serve`.
+    pub wal_dir: String,
+    /// Snapshot-compact the WAL after this many logged ingests (0 = never).
+    pub wal_compact_every: u64,
+    /// Disable the ingest WAL entirely.
+    pub no_durability: bool,
     /// Loadgen offered rate, requests/second.
     pub rps: f64,
     /// Loadgen trace length (ms).
@@ -226,6 +241,9 @@ impl Default for CliOptions {
             shed_ms: 250,
             brownout_k: 3,
             max_inflight: 256,
+            wal_dir: "logcl-wal".into(),
+            wal_compact_every: 64,
+            no_durability: false,
             rps: 50.0,
             duration_ms: 3_000,
             arrival: "poisson".into(),
@@ -295,6 +313,9 @@ impl CliOptions {
                 "--shed-ms" => o.shed_ms = num(&value("--shed-ms")?)?,
                 "--brownout-k" => o.brownout_k = num(&value("--brownout-k")?)?,
                 "--max-inflight" => o.max_inflight = num(&value("--max-inflight")?)?,
+                "--wal-dir" => o.wal_dir = value("--wal-dir")?,
+                "--wal-compact-every" => o.wal_compact_every = num(&value("--wal-compact-every")?)?,
+                "--no-durability" => o.no_durability = true,
                 "--rps" => o.rps = num(&value("--rps")?)?,
                 "--duration-ms" => o.duration_ms = num(&value("--duration-ms")?)?,
                 "--arrival" => o.arrival = value("--arrival")?.to_lowercase(),
@@ -424,6 +445,23 @@ mod tests {
         assert_eq!(o.shed_ms, 200);
         assert_eq!(o.brownout_k, 2);
         assert_eq!(o.max_inflight, 128);
+    }
+
+    #[test]
+    fn parses_durability_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--wal-dir",
+            "/tmp/wal",
+            "--wal-compact-every",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(o.wal_dir, "/tmp/wal");
+        assert_eq!(o.wal_compact_every, 16);
+        assert!(!o.no_durability);
+        let o = CliOptions::parse(&strs(&["--no-durability"])).unwrap();
+        assert!(o.no_durability);
+        assert_eq!(o.wal_dir, "logcl-wal");
     }
 
     #[test]

@@ -369,9 +369,23 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
         shed_sojourn: std::time::Duration::from_millis(opts.shed_ms),
         brownout_k_cap: opts.brownout_k,
         max_inflight_predict: opts.max_inflight,
+        wal_dir: if opts.no_durability {
+            None
+        } else {
+            Some(std::path::PathBuf::from(&opts.wal_dir))
+        },
+        wal_compact_every: opts.wal_compact_every,
         ..ServeConfig::default()
     };
     let server = Server::start(serve_cfg, ds, vec![spec]).map_err(|e| e.to_string())?;
+    if opts.no_durability {
+        println!("durability disabled (--no-durability): ingests are lost on crash");
+    } else {
+        println!(
+            "durable ingest: WAL + snapshots in {} (compact every {})",
+            opts.wal_dir, opts.wal_compact_every
+        );
+    }
     println!("listening on http://{}", server.addr());
     println!("  GET  /healthz   liveness + current horizon");
     println!("  GET  /metrics   Prometheus text format");
@@ -511,7 +525,7 @@ pub fn loadgen(opts: &CliOptions) -> Result<(), String> {
     bench.write(&opts.bench_out).map_err(|e| e.to_string())?;
     println!(
         "wrote {}: goodput {:.1}% ({} ok, {} degraded, {} shed, {} deadline), \
-         p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms",
+         p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms, conn reuse {:.1}%",
         opts.bench_out,
         bench.goodput_rate * 100.0,
         bench.outcomes.ok,
@@ -520,7 +534,8 @@ pub fn loadgen(opts: &CliOptions) -> Result<(), String> {
         bench.outcomes.deadline_504,
         bench.latency_ms.p50,
         bench.latency_ms.p99,
-        bench.latency_ms.p999
+        bench.latency_ms.p999,
+        bench.connection_reuse_rate * 100.0
     );
 
     if let Some(server) = server {

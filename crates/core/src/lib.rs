@@ -23,6 +23,7 @@ pub mod global_encoder;
 pub mod local_encoder;
 pub mod model;
 pub mod predict;
+pub mod serving_snapshot;
 pub mod static_graph;
 pub mod trainer;
 
@@ -32,4 +33,5 @@ pub use config::{ContrastStrategy, LogClConfig};
 pub use diagnostics::{evaluate_detailed, DetailedReport};
 pub use model::LogCl;
 pub use predict::{predict_topk, topk_from_scores, validate_query, PredictError, Prediction};
+pub use serving_snapshot::{DedupEntry, ModelParamSnapshot, ServingSnapshot};
 pub use trainer::{evaluate_online, TrainReport};

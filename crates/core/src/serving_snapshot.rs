@@ -1,0 +1,172 @@
+//! Compaction snapshots for the serving stack's durable-ingest path.
+//!
+//! A [`ServingSnapshot`] is the single-file checkpoint a server writes when
+//! it compacts its write-ahead log: the accumulated [`DatasetExtension`]
+//! (ingested facts + advanced horizon), the parameters of every registered
+//! model (online fine-tuning mutates them, so they are part of the durable
+//! state), and the idempotency dedup window (so a retried ingest id is
+//! still recognised after the WAL frames that carried it are truncated).
+//!
+//! The file reuses the PR 2 durable-container discipline end to end: a
+//! CRC32-checksummed `LGCL` container written atomically (sibling tmp file,
+//! fsync, rename, directory fsync) via
+//! [`logcl_tensor::serialize::save_json_durable`]. A crash at any point
+//! leaves either the previous snapshot or the complete new one — never a
+//! torn file — which is what makes "write snapshot, then truncate WAL" a
+//! safe two-step compaction.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use logcl_tensor::serialize::{load_json_durable, save_json_durable, Checkpoint, CheckpointError};
+use logcl_tkg::extension::DatasetExtension;
+
+/// Container-internal format version of [`ServingSnapshot`].
+pub const SERVING_SNAPSHOT_VERSION: u32 = 1;
+
+/// One model's parameters inside a snapshot, keyed by its registry name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelParamSnapshot {
+    /// Registry key of the model.
+    pub name: String,
+    /// Full parameter checkpoint (with metadata for validation on restore).
+    pub checkpoint: Checkpoint,
+}
+
+/// One remembered ingest id and the outcome originally acknowledged for it,
+/// preserved across compaction so a duplicate retry replays the answer
+/// instead of the work.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DedupEntry {
+    /// The client-supplied `X-LogCL-Ingest-Id`.
+    pub id: String,
+    /// Facts appended by the original request.
+    pub appended: usize,
+    /// Cached encodings invalidated by the original request.
+    pub invalidated: usize,
+    /// Whether the original request ran an online adaptation step.
+    pub updated: bool,
+    /// The dataset horizon after the original request.
+    pub horizon: usize,
+}
+
+/// Everything a restarted server needs to reconstruct its post-ingest
+/// state without replaying the (now truncated) WAL prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServingSnapshot {
+    /// Format version ([`SERVING_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The ingestion delta over the base dataset.
+    pub extension: DatasetExtension,
+    /// Parameters of every registered model at compaction time.
+    pub models: Vec<ModelParamSnapshot>,
+    /// The idempotency window at compaction time, oldest first.
+    pub dedup: Vec<DedupEntry>,
+    /// Total ingests applied up to this snapshot (monotone across
+    /// compactions; metrics/debugging only).
+    pub applied_ingests: u64,
+}
+
+impl ServingSnapshot {
+    /// Writes the snapshot durably and atomically to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        save_json_durable(self, path)
+    }
+
+    /// Reads and validates a snapshot from `path`. Corruption (bad CRC,
+    /// truncation, unparseable payload) and unknown future versions are
+    /// typed errors — never a fail-open empty snapshot.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let snap: ServingSnapshot = load_json_durable(&path)?;
+        if snap.version != SERVING_SNAPSHOT_VERSION {
+            return Err(CheckpointError::Corrupt(format!(
+                "serving snapshot version {} is not supported (expected {})",
+                snap.version, SERVING_SNAPSHOT_VERSION
+            )));
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LogClConfig;
+    use crate::model::LogCl;
+    use logcl_tensor::serialize::snapshot_with_meta;
+    use logcl_tkg::quad::Quad;
+    use logcl_tkg::SyntheticPreset;
+
+    fn sample() -> ServingSnapshot {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.1);
+        let cfg = LogClConfig {
+            dim: 8,
+            time_bank: 4,
+            channels: 4,
+            m: 2,
+            ..Default::default()
+        };
+        let model = LogCl::new(&ds, cfg.clone());
+        ServingSnapshot {
+            version: SERVING_SNAPSHOT_VERSION,
+            extension: DatasetExtension {
+                base_test_len: ds.test.len(),
+                num_times: ds.num_times + 1,
+                quads: vec![Quad::new(0, 0, 1, ds.num_times)],
+            },
+            models: vec![ModelParamSnapshot {
+                name: "default".into(),
+                checkpoint: snapshot_with_meta(&model.params, "LogCL", &cfg.fingerprint()),
+            }],
+            dedup: vec![DedupEntry {
+                id: "req-1".into(),
+                appended: 1,
+                invalidated: 0,
+                updated: false,
+                horizon: ds.num_times + 1,
+            }],
+            applied_ingests: 1,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_durably() {
+        let dir = std::env::temp_dir().join(format!("logcl-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.ckpt");
+        let snap = sample();
+        snap.save(&path).unwrap();
+        let back = ServingSnapshot::load(&path).unwrap();
+        assert_eq!(back.version, SERVING_SNAPSHOT_VERSION);
+        assert_eq!(back.extension, snap.extension);
+        assert_eq!(back.dedup, snap.dedup);
+        assert_eq!(back.models.len(), 1);
+        assert_eq!(back.models[0].name, "default");
+        assert_eq!(back.applied_ingests, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_and_future_version_snapshots_are_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("logcl-snap-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.ckpt");
+        let mut snap = sample();
+        snap.save(&path).unwrap();
+
+        // Bit-flip inside the container: CRC must catch it.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ServingSnapshot::load(&path).is_err());
+
+        // A future version must be refused, not silently misread.
+        snap.version = SERVING_SNAPSHOT_VERSION + 1;
+        snap.save(&path).unwrap();
+        let err = ServingSnapshot::load(&path).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -151,6 +151,7 @@ mod tests {
             scheduled: 100,
             completed: 100,
             goodput_rate: goodput,
+            connection_reuse_rate: 0.0,
             outcomes: OutcomeCounts {
                 ok: 100,
                 degraded: 0,

@@ -1,16 +1,18 @@
 //! The `BENCH_serve.json` document: a stable, versioned rendering of one
 //! load-harness run, fit both for eyeballs and for the perf ratchet.
 //!
-//! Schema (version 1):
+//! Schema (version 2; version-1 documents — without `connection_reuse_rate`
+//! — still validate, so committed baselines keep working across the bump):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "bench": "serve",
 //!   "seed": 7, "rps": 200.0, "duration_ms": 3000,
 //!   "arrival": "poisson", "predict_percent": 90,
 //!   "schedule_fingerprint": "a1b2c3d4e5f60718",
 //!   "scheduled": 600, "completed": 600,
+//!   "connection_reuse_rate": 0.97,
 //!   "outcomes": { "ok": .., "degraded": .., "shed_503": .., ... },
 //!   "tiers": { "none": .., "brownout": .., "shed": .. },
 //!   "latency_ms": { "p50": .., "p90": .., "p99": .., "p999": .., "max": .., "mean": .. },
@@ -31,7 +33,11 @@ use crate::schedule::TraceConfig;
 use crate::LoadgenError;
 
 /// Current `BENCH_serve.json` schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version still accepted by [`BenchReport::validate`]
+/// (committed baselines are not regenerated on every schema bump).
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Latency quantiles in milliseconds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -149,6 +155,10 @@ pub struct BenchReport {
     pub completed: u64,
     /// Share of scheduled requests answered 200, in `[0, 1]`.
     pub goodput_rate: f64,
+    /// Share of completed requests served over a reused keep-alive
+    /// connection, in `[0, 1]` (schema ≥ 2; defaults to 0 for v1 docs).
+    #[serde(default)]
+    pub connection_reuse_rate: f64,
     /// Outcome breakdown.
     pub outcomes: OutcomeCounts,
     /// Responses per degradation tier.
@@ -180,6 +190,7 @@ impl BenchReport {
             scheduled: stats.scheduled,
             completed: stats.completed,
             goodput_rate: stats.goodput_rate(),
+            connection_reuse_rate: stats.connection_reuse_rate(),
             outcomes: OutcomeCounts {
                 ok: stats.ok,
                 degraded: stats.degraded,
@@ -211,11 +222,14 @@ impl BenchReport {
             .map_err(|e| LoadgenError::Schema(format!("serialize error: {e}")))
     }
 
-    /// Checks the internal consistency rules of schema version 1.
+    /// Checks the internal consistency rules of the schema. Any version in
+    /// `MIN_SCHEMA_VERSION..=SCHEMA_VERSION` is accepted — older committed
+    /// baselines validate under the rules of their own version (fields
+    /// added later default and are not range-checked against v1 docs).
     pub fn validate(&self) -> Result<(), LoadgenError> {
-        if self.schema_version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&self.schema_version) {
             return Err(LoadgenError::Schema(format!(
-                "unsupported schema_version {} (expected {SCHEMA_VERSION})",
+                "unsupported schema_version {} (accepted: {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})",
                 self.schema_version
             )));
         }
@@ -252,6 +266,12 @@ impl BenchReport {
             return Err(LoadgenError::Schema(format!(
                 "goodput_rate {} outside [0, 1]",
                 self.goodput_rate
+            )));
+        }
+        if self.schema_version >= 2 && !(0.0..=1.0).contains(&self.connection_reuse_rate) {
+            return Err(LoadgenError::Schema(format!(
+                "connection_reuse_rate {} outside [0, 1]",
+                self.connection_reuse_rate
             )));
         }
         self.latency_ms.check_ordered("latency_ms")?;

@@ -3,8 +3,10 @@
 //! The dispatcher walks the schedule on its own thread, sleeping to each
 //! request's offset and handing the rendered request to a worker pool — it
 //! never waits for a response, so a slow server cannot throttle the offered
-//! load (the coordinated-omission trap). Each request is one HTTP/1.1
-//! connection, mirroring the server's `Connection: close` model.
+//! load (the coordinated-omission trap). Each worker holds one persistent
+//! HTTP/1.1 keep-alive connection and reuses it across requests
+//! (reconnecting lazily when the server closes it), matching how real
+//! clients amortise connection setup; the reuse rate is reported.
 //!
 //! Two latencies are recorded per good response:
 //!
@@ -80,6 +82,7 @@ struct Sample {
     kind: OutcomeKind,
     tier: Option<String>,
     retry_after_missing: bool,
+    reused_connection: bool,
 }
 
 /// Aggregated results of one replay.
@@ -103,6 +106,8 @@ pub struct RunStats {
     pub transport_errors: u64,
     /// 503/504 responses missing the mandatory `Retry-After` header.
     pub retry_after_missing: u64,
+    /// Requests served over an already-open keep-alive connection.
+    pub reused_connections: u64,
     /// Responses per degradation tier (`X-LogCL-Degradation` header).
     pub tiers: BTreeMap<String, u64>,
     /// End-to-end latency of good (200) responses, µs from scheduled time.
@@ -124,6 +129,7 @@ impl RunStats {
             http_errors: 0,
             transport_errors: 0,
             retry_after_missing: 0,
+            reused_connections: 0,
             tiers: BTreeMap::new(),
             latency: LogHistogram::new(),
             service_latency: LogHistogram::new(),
@@ -138,6 +144,15 @@ impl RunStats {
         (self.ok + self.degraded) as f64 / self.scheduled as f64
     }
 
+    /// Share of completed requests that reused an open keep-alive
+    /// connection, in `[0, 1]`.
+    pub fn connection_reuse_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.reused_connections as f64 / self.completed as f64
+    }
+
     fn absorb(&mut self, s: Sample) {
         self.completed += 1;
         match s.kind {
@@ -150,6 +165,9 @@ impl RunStats {
         }
         if s.retry_after_missing {
             self.retry_after_missing += 1;
+        }
+        if s.reused_connection {
+            self.reused_connections += 1;
         }
         if let Some(tier) = s.tier {
             *self.tiers.entry(tier).or_insert(0) += 1;
@@ -216,12 +234,17 @@ pub fn run(schedule: &[PlannedRequest], cfg: &RunConfig) -> Result<RunStats, Loa
     for _ in 0..cfg.workers.max(1) {
         let rx = Arc::clone(&job_rx);
         let tx = sample_tx.clone();
-        workers.push(std::thread::spawn(move || loop {
-            let job = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
-            let Ok(job) = job else { break };
-            let sample = execute(addr, io_timeout, &job, clock);
-            if tx.send(sample).is_err() {
-                break;
+        workers.push(std::thread::spawn(move || {
+            // One persistent keep-alive connection per worker, reconnected
+            // lazily when the server closes it.
+            let mut conn = Conn::new(addr, io_timeout);
+            loop {
+                let job = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                let Ok(job) = job else { break };
+                let sample = execute(&mut conn, &job, clock);
+                if tx.send(sample).is_err() {
+                    break;
+                }
             }
         }));
     }
@@ -298,9 +321,9 @@ fn resolve(addr: &str) -> Result<SocketAddr, LoadgenError> {
 
 /// Issues one request and classifies the response; never fails — transport
 /// errors become [`OutcomeKind::Transport`] samples.
-fn execute(addr: SocketAddr, io_timeout: Duration, job: &Job, clock: Clock) -> Sample {
+fn execute(conn: &mut Conn, job: &Job, clock: Clock) -> Sample {
     let sent_micros = clock.elapsed_micros();
-    let parsed = roundtrip(addr, io_timeout, job);
+    let (parsed, reused_connection) = conn.roundtrip(job);
     let done_micros = clock.elapsed_micros();
     match parsed {
         Ok(resp) => {
@@ -319,6 +342,7 @@ fn execute(addr: SocketAddr, io_timeout: Duration, job: &Job, clock: Clock) -> S
                 kind,
                 tier: resp.tier,
                 retry_after_missing,
+                reused_connection,
             }
         }
         Err(_) => Sample {
@@ -328,6 +352,7 @@ fn execute(addr: SocketAddr, io_timeout: Duration, job: &Job, clock: Clock) -> S
             kind: OutcomeKind::Transport,
             tier: None,
             retry_after_missing: false,
+            reused_connection,
         },
     }
 }
@@ -337,30 +362,140 @@ struct RawResponse {
     degraded: bool,
     tier: Option<String>,
     retry_after_present: bool,
+    connection_close: bool,
 }
 
-/// One request over one fresh connection (the server closes after
-/// responding, so `read_to_end` delimits the response).
-fn roundtrip(addr: SocketAddr, io_timeout: Duration, job: &Job) -> std::io::Result<RawResponse> {
-    let mut stream = TcpStream::connect_timeout(&addr, io_timeout)?;
-    stream.set_read_timeout(Some(io_timeout))?;
-    stream.set_write_timeout(Some(io_timeout))?;
-    let mut head = format!(
-        "POST {} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
-        job.path,
-        job.body.len()
-    );
-    if let Some(d) = job.deadline_ms {
-        head.push_str(&format!("X-LogCL-Deadline-Ms: {d}\r\n"));
+/// A worker's persistent keep-alive connection, reconnected lazily.
+struct Conn {
+    addr: SocketAddr,
+    io_timeout: Duration,
+    stream: Option<TcpStream>,
+}
+
+impl Conn {
+    fn new(addr: SocketAddr, io_timeout: Duration) -> Self {
+        Conn {
+            addr,
+            io_timeout,
+            stream: None,
+        }
     }
-    head.push_str("Connection: close\r\n\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(job.body.as_bytes())?;
+
+    /// Issues one request, reusing the open connection when there is one.
+    /// Returns the outcome and whether the *answering* exchange ran over a
+    /// reused connection. A failure on a reused socket gets one retry on a
+    /// fresh connection — the server may have closed the idle socket
+    /// between requests, which is normal keep-alive lifecycle, not an error
+    /// worth a Transport sample.
+    fn roundtrip(&mut self, job: &Job) -> (std::io::Result<RawResponse>, bool) {
+        let reused = self.stream.is_some();
+        match self.try_roundtrip(job) {
+            Ok(resp) => (Ok(resp), reused),
+            Err(_) if reused => {
+                self.stream = None;
+                (self.try_roundtrip(job), false)
+            }
+            Err(e) => {
+                self.stream = None;
+                (Err(e), false)
+            }
+        }
+    }
+
+    fn try_roundtrip(&mut self, job: &Job) -> std::io::Result<RawResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.io_timeout)?;
+            stream.set_read_timeout(Some(self.io_timeout))?;
+            stream.set_write_timeout(Some(self.io_timeout))?;
+            // Head and body go out in separate writes on a long-lived
+            // socket: without TCP_NODELAY the Nagle/delayed-ACK interaction
+            // stalls every reused request by ~40ms.
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        let result = match self.stream.as_mut() {
+            Some(stream) => {
+                let mut head = format!(
+                    "POST {} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+                    job.path,
+                    job.body.len()
+                );
+                if let Some(d) = job.deadline_ms {
+                    head.push_str(&format!("X-LogCL-Deadline-Ms: {d}\r\n"));
+                }
+                head.push_str("\r\n");
+                stream
+                    .write_all(head.as_bytes())
+                    .and_then(|()| stream.write_all(job.body.as_bytes()))
+                    .and_then(|()| read_one_response(stream))
+                    .and_then(|buf| {
+                        parse_response(&buf).ok_or_else(|| {
+                            std::io::Error::new(
+                                std::io::ErrorKind::InvalidData,
+                                "malformed HTTP response",
+                            )
+                        })
+                    })
+            }
+            None => Err(std::io::Error::other("connection unexpectedly absent")),
+        };
+        match &result {
+            Ok(resp) if !resp.connection_close => {}
+            // Any error, or an advertised close: the socket is done.
+            _ => self.stream = None,
+        }
+        result
+    }
+}
+
+/// Reads exactly one `Content-Length`-delimited response off a keep-alive
+/// stream (the connection stays open, so EOF cannot delimit it).
+fn read_one_response(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut buf = Vec::new();
-    stream.read_to_end(&mut buf)?;
-    parse_response(&buf).ok_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
-    })
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(buf.get(..head_end).unwrap_or_default()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response head")
+    })?;
+    let content_length: usize = head
+        .split("\r\n")
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response without Content-Length",
+            )
+        })?;
+    let total = head_end + content_length;
+    while buf.len() < total {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    buf.truncate(total);
+    Ok(buf)
 }
 
 /// Minimal HTTP/1.1 response parse: status code, the two headers the
@@ -373,6 +508,7 @@ fn parse_response(buf: &[u8]) -> Option<RawResponse> {
     let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
     let mut tier = None;
     let mut retry_after_present = false;
+    let mut connection_close = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -382,6 +518,8 @@ fn parse_response(buf: &[u8]) -> Option<RawResponse> {
             tier = Some(value.trim().to_string());
         } else if name == "retry-after" {
             retry_after_present = true;
+        } else if name == "connection" {
+            connection_close = value.trim().eq_ignore_ascii_case("close");
         }
     }
     let degraded = serde_json::from_str::<serde_json::Value>(body)
@@ -393,6 +531,7 @@ fn parse_response(buf: &[u8]) -> Option<RawResponse> {
         degraded,
         tier,
         retry_after_present,
+        connection_close,
     })
 }
 
@@ -443,17 +582,20 @@ mod tests {
 
     #[test]
     fn parse_response_extracts_status_headers_and_degraded() {
-        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-LogCL-Degradation: brownout\r\n\r\n{\"degraded\":true}";
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-LogCL-Degradation: brownout\r\nConnection: keep-alive\r\n\r\n{\"degraded\":true}";
         let r = parse_response(raw).unwrap();
         assert_eq!(r.status, 200);
         assert!(r.degraded);
         assert_eq!(r.tier.as_deref(), Some("brownout"));
         assert!(!r.retry_after_present);
+        assert!(!r.connection_close);
 
-        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n{}";
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{}";
         let r = parse_response(raw).unwrap();
         assert_eq!(r.status, 503);
         assert!(r.retry_after_present);
+        assert!(r.connection_close);
 
         assert!(parse_response(b"not http").is_none());
     }
@@ -468,6 +610,7 @@ mod tests {
             kind,
             tier: tier.map(String::from),
             retry_after_missing: missing,
+            reused_connection: matches!(kind, OutcomeKind::Ok | OutcomeKind::Degraded),
         };
         stats.absorb(sample(OutcomeKind::Ok, Some("none"), false));
         stats.absorb(sample(OutcomeKind::Degraded, Some("brownout"), false));
@@ -489,6 +632,8 @@ mod tests {
         assert_eq!(stats.service_latency.count(), 2);
         assert_eq!(stats.latency.quantile(1.0), 1_010);
         assert!((stats.goodput_rate() - 2.0 / 6.0).abs() < 1e-9);
+        assert_eq!(stats.reused_connections, 2);
+        assert!((stats.connection_reuse_rate() - 2.0 / 6.0).abs() < 1e-9);
     }
 
     #[test]

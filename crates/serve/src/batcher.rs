@@ -75,6 +75,9 @@ pub struct IngestJob {
     pub facts: Vec<(usize, usize, usize)>,
     /// Run one online adaptation step (Fig. 10) after appending.
     pub update: bool,
+    /// Client-supplied idempotency key (`X-LogCL-Ingest-Id`): a duplicate
+    /// within the dedup window replays the remembered outcome.
+    pub ingest_id: Option<String>,
     /// Absolute deadline: at or past it the job is shed (504), not applied.
     pub deadline: Instant,
     /// When the job entered the work queue.
@@ -84,7 +87,7 @@ pub struct IngestJob {
 }
 
 /// The result of an ingestion.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IngestOutcome {
     /// Facts actually appended (duplicates are dropped).
     pub appended: usize,
@@ -94,6 +97,12 @@ pub struct IngestOutcome {
     pub updated: bool,
     /// The dataset horizon `|T|` after ingestion.
     pub horizon: usize,
+    /// Whether the acknowledgement is backed by an fsynced WAL frame
+    /// (`false` when the server runs with durability disabled).
+    pub durable: bool,
+    /// Whether this was a duplicate ingest id answered from the
+    /// idempotency window (nothing was re-applied).
+    pub deduplicated: bool,
 }
 
 /// Anything the worker can be asked to do.
@@ -172,6 +181,15 @@ pub trait BatchHandler {
     fn handle_predict_group(&mut self, group: Vec<PredictJob>);
     /// Answers one ingestion.
     fn handle_ingest(&mut self, job: IngestJob);
+    /// Answers a run of consecutive ingestions drained from the queue in
+    /// one go. A durable handler applies them all and acknowledges behind a
+    /// single group-commit fsync; the default just loops
+    /// [`BatchHandler::handle_ingest`].
+    fn handle_ingest_group(&mut self, jobs: Vec<IngestJob>) {
+        for job in jobs {
+            self.handle_ingest(job);
+        }
+    }
 }
 
 /// The 504 answered to a job shed in the queue, carrying the time it spent.
@@ -257,7 +275,42 @@ pub fn run_batcher<H: BatchHandler>(
         };
         let first = match item {
             WorkItem::Ingest(job) => {
-                handler.handle_ingest(job);
+                // Coalesce the run of ingests already waiting behind this
+                // one (set-aside queue first, then whatever is sitting in
+                // the channel right now — no lingering) so a durable
+                // handler can amortise one group-commit fsync across all
+                // of them.
+                let mut ingests = vec![job];
+                'gather: while ingests.len() < opts.max_batch {
+                    match pending.pop_front() {
+                        Some(WorkItem::Ingest(next)) => {
+                            if let Some(WorkItem::Ingest(live)) =
+                                shed_if_expired(WorkItem::Ingest(next), metrics)
+                            {
+                                ingests.push(live);
+                            }
+                        }
+                        Some(other) => {
+                            pending.push_front(other);
+                            break 'gather;
+                        }
+                        None => match rx.try_recv() {
+                            Ok(item) => {
+                                overload.note_dequeued(item.enqueued_at(), Instant::now());
+                                match shed_if_expired(item, metrics) {
+                                    Some(WorkItem::Ingest(live)) => ingests.push(live),
+                                    Some(other) => {
+                                        pending.push_back(other);
+                                        break 'gather;
+                                    }
+                                    None => {}
+                                }
+                            }
+                            Err(_) => break 'gather,
+                        },
+                    }
+                }
+                handler.handle_ingest_group(ingests);
                 continue;
             }
             WorkItem::Predict(job) => job,
@@ -374,6 +427,7 @@ mod tests {
     struct Recorder {
         groups: Vec<Vec<(usize, usize, usize)>>, // (s, r, t) per job
         ingests: usize,
+        ingest_groups: Vec<usize>, // coalesced run sizes
     }
 
     impl BatchHandler for Recorder {
@@ -396,7 +450,15 @@ mod tests {
                 invalidated: 0,
                 updated: job.update,
                 horizon: job.t + 1,
+                durable: false,
+                deduplicated: false,
             }));
+        }
+        fn handle_ingest_group(&mut self, jobs: Vec<IngestJob>) {
+            self.ingest_groups.push(jobs.len());
+            for job in jobs {
+                self.handle_ingest(job);
+            }
         }
     }
 
@@ -607,6 +669,7 @@ mod tests {
             t: 9,
             facts: vec![(0, 0, 1)],
             update: false,
+            ingest_id: None,
             deadline: past,
             enqueued_at: Instant::now(),
             reply: ingest_reply,
@@ -657,6 +720,7 @@ mod tests {
             t: 9,
             facts: vec![(0, 0, 1)],
             update: false,
+            ingest_id: None,
             deadline: Instant::now() + Duration::from_secs(30),
             enqueued_at: Instant::now(),
             reply: ingest_reply,
@@ -681,5 +745,48 @@ mod tests {
         }
         ingest_rx.recv().unwrap().unwrap();
         assert_eq!(metrics.batch_size.total(), 5);
+    }
+
+    #[test]
+    fn consecutive_ingests_coalesce_into_one_group() {
+        let (tx, rx) = mpsc::sync_channel(64);
+        let mut replies = Vec::new();
+        for i in 0..3 {
+            let (reply, r) = mpsc::channel();
+            tx.send(WorkItem::Ingest(IngestJob {
+                model: "default".into(),
+                t: 9 + i,
+                facts: vec![(0, 0, 1)],
+                update: false,
+                ingest_id: None,
+                deadline: Instant::now() + Duration::from_secs(30),
+                enqueued_at: Instant::now(),
+                reply,
+            }))
+            .unwrap();
+            replies.push(r);
+        }
+        let (j, predict_rx) = job(0, 2);
+        tx.send(WorkItem::Predict(j)).unwrap();
+        drop(tx);
+        let mut rec = Recorder::default();
+        run_batcher(
+            &mut rec,
+            &rx,
+            &BatcherOptions::default(),
+            &Metrics::default(),
+            &overload(),
+        );
+        assert_eq!(
+            rec.ingest_groups,
+            vec![3],
+            "queued ingests must coalesce into one group-commit run"
+        );
+        assert_eq!(rec.ingests, 3);
+        assert_eq!(rec.groups.len(), 1, "the predict still runs on its own");
+        for r in replies {
+            r.recv().unwrap().unwrap();
+        }
+        predict_rx.recv().unwrap().unwrap();
     }
 }

@@ -6,6 +6,7 @@
 //! ([`CheckpointError`], [`TrainError`], [`std::io::Error`]) instead of
 //! flattening them into strings at the crate boundary.
 
+use crate::wal::WalError;
 use logcl_core::TrainError;
 use logcl_tensor::serialize::CheckpointError;
 
@@ -37,6 +38,21 @@ pub enum StartError {
     },
     /// The model worker thread died before reporting readiness.
     WorkerDied,
+    /// The write-ahead log could not be opened or replayed at startup.
+    Wal {
+        /// What recovery was doing (e.g. `"opening the ingest WAL"`).
+        context: String,
+        /// The underlying WAL failure.
+        source: WalError,
+    },
+    /// Recovered durable state contradicts the configured base state
+    /// (snapshot/WAL refers to unknown models, out-of-range facts, or a
+    /// changed base dataset). Fail-closed: refuse to serve rather than
+    /// silently drop acknowledged ingests.
+    Recovery {
+        /// What was inconsistent.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for StartError {
@@ -49,6 +65,10 @@ impl std::fmt::Display for StartError {
             }
             StartError::Io { context, source } => write!(f, "{context}: {source}"),
             StartError::WorkerDied => write!(f, "model worker died during startup"),
+            StartError::Wal { context, source } => write!(f, "{context}: {source}"),
+            StartError::Recovery { context } => {
+                write!(f, "durable state is inconsistent with the base: {context}")
+            }
         }
     }
 }
@@ -59,7 +79,8 @@ impl std::error::Error for StartError {
             StartError::Checkpoint { source, .. } => Some(source),
             StartError::Train { source, .. } => Some(source),
             StartError::Io { source, .. } => Some(source),
-            StartError::NoModels | StartError::WorkerDied => None,
+            StartError::Wal { source, .. } => Some(source),
+            StartError::NoModels | StartError::WorkerDied | StartError::Recovery { .. } => None,
         }
     }
 }

@@ -28,6 +28,10 @@ pub enum FaultPoint {
     QueueSaturate,
     /// The connection handler stalls before reading the request.
     SocketStall,
+    /// Appending a frame to the write-ahead log fails with an I/O error.
+    WalAppend,
+    /// The group-commit `fsync` of the write-ahead log fails.
+    WalFsync,
 }
 
 /// A seeded, fully deterministic schedule of injected faults.
@@ -50,6 +54,12 @@ pub struct FaultPlan {
     /// Connection handlers stall this long before reading the request
     /// (simulates a slow/stalled client socket holding a handler thread).
     pub socket_stall: Option<Duration>,
+    /// The Nth (0-based) WAL frame append fails with an injected I/O error
+    /// (`None` = appends never fail).
+    pub wal_append_error_at: Option<u64>,
+    /// The Nth (0-based) WAL group-commit fsync fails with an injected I/O
+    /// error (`None` = fsyncs never fail).
+    pub wal_fsync_error_at: Option<u64>,
 }
 
 struct Counters {
@@ -58,6 +68,8 @@ struct Counters {
     batcher_death: AtomicU64,
     queue_saturate: AtomicU64,
     socket_stall: AtomicU64,
+    wal_append: AtomicU64,
+    wal_fsync: AtomicU64,
 }
 
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
@@ -67,6 +79,8 @@ static FIRED: Counters = Counters {
     batcher_death: AtomicU64::new(0),
     queue_saturate: AtomicU64::new(0),
     socket_stall: AtomicU64::new(0),
+    wal_append: AtomicU64::new(0),
+    wal_fsync: AtomicU64::new(0),
 };
 
 fn counter(point: FaultPoint) -> &'static AtomicU64 {
@@ -76,6 +90,8 @@ fn counter(point: FaultPoint) -> &'static AtomicU64 {
         FaultPoint::BatcherDeath => &FIRED.batcher_death,
         FaultPoint::QueueSaturate => &FIRED.queue_saturate,
         FaultPoint::SocketStall => &FIRED.socket_stall,
+        FaultPoint::WalAppend => &FIRED.wal_append,
+        FaultPoint::WalFsync => &FIRED.wal_fsync,
     }
 }
 
@@ -93,6 +109,8 @@ pub fn install(plan: FaultPlan) {
         &FIRED.batcher_death,
         &FIRED.queue_saturate,
         &FIRED.socket_stall,
+        &FIRED.wal_append,
+        &FIRED.wal_fsync,
     ] {
         c.store(0, Ordering::Release);
     }
@@ -167,6 +185,35 @@ pub fn queue_saturated() -> bool {
             return None;
         }
         counter(FaultPoint::QueueSaturate).fetch_add(1, Ordering::AcqRel);
+        Some(())
+    })
+    .is_some()
+}
+
+/// Whether the `n`-th (0-based) WAL frame append should fail. One-shot at
+/// exactly `n`: the retry after the failed ack must be able to succeed, so
+/// chaos tests can assert exactly-once application across a durability error.
+pub fn wal_append_fails(n: u64) -> bool {
+    with_plan(|p| {
+        let at = p.wal_append_error_at?;
+        if n != at {
+            return None;
+        }
+        counter(FaultPoint::WalAppend).fetch_add(1, Ordering::AcqRel);
+        Some(())
+    })
+    .is_some()
+}
+
+/// Whether the `n`-th (0-based) WAL group-commit fsync should fail.
+/// One-shot at exactly `n`, mirroring [`wal_append_fails`].
+pub fn wal_fsync_fails(n: u64) -> bool {
+    with_plan(|p| {
+        let at = p.wal_fsync_error_at?;
+        if n != at {
+            return None;
+        }
+        counter(FaultPoint::WalFsync).fetch_add(1, Ordering::AcqRel);
         Some(())
     })
     .is_some()
@@ -258,5 +305,24 @@ mod tests {
         assert_eq!(fired(FaultPoint::BatcherDeath), 2);
         clear();
         assert!(!checkpoint_read_error() && !queue_saturated());
+    }
+
+    #[test]
+    fn wal_faults_fire_exactly_once_at_their_index() {
+        let _guard = serial();
+        install(FaultPlan {
+            wal_append_error_at: Some(1),
+            wal_fsync_error_at: Some(0),
+            ..FaultPlan::default()
+        });
+        assert!(!wal_append_fails(0));
+        assert!(wal_append_fails(1));
+        assert!(!wal_append_fails(2), "append fault is one-shot");
+        assert!(wal_fsync_fails(0));
+        assert!(!wal_fsync_fails(1), "fsync fault is one-shot");
+        assert_eq!(fired(FaultPoint::WalAppend), 1);
+        assert_eq!(fired(FaultPoint::WalFsync), 1);
+        clear();
+        assert!(!wal_append_fails(1) && !wal_fsync_fails(0));
     }
 }

@@ -1,8 +1,9 @@
 //! A deliberately small HTTP/1.1 request parser and response writer,
 //! written against `std` only (the build environment has no crates.io
-//! access, so no hyper/tokio). One request per connection
-//! (`Connection: close`), bounded header and body sizes, `GET`/`POST`
-//! only — everything a model inference endpoint needs and nothing more.
+//! access, so no hyper/tokio). Persistent connections with HTTP/1.1
+//! keep-alive semantics (`Connection: close` honoured both ways), bounded
+//! header and body sizes, `GET`/`POST` only — everything a model inference
+//! endpoint needs and nothing more.
 
 use std::io::{self, Read, Write};
 
@@ -22,6 +23,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this one
+    /// (HTTP/1.1 default, overridden by a `Connection` header either way).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -163,11 +167,18 @@ pub fn read_request_limited(r: &mut impl Read, max_body: usize) -> Result<Reques
         headers.push((name.trim().to_string(), value.trim().to_string()));
     }
 
+    let http11 = version.eq_ignore_ascii_case("HTTP/1.1");
     let mut req = Request {
         method,
         path,
         headers,
         body: Vec::new(),
+        keep_alive: http11,
+    };
+    req.keep_alive = match req.header("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => http11,
     };
     let content_length = match req.header("content-length") {
         Some(v) => v
@@ -260,15 +271,18 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-/// Writes `resp` to `w` with `Connection: close` semantics.
-pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+/// Writes `resp` to `w`, advertising `Connection: keep-alive` or
+/// `Connection: close` — the caller decides whether the connection
+/// survives this exchange.
+pub fn write_response(w: &mut impl Write, resp: &Response, keep_alive: bool) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         resp.status,
         status_text(resp.status),
         resp.content_type,
-        resp.body.len()
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     )?;
     for (name, value) in &resp.headers {
         write!(w, "{name}: {value}\r\n")?;
@@ -398,13 +412,41 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_follows_http11_defaults_and_connection_header() {
+        let req = read_request(&mut Cursor::new(b"GET / HTTP/1.1\r\n\r\n".to_vec())).unwrap();
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let req = read_request(&mut Cursor::new(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n".to_vec(),
+        ))
+        .unwrap();
+        assert!(!req.keep_alive, "Connection: close overrides the default");
+        let req = read_request(&mut Cursor::new(b"GET / HTTP/1.0\r\n\r\n".to_vec())).unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = read_request(&mut Cursor::new(
+            b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n".to_vec(),
+        ))
+        .unwrap();
+        assert!(req.keep_alive, "explicit Keep-Alive opts in");
+    }
+
+    #[test]
     fn response_writer_emits_well_formed_http() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::json(200, "{\"ok\":true}".into())).unwrap();
+        write_response(
+            &mut out,
+            &Response::json(200, "{\"ok\":true}".into()),
+            false,
+        )
+        .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
         assert!(s.contains("Content-Length: 11\r\n"), "{s}");
+        assert!(s.contains("Connection: close\r\n"), "{s}");
         assert!(s.ends_with("{\"ok\":true}"), "{s}");
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"ok\":true}".into()), true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Connection: keep-alive\r\n"), "{s}");
     }
 
     #[test]
@@ -413,7 +455,7 @@ mod tests {
             .with_header("Retry-After", "1")
             .with_header("X-LogCL-Degradation", "shed");
         let mut out = Vec::new();
-        write_response(&mut out, &resp).unwrap();
+        write_response(&mut out, &resp, false).unwrap();
         let s = String::from_utf8(out).unwrap();
         let (head, body) = s.split_once("\r\n\r\n").expect("head/body split");
         assert!(head.contains("\r\nRetry-After: 1"), "{head}");

@@ -15,6 +15,8 @@
 //! * [`server`] — the thread-pool, routing, and graceful shutdown glue.
 //! * [`shed`] — overload resilience: deadline-aware shedding and the
 //!   Normal → Brownout → Shed degradation state machine.
+//! * [`wal`] — the durable-ingest write-ahead log: CRC32-framed records,
+//!   group-commit fsync, torn-tail truncation on replay.
 //!
 //! Under the `fault-inject` cargo feature (tests only — lint L008 proves it
 //! never reaches a default build) the `fault` module adds deterministic
@@ -33,6 +35,7 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod shed;
+pub mod wal;
 
 pub use batcher::{BatcherOptions, ServeError};
 pub use cache::EncodingCache;
@@ -41,3 +44,4 @@ pub use metrics::Metrics;
 pub use registry::{ModelSpec, Registry};
 pub use server::{ServeConfig, Server, ShutdownHandle};
 pub use shed::{OverloadPolicy, OverloadState, Tier};
+pub use wal::{Wal, WalError, WalRecord};

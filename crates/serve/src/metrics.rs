@@ -146,6 +146,27 @@ pub struct Metrics {
     pub compute_utilisation: Histogram,
     /// Kernel-pool busy time attributed to predict batches, in microseconds.
     pub kernel_busy_micros: AtomicU64,
+    /// Frames appended to the ingest write-ahead log.
+    pub wal_appended_frames: AtomicU64,
+    /// Group-commit fsyncs of the write-ahead log (each may cover several
+    /// appended frames; the ratio to appended frames is the amortisation).
+    pub wal_fsyncs: AtomicU64,
+    /// Intact frames replayed from the log at startup.
+    pub wal_replayed_frames: AtomicU64,
+    /// Torn-tail bytes truncated off the log at startup.
+    pub wal_truncated_bytes: AtomicU64,
+    /// Facts restored at startup from snapshot + WAL replay combined.
+    pub wal_recovered_facts: AtomicU64,
+    /// Compactions: snapshot written, then the log truncated.
+    pub wal_compactions: AtomicU64,
+    /// WAL append/fsync/compaction failures (the ingest was answered 500
+    /// and must be retried; nothing was acknowledged).
+    pub wal_errors: AtomicU64,
+    /// Ingests answered from the idempotency window (duplicate
+    /// `X-LogCL-Ingest-Id`; the remembered outcome was replayed).
+    pub ingest_dedup_hits: AtomicU64,
+    /// Ingests acknowledged only after their WAL frame was fsynced.
+    pub durable_acks: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -177,6 +198,15 @@ impl Default for Metrics {
             queue_sojourn: Histogram::new(&LATENCY_BUCKETS),
             compute_utilisation: Histogram::new(&UTIL_BUCKETS),
             kernel_busy_micros: AtomicU64::new(0),
+            wal_appended_frames: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            wal_replayed_frames: AtomicU64::new(0),
+            wal_truncated_bytes: AtomicU64::new(0),
+            wal_recovered_facts: AtomicU64::new(0),
+            wal_compactions: AtomicU64::new(0),
+            wal_errors: AtomicU64::new(0),
+            ingest_dedup_hits: AtomicU64::new(0),
+            durable_acks: AtomicU64::new(0),
         }
     }
 }
@@ -324,6 +354,57 @@ impl Metrics {
             "Kernel-pool busy time attributed to predict batches (us).",
             &[("", load(&self.kernel_busy_micros))],
         );
+        counter(
+            &mut out,
+            "logcl_wal_frames_total",
+            "Write-ahead-log frame activity, by kind.",
+            &[
+                ("kind=\"appended\"", load(&self.wal_appended_frames)),
+                ("kind=\"replayed\"", load(&self.wal_replayed_frames)),
+            ],
+        );
+        counter(
+            &mut out,
+            "logcl_wal_fsyncs_total",
+            "Group-commit fsyncs of the write-ahead log.",
+            &[("", load(&self.wal_fsyncs))],
+        );
+        counter(
+            &mut out,
+            "logcl_wal_truncated_bytes_total",
+            "Torn-tail bytes truncated off the log at startup.",
+            &[("", load(&self.wal_truncated_bytes))],
+        );
+        counter(
+            &mut out,
+            "logcl_wal_recovered_facts_total",
+            "Facts restored at startup (snapshot + WAL replay).",
+            &[("", load(&self.wal_recovered_facts))],
+        );
+        counter(
+            &mut out,
+            "logcl_wal_compactions_total",
+            "Snapshot-then-truncate compactions of the write-ahead log.",
+            &[("", load(&self.wal_compactions))],
+        );
+        counter(
+            &mut out,
+            "logcl_wal_errors_total",
+            "WAL append/fsync/compaction failures (ingest answered 500).",
+            &[("", load(&self.wal_errors))],
+        );
+        counter(
+            &mut out,
+            "logcl_ingest_dedup_hits_total",
+            "Duplicate ingest ids answered from the idempotency window.",
+            &[("", load(&self.ingest_dedup_hits))],
+        );
+        counter(
+            &mut out,
+            "logcl_durable_acks_total",
+            "Ingests acknowledged after their WAL frame was fsynced.",
+            &[("", load(&self.durable_acks))],
+        );
         // Backend identity gauge: label carries the name, value the thread
         // count, following the Prometheus `_info` convention.
         let _ = writeln!(
@@ -423,6 +504,13 @@ mod tests {
             "logcl_shed_before_compute_total 0",
             "logcl_degradation_tier 0",
             "logcl_queue_sojourn_seconds_count",
+            "logcl_wal_frames_total{kind=\"appended\"} 0",
+            "logcl_wal_frames_total{kind=\"replayed\"} 0",
+            "logcl_wal_fsyncs_total 0",
+            "logcl_wal_recovered_facts_total 0",
+            "logcl_wal_compactions_total 0",
+            "logcl_ingest_dedup_hits_total 0",
+            "logcl_durable_acks_total 0",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

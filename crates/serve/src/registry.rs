@@ -5,16 +5,27 @@
 //! `Rc`-based and therefore not `Send`), so it is built *on* that thread
 //! from a [`ModelSpec`] list; startup errors are reported back through a
 //! channel before the server starts accepting traffic.
+//!
+//! With durability enabled ([`Registry::enable_durability`]) the registry
+//! also owns the ingest [`Wal`]: recovery loads the last compaction
+//! snapshot, replays the log's intact frames, and every subsequent ingest
+//! is applied → logged → group-commit fsynced → only then acknowledged.
 
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use logcl_core::model::SharedEncoding;
-use logcl_core::{trainer, EvalContext, LogCl, LogClConfig, TrainOptions};
+use logcl_core::serving_snapshot::SERVING_SNAPSHOT_VERSION;
+use logcl_core::{
+    trainer, DedupEntry, EvalContext, LogCl, LogClConfig, ModelParamSnapshot, ServingSnapshot,
+    TrainOptions,
+};
 use logcl_tensor::serialize::Checkpoint;
 use logcl_tkg::quad::Quad;
-use logcl_tkg::{HistoryIndex, Snapshot, TkgDataset};
+use logcl_tkg::{DatasetExtension, HistoryIndex, Snapshot, TkgDataset};
 
 use crate::batcher::{
     BatchHandler, IngestJob, IngestOutcome, PredictJob, PredictOutcome, ServeError,
@@ -23,6 +34,14 @@ use crate::cache::EncodingCache;
 use crate::error::StartError;
 use crate::metrics::Metrics;
 use crate::shed::{OverloadState, Tier};
+use crate::wal::{Wal, WalRecord};
+
+/// Log file name inside the durability directory.
+pub const WAL_FILE: &str = "ingest.wal";
+/// Compaction-snapshot file name inside the durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.ckpt";
+/// How many ingest ids the idempotency window remembers (oldest evicted).
+pub const DEDUP_WINDOW: usize = 1024;
 
 /// Everything needed to materialise one served model (all fields are
 /// `Send`, unlike the model itself).
@@ -50,6 +69,94 @@ struct ModelEntry {
     cache: EncodingCache<CachedEncoding>,
 }
 
+/// Insertion-ordered idempotency window: remembers the outcome acked for
+/// each recent `X-LogCL-Ingest-Id` so a retry replays the answer, not the
+/// work. Bounded at [`DEDUP_WINDOW`]; the oldest id is evicted first.
+#[derive(Default)]
+struct DedupWindow {
+    map: BTreeMap<String, IngestOutcome>,
+    order: VecDeque<String>,
+}
+
+impl DedupWindow {
+    fn get(&self, id: &str) -> Option<&IngestOutcome> {
+        self.map.get(id)
+    }
+
+    fn insert(&mut self, id: String, outcome: IngestOutcome) {
+        if self.map.insert(id.clone(), outcome).is_none() {
+            self.order.push_back(id);
+            while self.order.len() > DEDUP_WINDOW {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    fn to_entries(&self) -> Vec<DedupEntry> {
+        self.order
+            .iter()
+            .filter_map(|id| {
+                self.map.get(id).map(|o| DedupEntry {
+                    id: id.clone(),
+                    appended: o.appended,
+                    invalidated: o.invalidated,
+                    updated: o.updated,
+                    horizon: o.horizon,
+                })
+            })
+            .collect()
+    }
+
+    fn from_entries(entries: &[DedupEntry]) -> Self {
+        let mut window = DedupWindow::default();
+        for e in entries {
+            window.insert(
+                e.id.clone(),
+                IngestOutcome {
+                    appended: e.appended,
+                    invalidated: e.invalidated,
+                    updated: e.updated,
+                    horizon: e.horizon,
+                    // An entry persisted in a durable snapshot was, by
+                    // construction, durably acknowledged.
+                    durable: true,
+                    deduplicated: false,
+                },
+            );
+        }
+        window
+    }
+}
+
+/// The registry's durable-ingest state (present only when the server was
+/// started with a WAL directory).
+struct DurableState {
+    wal: Wal,
+    dir: PathBuf,
+    /// Compact (snapshot + truncate) after this many logged ingests
+    /// (`0` = never compact automatically).
+    compact_every: u64,
+    /// Frames currently in the log (reset to 0 by compaction).
+    since_compact: u64,
+}
+
+/// What startup recovery found; surfaced by [`Registry::enable_durability`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Whether a compaction snapshot was loaded.
+    pub snapshot_loaded: bool,
+    /// Facts restored from the snapshot's dataset extension.
+    pub snapshot_facts: usize,
+    /// Intact WAL frames replayed.
+    pub replayed_frames: usize,
+    /// Facts appended by WAL replay (after dedup against the snapshot).
+    pub replayed_facts: usize,
+    /// Torn-tail bytes truncated off the log.
+    pub truncated_bytes: u64,
+}
+
 /// The worker-side model store and [`BatchHandler`] implementation.
 pub struct Registry {
     ds: TkgDataset,
@@ -67,6 +174,15 @@ pub struct Registry {
     /// path; in Brownout predictions are answered with a capped top-k and
     /// (optionally) without the global encoder.
     overload: Arc<OverloadState>,
+    /// Durable-ingest state; `None` = memory-only ingestion.
+    durable: Option<DurableState>,
+    /// Idempotency window (active with or without durability).
+    dedup: DedupWindow,
+    /// Test-split length of the base dataset at build time, before any
+    /// recovery or ingestion — the anchor compaction snapshots diff against.
+    base_test_len: usize,
+    /// Ingests applied since the base (monotone across compactions).
+    applied_ingests: u64,
 }
 
 impl Registry {
@@ -124,6 +240,7 @@ impl Registry {
         }
         let snapshots = ds.snapshots();
         horizon.store(ds.num_times, Ordering::SeqCst);
+        let base_test_len = ds.test.len();
         Ok(Self {
             ds,
             snapshots,
@@ -132,6 +249,10 @@ impl Registry {
             horizon,
             fused,
             overload,
+            durable: None,
+            dedup: DedupWindow::default(),
+            base_test_len,
+            applied_ingests: 0,
         })
     }
 
@@ -310,25 +431,29 @@ impl Registry {
         }
     }
 
-    /// Appends facts at `job.t`, invalidates affected cache entries, and
-    /// optionally runs one online adaptation step (Fig. 10).
-    fn ingest(&mut self, job: IngestJob) -> Result<IngestOutcome, ServeError> {
-        let Some(idx) = self.entry_index(&job.model) else {
-            return Err(ServeError::not_found(format!(
-                "unknown model {:?}",
-                job.model
-            )));
+    /// Fail-closed admission for one ingest: resolves the model and checks
+    /// every precondition *before* anything is mutated or logged. Returns
+    /// the entry index of the target model.
+    fn validate_ingest(
+        &self,
+        model: &str,
+        t: usize,
+        facts: &[(usize, usize, usize)],
+    ) -> Result<usize, ServeError> {
+        let Some(idx) = self.entry_index(model) else {
+            return Err(ServeError::not_found(format!("unknown model {model:?}")));
         };
-        if job.facts.is_empty() {
+        if facts.is_empty() {
             return Err(ServeError::bad_request("no facts given"));
         }
-        if job.t > self.ds.num_times {
+        if t > self.ds.num_times {
             return Err(ServeError::bad_request(format!(
                 "time {} would leave a gap: horizon is {} (use t <= horizon)",
-                job.t, self.ds.num_times
+                t, self.ds.num_times
             )));
         }
-        for &(s, r, o) in &job.facts {
+        let mut seen = std::collections::BTreeSet::new();
+        for &(s, r, o) in facts {
             if s >= self.ds.num_entities || o >= self.ds.num_entities {
                 return Err(ServeError::bad_request(format!(
                     "entity out of range in fact ({s}, {r}, {o}): |E| = {}",
@@ -342,28 +467,48 @@ impl Registry {
                     self.ds.num_rels
                 )));
             }
+            if !seen.insert((s, r, o)) {
+                return Err(ServeError::bad_request(format!(
+                    "fact ({s}, {r}, {o}) appears more than once in the request body"
+                )));
+            }
         }
+        Ok(idx)
+    }
 
+    /// Applies one validated ingest: appends facts at `t`, invalidates
+    /// affected cache entries, and optionally runs one online adaptation
+    /// step (Fig. 10). Infallible after [`Registry::validate_ingest`] —
+    /// and idempotent: re-applying the same facts appends nothing and
+    /// (since `appended == 0`) skips the online step, which is what makes
+    /// WAL replay over a compaction snapshot crash-safe.
+    fn apply_ingest(
+        &mut self,
+        idx: usize,
+        t: usize,
+        facts: &[(usize, usize, usize)],
+        update: bool,
+    ) -> IngestOutcome {
         // Append new (deduplicated) facts to the test split — snapshots and
         // time-aware filtering read all splits uniformly.
         let existing: std::collections::BTreeSet<(usize, usize, usize)> = self
             .ds
             .all_quads()
             .iter()
-            .filter(|q| q.t == job.t)
+            .filter(|q| q.t == t)
             .map(|q| q.triple())
             .collect();
-        let fresh: Vec<Quad> = job
-            .facts
+        let fresh: Vec<Quad> = facts
             .iter()
             .filter(|f| !existing.contains(f))
-            .map(|&(s, r, o)| Quad::new(s, r, o, job.t))
+            .map(|&(s, r, o)| Quad::new(s, r, o, t))
             .collect();
         let appended = fresh.len();
         self.ds.test.extend_from_slice(&fresh);
-        self.ds.num_times = self.ds.num_times.max(job.t + 1);
+        self.ds.num_times = self.ds.num_times.max(t + 1);
         self.snapshots = self.ds.snapshots();
         self.horizon.store(self.ds.num_times, Ordering::SeqCst);
+        self.applied_ingests += 1;
         self.metrics
             .ingested_facts
             .fetch_add(appended as u64, Ordering::Relaxed);
@@ -372,20 +517,20 @@ impl Registry {
         // about to read) the changed snapshot.
         let mut invalidated = 0;
         for entry in &mut self.entries {
-            invalidated += entry.cache.invalidate_from(job.t);
+            invalidated += entry.cache.invalidate_from(t);
         }
 
-        let updated = job.update && appended > 0;
+        let updated = update && appended > 0;
         if updated {
             let mut history = HistoryIndex::new();
-            for snap in &self.snapshots[..job.t] {
+            for snap in &self.snapshots[..t] {
                 history.advance(snap);
             }
             let ctx = EvalContext {
                 ds: &self.ds,
                 snapshots: &self.snapshots,
                 history: &history,
-                t: job.t,
+                t,
             };
             trainer::online_step(&mut self.entries[idx].model, &ctx, &fresh);
             self.metrics.online_updates.fetch_add(1, Ordering::Relaxed);
@@ -397,12 +542,189 @@ impl Registry {
             .cache_invalidations
             .fetch_add(invalidated as u64, Ordering::Relaxed);
 
-        Ok(IngestOutcome {
+        IngestOutcome {
             appended,
             invalidated,
             updated,
             horizon: self.ds.num_times,
-        })
+            durable: false,
+            deduplicated: false,
+        }
+    }
+
+    /// Turns on durable ingestion rooted at `dir` and runs crash recovery:
+    /// load the compaction snapshot if one exists (dataset extension, model
+    /// parameters, idempotency window), then replay the WAL's intact frames
+    /// in order — a torn tail is truncated, everything else is applied
+    /// through the normal ingest path so recovery is bit-identical to
+    /// having served those requests. Fail-closed: recovered state that
+    /// contradicts the base refuses startup instead of dropping acks.
+    pub fn enable_durability(
+        &mut self,
+        dir: &Path,
+        compact_every: u64,
+    ) -> Result<RecoveryStats, StartError> {
+        let mut stats = RecoveryStats::default();
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if snap_path.exists() {
+            let snap = ServingSnapshot::load(&snap_path).map_err(|e| StartError::Checkpoint {
+                model: "<serving-snapshot>".into(),
+                source: e,
+            })?;
+            snap.extension
+                .apply(&mut self.ds)
+                .map_err(|e| StartError::Recovery {
+                    context: format!("applying the snapshot's dataset extension: {e}"),
+                })?;
+            stats.snapshot_loaded = true;
+            stats.snapshot_facts = snap.extension.quads.len();
+            for ms in &snap.models {
+                let Some(idx) = self.entry_index(&ms.name) else {
+                    return Err(StartError::Recovery {
+                        context: format!(
+                            "snapshot carries parameters for unknown model {:?}",
+                            ms.name
+                        ),
+                    });
+                };
+                let entry = &self.entries[idx];
+                ms.checkpoint
+                    .validate_meta(
+                        &entry.model.cfg.variant_name(),
+                        &entry.model.cfg.fingerprint(),
+                    )
+                    .map_err(|e| StartError::Checkpoint {
+                        model: ms.name.clone(),
+                        source: e,
+                    })?;
+                logcl_tensor::serialize::restore(&entry.model.params, &ms.checkpoint).map_err(
+                    |e| StartError::Checkpoint {
+                        model: ms.name.clone(),
+                        source: e,
+                    },
+                )?;
+            }
+            self.dedup = DedupWindow::from_entries(&snap.dedup);
+            self.applied_ingests = snap.applied_ingests;
+            self.snapshots = self.ds.snapshots();
+            self.horizon.store(self.ds.num_times, Ordering::SeqCst);
+        }
+
+        let opened = Wal::open(dir.join(WAL_FILE)).map_err(|e| StartError::Wal {
+            context: "opening the ingest write-ahead log".into(),
+            source: e,
+        })?;
+        stats.truncated_bytes = opened.truncated_bytes;
+        stats.replayed_frames = opened.records.len();
+        let frames_in_log = opened.records.len() as u64;
+        for record in opened.records {
+            // A frame whose id the window already remembers predates the
+            // snapshot (crash between snapshot write and log truncation):
+            // its effect is already restored.
+            if let Some(id) = &record.ingest_id {
+                if self.dedup.get(id).is_some() {
+                    continue;
+                }
+            }
+            let idx = self
+                .validate_ingest(&record.model, record.t, &record.facts)
+                .map_err(|e| StartError::Recovery {
+                    context: format!(
+                        "replaying a logged ingest (model {:?}, t {}): {}",
+                        record.model, record.t, e.message
+                    ),
+                })?;
+            let outcome = self.apply_ingest(idx, record.t, &record.facts, record.update);
+            stats.replayed_facts += outcome.appended;
+            if let Some(id) = record.ingest_id {
+                let mut remembered = outcome;
+                remembered.durable = true;
+                self.dedup.insert(id, remembered);
+            }
+        }
+        self.metrics
+            .wal_replayed_frames
+            .fetch_add(stats.replayed_frames as u64, Ordering::Relaxed);
+        self.metrics
+            .wal_truncated_bytes
+            .fetch_add(stats.truncated_bytes, Ordering::Relaxed);
+        self.metrics.wal_recovered_facts.fetch_add(
+            (stats.snapshot_facts + stats.replayed_facts) as u64,
+            Ordering::Relaxed,
+        );
+        self.durable = Some(DurableState {
+            wal: opened.wal,
+            dir: dir.to_path_buf(),
+            compact_every,
+            since_compact: frames_in_log,
+        });
+        Ok(stats)
+    }
+
+    /// The complete durable state right now, as a compaction snapshot.
+    fn snapshot_now(&self) -> ServingSnapshot {
+        ServingSnapshot {
+            version: SERVING_SNAPSHOT_VERSION,
+            extension: DatasetExtension::capture(&self.ds, self.base_test_len),
+            models: self
+                .entries
+                .iter()
+                .map(|e| ModelParamSnapshot {
+                    name: e.name.clone(),
+                    checkpoint: logcl_tensor::serialize::snapshot_with_meta(
+                        &e.model.params,
+                        &e.model.cfg.variant_name(),
+                        &e.model.cfg.fingerprint(),
+                    ),
+                })
+                .collect(),
+            dedup: self.dedup.to_entries(),
+            applied_ingests: self.applied_ingests,
+        }
+    }
+
+    /// Compacts when the log has accumulated `compact_every` frames: write
+    /// the snapshot (atomic tmp + fsync + rename), then truncate the log.
+    /// A crash between the two steps is safe — replaying the stale frames
+    /// over the new snapshot is a no-op (see [`Registry::apply_ingest`]).
+    /// Failures leave the previous snapshot + full log intact and are
+    /// counted, never escalated: serving continues, the log just grows.
+    fn maybe_compact(&mut self) {
+        let due = match &self.durable {
+            Some(d) => d.compact_every > 0 && d.since_compact >= d.compact_every,
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let snap = self.snapshot_now();
+        let Some(d) = &mut self.durable else {
+            return;
+        };
+        if snap.save(d.dir.join(SNAPSHOT_FILE)).is_err() {
+            self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match d.wal.reset() {
+            Ok(()) => {
+                d.since_compact = 0;
+                self.metrics.wal_compactions.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Final flush on shutdown: fsync any unsynced frames. Group commit
+    /// syncs after every ingest run, so this is a cheap safety net for the
+    /// drain path; errors are counted, not propagated (we are exiting).
+    pub fn flush_durability(&mut self) {
+        if let Some(d) = &mut self.durable {
+            if d.wal.pending() > 0 && d.wal.sync().is_err() {
+                self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -412,8 +734,109 @@ impl BatchHandler for Registry {
     }
 
     fn handle_ingest(&mut self, job: IngestJob) {
-        let reply = job.reply.clone();
-        let _ = reply.send(self.ingest(job));
+        self.handle_ingest_group(vec![job]);
+    }
+
+    /// The durable ingest path: per job — idempotency check, fail-closed
+    /// validation, in-memory apply, WAL append — then ONE group-commit
+    /// fsync for the whole run, and only after it succeeds are the jobs
+    /// acknowledged (and their ids remembered). A WAL failure answers 500
+    /// without recording the id: the state is applied in memory but not
+    /// durable, and a retry re-converges because `apply_ingest` is
+    /// idempotent.
+    fn handle_ingest_group(&mut self, jobs: Vec<IngestJob>) {
+        let mut acks = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if let Some(id) = &job.ingest_id {
+                if let Some(remembered) = self.dedup.get(id) {
+                    self.metrics
+                        .ingest_dedup_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut replayed = remembered.clone();
+                    replayed.deduplicated = true;
+                    let _ = job.reply.send(Ok(replayed));
+                    continue;
+                }
+            }
+            let idx = match self.validate_ingest(&job.model, job.t, &job.facts) {
+                Ok(idx) => idx,
+                Err(e) => {
+                    let _ = job.reply.send(Err(e));
+                    continue;
+                }
+            };
+            let outcome = self.apply_ingest(idx, job.t, &job.facts, job.update);
+            if self.durable.is_some() {
+                let record = WalRecord {
+                    model: job.model.clone(),
+                    t: job.t,
+                    facts: job.facts.clone(),
+                    update: job.update,
+                    ingest_id: job.ingest_id.clone(),
+                };
+                let appended_ok = match &mut self.durable {
+                    Some(d) => {
+                        let r = d.wal.append(&record);
+                        if r.is_ok() {
+                            d.since_compact += 1;
+                        }
+                        r
+                    }
+                    None => Ok(()),
+                };
+                if let Err(e) = appended_ok {
+                    self.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(ServeError {
+                        status: 500,
+                        message: format!(
+                            "ingest applied but not logged durably: {e}; retry is safe \
+                             (idempotent application)"
+                        ),
+                    }));
+                    continue;
+                }
+                self.metrics
+                    .wal_appended_frames
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            acks.push((job.reply, outcome, job.ingest_id));
+        }
+
+        // Group commit: one fsync covers every frame appended above.
+        if !acks.is_empty() {
+            if let Some(d) = &mut self.durable {
+                if let Err(e) = d.wal.sync() {
+                    self.metrics
+                        .wal_errors
+                        .fetch_add(acks.len() as u64, Ordering::Relaxed);
+                    let message = format!(
+                        "ingest applied but not fsynced: {e}; retry is safe \
+                         (idempotent application)"
+                    );
+                    for (reply, _, _) in acks {
+                        let _ = reply.send(Err(ServeError {
+                            status: 500,
+                            message: message.clone(),
+                        }));
+                    }
+                    return;
+                }
+                self.metrics.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let durable = self.durable.is_some();
+        for (reply, mut outcome, id) in acks {
+            outcome.durable = durable;
+            if durable {
+                self.metrics.durable_acks.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(id) = id {
+                self.dedup.insert(id, outcome.clone());
+            }
+            let _ = reply.send(Ok(outcome));
+        }
+        self.maybe_compact();
     }
 }
 

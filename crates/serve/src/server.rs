@@ -9,7 +9,9 @@
 //!   top-k entities with softmax probabilities.
 //! * `POST /ingest`   — `{"time", "facts": [[s, r, o], ...], "update"?,
 //!   "model"?}`; appends facts and (by default) runs one online adaptation
-//!   step, invalidating affected cached encodings.
+//!   step, invalidating affected cached encodings. With durability enabled
+//!   the ack means the facts are fsynced to the write-ahead log; an
+//!   `X-LogCL-Ingest-Id` header makes retries idempotent.
 //! * `POST /shutdown` — begins graceful shutdown (the SIGTERM equivalent:
 //!   pure-std processes cannot install signal handlers, so the flag is
 //!   raised over HTTP or programmatically via [`Server::shutdown_handle`]).
@@ -96,6 +98,13 @@ pub struct ServeConfig {
     pub max_inflight_ingest: usize,
     /// `Retry-After` seconds advertised on shed (503/504) responses.
     pub retry_after_secs: u64,
+    /// Directory for the durable-ingest write-ahead log and serving
+    /// snapshot; `None` disables durability (accepted ingests live only in
+    /// memory and are lost on crash).
+    pub wal_dir: Option<std::path::PathBuf>,
+    /// Snapshot-compact the WAL after this many logged ingests
+    /// (`0` = never compact; the log grows without bound).
+    pub wal_compact_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +134,8 @@ impl Default for ServeConfig {
             max_inflight_predict: 256,
             max_inflight_ingest: 32,
             retry_after_secs: 1,
+            wal_dir: None,
+            wal_compact_every: 64,
         }
     }
 }
@@ -225,11 +236,43 @@ struct HandlerCtx {
     default_deadline: Duration,
     max_deadline: Duration,
     retry_after_secs: u64,
+    demand: Arc<ConnDemand>,
 }
 
 // ---------------------------------------------------------------- thread pool
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Demand signal shared between the pool and the connection handlers.
+///
+/// A persistent connection pins a pool worker for its whole lifetime, so
+/// keep-alive is only honoured while nobody is queued behind the pool: as
+/// soon as a connection waits for a worker, in-flight handlers finish their
+/// current response with `Connection: close` and free their slot. Under
+/// light load every connection stays persistent; under contention the
+/// server degrades to one-request-per-connection instead of starving the
+/// queued peers.
+struct ConnDemand {
+    /// Connections handed to the pool but not yet picked up by a worker.
+    queued: AtomicUsize,
+    /// Set when no pool workers could be spawned and connections run inline
+    /// on the accept thread: a persistent connection there would wedge the
+    /// accept loop itself, so keep-alive is never honoured.
+    inline_only: AtomicBool,
+}
+
+impl ConnDemand {
+    fn new() -> Self {
+        Self {
+            queued: AtomicUsize::new(0),
+            inline_only: AtomicBool::new(false),
+        }
+    }
+
+    fn contended(&self) -> bool {
+        self.inline_only.load(Ordering::Relaxed) || self.queued.load(Ordering::Relaxed) > 0
+    }
+}
 
 /// A fixed-size worker pool over a shared job channel. Dropping the sender
 /// and joining drains in-flight jobs — the connection half of graceful
@@ -237,15 +280,17 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct ThreadPool {
     tx: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    demand: Arc<ConnDemand>,
 }
 
 impl ThreadPool {
-    fn new(size: usize) -> Self {
+    fn new(size: usize, demand: Arc<ConnDemand>) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let mut workers = Vec::with_capacity(size.max(1));
         for i in 0..size.max(1) {
             let rx = Arc::clone(&rx);
+            let demand = Arc::clone(&demand);
             let spawned = thread::Builder::new()
                 .name(format!("logcl-serve-conn-{i}"))
                 .spawn(move || loop {
@@ -256,6 +301,7 @@ impl ThreadPool {
                         Ok(job) => job,
                         Err(_) => return,
                     };
+                    demand.queued.fetch_sub(1, Ordering::Relaxed);
                     job();
                 });
             match spawned {
@@ -265,9 +311,13 @@ impl ThreadPool {
                 Err(_) => break,
             }
         }
+        if workers.is_empty() {
+            demand.inline_only.store(true, Ordering::Relaxed);
+        }
         Self {
             tx: (!workers.is_empty()).then_some(tx),
             workers,
+            demand,
         }
     }
 
@@ -278,7 +328,11 @@ impl ThreadPool {
             job();
             return;
         };
+        self.demand.queued.fetch_add(1, Ordering::Relaxed);
         if let Err(mpsc::SendError(job)) = tx.send(job) {
+            // Queue already closed (shutdown): the job runs here, so no
+            // worker will ever decrement for it.
+            self.demand.queued.fetch_sub(1, Ordering::Relaxed);
             job();
         }
     }
@@ -369,6 +423,8 @@ impl Server {
             let fused = cfg.fused;
             let cache_capacity = cfg.cache_capacity;
             let overload = Arc::clone(&overload);
+            let wal_dir = cfg.wal_dir.clone();
+            let wal_compact_every = cfg.wal_compact_every;
             thread::Builder::new()
                 .name("logcl-serve-model".into())
                 .spawn(move || {
@@ -381,16 +437,26 @@ impl Server {
                         cache_capacity,
                         Arc::clone(&overload),
                     ) {
-                        Ok(r) => {
-                            let _ = ready_tx.send(Ok(()));
-                            r
-                        }
+                        Ok(r) => r,
                         Err(e) => {
                             let _ = ready_tx.send(Err(e));
                             return;
                         }
                     };
+                    // Durable ingest: recover snapshot + WAL state before
+                    // declaring readiness — a failed recovery fails startup
+                    // (fail-closed; never silently drop acknowledged facts).
+                    if let Some(dir) = &wal_dir {
+                        if let Err(e) = registry.enable_durability(dir, wal_compact_every) {
+                            let _ = ready_tx.send(Err(e));
+                            return;
+                        }
+                    }
+                    let _ = ready_tx.send(Ok(()));
                     run_batcher(&mut registry, &work_rx, &opts, &metrics, &overload);
+                    // Shutdown drain: everything acked is already fsynced;
+                    // this catches any trailing un-synced appends.
+                    registry.flush_durability();
                 })
                 .map_err(|e| StartError::Io {
                     context: "spawn model worker".into(),
@@ -422,6 +488,7 @@ impl Server {
             source: e,
         })?;
 
+        let demand = Arc::new(ConnDemand::new());
         let ctx = Arc::new(HandlerCtx {
             vocab,
             work_tx: work_tx.clone(),
@@ -437,6 +504,7 @@ impl Server {
             default_deadline: cfg.default_deadline,
             max_deadline: cfg.max_deadline.max(cfg.default_deadline),
             retry_after_secs: cfg.retry_after_secs.max(1),
+            demand: Arc::clone(&demand),
         });
 
         let accept = {
@@ -445,7 +513,7 @@ impl Server {
             thread::Builder::new()
                 .name("logcl-serve-accept".into())
                 .spawn(move || {
-                    let mut pool = ThreadPool::new(threads);
+                    let mut pool = ThreadPool::new(threads, demand);
                     while !shutdown.is_triggered() {
                         match listener.accept() {
                             Ok((stream, _)) => {
@@ -536,10 +604,47 @@ impl Drop for Server {
 
 // ------------------------------------------------------------------ handlers
 
+/// Waits until the kept-alive peer has bytes ready (true) or the connection
+/// should close (false): peer gone, idle past `read_timeout`, shutdown, or
+/// other connections queued behind the pool. Polls with a short `peek`
+/// timeout so the yield-to-demand check runs every few milliseconds; `peek`
+/// consumes nothing, so a request arriving mid-poll is read intact.
+fn wait_for_next_request(stream: &mut TcpStream, ctx: &HandlerCtx) -> bool {
+    const POLL: Duration = Duration::from_millis(5);
+    let idle_start = Instant::now();
+    let _ = stream.set_read_timeout(Some(POLL));
+    let ready = loop {
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => break false, // peer closed
+            Ok(_) => break true,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if ctx.shutdown.is_triggered()
+                    || ctx.demand.contended()
+                    || idle_start.elapsed() >= ctx.read_timeout
+                {
+                    break false;
+                }
+            }
+            Err(_) => break false,
+        }
+    };
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    ready
+}
+
 fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
-    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(ctx.read_timeout));
     let _ = stream.set_write_timeout(Some(ctx.write_timeout));
+    // Persistent connections are Nagle-sensitive: head and body go out in
+    // separate writes, and with delayed ACKs each response would stall
+    // ~40ms. One-shot connections never noticed because close flushes.
+    let _ = stream.set_nodelay(true);
     #[cfg(feature = "fault-inject")]
     {
         // Simulated slow/stalled client socket holding a handler thread.
@@ -547,37 +652,74 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
             thread::sleep(stall);
         }
     }
-    let mut resp = match read_request_limited(&mut stream, ctx.max_body_bytes) {
-        Ok(req) => {
-            ctx.metrics.count_request(route_key(&req.path));
-            route(&req, ctx, started)
+    // Persistent connections: serve requests until the client asks to close,
+    // the exchange errors out, or shutdown begins. Each request's latency
+    // clock (and deadline anchor) starts once its head and body have fully
+    // arrived, so idle gaps between keep-alive requests never eat budgets.
+    let mut served = 0usize;
+    loop {
+        // Between keep-alive requests, wait for the next head with short
+        // `peek` polls instead of a blocking read: a worker parked on an
+        // idle connection yields its pool slot the moment other connections
+        // queue up (or shutdown begins) by closing the idle connection —
+        // legal for HTTP keep-alive, and clients retry a failed reuse.
+        if served > 0 && !wait_for_next_request(&mut stream, ctx) {
+            return;
         }
-        Err(HttpError::Io(_)) => return, // peer vanished; nothing to answer
-        Err(e) => {
-            match &e {
-                HttpError::ReadTimeout => {
-                    ctx.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+        let (mut resp, keep_alive, started) =
+            match read_request_limited(&mut stream, ctx.max_body_bytes) {
+                Ok(req) => {
+                    let started = Instant::now();
+                    ctx.metrics.count_request(route_key(&req.path));
+                    let keep = req.keep_alive && !ctx.shutdown.is_triggered();
+                    (route(&req, ctx, started), keep, started)
                 }
-                HttpError::BodyTooLarge => {
-                    ctx.metrics.oversized_bodies.fetch_add(1, Ordering::Relaxed);
+                Err(HttpError::Io(_)) => return, // peer vanished; nothing to answer
+                // A kept-alive peer closing (or going quiet) between requests
+                // is normal connection lifecycle, not a protocol error.
+                Err(HttpError::UnexpectedEof | HttpError::ReadTimeout) if served > 0 => return,
+                Err(e) => {
+                    match &e {
+                        HttpError::ReadTimeout => {
+                            ctx.metrics.read_timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        HttpError::BodyTooLarge => {
+                            ctx.metrics.oversized_bodies.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    // After a malformed exchange the stream framing is
+                    // unknown: answer once and close.
+                    (
+                        Response::json(e.status(), json!({ "error": e.to_string() }).to_string()),
+                        false,
+                        Instant::now(),
+                    )
                 }
-                _ => {}
-            }
-            Response::json(e.status(), json!({ "error": e.to_string() }).to_string())
+            };
+        // Overload surface: every response names the current degradation
+        // tier, and every shed/timeout answer tells the client when to come
+        // back.
+        let tier = ctx.overload.tier(Instant::now());
+        resp = resp.with_header("X-LogCL-Degradation", tier.name());
+        if matches!(resp.status, 503 | 504)
+            && !resp.headers.iter().any(|(name, _)| *name == "Retry-After")
+        {
+            resp = resp.with_header("Retry-After", ctx.retry_after_secs.to_string());
         }
-    };
-    // Overload surface: every response names the current degradation tier,
-    // and every shed/timeout answer tells the client when to come back.
-    let tier = ctx.overload.tier(Instant::now());
-    resp = resp.with_header("X-LogCL-Degradation", tier.name());
-    if matches!(resp.status, 503 | 504)
-        && !resp.headers.iter().any(|(name, _)| *name == "Retry-After")
-    {
-        resp = resp.with_header("Retry-After", ctx.retry_after_secs.to_string());
+        ctx.metrics.count_response(resp.status, started.elapsed());
+        // Re-check at write time: shutdown may have started and other
+        // connections may now be queued behind the pool (see [`ConnDemand`]).
+        let keep_alive = keep_alive && !ctx.shutdown.is_triggered() && !ctx.demand.contended();
+        if write_response(&mut stream, &resp, keep_alive).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+        served += 1;
+        if !keep_alive {
+            return;
+        }
     }
-    ctx.metrics.count_response(resp.status, started.elapsed());
-    let _ = write_response(&mut stream, &resp);
-    let _ = stream.flush();
 }
 
 fn route_key(path: &str) -> &str {
@@ -914,6 +1056,20 @@ fn ingest_inner(req: &Request, ctx: &HandlerCtx, started: Instant) -> Result<Res
         .and_then(Value::as_str)
         .unwrap_or("default")
         .to_string();
+    // Client-supplied idempotency key: a retried ingest carrying the same id
+    // is answered from the dedup window instead of being applied twice.
+    let ingest_id = match req.header("x-logcl-ingest-id") {
+        Some(raw) => {
+            let id = raw.trim();
+            if id.is_empty() || id.len() > 128 {
+                return Err(ServeError::bad_request(
+                    "X-LogCL-Ingest-Id must be 1..=128 characters",
+                ));
+            }
+            Some(id.to_string())
+        }
+        None => None,
+    };
 
     let (reply, reply_rx) = mpsc::channel();
     submit(
@@ -923,6 +1079,7 @@ fn ingest_inner(req: &Request, ctx: &HandlerCtx, started: Instant) -> Result<Res
             t,
             facts,
             update,
+            ingest_id,
             deadline,
             enqueued_at: Instant::now(),
             reply,
@@ -936,6 +1093,8 @@ fn ingest_inner(req: &Request, ctx: &HandlerCtx, started: Instant) -> Result<Res
             "invalidated_encodings": outcome.invalidated,
             "online_update": outcome.updated,
             "horizon": outcome.horizon,
+            "durable": outcome.durable,
+            "deduplicated": outcome.deduplicated,
         })
         .to_string(),
     ))

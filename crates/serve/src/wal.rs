@@ -1,0 +1,539 @@
+//! Write-ahead log for the durable-ingest path.
+//!
+//! Every accepted `/ingest` request is encoded as one CRC32-framed record
+//! and appended here *after* it is applied in memory but *before* it is
+//! acknowledged; the acknowledgement waits for a group-commit [`Wal::sync`]
+//! (one `fsync` amortised over every ingest drained from the work queue in
+//! the same batch). On restart the log is replayed in order; a torn tail —
+//! the suffix a crash left half-written — is detected by frame magic, frame
+//! CRC32 and payload decode, truncated off the file, and replay continues
+//! from the intact prefix. Truncation never loses an acknowledged ingest:
+//! an ack implies the frame was fsynced, and fsynced frames are by
+//! construction in the intact prefix.
+//!
+//! Framing (all integers little-endian):
+//!
+//! ```text
+//! [ magic "LGWL" | payload_len: u32 | crc32(payload): u32 | payload ]
+//! ```
+//!
+//! Payload: `version: u8`, `flags: u8` (bit 0 = online update requested,
+//! bit 1 = ingest id present), `t: u64`, `model_len: u32` + UTF-8 bytes,
+//! optional `id_len: u32` + UTF-8 bytes, `nfacts: u32`, then `nfacts`
+//! `(s, r, o)` triples as `u64` each. The CRC is
+//! [`logcl_tensor::serialize::crc32`] — the same polynomial the PR 2
+//! checkpoint container uses.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use logcl_tensor::serialize::crc32;
+
+/// Frame magic: "LGWL" (LoGcl Wal).
+pub const WAL_MAGIC: [u8; 4] = *b"LGWL";
+
+/// Record format version written by this build.
+pub const WAL_VERSION: u8 = 1;
+
+/// Hard ceiling on one frame's payload (a sanity bound during replay so a
+/// corrupt length field cannot ask for gigabytes; generous next to the
+/// server's 1 MiB request-body cap).
+pub const MAX_PAYLOAD: usize = 1 << 26;
+
+const HEADER_LEN: usize = 12; // magic + len + crc
+
+/// One logged ingest, exactly the information needed to re-apply it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Registry key of the target model.
+    pub model: String,
+    /// Timestamp the facts land on.
+    pub t: usize,
+    /// `(s, r, o)` triples, in request order.
+    pub facts: Vec<(usize, usize, usize)>,
+    /// Whether the request asked for an online adaptation step.
+    pub update: bool,
+    /// Client-supplied idempotency id, if any.
+    pub ingest_id: Option<String>,
+}
+
+/// Why a WAL operation failed. Replay itself never errors on corruption —
+/// corrupt tails are truncated by design — so every variant here is a real
+/// I/O failure on the underlying file.
+#[derive(Debug)]
+pub enum WalError {
+    /// An I/O operation on the log file failed.
+    Io {
+        /// What the log was doing.
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io { context, source } => {
+                write!(f, "write-ahead log: {context}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+fn io_err(context: &'static str, source: std::io::Error) -> WalError {
+    WalError::Io { context, source }
+}
+
+/// Result of [`Wal::open`]: the live handle plus everything replay found.
+#[derive(Debug)]
+pub struct WalOpen {
+    /// The log, positioned for appending after the intact prefix.
+    pub wal: Wal,
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail that were truncated off (0 = clean log).
+    pub truncated_bytes: u64,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Append attempts since open (indexes the injected append faults).
+    appends: u64,
+    /// Sync attempts since open (indexes the injected fsync faults).
+    syncs: u64,
+    /// Frames appended since the last successful [`Wal::sync`].
+    pending: u64,
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, replays it, truncates
+    /// any torn tail, and returns the handle positioned for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<WalOpen, WalError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| io_err("creating the log directory", e))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io_err("opening the log file", e))?;
+        let bytes = std::fs::read(&path).map_err(|e| io_err("reading the log for replay", e))?;
+
+        let mut records = Vec::new();
+        let mut good = 0usize; // end of the intact prefix
+        while let Some(frame) = bytes.get(good..) {
+            if frame.is_empty() {
+                break;
+            }
+            match decode_frame(frame) {
+                Some((record, consumed)) => {
+                    records.push(record);
+                    good += consumed;
+                }
+                None => break,
+            }
+        }
+        let truncated_bytes = bytes.len() as u64 - good as u64;
+        if truncated_bytes > 0 {
+            file.set_len(good as u64)
+                .map_err(|e| io_err("truncating the torn tail", e))?;
+            file.sync_all()
+                .map_err(|e| io_err("syncing the truncated log", e))?;
+        }
+        let wal = Wal {
+            file,
+            path,
+            appends: 0,
+            syncs: 0,
+            pending: 0,
+        };
+        Ok(WalOpen {
+            wal,
+            records,
+            truncated_bytes,
+        })
+    }
+
+    /// Appends one record. The record is **not durable** until the next
+    /// successful [`Wal::sync`]; callers must not acknowledge before that.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let attempt = self.appends;
+        self.appends += 1;
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::wal_append_fails(attempt) {
+            return Err(io_err(
+                "appending a frame",
+                std::io::Error::other("injected WAL append fault"),
+            ));
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        let _ = attempt;
+        let frame = encode_frame(record);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("appending a frame", e))?;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Group-commit: fsyncs every frame appended since the last sync. A
+    /// no-op when nothing is pending. Only after this returns `Ok` may the
+    /// ingests carried by those frames be acknowledged as durable.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        let attempt = self.syncs;
+        self.syncs += 1;
+        #[cfg(feature = "fault-inject")]
+        if crate::fault::wal_fsync_fails(attempt) {
+            return Err(io_err(
+                "group-commit fsync",
+                std::io::Error::other("injected WAL fsync fault"),
+            ));
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        let _ = attempt;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("group-commit fsync", e))?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Empties the log after a successful compaction snapshot. Safe against
+    /// a crash before it runs: replaying already-snapshotted frames is
+    /// idempotent at the registry layer.
+    pub fn reset(&mut self) -> Result<(), WalError> {
+        self.file
+            .set_len(0)
+            .map_err(|e| io_err("truncating after compaction", e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("syncing the truncated log", e))?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Frames appended but not yet covered by a successful [`Wal::sync`].
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Encodes one record as a complete frame (header + payload).
+fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + record.facts.len() * 24);
+    payload.push(WAL_VERSION);
+    let mut flags = 0u8;
+    if record.update {
+        flags |= 1;
+    }
+    if record.ingest_id.is_some() {
+        flags |= 2;
+    }
+    payload.push(flags);
+    payload.extend_from_slice(&(record.t as u64).to_le_bytes());
+    payload.extend_from_slice(&(record.model.len() as u32).to_le_bytes());
+    payload.extend_from_slice(record.model.as_bytes());
+    if let Some(id) = &record.ingest_id {
+        payload.extend_from_slice(&(id.len() as u32).to_le_bytes());
+        payload.extend_from_slice(id.as_bytes());
+    }
+    payload.extend_from_slice(&(record.facts.len() as u32).to_le_bytes());
+    for &(s, r, o) in &record.facts {
+        payload.extend_from_slice(&(s as u64).to_le_bytes());
+        payload.extend_from_slice(&(r as u64).to_le_bytes());
+        payload.extend_from_slice(&(o as u64).to_le_bytes());
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&WAL_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes the frame at the start of `bytes`. Returns the record and the
+/// number of bytes consumed, or `None` if the prefix is not a complete,
+/// intact frame (short read, bad magic, bad CRC, undecodable payload) —
+/// the caller treats that as the start of the torn tail.
+fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+    let header = bytes.get(..HEADER_LEN)?;
+    if header.get(..4)? != WAL_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(header.get(4..8)?.try_into().ok()?) as usize;
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(header.get(8..12)?.try_into().ok()?);
+    let payload = bytes.get(HEADER_LEN..HEADER_LEN + len)?;
+    if crc32(payload) != stored_crc {
+        return None;
+    }
+    let record = decode_payload(payload)?;
+    Some((record, HEADER_LEN + len))
+}
+
+/// A tiny forward-only reader over a payload slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let out = self.bytes.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1)?.first().copied()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    if c.u8()? != WAL_VERSION {
+        return None;
+    }
+    let flags = c.u8()?;
+    if flags & !0b11 != 0 {
+        return None;
+    }
+    let t = usize::try_from(c.u64()?).ok()?;
+    let model = c.string()?;
+    let ingest_id = if flags & 2 != 0 {
+        Some(c.string()?)
+    } else {
+        None
+    };
+    let nfacts = c.u32()? as usize;
+    let mut facts = Vec::with_capacity(nfacts.min(MAX_PAYLOAD / 24));
+    for _ in 0..nfacts {
+        let s = usize::try_from(c.u64()?).ok()?;
+        let r = usize::try_from(c.u64()?).ok()?;
+        let o = usize::try_from(c.u64()?).ok()?;
+        facts.push((s, r, o));
+    }
+    if !c.done() {
+        return None; // trailing garbage inside a "valid" CRC — refuse
+    }
+    Some(WalRecord {
+        model,
+        t,
+        facts,
+        update: flags & 1 != 0,
+        ingest_id,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("logcl-wal-{tag}-{}", std::process::id()))
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                model: "default".into(),
+                t: 12,
+                facts: vec![(0, 1, 2), (3, 4, 5)],
+                update: true,
+                ingest_id: Some("req-a".into()),
+            },
+            WalRecord {
+                model: "alt".into(),
+                t: 13,
+                facts: vec![(6, 7, 8)],
+                update: false,
+                ingest_id: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn append_sync_reopen_replays_in_order() {
+        let dir = temp_path("replay");
+        let path = dir.join("ingest.wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut open = Wal::open(&path).unwrap();
+        assert!(open.records.is_empty());
+        assert_eq!(open.truncated_bytes, 0);
+        for rec in &sample_records() {
+            open.wal.append(rec).unwrap();
+        }
+        assert_eq!(open.wal.pending(), 2);
+        open.wal.sync().unwrap();
+        assert_eq!(open.wal.pending(), 0);
+        drop(open);
+
+        let reopened = Wal::open(&path).unwrap();
+        assert_eq!(reopened.records, sample_records());
+        assert_eq!(reopened.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let dir = temp_path("torn");
+        let path = dir.join("ingest.wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = sample_records();
+        let mut open = Wal::open(&path).unwrap();
+        for rec in &recs {
+            open.wal.append(rec).unwrap();
+        }
+        open.wal.sync().unwrap();
+        drop(open);
+
+        // Chop 3 bytes off the last frame: a classic torn write.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let reopened = Wal::open(&path).unwrap();
+        assert_eq!(reopened.records, recs[..1]);
+        assert_eq!(reopened.truncated_bytes as usize, {
+            let first_len =
+                HEADER_LEN + u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+            bytes.len() - 3 - first_len
+        });
+        // The file now ends exactly at the intact prefix.
+        let after = std::fs::read(&path).unwrap();
+        assert_eq!(decode_frame(&after).map(|(_, n)| n), Some(after.len()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay_at_the_bad_frame() {
+        let dir = temp_path("crc");
+        let path = dir.join("ingest.wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let recs = sample_records();
+        let mut open = Wal::open(&path).unwrap();
+        for rec in &recs {
+            open.wal.append(rec).unwrap();
+        }
+        open.wal.sync().unwrap();
+        drop(open);
+
+        // Flip a payload bit inside the second frame.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len = HEADER_LEN + u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        bytes[first_len + HEADER_LEN + 2] ^= 0x80;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let reopened = Wal::open(&path).unwrap();
+        assert_eq!(reopened.records, recs[..1]);
+        assert!(reopened.truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let dir = temp_path("reset");
+        let path = dir.join("ingest.wal");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut open = Wal::open(&path).unwrap();
+        for rec in &sample_records() {
+            open.wal.append(rec).unwrap();
+        }
+        open.wal.sync().unwrap();
+        open.wal.reset().unwrap();
+        drop(open);
+        let reopened = Wal::open(&path).unwrap();
+        assert!(reopened.records.is_empty());
+        assert_eq!(reopened.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn frame_round_trip_covers_every_flag_combination() {
+        for (update, id) in [
+            (false, None),
+            (true, None),
+            (false, Some("x".to_string())),
+            (true, Some("a-long-ingest-id-0123456789".to_string())),
+        ] {
+            let rec = WalRecord {
+                model: "m".into(),
+                t: 7,
+                facts: vec![(1, 2, 3)],
+                update,
+                ingest_id: id,
+            };
+            let frame = encode_frame(&rec);
+            let (back, consumed) = decode_frame(&frame).unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_short_prefixes() {
+        assert!(decode_frame(b"").is_none());
+        assert!(decode_frame(b"LGW").is_none());
+        assert!(decode_frame(b"XXXX\x00\x00\x00\x00\x00\x00\x00\x00").is_none());
+        let frame = encode_frame(&WalRecord {
+            model: "m".into(),
+            t: 0,
+            facts: vec![],
+            update: false,
+            ingest_id: None,
+        });
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut]).is_none(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+}

@@ -312,6 +312,218 @@ fn queue_saturation_fault_sheds_with_retry_after() {
     server.shutdown();
 }
 
+// ------------------------------------------------------------- WAL faults
+
+fn wal_scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("logcl-chaos-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn durable_config(dir: &std::path::Path) -> ServeConfig {
+    ServeConfig {
+        wal_dir: Some(dir.to_path_buf()),
+        wal_compact_every: 0,
+        brownout_sojourn: Duration::from_secs(10),
+        shed_sojourn: Duration::from_secs(60),
+        ..serve_config()
+    }
+}
+
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).expect("create copy dir");
+    for entry in std::fs::read_dir(src).expect("read wal dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy file");
+        }
+    }
+}
+
+fn ingest_with_id(addr: std::net::SocketAddr, t: u64, id: &str) -> (u16, String) {
+    let body = format!(r#"{{"time": {t}, "facts": [[1, 0, 2], [3, 1, 4]], "update": true}}"#);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    let req = format!(
+        "POST /ingest HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nX-LogCL-Ingest-Id: {id}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// An injected WAL append failure fails the ack (500, naming the safe
+/// retry), and the idempotent retry converges: the fact set is applied
+/// exactly once in memory and exactly once in the durable log.
+#[test]
+fn wal_append_fault_fails_the_ack_and_the_retry_converges() {
+    let _guard = serial();
+    let dir = wal_scratch("append-fault");
+    let server =
+        Server::start(durable_config(&dir), tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t0 = horizon_of(addr);
+
+    // The first (0th) append fails; the retry's append succeeds.
+    fault::install(FaultPlan {
+        wal_append_error_at: Some(0),
+        ..FaultPlan::default()
+    });
+    let (status, body) = ingest_with_id(addr, t0, "retry-append");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("retry is safe"), "{body}");
+    assert_eq!(fault::fired(FaultPoint::WalAppend), 1);
+    // The application already happened in memory (the failure was in the
+    // log, not the model) — the horizon moved, but nothing was acked.
+    assert_eq!(horizon_of(addr), t0 + 1);
+    assert_eq!(server.metrics().durable_acks.load(Ordering::Relaxed), 0);
+    assert_eq!(server.metrics().wal_errors.load(Ordering::Relaxed), 1);
+
+    let (status, body) = ingest_with_id(addr, t0, "retry-append");
+    assert_eq!(status, 200, "the retry must succeed: {body}");
+    let v = json(&body);
+    assert_eq!(v.get("durable").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        v.get("appended").and_then(Value::as_u64),
+        Some(0),
+        "idempotent re-application appends nothing new"
+    );
+    assert_eq!(horizon_of(addr), t0 + 1, "applied exactly once");
+    assert_eq!(fault::fired(FaultPoint::WalAppend), 1, "fault is one-shot");
+
+    // The retried frame is durable: a crash image recovers the facts.
+    let crash = wal_scratch("append-fault-crash");
+    copy_dir(&dir, &crash);
+    fault::clear();
+    server.shutdown();
+    let reborn =
+        Server::start(durable_config(&crash), tiny_ds(), vec![untrained_spec()]).expect("reborn");
+    assert_eq!(horizon_of(reborn.addr()), t0 + 1);
+    reborn.shutdown();
+}
+
+/// An injected group-commit fsync failure fails every ack in the group; the
+/// retry converges and — although the log then holds two frames for the same
+/// ingest id — recovery replays the application exactly once.
+#[test]
+fn wal_fsync_fault_fails_the_group_and_recovery_applies_exactly_once() {
+    let _guard = serial();
+    let dir = wal_scratch("fsync-fault");
+    let server =
+        Server::start(durable_config(&dir), tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t0 = horizon_of(addr);
+
+    fault::install(FaultPlan {
+        wal_fsync_error_at: Some(0),
+        ..FaultPlan::default()
+    });
+    let (status, body) = ingest_with_id(addr, t0, "retry-fsync");
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("retry is safe"), "{body}");
+    assert_eq!(fault::fired(FaultPoint::WalFsync), 1);
+    assert_eq!(server.metrics().durable_acks.load(Ordering::Relaxed), 0);
+
+    let (status, body) = ingest_with_id(addr, t0, "retry-fsync");
+    assert_eq!(status, 200, "the retry must succeed: {body}");
+    assert_eq!(
+        json(&body).get("durable").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(horizon_of(addr), t0 + 1, "applied exactly once");
+    let answer = {
+        let q = format!(
+            r#"{{"subject": 1, "relation": 0, "time": {}, "k": 5}}"#,
+            t0 + 1
+        );
+        let (status, _, body) = request(addr, "POST", "/predict", &q);
+        assert_eq!(status, 200, "{body}");
+        json(&body)
+            .get("predictions")
+            .expect("predictions")
+            .to_string()
+    };
+
+    let crash = wal_scratch("fsync-fault-crash");
+    copy_dir(&dir, &crash);
+    fault::clear();
+    server.shutdown();
+
+    // Both frames carry "retry-fsync": the first replay records the id, the
+    // second is skipped — one application, bit-identical to the live server.
+    let reborn =
+        Server::start(durable_config(&crash), tiny_ds(), vec![untrained_spec()]).expect("reborn");
+    let addr = reborn.addr();
+    assert_eq!(
+        horizon_of(addr),
+        t0 + 1,
+        "duplicate frame must not re-apply"
+    );
+    let q = format!(
+        r#"{{"subject": 1, "relation": 0, "time": {}, "k": 5}}"#,
+        t0 + 1
+    );
+    let (status, _, body) = request(addr, "POST", "/predict", &q);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        json(&body)
+            .get("predictions")
+            .expect("predictions")
+            .to_string(),
+        answer,
+        "recovery across a duplicated frame must stay bit-identical"
+    );
+    reborn.shutdown();
+}
+
+/// Ingest during a Brownout episode: `/ingest` is never browned out — the
+/// ack is still durable, and the facts survive a crash restart.
+#[test]
+fn ingest_during_brownout_still_acks_durably() {
+    let _guard = serial();
+    let dir = wal_scratch("brownout-ingest");
+    let cfg = ServeConfig {
+        brownout_sojourn: Duration::ZERO,
+        ..durable_config(&dir)
+    };
+    let server = Server::start(cfg, tiny_ds(), vec![untrained_spec()]).expect("start");
+    let addr = server.addr();
+    let t0 = horizon_of(addr);
+    assert_eq!(health_always_live(addr), "brownout");
+
+    let (status, body) = ingest_with_id(addr, t0, "brownout-1");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        json(&body).get("durable").and_then(Value::as_bool),
+        Some(true),
+        "a browned-out server must still ack durably: {body}"
+    );
+
+    let crash = wal_scratch("brownout-ingest-crash");
+    copy_dir(&dir, &crash);
+    server.shutdown();
+    let reborn =
+        Server::start(durable_config(&crash), tiny_ds(), vec![untrained_spec()]).expect("reborn");
+    assert_eq!(horizon_of(reborn.addr()), t0 + 1);
+    reborn.shutdown();
+}
+
 #[test]
 fn socket_stall_fault_slows_connections_but_never_drops_them() {
     let _guard = serial();

@@ -688,6 +688,87 @@ fn concurrency_shed_is_503_with_retry_after() {
 }
 
 #[test]
+fn keep_alive_connection_serves_many_requests_and_close_is_honoured() {
+    let server = test_server(1, 2);
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+
+    // Reads exactly one Content-Length-delimited response off the stream.
+    let read_one = |stream: &mut TcpStream| -> (u16, String, String) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "connection closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(buf[..head_end].to_vec()).expect("UTF-8 head");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                    .map(str::trim)
+                    .map(String::from)
+            })
+            .and_then(|v| v.parse().ok())
+            .expect("Content-Length header");
+        let connection = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase()
+                    .strip_prefix("connection:")
+                    .map(str::trim)
+                    .map(String::from)
+            })
+            .expect("Connection header");
+        while buf.len() < head_end + content_length {
+            let n = stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "connection closed mid-body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = String::from_utf8(buf[head_end..head_end + content_length].to_vec()).unwrap();
+        (status, connection, body)
+    };
+
+    // Three requests down one connection: the server must answer each with
+    // `Connection: keep-alive` and keep the socket open.
+    for i in 0..3 {
+        let body = format!(r#"{{"subject": {i}, "relation": 0}}"#);
+        let req = format!(
+            "POST /predict HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(req.as_bytes()).expect("write request");
+        let (status, connection, body) = read_one(&mut stream);
+        assert_eq!(status, 200, "request {i}: {body}");
+        assert_eq!(connection, "keep-alive", "request {i}");
+        assert!(!predictions_of(&json(&body)).is_empty(), "request {i}");
+    }
+
+    // `Connection: close` on the final request is honoured: the server
+    // answers with close and EOFs the stream.
+    let req = "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    stream.write_all(req.as_bytes()).expect("write request");
+    let (status, connection, _) = read_one(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(connection, "close");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("read EOF");
+    assert!(rest.is_empty(), "server must close after Connection: close");
+    server.shutdown();
+}
+
+#[test]
 fn oversized_body_is_answered_413_and_counted() {
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".into(),

@@ -1,0 +1,234 @@
+//! Dataset extensions: the serializable delta between a base dataset and
+//! the same dataset after a run of online ingestion.
+//!
+//! The serving stack appends ingested facts to the test split and may
+//! advance the time horizon; everything else about the dataset (entity and
+//! relation vocabularies, train/valid splits) is immutable at serve time.
+//! A [`DatasetExtension`] captures exactly that delta so a compaction
+//! snapshot can persist it and a restarted server can replay it onto a
+//! freshly loaded base dataset — fail-closed: every fact is bounds-checked
+//! against the base vocabularies before anything is mutated.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::TkgDataset;
+use crate::quad::Quad;
+
+/// The serializable delta accumulated by online ingestion on top of a base
+/// dataset: the facts appended to the test split and the advanced horizon.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetExtension {
+    /// Length of the base dataset's test split the extension applies onto.
+    /// Applying onto a dataset whose test split has a different length is
+    /// rejected: the base on disk changed under the snapshot.
+    pub base_test_len: usize,
+    /// The horizon (`num_times`) after the extension is applied.
+    pub num_times: usize,
+    /// Facts appended beyond `base_test_len`, in append order.
+    pub quads: Vec<Quad>,
+}
+
+/// Why applying a [`DatasetExtension`] was refused. Nothing is mutated when
+/// an error is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtensionError {
+    /// The dataset's test split is not at the recorded base length.
+    BaseMismatch {
+        /// Length recorded when the extension was captured.
+        expected: usize,
+        /// Length of the dataset it was applied to.
+        found: usize,
+    },
+    /// A stored fact references an entity/relation/time outside the base
+    /// dataset's bounds (the base on disk shrank, or the file lies).
+    OutOfRange {
+        /// The offending fact.
+        quad: Quad,
+        /// Which bound it violated.
+        what: &'static str,
+    },
+    /// The recorded horizon is below the base dataset's (time never moves
+    /// backwards) or below a stored fact's timestamp.
+    HorizonRegression {
+        /// The horizon recorded in the extension.
+        recorded: usize,
+        /// The minimum the dataset and facts require.
+        minimum: usize,
+    },
+}
+
+impl std::fmt::Display for ExtensionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtensionError::BaseMismatch { expected, found } => write!(
+                f,
+                "dataset extension expects a base test split of {expected} quads, found {found}"
+            ),
+            ExtensionError::OutOfRange { quad, what } => {
+                write!(f, "extension fact {quad:?} is out of range: {what}")
+            }
+            ExtensionError::HorizonRegression { recorded, minimum } => write!(
+                f,
+                "extension horizon {recorded} regresses below the required minimum {minimum}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExtensionError {}
+
+impl DatasetExtension {
+    /// Captures the delta of `ds` relative to a base whose test split had
+    /// `base_test_len` quads (everything appended past that index).
+    pub fn capture(ds: &TkgDataset, base_test_len: usize) -> Self {
+        let quads = ds
+            .test
+            .get(base_test_len..)
+            .map(<[Quad]>::to_vec)
+            .unwrap_or_default();
+        DatasetExtension {
+            base_test_len: base_test_len.min(ds.test.len()),
+            num_times: ds.num_times,
+            quads,
+        }
+    }
+
+    /// Whether the extension records no appended facts and no horizon move
+    /// beyond `num_times` of the base it was captured from.
+    pub fn is_empty(&self) -> bool {
+        self.quads.is_empty()
+    }
+
+    /// Validates the extension against `ds` and applies it: appends the
+    /// stored quads to the test split and advances `num_times`. All-or-
+    /// nothing — validation happens before any mutation.
+    pub fn apply(&self, ds: &mut TkgDataset) -> Result<(), ExtensionError> {
+        if ds.test.len() != self.base_test_len {
+            return Err(ExtensionError::BaseMismatch {
+                expected: self.base_test_len,
+                found: ds.test.len(),
+            });
+        }
+        let mut min_horizon = ds.num_times;
+        for q in &self.quads {
+            if q.s >= ds.num_entities || q.o >= ds.num_entities {
+                return Err(ExtensionError::OutOfRange {
+                    quad: *q,
+                    what: "entity id exceeds the base vocabulary",
+                });
+            }
+            if q.r >= ds.num_rels {
+                return Err(ExtensionError::OutOfRange {
+                    quad: *q,
+                    what: "relation id exceeds the base vocabulary",
+                });
+            }
+            min_horizon = min_horizon.max(q.t + 1);
+        }
+        if self.num_times < min_horizon {
+            return Err(ExtensionError::HorizonRegression {
+                recorded: self.num_times,
+                minimum: min_horizon,
+            });
+        }
+        ds.test.extend_from_slice(&self.quads);
+        ds.num_times = self.num_times;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticPreset;
+
+    fn tiny_ds() -> TkgDataset {
+        SyntheticPreset::Icews14.generate_scaled(0.1)
+    }
+
+    #[test]
+    fn capture_then_apply_round_trips() {
+        let mut ds = tiny_ds();
+        let base_len = ds.test.len();
+        let horizon = ds.num_times;
+        ds.test.push(Quad::new(0, 0, 1, horizon));
+        ds.test.push(Quad::new(1, 0, 2, horizon));
+        ds.num_times = horizon + 1;
+
+        let ext = DatasetExtension::capture(&ds, base_len);
+        assert_eq!(ext.quads.len(), 2);
+        assert!(!ext.is_empty());
+
+        let mut fresh = tiny_ds();
+        ext.apply(&mut fresh).unwrap();
+        assert_eq!(fresh.test, ds.test);
+        assert_eq!(fresh.num_times, ds.num_times);
+    }
+
+    #[test]
+    fn empty_extension_is_a_no_op() {
+        let ds = tiny_ds();
+        let ext = DatasetExtension::capture(&ds, ds.test.len());
+        assert!(ext.is_empty());
+        let mut fresh = tiny_ds();
+        ext.apply(&mut fresh).unwrap();
+        assert_eq!(fresh.test.len(), ds.test.len());
+    }
+
+    #[test]
+    fn apply_rejects_base_mismatch_without_mutating() {
+        let ds = tiny_ds();
+        let ext = DatasetExtension {
+            base_test_len: ds.test.len() + 5,
+            num_times: ds.num_times,
+            quads: vec![],
+        };
+        let mut target = tiny_ds();
+        let before = target.test.len();
+        assert!(matches!(
+            ext.apply(&mut target),
+            Err(ExtensionError::BaseMismatch { .. })
+        ));
+        assert_eq!(target.test.len(), before);
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range_facts_without_mutating() {
+        let ds = tiny_ds();
+        for (quad, expect_entity) in [
+            (Quad::new(ds.num_entities, 0, 0, ds.num_times), true),
+            (Quad::new(0, ds.num_rels, 0, ds.num_times), false),
+        ] {
+            let ext = DatasetExtension {
+                base_test_len: ds.test.len(),
+                num_times: ds.num_times + 1,
+                quads: vec![quad],
+            };
+            let mut target = tiny_ds();
+            let before = (target.test.len(), target.num_times);
+            let err = ext.apply(&mut target).unwrap_err();
+            match err {
+                ExtensionError::OutOfRange { what, .. } => {
+                    assert_eq!(what.contains("entity"), expect_entity, "{what}");
+                }
+                other => panic!("expected OutOfRange, got {other:?}"),
+            }
+            assert_eq!((target.test.len(), target.num_times), before);
+        }
+    }
+
+    #[test]
+    fn apply_rejects_horizon_regression() {
+        let ds = tiny_ds();
+        let ext = DatasetExtension {
+            base_test_len: ds.test.len(),
+            num_times: ds.num_times.saturating_sub(1),
+            quads: vec![],
+        };
+        let mut target = tiny_ds();
+        assert!(matches!(
+            ext.apply(&mut target),
+            Err(ExtensionError::HorizonRegression { .. })
+        ));
+    }
+}

@@ -18,9 +18,12 @@
 //!   Section IV-B1.
 //! * [`noise`] — Gaussian perturbation specs for the robustness studies
 //!   (Figs. 2 and 5).
+//! * [`extension`] — the serializable ingestion delta (appended facts +
+//!   advanced horizon) used by the serving stack's compaction snapshots.
 
 pub mod dataset;
 pub mod eval;
+pub mod extension;
 pub mod history;
 pub mod noise;
 pub mod quad;
@@ -29,6 +32,7 @@ pub mod synthetic;
 
 pub use dataset::{DatasetError, TkgDataset};
 pub use eval::{Metrics, RankAccumulator};
+pub use extension::{DatasetExtension, ExtensionError};
 pub use history::{HistoryIndex, QuerySubgraph};
 pub use noise::NoiseSpec;
 pub use quad::Quad;
