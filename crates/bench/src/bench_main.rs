@@ -25,7 +25,7 @@ use logcl_tensor::{Rng, Tensor};
 use logcl_tkg::SyntheticPreset;
 use serde::Serialize;
 
-const USAGE: &str = "usage: bench <kernels|epoch> [--threads 1,2,4] [--min-ms MS] \
+const USAGE: &str = "usage: bench <kernels|epoch|ingest> [--threads 1,2,4] [--min-ms MS] \
                      [--scale S] [--dim D] [--epochs N] [--out DIR]";
 
 /// One measurement row in the emitted JSON.
@@ -354,6 +354,86 @@ fn bench_epoch(cfg: &BenchConfig) -> Vec<Record> {
     records
 }
 
+/// Incremental streaming ingest vs from-scratch re-encode, at growing
+/// history depths.
+///
+/// `advance` is the serving ingest path: one [`LogCl::advance_encoder_state`]
+/// plus one [`HistoryIndex::advance`] absorbing a head snapshot into live
+/// structures — O(|Δ|) whatever the depth. `reencode` builds the same two
+/// structures from scratch over the full prefix ([`LogCl::init_encoder_state`]
+/// and [`HistoryIndex::build`]) — O(T·|Δ|), the cost every head append would
+/// pay without the streaming refactor (and what the rare backfill path
+/// still pays). The `speedup_vs_serial` column on `advance` rows is
+/// re-encode time over advance time at the same depth; O(Δ) holds iff it
+/// grows linearly with depth.
+fn bench_ingest(cfg: &BenchConfig) -> Vec<Record> {
+    let ds = SyntheticPreset::Icews14.generate_scaled(cfg.scale);
+    eprintln!("  dataset: {ds}");
+    let snapshots = ds.snapshots();
+    let depths: Vec<usize> = [4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&d| d <= ds.num_times)
+        .collect();
+    let model_cfg = LogClConfig {
+        dim: cfg.dim,
+        time_bank: (cfg.dim / 4).max(4),
+        m: 4,
+        threads: 1,
+        ..Default::default()
+    };
+    let mut model = LogCl::new(&ds, model_cfg);
+    let mut records = Vec::new();
+    for &depth in &depths {
+        let delta_edges = snapshots[depth - 1].edges.len();
+        let shape = format!("depth={depth} dim={} |delta|={delta_edges}", cfg.dim);
+
+        // From-scratch path: rebuild streaming state + history index over
+        // the whole prefix, as every ingest did before the refactor.
+        let reencode_ns = time_ns(cfg.min_ms, || {
+            std::hint::black_box(model.init_encoder_state(&snapshots[..depth]));
+            std::hint::black_box(logcl_tkg::HistoryIndex::build(&snapshots[..depth]));
+        });
+
+        // Streaming path: absorb one head snapshot into live state. The
+        // delta keeps the depth-(T-1) snapshot's edge list but must carry a
+        // strictly increasing timestamp ([`HistoryIndex::advance`] enforces
+        // time order), so the horizon walks forward across iterations while
+        // every iteration still pays exactly one O(|Δ|) absorb.
+        let mut state = model.init_encoder_state(&snapshots[..depth - 1]);
+        let mut history = logcl_tkg::HistoryIndex::build(&snapshots[..depth - 1]);
+        let mut delta = snapshots[depth - 1].clone();
+        let advance_ns = time_ns(cfg.min_ms, || {
+            model.advance_encoder_state(&mut state, &delta);
+            history.advance(&delta);
+            delta.t += 1;
+        });
+
+        for (op, backend, ns, speedup) in [
+            ("ingest", "reencode", reencode_ns, 1.0),
+            ("ingest", "advance", advance_ns, reencode_ns / advance_ns),
+        ] {
+            let record = Record {
+                op: op.into(),
+                shape: shape.clone(),
+                backend: backend.into(),
+                threads: 1,
+                ns_per_iter: ns,
+                speedup_vs_serial: speedup,
+            };
+            eprintln!(
+                "  {:<18} {:<28} {:>8} {:>12.0} ns/ingest  {:>6.2}x",
+                record.op,
+                record.shape,
+                record.backend,
+                record.ns_per_iter,
+                record.speedup_vs_serial
+            );
+            records.push(record);
+        }
+    }
+    records
+}
+
 fn write_dump(cfg: &BenchConfig, name: &str, command: &str, records: Vec<Record>) {
     let dump = Dump {
         command: command.into(),
@@ -398,6 +478,10 @@ fn main() {
         "epoch" => {
             let records = bench_epoch(&cfg);
             write_dump(&cfg, "BENCH_epoch.json", "epoch", records);
+        }
+        "ingest" => {
+            let records = bench_ingest(&cfg);
+            write_dump(&cfg, "BENCH_ingest.json", "ingest", records);
         }
         other => {
             eprintln!("unknown command {other}\n{USAGE}");

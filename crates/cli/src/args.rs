@@ -26,14 +26,15 @@ commands:
                                                         --shed-ms, --brownout-k,
                                                         --max-inflight, --wal-dir,
                                                         --wal-compact-every,
-                                                        --no-durability)
+                                                        --no-durability,
+                                                        --online-steps)
   loadgen    open-loop load harness for serve          (--rps, --duration-ms,
                                                         --arrival, --predict-pct,
                                                         --req-deadline-ms, --workers,
                                                         --target, --bench-out,
                                                         --baseline, --noise-pct,
                                                         --capacity, --slo-p99-ms,
-                                                        --validate)
+                                                        --freshness, --validate)
   help       this text
 
 flags:
@@ -89,6 +90,8 @@ flags:
                     snapshot-compact the WAL after N logged ingests
                     (0 = never compact)                 [default 64]
   --no-durability   disable the ingest WAL (accepted facts are lost on crash)
+  --online-steps N  max online fine-tuning steps per update:true ingest
+                    (0 disables online adaptation)      [default 1]
   --rps F           loadgen offered rate, requests/s    [default 50]
   --duration-ms MS  loadgen trace length                [default 3000]
   --arrival A       constant | poisson | burst[:PERIOD_MS:DUTY_PCT:PEAK_MULT]
@@ -110,6 +113,13 @@ flags:
   --capacity        binary-search capacity at the p99 SLO after the main run
   --slo-p99-ms MS   p99 objective for --capacity        [default 50]
   --slo-max-rps F   capacity search ceiling             [default 1000]
+  --freshness       run the ingest-to-visible freshness scenario instead of
+                    the latency trace (requires a durable target booted by
+                    loadgen itself)
+  --freshness-rounds N
+                    ingest->predict rounds per freshness run [default 8]
+  --freshness-slo-ms MS
+                    ingest-to-visible latency objective  [default 1000]
   --validate FILE   validate a bench report against the schema and exit";
 
 /// Parsed CLI options (superset across commands).
@@ -167,6 +177,8 @@ pub struct CliOptions {
     pub wal_compact_every: u64,
     /// Disable the ingest WAL entirely.
     pub no_durability: bool,
+    /// Max online fine-tuning steps per `update:true` ingest (serve).
+    pub online_steps: usize,
     /// Loadgen offered rate, requests/second.
     pub rps: f64,
     /// Loadgen trace length (ms).
@@ -197,6 +209,12 @@ pub struct CliOptions {
     pub slo_p99_ms: f64,
     /// Capacity search rate ceiling (requests/second).
     pub slo_max_rps: f64,
+    /// Run the loadgen freshness scenario instead of the latency trace.
+    pub freshness: bool,
+    /// Ingest→predict rounds per freshness run.
+    pub freshness_rounds: usize,
+    /// Ingest-to-visible latency objective (ms) for the freshness scenario.
+    pub freshness_slo_ms: u64,
     /// Validate a bench report file and exit.
     pub validate: Option<String>,
 }
@@ -244,6 +262,7 @@ impl Default for CliOptions {
             wal_dir: "logcl-wal".into(),
             wal_compact_every: 64,
             no_durability: false,
+            online_steps: 1,
             rps: 50.0,
             duration_ms: 3_000,
             arrival: "poisson".into(),
@@ -259,6 +278,9 @@ impl Default for CliOptions {
             capacity: false,
             slo_p99_ms: 50.0,
             slo_max_rps: 1_000.0,
+            freshness: false,
+            freshness_rounds: 8,
+            freshness_slo_ms: 1_000,
             validate: None,
         }
     }
@@ -316,6 +338,7 @@ impl CliOptions {
                 "--wal-dir" => o.wal_dir = value("--wal-dir")?,
                 "--wal-compact-every" => o.wal_compact_every = num(&value("--wal-compact-every")?)?,
                 "--no-durability" => o.no_durability = true,
+                "--online-steps" => o.online_steps = num(&value("--online-steps")?)?,
                 "--rps" => o.rps = num(&value("--rps")?)?,
                 "--duration-ms" => o.duration_ms = num(&value("--duration-ms")?)?,
                 "--arrival" => o.arrival = value("--arrival")?.to_lowercase(),
@@ -333,6 +356,9 @@ impl CliOptions {
                 "--capacity" => o.capacity = true,
                 "--slo-p99-ms" => o.slo_p99_ms = num(&value("--slo-p99-ms")?)?,
                 "--slo-max-rps" => o.slo_max_rps = num(&value("--slo-max-rps")?)?,
+                "--freshness" => o.freshness = true,
+                "--freshness-rounds" => o.freshness_rounds = num(&value("--freshness-rounds")?)?,
+                "--freshness-slo-ms" => o.freshness_slo_ms = num(&value("--freshness-slo-ms")?)?,
                 "--validate" => o.validate = Some(value("--validate")?),
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -531,6 +557,29 @@ mod tests {
         assert!(o.capacity);
         assert_eq!(o.slo_p99_ms, 25.0);
         assert_eq!(o.slo_max_rps, 800.0);
+    }
+
+    #[test]
+    fn parses_streaming_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--online-steps",
+            "4",
+            "--freshness",
+            "--freshness-rounds",
+            "12",
+            "--freshness-slo-ms",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(o.online_steps, 4);
+        assert!(o.freshness);
+        assert_eq!(o.freshness_rounds, 12);
+        assert_eq!(o.freshness_slo_ms, 500);
+        let d = CliOptions::parse(&strs(&[])).unwrap();
+        assert_eq!(d.online_steps, 1);
+        assert!(!d.freshness);
+        assert_eq!(d.freshness_rounds, 8);
+        assert_eq!(d.freshness_slo_ms, 1000);
     }
 
     #[test]

@@ -375,6 +375,7 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
             Some(std::path::PathBuf::from(&opts.wal_dir))
         },
         wal_compact_every: opts.wal_compact_every,
+        online_steps: opts.online_steps,
         ..ServeConfig::default()
     };
     let server = Server::start(serve_cfg, ds, vec![spec]).map_err(|e| e.to_string())?;
@@ -423,6 +424,14 @@ pub fn loadgen(opts: &CliOptions) -> Result<(), String> {
         (None, None) => logcl_tkg::SyntheticPreset::Icews14.generate_scaled(opts.scale.min(0.15)),
         _ => dataset(opts)?,
     };
+
+    // Freshness mode: measure ingest-to-visible latency against a durable
+    // server booted here (the scenario appends at the head and reads the
+    // WAL-acked stream back, so it owns its server and WAL directory).
+    if opts.freshness {
+        return run_freshness(opts, ds);
+    }
+
     let trace = schedule::TraceConfig {
         seed: opts.seed,
         rps: opts.rps,
@@ -555,6 +564,91 @@ pub fn loadgen(opts: &CliOptions) -> Result<(), String> {
             }
             Err(e) => return Err(e.to_string()),
         }
+    }
+    Ok(())
+}
+
+/// `logcl loadgen --freshness`: measure how long after an acked head append
+/// the new timestamp answers `/predict`, against a durable in-process server
+/// with online adaptation enabled. Exits non-zero when any round exceeds
+/// `--freshness-slo-ms`.
+fn run_freshness(opts: &CliOptions, ds: TkgDataset) -> Result<(), String> {
+    use logcl_loadgen::freshness;
+
+    if opts.target.is_some() {
+        return Err("--freshness boots its own durable server; drop --target".into());
+    }
+    let num_entities = ds.num_entities;
+    let num_rels = ds.num_rels;
+    let wal_dir = std::env::temp_dir().join(format!("logcl-freshness-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).map_err(|e| e.to_string())?;
+    let serve_cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: opts.http_threads,
+        compute_threads: opts.threads,
+        linger: std::time::Duration::from_millis(opts.linger_ms),
+        max_batch: opts.max_batch,
+        default_k: opts.topk,
+        fused: opts.fused,
+        // Degradation tiers stay out of reach: a browned-out server skips
+        // online adaptation, which would make rounds incomparable.
+        brownout_sojourn: std::time::Duration::from_secs(10),
+        shed_sojourn: std::time::Duration::from_secs(60),
+        wal_dir: Some(wal_dir.clone()),
+        online_steps: opts.online_steps,
+        ..ServeConfig::default()
+    };
+    let spec = ModelSpec {
+        name: "default".into(),
+        cfg: logcl_config(opts),
+        checkpoint: None,
+        train: None,
+    };
+    let server = Server::start(serve_cfg, ds, vec![spec]).map_err(|e| e.to_string())?;
+    let addr = server.addr().to_string();
+    println!(
+        "booted durable in-process server on {addr} (WAL in {}, online steps {})",
+        wal_dir.display(),
+        opts.online_steps
+    );
+
+    let cfg = freshness::FreshnessConfig {
+        addr,
+        rounds: opts.freshness_rounds,
+        slo_ms: opts.freshness_slo_ms,
+        update: true,
+        io_timeout: std::time::Duration::from_secs(60),
+        num_entities,
+        num_rels,
+    };
+    let result = freshness::run(&cfg);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let report = result.map_err(|e| e.to_string())?;
+    for (i, r) in report.rounds.iter().enumerate() {
+        println!(
+            "round {i}: append t={} acked in {:.2}ms, visible in {:.2}ms ({} poll{})",
+            r.ingest_time,
+            r.ingest_micros as f64 / 1_000.0,
+            r.visible_micros as f64 / 1_000.0,
+            r.polls,
+            if r.polls == 1 { "" } else { "s" }
+        );
+    }
+    let violations = report.violations();
+    println!(
+        "freshness: {} rounds, max ingest-to-visible {:.2}ms, SLO {}ms, {violations} violation{}",
+        report.rounds.len(),
+        report.max_visible_micros() as f64 / 1_000.0,
+        report.slo_ms,
+        if violations == 1 { "" } else { "s" }
+    );
+    if violations > 0 {
+        return Err(format!(
+            "{violations} round(s) exceeded the {}ms ingest-to-visible SLO",
+            report.slo_ms
+        ));
     }
     Ok(())
 }

@@ -31,7 +31,12 @@ pub use api::{evaluate, evaluate_with_phase, EvalContext, Phase, TkgModel, Train
 pub use checkpoint::{CheckpointPolicy, RollbackEvent, TrainCheckpoint, TrainError};
 pub use config::{ContrastStrategy, LogClConfig};
 pub use diagnostics::{evaluate_detailed, DetailedReport};
+pub use local_encoder::{EncoderState, EncoderStateRecord};
 pub use model::LogCl;
-pub use predict::{predict_topk, topk_from_scores, validate_query, PredictError, Prediction};
+pub use predict::{
+    predict_topk, predict_topk_stream, topk_from_scores, validate_query, PredictError, Prediction,
+};
 pub use serving_snapshot::{DedupEntry, ModelParamSnapshot, ServingSnapshot};
-pub use trainer::{evaluate_online, TrainReport};
+pub use trainer::{
+    evaluate_online, online_adapt, OnlineAdaptOptions, OnlineAdaptReport, TrainReport,
+};

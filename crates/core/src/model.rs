@@ -11,7 +11,7 @@ use crate::api::{EvalContext, TkgModel, TrainOptions};
 use crate::config::LogClConfig;
 use crate::contrast::contrastive_loss;
 use crate::global_encoder::{GlobalEncoder, GlobalEncoding};
-use crate::local_encoder::{LocalEncoder, LocalEncoding};
+use crate::local_encoder::{EncoderState, LocalEncoder, LocalEncoding};
 use crate::static_graph::StaticGraph;
 use crate::trainer;
 
@@ -166,6 +166,42 @@ impl LogCl {
             None
         };
         SharedEncoding { h0, local, t_q }
+    }
+
+    /// Builds a fresh streaming state and advances it over every snapshot —
+    /// the deterministic rebuild used at boot (no persisted state) and
+    /// after a weight update (the GRU is not invertible, so new weights
+    /// mean a new stream). Routes through the same
+    /// [`LogCl::advance_encoder_state`] ops as live serving so a rebuilt
+    /// state is bit-identical to an incrementally grown one.
+    pub fn init_encoder_state(&mut self, snapshots: &[Snapshot]) -> EncoderState {
+        let h0 = self.initial_entities().to_tensor();
+        let rel0 = self.rel.weight.to_tensor();
+        let mut state = self
+            .local
+            .init_state(&h0, &rel0, self.cfg.m, self.cfg.use_local);
+        for snap in snapshots {
+            self.advance_encoder_state(&mut state, snap);
+        }
+        state
+    }
+
+    /// Consumes one closed snapshot into the streaming state — O(Δ), no
+    /// RNG, no gradient graph retained.
+    pub fn advance_encoder_state(&self, state: &mut EncoderState, snap: &Snapshot) {
+        self.local
+            .advance_state(state, &self.rel.weight.to_tensor(), snap);
+    }
+
+    /// Reads a streaming state out as the [`SharedEncoding`] for one-step
+    /// forecast queries at `t = state.horizon`, without touching the
+    /// snapshot history.
+    pub fn shared_from_state(&self, state: &EncoderState) -> SharedEncoding {
+        SharedEncoding {
+            h0: Var::constant(state.h0.clone()),
+            local: state.local.then(|| self.local.encoding_from_state(state)),
+            t_q: state.horizon,
+        }
     }
 
     /// One propagation phase: scores `queries` (all at `shared.t_q`)

@@ -4,6 +4,7 @@ use logcl_tkg::quad::Quad;
 use logcl_tkg::{HistoryIndex, TkgDataset};
 
 use crate::api::{EvalContext, TkgModel};
+use crate::model::LogCl;
 
 /// One ranked prediction.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +144,31 @@ pub fn predict_topk(
     Ok(topk_from_scores(ds, &scores, k))
 }
 
+/// The streaming counterpart of [`predict_topk`] for the one-step forecast
+/// `(s, r, ?, |T|)`: builds a fresh [`crate::local_encoder::EncoderState`]
+/// over the full history and answers from it, exactly as the serving head
+/// path does from its incrementally maintained state. Because a rebuilt
+/// state is bit-identical to an incrementally advanced one, this function
+/// is the from-scratch reference the serving integration tests pin
+/// `/predict`-at-the-horizon against.
+pub fn predict_topk_stream(
+    model: &mut LogCl,
+    ds: &TkgDataset,
+    s: usize,
+    r: usize,
+    k: usize,
+) -> Result<Vec<Prediction>, PredictError> {
+    validate_query(ds, s, r, ds.num_times)?;
+    let snapshots = ds.snapshots();
+    let state = model.init_encoder_state(&snapshots);
+    let history = HistoryIndex::build(&snapshots);
+    let shared = model.shared_from_state(&state);
+    let query = Quad::new(s, r, 0, ds.num_times); // object unused for scoring
+    let out = model.forward_queries(&shared, &history, &[query], false);
+    let scores = out.logits.to_tensor().row(0).to_vec();
+    Ok(topk_from_scores(ds, &scores, k))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +211,26 @@ mod tests {
         // The boundary forecast t == |T| is legal.
         let preds = predict_topk(&mut model, &ds, 0, 0, ds.num_times, 3).unwrap();
         assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn streaming_forecast_is_deterministic_and_validated() {
+        let ds = SyntheticPreset::Icews14.generate_scaled(0.15);
+        let cfg = crate::config::LogClConfig {
+            dim: 16,
+            time_bank: 4,
+            channels: 6,
+            m: 3,
+            ..Default::default()
+        };
+        let mut model = LogCl::new(&ds, cfg);
+        let a = predict_topk_stream(&mut model, &ds, 0, 0, 5).unwrap();
+        let b = predict_topk_stream(&mut model, &ds, 0, 0, 5).unwrap();
+        assert_eq!(a, b, "state rebuild must be a pure function");
+        assert_eq!(a.len(), 5);
+        assert!(a.windows(2).all(|w| w[0].probability >= w[1].probability));
+        let err = predict_topk_stream(&mut model, &ds, ds.num_entities, 0, 5).unwrap_err();
+        assert!(matches!(err, PredictError::SubjectOutOfRange { .. }));
     }
 
     #[test]

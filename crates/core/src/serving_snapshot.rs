@@ -32,6 +32,17 @@ pub struct ModelParamSnapshot {
     pub name: String,
     /// Full parameter checkpoint (with metadata for validation on restore).
     pub checkpoint: Checkpoint,
+    /// The streaming encoder state at compaction time. `None` in snapshots
+    /// written before the incremental pipeline existed (the loader then
+    /// rebuilds the state deterministically) — optional-with-default keeps
+    /// the container at version 1.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub state: Option<crate::local_encoder::EncoderStateRecord>,
+    /// The model's RNG stream at compaction time, so online fine-tuning
+    /// after a restart continues the exact random stream the uninterrupted
+    /// server would have used.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rng: Option<logcl_tensor::rng::RngState>,
 }
 
 /// One remembered ingest id and the outcome originally acknowledged for it,
@@ -118,6 +129,8 @@ mod tests {
             models: vec![ModelParamSnapshot {
                 name: "default".into(),
                 checkpoint: snapshot_with_meta(&model.params, "LogCL", &cfg.fingerprint()),
+                state: None,
+                rng: Some(model.rng_state()),
             }],
             dedup: vec![DedupEntry {
                 id: "req-1".into(),
@@ -143,6 +156,11 @@ mod tests {
         assert_eq!(back.dedup, snap.dedup);
         assert_eq!(back.models.len(), 1);
         assert_eq!(back.models[0].name, "default");
+        // `state: None` serialises exactly like a pre-incremental snapshot
+        // (the field is skipped), so this round trip also proves legacy
+        // snapshots still load at version 1.
+        assert!(back.models[0].state.is_none());
+        assert_eq!(back.models[0].rng, snap.models[0].rng);
         assert_eq!(back.applied_ingests, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }

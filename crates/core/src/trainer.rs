@@ -344,36 +344,129 @@ pub fn train(
     Ok(report)
 }
 
+/// Bounds for one online fine-tuning loop over a closed snapshot's facts.
+#[derive(Debug, Clone)]
+pub struct OnlineAdaptOptions {
+    /// Maximum gradient steps per closed snapshot.
+    pub max_steps: usize,
+    /// Loss guard: a step whose loss is non-finite or exceeds
+    /// `loss_guard ×` the first finite loss rolls the whole loop back to
+    /// its pre-adaptation state (parameters, optimizer moments, RNG) and
+    /// stops — serving never keeps a diverged update.
+    pub loss_guard: f32,
+    /// Test hook: report a `NaN` loss at this step to exercise the
+    /// rollback path deterministically.
+    pub inject_nan_at_step: Option<usize>,
+}
+
+impl Default for OnlineAdaptOptions {
+    fn default() -> Self {
+        Self {
+            max_steps: 1,
+            loss_guard: 10.0,
+            inject_nan_at_step: None,
+        }
+    }
+}
+
+/// What one online adaptation loop did.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineAdaptReport {
+    /// Gradient steps actually applied (a rolled-back step counts zero).
+    pub steps: usize,
+    /// Loss of the first step, when one ran.
+    pub first_loss: Option<f32>,
+    /// Loss of the last completed step.
+    pub last_loss: Option<f32>,
+    /// Whether the loss guard tripped and the model was restored to its
+    /// pre-adaptation state.
+    pub rolled_back: bool,
+}
+
+/// Bounded online fine-tuning on the ground-truth facts of one closed
+/// snapshot (the Fig. 10 protocol grown into a serving-safe loop): at most
+/// `opts.max_steps` two-phase gradient steps, guarded by the PR 2
+/// rollback machinery — the complete pre-adaptation state is captured up
+/// front and restored wholesale if any step's loss is non-finite or
+/// explodes past the guard.
+pub fn online_adapt(
+    model: &mut LogCl,
+    ctx: &EvalContext<'_>,
+    quads: &[Quad],
+    opts: &OnlineAdaptOptions,
+) -> OnlineAdaptReport {
+    let mut report = OnlineAdaptReport::default();
+    if quads.is_empty() || opts.max_steps == 0 {
+        return report;
+    }
+    let mut opt = model
+        .opt
+        .take()
+        .unwrap_or_else(|| Adam::new(&model.params, model.opt_options.lr * 0.5));
+    let good = GoodState::capture(model, &opt);
+    let clip = model.opt_options.grad_clip;
+    let inv: Vec<Quad> = quads.iter().map(|q| q.inverse(ctx.ds.num_rels)).collect();
+    let targets1: Vec<usize> = quads.iter().map(|q| q.o).collect();
+    let targets2: Vec<usize> = inv.iter().map(|q| q.o).collect();
+
+    for step in 0..opts.max_steps {
+        let shared = model.encode(ctx.snapshots, ctx.t, true);
+        let out1 = model.forward_queries(&shared, ctx.history, quads, true);
+        let mut loss = out1.logits.cross_entropy(&targets1);
+        if let Some(cl) = out1.contrast {
+            loss = loss.add(&cl);
+        }
+        let out2 = model.forward_queries(&shared, ctx.history, &inv, true);
+        let mut loss2 = out2.logits.cross_entropy(&targets2);
+        if let Some(cl) = out2.contrast {
+            loss2 = loss2.add(&cl);
+        }
+        let total = loss.add(&loss2);
+        let mut loss_val = total.item();
+        if opts.inject_nan_at_step == Some(step) {
+            loss_val = f32::NAN;
+        }
+        let guard_tripped = !loss_val.is_finite()
+            || report
+                .first_loss
+                .is_some_and(|first| loss_val > opts.loss_guard * first.abs());
+        if guard_tripped {
+            model.params.zero_grad();
+            // Restore cannot fail: the capture was taken from this very
+            // model moments ago, so names and shapes match.
+            let restored = good.restore_into(model, &mut opt);
+            restored.expect("restoring a same-process capture"); // logcl-allow(L002): infallible by construction
+            report.rolled_back = true;
+            report.steps = 0;
+            report.last_loss = None;
+            break;
+        }
+        total.backward();
+        opt.clip_and_step(clip);
+        report.steps += 1;
+        report.first_loss.get_or_insert(loss_val);
+        report.last_loss = Some(loss_val);
+    }
+
+    model.opt = Some(opt);
+    report
+}
+
 /// One online gradient step on the ground-truth facts of the timestamp just
 /// evaluated (the Fig. 10 protocol): the model adapts to emerging facts
-/// before moving to the next timestamp.
+/// before moving to the next timestamp. Delegates to [`online_adapt`] with
+/// a single unguarded step (non-finite losses still roll back).
 pub fn online_step(model: &mut LogCl, ctx: &EvalContext<'_>, quads: &[Quad]) {
-    if quads.is_empty() {
-        return;
-    }
-    if model.opt.is_none() {
-        model.opt = Some(Adam::new(&model.params, model.opt_options.lr * 0.5));
-    }
-    let shared = model.encode(ctx.snapshots, ctx.t, true);
-    let out1 = model.forward_queries(&shared, ctx.history, quads, true);
-    let targets1: Vec<usize> = quads.iter().map(|q| q.o).collect();
-    let mut loss = out1.logits.cross_entropy(&targets1);
-    if let Some(cl) = out1.contrast {
-        loss = loss.add(&cl);
-    }
-    let inv: Vec<Quad> = quads.iter().map(|q| q.inverse(ctx.ds.num_rels)).collect();
-    let out2 = model.forward_queries(&shared, ctx.history, &inv, true);
-    let targets2: Vec<usize> = inv.iter().map(|q| q.o).collect();
-    let mut loss2 = out2.logits.cross_entropy(&targets2);
-    if let Some(cl) = out2.contrast {
-        loss2 = loss2.add(&cl);
-    }
-    let total = loss.add(&loss2);
-    total.backward();
-    let clip = model.opt_options.grad_clip;
-    if let Some(opt) = model.opt.as_mut() {
-        opt.clip_and_step(clip);
-    }
+    online_adapt(
+        model,
+        ctx,
+        quads,
+        &OnlineAdaptOptions {
+            max_steps: 1,
+            loss_guard: f32::INFINITY,
+            inject_nan_at_step: None,
+        },
+    );
 }
 
 /// Evaluates under the online setting (Fig. 10): after scoring each test
@@ -554,6 +647,90 @@ mod tests {
             other => panic!("expected Resume error, got {other:?}"),
         }
         std::fs::remove_file(path).ok();
+    }
+
+    fn online_ctx(ds: &TkgDataset) -> (Vec<logcl_tkg::Snapshot>, HistoryIndex, usize) {
+        let snapshots = ds.snapshots();
+        let t = ds.num_times;
+        let history = HistoryIndex::build(&snapshots);
+        (snapshots, history, t)
+    }
+
+    #[test]
+    fn online_adapt_is_bounded_and_reduces_loss() {
+        let (ds, mut model) = tiny();
+        train(&mut model, &ds, &TrainOptions::epochs(1)).unwrap();
+        let (snapshots, history, t) = online_ctx(&ds);
+        let ctx = EvalContext {
+            ds: &ds,
+            snapshots: &snapshots,
+            history: &history,
+            t,
+        };
+        let quads: Vec<Quad> = ds.test.iter().take(6).copied().collect();
+        let opts = OnlineAdaptOptions {
+            max_steps: 4,
+            ..Default::default()
+        };
+        let report = online_adapt(&mut model, &ctx, &quads, &opts);
+        assert_eq!(report.steps, 4);
+        assert!(!report.rolled_back);
+        let (first, last) = (report.first_loss.unwrap(), report.last_loss.unwrap());
+        assert!(
+            last < first,
+            "repeated steps must reduce loss: {first} -> {last}"
+        );
+        // Empty facts and a zero budget are both no-ops.
+        let none = online_adapt(&mut model, &ctx, &[], &opts);
+        assert_eq!(none.steps, 0);
+        let zero = online_adapt(
+            &mut model,
+            &ctx,
+            &quads,
+            &OnlineAdaptOptions {
+                max_steps: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(zero.steps, 0);
+    }
+
+    /// An injected NaN mid-loop must restore the exact pre-adaptation
+    /// parameters — the serving stack relies on a rolled-back update being
+    /// indistinguishable from no update.
+    #[test]
+    fn online_divergence_rolls_back_to_bitwise_pre_state() {
+        let (ds, mut model) = tiny();
+        train(&mut model, &ds, &TrainOptions::epochs(1)).unwrap();
+        let (snapshots, history, t) = online_ctx(&ds);
+        let ctx = EvalContext {
+            ds: &ds,
+            snapshots: &snapshots,
+            history: &history,
+            t,
+        };
+        let quads: Vec<Quad> = ds.test.iter().take(6).copied().collect();
+        let before = serialize::snapshot(&model.params);
+        let rng_before = model.rng_state();
+        let report = online_adapt(
+            &mut model,
+            &ctx,
+            &quads,
+            &OnlineAdaptOptions {
+                max_steps: 3,
+                inject_nan_at_step: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(report.rolled_back);
+        assert_eq!(report.steps, 0);
+        let after = serialize::snapshot(&model.params);
+        assert_eq!(
+            serde_json::to_string(&before).unwrap(),
+            serde_json::to_string(&after).unwrap(),
+            "rollback must restore parameters bit-for-bit"
+        );
+        assert_eq!(model.rng_state(), rng_before);
     }
 
     #[test]

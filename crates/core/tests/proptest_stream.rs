@@ -1,0 +1,119 @@
+//! Property test for the streaming encoder state: advancing an
+//! [`EncoderState`] snapshot by snapshot must be **bit-identical**
+//! (`to_bits`) to a from-scratch streaming encode at *every* history
+//! prefix — not just the final horizon — over randomly generated graphs,
+//! window lengths and dimensions. A serde round-trip mid-stream must also
+//! resume the exact float stream, which is the property WAL recovery
+//! leans on.
+
+use proptest::prelude::*;
+
+use logcl_core::config::LogClConfig;
+use logcl_core::local_encoder::{EncoderState, LocalEncoder, LocalEncoding};
+use logcl_tensor::{Rng, Tensor, Var};
+use logcl_tkg::{Quad, Snapshot};
+
+const NUM_RELS: usize = 4;
+
+/// Folds raw generated tuples into in-range quads for an `e`-entity,
+/// `t`-timestamp graph (the stand-in proptest has no `prop_flat_map`, so
+/// dependent ranges are reduced modulo the drawn sizes).
+fn fold_quads(raw: &[(usize, usize, usize, usize)], e: usize, t: usize) -> Vec<Quad> {
+    raw.iter()
+        .map(|&(s, r, o, time)| Quad::new(s % e, r % NUM_RELS, o % e, time % t))
+        .collect()
+}
+
+/// Packs a reference encoding into a state-shaped container so the
+/// comparison reuses `EncoderState::to_bits` (h0 deliberately mirrors h;
+/// only the evolved quantities are compared).
+fn fingerprint_encoding(enc: &LocalEncoding) -> u64 {
+    EncoderState {
+        h0: enc.h_final.to_tensor(),
+        h: enc.h_final.to_tensor(),
+        rel: enc.rel_final.to_tensor(),
+        window: enc
+            .aggs
+            .iter()
+            .zip(enc.evolved.iter())
+            .map(|(a, e)| (a.to_tensor(), e.to_tensor()))
+            .collect(),
+        m: 0,
+        horizon: 0,
+        local: true,
+    }
+    .to_bits()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental advance ≡ from-scratch streaming encode at every prefix.
+    #[test]
+    fn advance_is_bit_identical_to_reference_at_every_prefix(
+        e in 2usize..7,
+        t in 2usize..7,
+        m in 1usize..5,
+        raw in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64, 0usize..64), 4..25),
+        seed in 1u64..1_000,
+    ) {
+        let quads = fold_quads(&raw, e, t);
+        let snaps = Snapshot::group_by_time(&quads, t);
+        let cfg = LogClConfig { dim: 8, time_bank: 4, m, ..Default::default() };
+        let mut rng = Rng::seed(seed);
+        let enc = LocalEncoder::new(&cfg, &mut rng);
+        let h0 = Var::param(Tensor::randn(&[e, 8], 0.3, &mut rng));
+        let rel0 = Var::param(Tensor::randn(&[2 * NUM_RELS, 8], 0.3, &mut rng));
+
+        let mut state = enc.init_state(&h0.to_tensor(), &rel0.to_tensor(), m, true);
+        for horizon in 0..=snaps.len() {
+            let reference = enc.encode_stream(&h0, &rel0, &snaps, horizon, m);
+            let from_state = enc.encoding_from_state(&state);
+            prop_assert_eq!(state.horizon, horizon);
+            prop_assert_eq!(
+                fingerprint_encoding(&from_state),
+                fingerprint_encoding(&reference),
+                "prefix {} of {} diverged", horizon, snaps.len()
+            );
+            if horizon < snaps.len() {
+                enc.advance_state(&mut state, &rel0.to_tensor(), &snaps[horizon]);
+            }
+        }
+        prop_assert!(state.window.len() <= m);
+    }
+
+    /// Serialising the state mid-stream and resuming from the record
+    /// continues the exact same float stream as the uninterrupted state.
+    #[test]
+    fn serde_round_trip_mid_stream_resumes_exactly(
+        e in 2usize..7,
+        t in 2usize..7,
+        m in 1usize..5,
+        raw in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64, 0usize..64), 4..25),
+        seed in 1u64..1_000,
+    ) {
+        let quads = fold_quads(&raw, e, t);
+        let snaps = Snapshot::group_by_time(&quads, t);
+        let cfg = LogClConfig { dim: 8, time_bank: 4, m, ..Default::default() };
+        let mut rng = Rng::seed(seed);
+        let enc = LocalEncoder::new(&cfg, &mut rng);
+        let h0 = Tensor::randn(&[e, 8], 0.3, &mut rng);
+        let rel0 = Tensor::randn(&[2 * NUM_RELS, 8], 0.3, &mut rng);
+
+        let cut = snaps.len() / 2;
+        let mut live = enc.init_state(&h0, &rel0, m, true);
+        for snap in &snaps[..cut] {
+            enc.advance_state(&mut live, &rel0, snap);
+        }
+        let json = serde_json::to_string(&live.to_record()).unwrap();
+        let mut resumed = EncoderState::from_record(
+            &serde_json::from_str(&json).unwrap()
+        ).unwrap();
+        prop_assert_eq!(resumed.to_bits(), live.to_bits());
+        for snap in &snaps[cut..] {
+            enc.advance_state(&mut live, &rel0, snap);
+            enc.advance_state(&mut resumed, &rel0, snap);
+        }
+        prop_assert_eq!(resumed.to_bits(), live.to_bits());
+    }
+}

@@ -20,10 +20,13 @@
 //!   meets an SLO.
 //! - [`ratchet`] compares a fresh report against a committed baseline and
 //!   fails on regressions beyond a configurable noise band.
+//! - [`freshness`] measures ingest-to-visible latency: how long after an
+//!   acked head append the new timestamp answers `/predict`.
 //! - [`timing`] is the only module allowed to read the wall clock
 //!   (enforced by `logcl-analyze` rule L003).
 
 pub mod capacity;
+pub mod freshness;
 pub mod hist;
 pub mod ratchet;
 pub mod report;

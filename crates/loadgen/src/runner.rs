@@ -284,14 +284,40 @@ pub fn http_get(
     path: &str,
     io_timeout: Duration,
 ) -> Result<(u16, String), LoadgenError> {
+    one_shot("GET", addr, path, "", io_timeout)
+}
+
+/// One `Connection: close` POST with a JSON body. Used by the freshness
+/// scenario, which measures individual exchanges rather than sustained load
+/// (the keep-alive worker pool in [`run`] is overkill there).
+pub fn http_post(
+    addr: &str,
+    path: &str,
+    body: &str,
+    io_timeout: Duration,
+) -> Result<(u16, String), LoadgenError> {
+    one_shot("POST", addr, path, body, io_timeout)
+}
+
+fn one_shot(
+    method: &str,
+    addr: &str,
+    path: &str,
+    body: &str,
+    io_timeout: Duration,
+) -> Result<(u16, String), LoadgenError> {
     let sock = resolve(addr)?;
-    let ctx = || format!("GET {path} against {addr}");
+    let ctx = || format!("{method} {path} against {addr}");
     let mut stream =
         TcpStream::connect_timeout(&sock, io_timeout).map_err(|e| LoadgenError::io(ctx(), e))?;
     stream
         .set_read_timeout(Some(io_timeout))
         .map_err(|e| LoadgenError::io(ctx(), e))?;
-    let req = format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
     stream
         .write_all(req.as_bytes())
         .map_err(|e| LoadgenError::io(ctx(), e))?;

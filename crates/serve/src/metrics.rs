@@ -167,6 +167,24 @@ pub struct Metrics {
     pub ingest_dedup_hits: AtomicU64,
     /// Ingests acknowledged only after their WAL frame was fsynced.
     pub durable_acks: AtomicU64,
+    /// Time spent advancing streaming encoder state + history indexes per
+    /// ingest (the O(Δ) freshness cost; excludes online fine-tuning).
+    pub ingest_advance: Histogram,
+    /// Individual online fine-tuning gradient steps applied (a bounded
+    /// loop may take several per ingest; rolled-back steps are not
+    /// counted — see `logcl_online_rollbacks_total`).
+    pub online_steps: AtomicU64,
+    /// Online fine-tuning loops aborted by the loss guard and rolled back
+    /// to the pre-adaptation parameters.
+    pub online_rollbacks: AtomicU64,
+    /// Streaming encoder states rebuilt from scratch (boot, weight update,
+    /// or a recovery snapshot without a usable state record).
+    pub encoder_state_rebuilds: AtomicU64,
+    /// Current streaming encoder horizon (snapshots consumed; gauge).
+    pub encoder_state_horizon: AtomicU64,
+    /// Encoding-cache hit ratio observed at the last ingest, in parts per
+    /// million (gauge; 0 before the first ingest).
+    pub post_ingest_hit_ratio_ppm: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -207,6 +225,12 @@ impl Default for Metrics {
             wal_errors: AtomicU64::new(0),
             ingest_dedup_hits: AtomicU64::new(0),
             durable_acks: AtomicU64::new(0),
+            ingest_advance: Histogram::new(&LATENCY_BUCKETS),
+            online_steps: AtomicU64::new(0),
+            online_rollbacks: AtomicU64::new(0),
+            encoder_state_rebuilds: AtomicU64::new(0),
+            encoder_state_horizon: AtomicU64::new(0),
+            post_ingest_hit_ratio_ppm: AtomicU64::new(0),
         }
     }
 }
@@ -405,6 +429,44 @@ impl Metrics {
             "Ingests acknowledged after their WAL frame was fsynced.",
             &[("", load(&self.durable_acks))],
         );
+        counter(
+            &mut out,
+            "logcl_online_steps_total",
+            "Online fine-tuning gradient steps applied (rollbacks excluded).",
+            &[("", load(&self.online_steps))],
+        );
+        counter(
+            &mut out,
+            "logcl_online_rollbacks_total",
+            "Online fine-tuning loops rolled back by the loss guard.",
+            &[("", load(&self.online_rollbacks))],
+        );
+        counter(
+            &mut out,
+            "logcl_encoder_state_rebuilds_total",
+            "Streaming encoder states rebuilt from scratch.",
+            &[("", load(&self.encoder_state_rebuilds))],
+        );
+        let _ = writeln!(
+            out,
+            "# HELP logcl_encoder_state_horizon Snapshots consumed by the streaming encoder state."
+        );
+        let _ = writeln!(out, "# TYPE logcl_encoder_state_horizon gauge");
+        let _ = writeln!(
+            out,
+            "logcl_encoder_state_horizon {}",
+            load(&self.encoder_state_horizon)
+        );
+        let _ = writeln!(
+            out,
+            "# HELP logcl_post_ingest_cache_hit_ratio Encoding-cache hit ratio at the last ingest."
+        );
+        let _ = writeln!(out, "# TYPE logcl_post_ingest_cache_hit_ratio gauge");
+        let _ = writeln!(
+            out,
+            "logcl_post_ingest_cache_hit_ratio {}",
+            load(&self.post_ingest_hit_ratio_ppm) as f64 / 1e6
+        );
         // Backend identity gauge: label carries the name, value the thread
         // count, following the Prometheus `_info` convention.
         let _ = writeln!(
@@ -459,6 +521,11 @@ impl Metrics {
             "Pool compute threads busy per wall-second, per predict batch.",
             &mut out,
         );
+        self.ingest_advance.render(
+            "logcl_ingest_advance_seconds",
+            "Streaming state + history advance time per ingest.",
+            &mut out,
+        );
         out
     }
 }
@@ -511,6 +578,12 @@ mod tests {
             "logcl_wal_compactions_total 0",
             "logcl_ingest_dedup_hits_total 0",
             "logcl_durable_acks_total 0",
+            "logcl_online_steps_total 0",
+            "logcl_online_rollbacks_total 0",
+            "logcl_encoder_state_rebuilds_total 0",
+            "logcl_encoder_state_horizon 0",
+            "logcl_post_ingest_cache_hit_ratio 0",
+            "logcl_ingest_advance_seconds_count 0",
         ] {
             assert!(text.contains(family), "missing {family} in:\n{text}");
         }

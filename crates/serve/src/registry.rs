@@ -20,8 +20,8 @@ use std::time::Instant;
 use logcl_core::model::SharedEncoding;
 use logcl_core::serving_snapshot::SERVING_SNAPSHOT_VERSION;
 use logcl_core::{
-    trainer, DedupEntry, EvalContext, LogCl, LogClConfig, ModelParamSnapshot, ServingSnapshot,
-    TrainOptions,
+    trainer, DedupEntry, EncoderState, EvalContext, LogCl, LogClConfig, ModelParamSnapshot,
+    ServingSnapshot, TrainOptions,
 };
 use logcl_tensor::serialize::Checkpoint;
 use logcl_tkg::quad::Quad;
@@ -58,15 +58,48 @@ pub struct ModelSpec {
 }
 
 /// A cached query-independent forward state for one timestamp.
+///
+/// `history: None` marks a head entry (query at the live horizon): it reads
+/// the registry-wide incrementally-advanced [`HistoryIndex`] instead of a
+/// pinned per-timestamp copy. Ingestion invalidates every entry at or past
+/// the ingested timestamp before the shared index moves on, so a surviving
+/// `None` entry is always consistent with it.
 struct CachedEncoding {
     shared: SharedEncoding,
-    history: HistoryIndex,
+    history: Option<HistoryIndex>,
 }
 
 struct ModelEntry {
     name: String,
     model: LogCl,
     cache: EncodingCache<CachedEncoding>,
+    /// The incrementally-advanced streaming encoder state (always equal to
+    /// what a from-scratch build over the current parameters + snapshots
+    /// would produce; head ingests advance it in O(Δ)).
+    state: EncoderState,
+}
+
+/// Registry tunables that aren't shared handles (bundled so
+/// [`Registry::build`] stays readable as knobs accumulate).
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryOptions {
+    /// Fuse each batch's unique queries into one `forward_queries` call.
+    pub fused: bool,
+    /// Cached snapshot encodings retained per model.
+    pub cache_capacity: usize,
+    /// Max online fine-tuning gradient steps per `update:true` ingest
+    /// (`0` disables online adaptation entirely).
+    pub online_steps: usize,
+}
+
+impl Default for RegistryOptions {
+    fn default() -> Self {
+        Self {
+            fused: false,
+            cache_capacity: 16,
+            online_steps: 1,
+        }
+    }
 }
 
 /// Insertion-ordered idempotency window: remembers the outcome acked for
@@ -174,6 +207,12 @@ pub struct Registry {
     /// path; in Brownout predictions are answered with a capped top-k and
     /// (optionally) without the global encoder.
     overload: Arc<OverloadState>,
+    /// The global history vocabulary over every consumed snapshot, advanced
+    /// in place by head ingests (rebuilt only on the rare backfill path).
+    /// Head predictions and head online adaptation read it directly.
+    head_history: HistoryIndex,
+    /// Max online fine-tuning steps per `update:true` ingest.
+    online_steps: usize,
     /// Durable-ingest state; `None` = memory-only ingestion.
     durable: Option<DurableState>,
     /// Idempotency window (active with or without durability).
@@ -193,13 +232,13 @@ impl Registry {
         specs: Vec<ModelSpec>,
         metrics: Arc<Metrics>,
         horizon: Arc<AtomicUsize>,
-        fused: bool,
-        cache_capacity: usize,
+        options: RegistryOptions,
         overload: Arc<OverloadState>,
     ) -> Result<Self, StartError> {
         if specs.is_empty() {
             return Err(StartError::NoModels);
         }
+        let snapshots = ds.snapshots();
         let mut entries = Vec::with_capacity(specs.len());
         for spec in specs {
             #[cfg(feature = "fault-inject")]
@@ -232,14 +271,24 @@ impl Registry {
                     source: e,
                 })?;
             }
+            // Boot the streaming state over the full base history; every
+            // later head ingest advances it in O(Δ) instead of re-encoding.
+            let state = model.init_encoder_state(&snapshots);
+            metrics
+                .encoder_state_rebuilds
+                .fetch_add(1, Ordering::Relaxed);
             entries.push(ModelEntry {
                 name: spec.name,
                 model,
-                cache: EncodingCache::new(cache_capacity),
+                cache: EncodingCache::new(options.cache_capacity),
+                state,
             });
         }
-        let snapshots = ds.snapshots();
+        let head_history = HistoryIndex::build(&snapshots);
         horizon.store(ds.num_times, Ordering::SeqCst);
+        metrics
+            .encoder_state_horizon
+            .store(ds.num_times as u64, Ordering::Relaxed);
         let base_test_len = ds.test.len();
         Ok(Self {
             ds,
@@ -247,8 +296,10 @@ impl Registry {
             entries,
             metrics,
             horizon,
-            fused,
+            fused: options.fused,
             overload,
+            head_history,
+            online_steps: options.online_steps,
             durable: None,
             dedup: DedupWindow::default(),
             base_test_len,
@@ -319,6 +370,7 @@ impl Registry {
 
         // Snapshot-encoding cache: compute once per (model, t), reuse for
         // every other request in this batch and every later one at `t`.
+        let at_head = t == self.ds.num_times;
         let entry = &mut self.entries[idx];
         let cache_hit = entry.cache.contains(t);
         if cache_hit {
@@ -326,11 +378,20 @@ impl Registry {
                 .cache_hits
                 .fetch_add(batch_size as u64, Ordering::Relaxed);
         } else {
-            let mut history = HistoryIndex::new();
-            for snap in &self.snapshots[..t] {
-                history.advance(snap);
-            }
-            let shared = entry.model.encode(&self.snapshots, t, false);
+            let (shared, history) = if at_head {
+                // Head query: the streaming state already holds the fully
+                // evolved encoding — materialise it instead of re-encoding
+                // the window, and read the shared advanced history index.
+                (entry.model.shared_from_state(&entry.state), None)
+            } else {
+                // Historical query: encode the query-relative window from
+                // scratch and pin the history prefix it was scored against.
+                let mut history = HistoryIndex::new();
+                for snap in &self.snapshots[..t] {
+                    history.advance(snap);
+                }
+                (entry.model.encode(&self.snapshots, t, false), Some(history))
+            };
             entry.cache.insert(t, CachedEncoding { shared, history });
             self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
             if batch_size > 1 {
@@ -352,6 +413,7 @@ impl Registry {
             }
             return;
         };
+        let history = cached.history.as_ref().unwrap_or(&self.head_history);
 
         // Unique (s, r) pairs: concurrent requests for the same hot query
         // share one decode whichever mode is active.
@@ -373,28 +435,29 @@ impl Registry {
             let out = if skip_global {
                 entry
                     .model
-                    .forward_queries_local_only(&cached.shared, &cached.history, &queries)
+                    .forward_queries_local_only(&cached.shared, history, &queries)
             } else {
                 entry
                     .model
-                    .forward_queries(&cached.shared, &cached.history, &queries, false)
+                    .forward_queries(&cached.shared, history, &queries, false)
             };
             let logits = out.logits.to_tensor();
             scores.extend((0..uniques.len()).map(|i| logits.row(i).to_vec()));
         } else {
             // Exact mode: per-unique-query decode over the shared encoding —
-            // bit-identical to sequential `predict_topk`, independent of
+            // bit-identical to sequential `predict_topk_stream` at the head
+            // and `predict_topk` at historical timestamps, independent of
             // whatever else happens to be in the batch.
             for &(s, r) in &uniques {
                 let query = [Quad::new(s, r, 0, t)];
                 let out = if skip_global {
                     entry
                         .model
-                        .forward_queries_local_only(&cached.shared, &cached.history, &query)
+                        .forward_queries_local_only(&cached.shared, history, &query)
                 } else {
                     entry
                         .model
-                        .forward_queries(&cached.shared, &cached.history, &query, false)
+                        .forward_queries(&cached.shared, history, &query, false)
                 };
                 scores.push(out.logits.to_tensor().row(0).to_vec());
             }
@@ -476,12 +539,20 @@ impl Registry {
         Ok(idx)
     }
 
-    /// Applies one validated ingest: appends facts at `t`, invalidates
-    /// affected cache entries, and optionally runs one online adaptation
-    /// step (Fig. 10). Infallible after [`Registry::validate_ingest`] —
-    /// and idempotent: re-applying the same facts appends nothing and
-    /// (since `appended == 0`) skips the online step, which is what makes
-    /// WAL replay over a compaction snapshot crash-safe.
+    /// Applies one validated ingest: appends facts at `t`, advances (or
+    /// rebuilds) the streaming encoder states and the global history index,
+    /// invalidates affected cache entries, and optionally runs a bounded
+    /// online fine-tuning loop (Fig. 10). Infallible after
+    /// [`Registry::validate_ingest`] — and idempotent: re-applying the same
+    /// facts appends nothing and (since `appended == 0`) skips both the
+    /// online loop and the structure rebuilds, which is what makes WAL
+    /// replay over a compaction snapshot crash-safe.
+    ///
+    /// Cost model: a head append (`t == |T|`) is O(Δ) — one
+    /// `HistoryIndex::advance` plus one `advance_encoder_state` per model.
+    /// A backfill (`t < |T|`) mutates an already-consumed snapshot, so the
+    /// advance-only structures are rebuilt from scratch (rare path, counted
+    /// in `logcl_encoder_state_rebuilds_total`).
     fn apply_ingest(
         &mut self,
         idx: usize,
@@ -489,6 +560,7 @@ impl Registry {
         facts: &[(usize, usize, usize)],
         update: bool,
     ) -> IngestOutcome {
+        let was_head = t == self.ds.num_times;
         // Append new (deduplicated) facts to the test split — snapshots and
         // time-aware filtering read all splits uniformly.
         let existing: std::collections::BTreeSet<(usize, usize, usize)> = self
@@ -520,32 +592,112 @@ impl Registry {
             invalidated += entry.cache.invalidate_from(t);
         }
 
-        let updated = update && appended > 0;
-        if updated {
-            let mut history = HistoryIndex::new();
-            for snap in &self.snapshots[..t] {
-                history.advance(snap);
-            }
-            let ctx = EvalContext {
-                ds: &self.ds,
-                snapshots: &self.snapshots,
-                history: &history,
-                t,
+        // Bounded online fine-tuning on the fresh facts, before the head
+        // history advances past them (`head_history` covers exactly `[..t]`
+        // here when `t` closes the head snapshot). The loss guard inside
+        // `online_adapt` restores the parameters bit-exactly on divergence,
+        // so a rollback leaves caches and encoder states valid.
+        let mut report = trainer::OnlineAdaptReport::default();
+        if update && appended > 0 && self.online_steps > 0 {
+            let opts = trainer::OnlineAdaptOptions {
+                max_steps: self.online_steps,
+                ..Default::default()
             };
-            trainer::online_step(&mut self.entries[idx].model, &ctx, &fresh);
+            report = if was_head {
+                let ctx = EvalContext {
+                    ds: &self.ds,
+                    snapshots: &self.snapshots,
+                    history: &self.head_history,
+                    t,
+                };
+                trainer::online_adapt(&mut self.entries[idx].model, &ctx, &fresh, &opts)
+            } else {
+                let history = HistoryIndex::build(&self.snapshots[..t]);
+                let ctx = EvalContext {
+                    ds: &self.ds,
+                    snapshots: &self.snapshots,
+                    history: &history,
+                    t,
+                };
+                trainer::online_adapt(&mut self.entries[idx].model, &ctx, &fresh, &opts)
+            };
             self.metrics.online_updates.fetch_add(1, Ordering::Relaxed);
-            // Weight update: every cached encoding (any t, any model that
-            // shares parameters — here, just this one) is now stale.
+            self.metrics
+                .online_steps
+                .fetch_add(report.steps as u64, Ordering::Relaxed);
+            if report.rolled_back {
+                self.metrics
+                    .online_rollbacks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let params_changed = report.steps > 0;
+        if params_changed {
+            // Weight update: only the adapted model's cached encodings are
+            // stale (models do not share parameters), so other models keep
+            // every entry below `t`.
             invalidated += self.entries[idx].cache.clear();
         }
+
+        // Incremental advance (the streaming invariant): keep
+        // `head_history` and every model's `EncoderState` equal to what a
+        // from-scratch build over (parameters, snapshots) would produce.
+        let advance_started = Instant::now();
+        if was_head {
+            if params_changed {
+                // The adapted model's state was evolved under the old
+                // parameters; rebuild it under the new ones (the rebuild
+                // also consumes the just-closed snapshot, so the advance
+                // loop below skips it via the horizon check).
+                let rebuilt = self.entries[idx].model.init_encoder_state(&self.snapshots);
+                self.entries[idx].state = rebuilt;
+                self.metrics
+                    .encoder_state_rebuilds
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            self.head_history.advance(&self.snapshots[t]);
+            for entry in &mut self.entries {
+                if entry.state.horizon == t {
+                    entry
+                        .model
+                        .advance_encoder_state(&mut entry.state, &self.snapshots[t]);
+                }
+            }
+        } else if appended > 0 {
+            // Backfill: an already-consumed snapshot changed under the
+            // advance-only structures, so O(Δ) is off the table — rebuild
+            // them over the amended timeline (the rare path by design).
+            self.head_history = HistoryIndex::build(&self.snapshots);
+            for entry in &mut self.entries {
+                let rebuilt = entry.model.init_encoder_state(&self.snapshots);
+                entry.state = rebuilt;
+            }
+            self.metrics
+                .encoder_state_rebuilds
+                .fetch_add(self.entries.len() as u64, Ordering::Relaxed);
+        }
+        self.metrics
+            .ingest_advance
+            .observe(advance_started.elapsed().as_secs_f64());
+
         self.metrics
             .cache_invalidations
             .fetch_add(invalidated as u64, Ordering::Relaxed);
+        self.metrics
+            .encoder_state_horizon
+            .store(self.ds.num_times as u64, Ordering::Relaxed);
+        let hits = self.metrics.cache_hits.load(Ordering::Relaxed);
+        let misses = self.metrics.cache_misses.load(Ordering::Relaxed);
+        if let Some(ppm) = (hits * 1_000_000).checked_div(hits + misses) {
+            self.metrics
+                .post_ingest_hit_ratio_ppm
+                .store(ppm, Ordering::Relaxed);
+        }
 
         IngestOutcome {
             appended,
             invalidated,
-            updated,
+            updated: params_changed,
             horizon: self.ds.num_times,
             durable: false,
             deduplicated: false,
@@ -578,6 +730,8 @@ impl Registry {
                 })?;
             stats.snapshot_loaded = true;
             stats.snapshot_facts = snap.extension.quads.len();
+            self.snapshots = self.ds.snapshots();
+            self.horizon.store(self.ds.num_times, Ordering::SeqCst);
             for ms in &snap.models {
                 let Some(idx) = self.entry_index(&ms.name) else {
                     return Err(StartError::Recovery {
@@ -587,27 +741,55 @@ impl Registry {
                         ),
                     });
                 };
-                let entry = &self.entries[idx];
-                ms.checkpoint
-                    .validate_meta(
-                        &entry.model.cfg.variant_name(),
-                        &entry.model.cfg.fingerprint(),
-                    )
-                    .map_err(|e| StartError::Checkpoint {
-                        model: ms.name.clone(),
-                        source: e,
-                    })?;
-                logcl_tensor::serialize::restore(&entry.model.params, &ms.checkpoint).map_err(
-                    |e| StartError::Checkpoint {
-                        model: ms.name.clone(),
-                        source: e,
-                    },
-                )?;
+                {
+                    let entry = &self.entries[idx];
+                    ms.checkpoint
+                        .validate_meta(
+                            &entry.model.cfg.variant_name(),
+                            &entry.model.cfg.fingerprint(),
+                        )
+                        .map_err(|e| StartError::Checkpoint {
+                            model: ms.name.clone(),
+                            source: e,
+                        })?;
+                    logcl_tensor::serialize::restore(&entry.model.params, &ms.checkpoint).map_err(
+                        |e| StartError::Checkpoint {
+                            model: ms.name.clone(),
+                            source: e,
+                        },
+                    )?;
+                }
+                if let Some(rng) = &ms.rng {
+                    // Resume the model's random stream so online adaptation
+                    // after the restart continues exactly where the
+                    // uninterrupted server would have been.
+                    self.entries[idx].model.restore_rng_state(*rng);
+                }
+                // Prefer the persisted streaming state (bit-exact resume of
+                // the pre-crash float stream); fall back to a deterministic
+                // rebuild for legacy snapshots or a stale horizon.
+                let restored = ms
+                    .state
+                    .as_ref()
+                    .filter(|rec| rec.horizon == self.ds.num_times)
+                    .and_then(|rec| EncoderState::from_record(rec).ok());
+                match restored {
+                    Some(state) => self.entries[idx].state = state,
+                    None => {
+                        let rebuilt = self.entries[idx].model.init_encoder_state(&self.snapshots);
+                        self.entries[idx].state = rebuilt;
+                        self.metrics
+                            .encoder_state_rebuilds
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
+            self.head_history = HistoryIndex::build(&self.snapshots);
+            self.metrics
+                .encoder_state_horizon
+                .store(self.ds.num_times as u64, Ordering::Relaxed);
             self.dedup = DedupWindow::from_entries(&snap.dedup);
             self.applied_ingests = snap.applied_ingests;
-            self.snapshots = self.ds.snapshots();
-            self.horizon.store(self.ds.num_times, Ordering::SeqCst);
         }
 
         let opened = Wal::open(dir.join(WAL_FILE)).map_err(|e| StartError::Wal {
@@ -676,6 +858,13 @@ impl Registry {
                         &e.model.cfg.variant_name(),
                         &e.model.cfg.fingerprint(),
                     ),
+                    // Persist the advanced streaming state + RNG stream so a
+                    // restart resumes the exact float stream instead of
+                    // re-deriving it (and so ingests applied while the
+                    // process was down replay through the same incremental
+                    // advance path the live server used).
+                    state: Some(e.state.to_record()),
+                    rng: Some(e.model.rng_state()),
                 })
                 .collect(),
             dedup: self.dedup.to_entries(),
@@ -745,8 +934,14 @@ impl BatchHandler for Registry {
     /// durable, and a retry re-converges because `apply_ingest` is
     /// idempotent.
     fn handle_ingest_group(&mut self, jobs: Vec<IngestJob>) {
+        // Brownout degradation: online fine-tuning is optional work, shed
+        // under pressure like any other. The decision is taken *before* the
+        // WAL sees the record so crash replay re-applies exactly what the
+        // live path did (`apply_ingest` itself never consults the tier).
+        let brownout = self.overload.tier(Instant::now()) >= Tier::Brownout;
         let mut acks = Vec::with_capacity(jobs.len());
         for job in jobs {
+            let effective_update = job.update && !brownout;
             if let Some(id) = &job.ingest_id {
                 if let Some(remembered) = self.dedup.get(id) {
                     self.metrics
@@ -765,13 +960,13 @@ impl BatchHandler for Registry {
                     continue;
                 }
             };
-            let outcome = self.apply_ingest(idx, job.t, &job.facts, job.update);
+            let outcome = self.apply_ingest(idx, job.t, &job.facts, effective_update);
             if self.durable.is_some() {
                 let record = WalRecord {
                     model: job.model.clone(),
                     t: job.t,
                     facts: job.facts.clone(),
-                    update: job.update,
+                    update: effective_update,
                     ingest_id: job.ingest_id.clone(),
                 };
                 let appended_ok = match &mut self.durable {
@@ -865,8 +1060,7 @@ mod tests {
             specs,
             Arc::new(Metrics::default()),
             Arc::new(AtomicUsize::new(0)),
-            false,
-            16,
+            RegistryOptions::default(),
             Arc::new(OverloadState::new(
                 crate::shed::OverloadPolicy::default(),
                 Arc::new(Metrics::default()),
@@ -926,6 +1120,60 @@ mod tests {
     }
 
     #[test]
+    fn weight_update_clears_only_the_updated_models_cache() {
+        let mut reg = build(vec![
+            ModelSpec {
+                name: "a".into(),
+                cfg: tiny_cfg(),
+                checkpoint: None,
+                train: None,
+            },
+            ModelSpec {
+                name: "b".into(),
+                cfg: tiny_cfg(),
+                checkpoint: None,
+                train: None,
+            },
+        ])
+        .unwrap();
+
+        // Warm model a's cache at a historical timestamp (below the head).
+        let t0 = reg.ds.num_times - 1;
+        let (tx, rx) = std::sync::mpsc::channel();
+        reg.predict_group(vec![PredictJob {
+            model: "a".into(),
+            s: 0,
+            r: 0,
+            t: t0,
+            k: 3,
+            deadline: Instant::now() + std::time::Duration::from_secs(30),
+            enqueued_at: Instant::now(),
+            reply: tx,
+        }]);
+        rx.recv().unwrap().unwrap();
+        assert!(reg.entries[0].cache.contains(t0));
+
+        // Model b ingests at the head with update:true. Its own cache is
+        // cleared by the weight update, but model a's historical entry is
+        // untouched — the clear is scoped to the adapted model.
+        let head = reg.ds.num_times;
+        let idx_b = reg.entry_index("b").unwrap();
+        let outcome = reg.apply_ingest(idx_b, head, &[(0, 0, 1), (1, 1, 2)], true);
+        assert!(outcome.updated, "online adaptation should have stepped");
+        assert!(
+            reg.entries[0].cache.contains(t0),
+            "model a's cache must survive model b's update:true ingest"
+        );
+
+        // The streaming invariant held throughout: every state and the
+        // shared history index cover the (now extended) full timeline.
+        for entry in &reg.entries {
+            assert_eq!(entry.state.horizon, reg.ds.num_times);
+        }
+        assert_eq!(outcome.horizon, head + 1);
+    }
+
+    #[test]
     fn accepts_matching_checkpoint_and_publishes_horizon() {
         let ds = tiny_ds();
         let model = LogCl::new(&ds, tiny_cfg());
@@ -945,8 +1193,7 @@ mod tests {
             }],
             Arc::new(Metrics::default()),
             horizon.clone(),
-            false,
-            16,
+            RegistryOptions::default(),
             Arc::new(OverloadState::new(
                 crate::shed::OverloadPolicy::default(),
                 Arc::new(Metrics::default()),

@@ -32,7 +32,7 @@ use crate::batcher::{run_batcher, BatcherOptions, IngestJob, PredictJob, ServeEr
 use crate::error::StartError;
 use crate::http::{read_request_limited, write_response, HttpError, Request, Response};
 use crate::metrics::Metrics;
-use crate::registry::{ModelSpec, Registry};
+use crate::registry::{ModelSpec, Registry, RegistryOptions};
 use crate::shed::{OverloadPolicy, OverloadState};
 
 /// Server configuration.
@@ -105,6 +105,10 @@ pub struct ServeConfig {
     /// Snapshot-compact the WAL after this many logged ingests
     /// (`0` = never compact; the log grows without bound).
     pub wal_compact_every: u64,
+    /// Max online fine-tuning gradient steps per `update:true` ingest
+    /// (`0` disables online adaptation; the loss guard may stop — and roll
+    /// back — a loop before the budget is spent).
+    pub online_steps: usize,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +140,7 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             wal_dir: None,
             wal_compact_every: 64,
+            online_steps: 1,
         }
     }
 }
@@ -420,8 +425,11 @@ impl Server {
                 linger: cfg.linger,
                 max_batch: cfg.max_batch.max(1),
             };
-            let fused = cfg.fused;
-            let cache_capacity = cfg.cache_capacity;
+            let registry_options = RegistryOptions {
+                fused: cfg.fused,
+                cache_capacity: cfg.cache_capacity,
+                online_steps: cfg.online_steps,
+            };
             let overload = Arc::clone(&overload);
             let wal_dir = cfg.wal_dir.clone();
             let wal_compact_every = cfg.wal_compact_every;
@@ -433,8 +441,7 @@ impl Server {
                         specs,
                         Arc::clone(&metrics),
                         horizon,
-                        fused,
-                        cache_capacity,
+                        registry_options,
                         Arc::clone(&overload),
                     ) {
                         Ok(r) => r,

@@ -9,7 +9,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-use logcl_core::{predict_topk, LogCl, LogClConfig};
+use logcl_core::{predict_topk_stream, LogCl, LogClConfig};
 use logcl_serve::{ModelSpec, ServeConfig, Server};
 use logcl_tkg::{SyntheticPreset, TkgDataset};
 use serde_json::Value;
@@ -181,7 +181,7 @@ fn concurrent_clients_get_batched_answers_identical_to_sequential() {
         assert_eq!(*status, 200, "client {i}: {body}");
         let v = json(body);
         let got = predictions_of(&v);
-        let expected: Vec<(u64, f32)> = predict_topk(&mut reference, &ds, i, 0, t, 5)
+        let expected: Vec<(u64, f32)> = predict_topk_stream(&mut reference, &ds, i, 0, 5)
             .unwrap()
             .into_iter()
             .map(|p| (p.entity as u64, p.probability))
@@ -301,6 +301,54 @@ fn ingest_extends_horizon_invalidates_cache_and_changes_predictions() {
     assert_eq!(status, 200);
     let after = predictions_of(&json(&after));
     assert_ne!(before, after, "online step left predictions untouched");
+    server.shutdown();
+}
+
+#[test]
+fn freshness_metrics_track_streaming_advance_and_online_adaptation() {
+    let server = test_server(1, 2);
+    let addr = server.addr();
+    let horizon = {
+        let (_, body) = request(addr, "GET", "/healthz", "");
+        json(&body).get("horizon").and_then(Value::as_u64).unwrap()
+    };
+
+    // One miss then one hit at the head primes the post-ingest hit-ratio
+    // gauge at exactly 0.5.
+    let query = format!(r#"{{"subject": 0, "relation": 0, "time": {horizon}, "k": 3}}"#);
+    let (status, _) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 200);
+    let (status, _) = request(addr, "POST", "/predict", &query);
+    assert_eq!(status, 200);
+
+    // A head ingest (update defaults to true) advances the streaming state
+    // and runs the bounded online loop.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/ingest",
+        &format!(r#"{{"time": {horizon}, "facts": [[0, 0, 1], [2, 1, 3]]}}"#),
+    );
+    assert_eq!(status, 200, "{body}");
+
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for family in [
+        // Horizon gauge moved with the ingest.
+        format!("logcl_encoder_state_horizon {}", horizon + 1),
+        // The O(Δ) advance was timed exactly once.
+        "logcl_ingest_advance_seconds_count 1".into(),
+        // One bounded online loop: default budget is a single step, taken.
+        "logcl_online_steps_total 1".into(),
+        "logcl_online_rollbacks_total 0".into(),
+        // Boot rebuild (one model) + post-update rebuild.
+        "logcl_encoder_state_rebuilds_total 2".into(),
+        // 1 hit / (1 hit + 1 miss) at ingest time.
+        "logcl_post_ingest_cache_hit_ratio 0.5".into(),
+    ] {
+        let family: String = family;
+        assert!(text.contains(&family), "missing {family} in:\n{text}");
+    }
     server.shutdown();
 }
 
@@ -475,7 +523,7 @@ fn expired_deadline_is_shed_before_compute_and_admitted_work_stays_exact() {
     // sequentially in-process.
     let ds = tiny_ds();
     let mut reference = LogCl::new(&ds, tiny_cfg());
-    let expected: Vec<(u64, f32)> = predict_topk(&mut reference, &ds, 1, 0, t, 5)
+    let expected: Vec<(u64, f32)> = predict_topk_stream(&mut reference, &ds, 1, 0, 5)
         .unwrap()
         .into_iter()
         .map(|p| (p.entity as u64, p.probability))

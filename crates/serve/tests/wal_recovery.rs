@@ -231,6 +231,13 @@ fn crash_image_recovers_online_update_ingests_bit_identically() {
         uninterrupted,
         "replayed online updates must reproduce the exact weights"
     );
+    // Replay routed through the same incremental path the live server used:
+    // the streaming encoder state was advanced to the recovered horizon.
+    let (_, text) = request(reborn.addr(), "GET", "/metrics", "");
+    assert!(
+        text.contains(&format!("logcl_encoder_state_horizon {horizon}")),
+        "replay must advance the streaming state to the recovered head:\n{text}"
+    );
     reborn.shutdown();
 }
 
@@ -265,6 +272,17 @@ fn compacted_state_recovers_from_the_snapshot_alone() {
         reborn.metrics().wal_replayed_frames.load(Ordering::Relaxed),
         0,
         "a compacted log has nothing to replay"
+    );
+    // The snapshot carried the advanced streaming state: recovery restored
+    // it instead of rebuilding (the single rebuild is the boot-time init
+    // over the base dataset, before the snapshot was even read).
+    assert_eq!(
+        reborn
+            .metrics()
+            .encoder_state_rebuilds
+            .load(Ordering::Relaxed),
+        1,
+        "a valid persisted state record must be restored, not rebuilt"
     );
     reborn.shutdown();
 }
