@@ -1,0 +1,40 @@
+// L009 fixture: two paths acquire a lock pair in opposite orders — the
+// classic AB/BA deadlock — with one leg taken through a guard-returning
+// helper so the interprocedural resolution is what closes the cycle. A
+// third lock acquired consistently proves an edge alone never fires.
+
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Triple {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+    gamma: Mutex<u32>,
+}
+
+impl Triple {
+    fn lock_alpha(&self) -> MutexGuard<'_, u32> {
+        self.alpha.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_beta(&self) -> MutexGuard<'_, u32> {
+        self.beta.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn forward(&self) -> u32 {
+        let ga = self.lock_alpha();
+        let gb = self.lock_beta();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.lock_beta();
+        let ga = self.lock_alpha();
+        *ga + *gb
+    }
+
+    pub fn consistent(&self) -> u32 {
+        let ga = self.lock_alpha();
+        let gc = self.gamma.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gc
+    }
+}

@@ -1,0 +1,38 @@
+// L010 fixture: blocking I/O and sleeps reachable while a guard is live —
+// directly and through a resolved call. Dropping the guard first is the
+// legal form.
+
+use std::fs::File;
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn flush_to_disk(file: &File) -> std::io::Result<()> {
+    file.sync_all()
+}
+
+pub struct Journal {
+    file: Mutex<File>,
+    side: File,
+}
+
+impl Journal {
+    pub fn direct(&self) {
+        let guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        guard.sync_all().ok();
+        drop(guard);
+    }
+
+    pub fn interprocedural(&self) {
+        let guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        flush_to_disk(&self.side).ok();
+        std::thread::sleep(Duration::from_millis(1));
+        drop(guard);
+    }
+
+    pub fn legal(&self) {
+        let guard = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        drop(guard);
+        flush_to_disk(&self.side).ok();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}

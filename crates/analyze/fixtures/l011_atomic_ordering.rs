@@ -1,0 +1,23 @@
+// L011 fixture: `Ordering::Relaxed` on cross-thread signals is flagged;
+// telemetry-plane counter bumps (statements mentioning `metrics`) and
+// sites carrying a written justification are exempt.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Flags {
+    pub ready: AtomicBool,
+    pub generation: AtomicU64,
+}
+
+pub struct Metrics {
+    pub requests: AtomicU64,
+}
+
+pub fn publish(flags: &Flags, metrics: &Metrics) {
+    flags.generation.fetch_add(1, Ordering::Relaxed);
+    flags.ready.store(true, Ordering::Relaxed);
+    metrics.requests.fetch_add(1, Ordering::Relaxed);
+    // logcl-allow(L011): generation is read only for a debug snapshot — no data is published through it
+    let g = flags.generation.load(Ordering::Relaxed);
+    let _ = g;
+}

@@ -151,6 +151,33 @@ pub const L008_SCOPE: Scope = Scope {
     exclude: &["crates/serve/src/fault.rs"],
 };
 
+/// L009 lock-order: the cross-file lock-acquisition graph must stay
+/// acyclic. Same scope as L005 — the kernel thread pool and the serving
+/// stack are the only places that hold named guards.
+pub const L009_SCOPE: Scope = Scope {
+    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
+    exclude: &[],
+};
+
+/// L010 blocking-under-lock: fsync/sleep/socket writes (and, through
+/// calls, channel reads and condvar waits) must not be reachable while a
+/// guard is live. Same scope as L009: the lock-holding subsystems.
+pub const L010_SCOPE: Scope = Scope {
+    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
+    exclude: &[],
+};
+
+/// L011 atomic-ordering: `Ordering::Relaxed` is reserved for the telemetry
+/// plane. `metrics.rs` IS the telemetry plane — every atomic in it is a
+/// monotonic counter family whose staleness is harmless — so it is excluded
+/// wholesale; elsewhere, counter bumps mentioning `metrics` are exempted
+/// structurally and anything else needs Acquire/Release or a written
+/// `logcl-allow(L011)` justification.
+pub const L011_SCOPE: Scope = Scope {
+    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
+    exclude: &["crates/serve/src/metrics.rs"],
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +201,11 @@ mod tests {
         assert!(L003_TIME_SCOPE.contains("crates/loadgen/src/timing_helpers.rs"));
         assert!(L008_SCOPE.contains("crates/serve/src/batcher.rs"));
         assert!(!L008_SCOPE.contains("crates/serve/src/fault.rs"));
+        assert!(L009_SCOPE.contains("crates/serve/src/wal.rs"));
+        assert!(L009_SCOPE.contains("crates/tensor/src/kernels/pool.rs"));
+        assert!(!L010_SCOPE.contains("crates/tensor/src/parallel_glue.rs"));
+        assert!(L011_SCOPE.contains("crates/serve/src/shed.rs"));
+        assert!(!L011_SCOPE.contains("crates/serve/src/metrics.rs"));
     }
 
     #[test]

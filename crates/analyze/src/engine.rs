@@ -7,7 +7,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::config;
-use crate::lints::{registry, Diagnostic};
+use crate::lints::{registry, Diagnostic, LintPass};
 use crate::source::SourceFile;
 
 /// The result of one analysis run.
@@ -105,27 +105,60 @@ fn collect_rs_files(
 
 /// Analyzes in-memory sources: `(workspace-relative path, contents)` pairs.
 /// This is the seam the fixture tests inject violations through.
+///
+/// Two passes since PR 9: every file is parsed up front, per-file lints run
+/// file by file, and workspace lints ([`LintPass::Workspace`]) run once
+/// over their whole in-scope slice — the interprocedural lints need the
+/// cross-file call graph. Allow resolution stays strictly per file.
 pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
     let mut analysis = Analysis::default();
-    for (path, text) in files {
-        if config::globally_exempt(path) {
-            continue;
-        }
-        analysis.files_scanned += 1;
-        let file = SourceFile::parse(path, text);
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .filter(|(path, _)| !config::globally_exempt(path))
+        .map(|(path, text)| SourceFile::parse(path, text))
+        .collect();
+    analysis.files_scanned = parsed.len();
 
-        let mut raw: Vec<Diagnostic> = Vec::new();
-        for lint in registry() {
-            if lint.scope.contains(path) {
-                (lint.run)(&file, &mut raw);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for lint in registry() {
+        match lint.pass {
+            LintPass::PerFile(run) => {
+                for file in &parsed {
+                    if lint.scope.contains(&file.path) {
+                        run(file, &mut raw);
+                    }
+                }
+            }
+            LintPass::Workspace(run) => {
+                let in_scope: Vec<&SourceFile> = parsed
+                    .iter()
+                    .filter(|f| lint.scope.contains(&f.path))
+                    .collect();
+                if !in_scope.is_empty() {
+                    run(&in_scope, &mut raw);
+                }
             }
         }
+    }
+
+    // Group raw diagnostics by path so allow resolution stays per-file
+    // (workspace lints may report against any file in their slice).
+    let mut by_path: BTreeMap<&str, Vec<Diagnostic>> = BTreeMap::new();
+    for d in raw {
+        match parsed.iter().find(|f| f.path == d.path) {
+            Some(f) => by_path.entry(f.path.as_str()).or_default().push(d),
+            None => analysis.diagnostics.push(d),
+        }
+    }
+
+    for file in &parsed {
+        let raw_for_file = by_path.remove(file.path.as_str()).unwrap_or_default();
 
         // Resolve allows. A trailing allow covers its own line; a
         // standalone allow covers the next line holding code (stacked
         // standalone allows therefore all cover that same line).
         let mut allow_used = vec![false; file.allows.len()];
-        'diag: for d in raw {
+        'diag: for d in raw_for_file {
             for (ai, a) in file.allows.iter().enumerate() {
                 if a.lint != d.lint {
                     continue;
@@ -149,7 +182,7 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
         for b in &file.bad_allows {
             analysis.diagnostics.push(Diagnostic {
                 lint: "L000".into(),
-                path: path.clone(),
+                path: file.path.clone(),
                 line: b.line,
                 col: 1,
                 message: format!("malformed suppression: {}", b.problem),
@@ -159,7 +192,7 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
             if !allow_used[ai] {
                 analysis.diagnostics.push(Diagnostic {
                     lint: "L000".into(),
-                    path: path.clone(),
+                    path: file.path.clone(),
                     line: a.line,
                     col: 1,
                     message: format!(
@@ -175,6 +208,29 @@ pub fn analyze_sources(files: &[(String, String)]) -> Analysis {
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, &a.lint).cmp(&(&b.path, b.line, b.col, &b.lint)));
     analysis
+}
+
+/// Renders the L009 lock-acquisition graph of the workspace at `root` as
+/// GraphViz DOT (the `analyze graph --dot` command).
+pub fn lock_graph_dot_root(root: &Path) -> Result<String, EngineError> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(EngineError::NotAWorkspace(root.to_path_buf()));
+    }
+    let mut files: Vec<(String, String)> = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .filter(|(path, _)| config::L009_SCOPE.contains(path))
+        .map(|(path, text)| SourceFile::parse(path, text))
+        .collect();
+    let refs: Vec<&SourceFile> = parsed.iter().collect();
+    Ok(crate::concurrency::lock_graph_dot(&refs))
 }
 
 /// Per-`(lint, path)` diagnostic counts — the ratchet's unit of account.

@@ -7,11 +7,14 @@
 //! CONTRIBUTING.md for the `logcl-allow` workflow.
 
 pub mod baseline;
+pub mod concurrency;
 pub mod config;
 pub mod engine;
 pub mod lexer;
 pub mod lints;
 pub mod source;
 
-pub use engine::{analyze_root, analyze_sources, find_workspace_root, Analysis};
-pub use lints::{lint_by_id, registry, Diagnostic};
+pub use engine::{
+    analyze_root, analyze_sources, find_workspace_root, lock_graph_dot_root, Analysis,
+};
+pub use lints::{lint_by_id, registry, Diagnostic, LintPass, META_LINT};

@@ -25,7 +25,7 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
-    fn new(lint: &str, file: &SourceFile, t: &Token, message: String) -> Diagnostic {
+    pub(crate) fn new(lint: &str, file: &SourceFile, t: &Token, message: String) -> Diagnostic {
         Diagnostic {
             lint: lint.to_string(),
             path: file.path.clone(),
@@ -34,6 +34,17 @@ impl Diagnostic {
             message,
         }
     }
+}
+
+/// How a lint runs: over one file at a time, or once over every in-scope
+/// file together (the interprocedural lints need the whole slice to build
+/// the call graph and cross-file lock-order edges).
+#[derive(Clone, Copy)]
+pub enum LintPass {
+    /// Runs independently per in-scope file.
+    PerFile(fn(&SourceFile, &mut Vec<Diagnostic>)),
+    /// Runs once over all in-scope files.
+    Workspace(fn(&[&SourceFile], &mut Vec<Diagnostic>)),
 }
 
 /// A registered lint.
@@ -46,12 +57,22 @@ pub struct LintDef {
     pub invariant: &'static str,
     /// Which PR's guarantee this lint machine-checks.
     pub origin: &'static str,
-    /// Run the lint over one in-scope file.
-    pub run: fn(&SourceFile, &mut Vec<Diagnostic>),
+    /// How (and over what granularity) the lint runs.
+    pub pass: LintPass,
     /// Path scope. Lints with several rule groups (L003) check additional
     /// scopes internally; this is the union.
     pub scope: Scope,
 }
+
+/// The engine's built-in meta lint (malformed/unused `logcl-allow`). Not in
+/// [`registry`] — it has no `pass` of its own — but documented alongside it
+/// so generated listings (CLI `lints`, fixtures/README.md) stay complete.
+pub const META_LINT: (&str, &str, &str, &str) = (
+    "L000",
+    "allow-hygiene",
+    "every logcl-allow is well-formed and suppresses a live violation",
+    "PR 4 (engine meta lint)",
+);
 
 /// All lints, in id order.
 pub fn registry() -> &'static [LintDef] {
@@ -61,7 +82,7 @@ pub fn registry() -> &'static [LintDef] {
             name: "kernel-boundary",
             invariant: "raw f32/f64 buffer compute only inside crates/tensor/src/kernels/",
             origin: "PR 3 (pluggable Backend, bit-identical kernels)",
-            run: l001_kernel_boundary,
+            pass: LintPass::PerFile(l001_kernel_boundary),
             scope: config::L001_SCOPE,
         },
         LintDef {
@@ -69,7 +90,7 @@ pub fn registry() -> &'static [LintDef] {
             name: "panic-freedom",
             invariant: "no unwrap/expect/panic!/unreachable!/todo! in non-test library code",
             origin: "PR 2 (fail-closed training and serving)",
-            run: l002_panic_freedom,
+            pass: LintPass::PerFile(l002_panic_freedom),
             scope: config::L002_SCOPE,
         },
         LintDef {
@@ -77,7 +98,7 @@ pub fn registry() -> &'static [LintDef] {
             name: "determinism",
             invariant: "no hash-ordered iteration or wall-clock reads in compute/model paths",
             origin: "PR 3 (bit-identical kernels) + paper Eq. 9-14 aggregation order",
-            run: l003_determinism,
+            pass: LintPass::PerFile(l003_determinism),
             scope: config::L003_COLLECTIONS_SCOPE,
         },
         LintDef {
@@ -86,7 +107,7 @@ pub fn registry() -> &'static [LintDef] {
             invariant: "atomic replace needs an fsync before the rename; append-mode \
                         writers (WALs) need an fsync somewhere in the file",
             origin: "PR 2 (durable atomic checkpoints) + PR 7 (WAL group commit)",
-            run: l004_fsync_discipline,
+            pass: LintPass::PerFile(l004_fsync_discipline),
             scope: config::L004_SCOPE,
         },
         LintDef {
@@ -94,7 +115,7 @@ pub fn registry() -> &'static [LintDef] {
             name: "lock-hygiene",
             invariant: "a held mutex guard must not span a blocking wait on another primitive",
             origin: "PR 3 (kernel pool) + PR 1 (serve batcher)",
-            run: l005_lock_hygiene,
+            pass: LintPass::PerFile(l005_lock_hygiene),
             scope: config::L005_SCOPE,
         },
         LintDef {
@@ -102,7 +123,7 @@ pub fn registry() -> &'static [LintDef] {
             name: "error-context",
             invariant: "public Results carry typed errors, not Box<dyn Error> or String",
             origin: "PR 2 (typed checkpoint/dataset/training errors)",
-            run: l006_error_context,
+            pass: LintPass::PerFile(l006_error_context),
             scope: config::L006_SCOPE,
         },
         LintDef {
@@ -110,7 +131,7 @@ pub fn registry() -> &'static [LintDef] {
             name: "head-indexing",
             invariant: "no literal-zero indexing of request/batch data in the serving stack",
             origin: "PR 1 (serve) + PR 2 (fail-closed request validation)",
-            run: l007_head_indexing,
+            pass: LintPass::PerFile(l007_head_indexing),
             scope: config::L007_SCOPE,
         },
         LintDef {
@@ -118,8 +139,34 @@ pub fn registry() -> &'static [LintDef] {
             name: "fault-isolation",
             invariant: "fault-injection hooks reachable only under the fault-inject feature",
             origin: "PR 5 (overload resilience + deterministic fault injection)",
-            run: l008_fault_isolation,
+            pass: LintPass::PerFile(l008_fault_isolation),
             scope: config::L008_SCOPE,
+        },
+        LintDef {
+            id: "L009",
+            name: "lock-order",
+            invariant: "the cross-file lock-acquisition graph is acyclic (one global order)",
+            origin: "PR 9 (interprocedural concurrency analysis)",
+            pass: LintPass::Workspace(crate::concurrency::l009_lock_order),
+            scope: config::L009_SCOPE,
+        },
+        LintDef {
+            id: "L010",
+            name: "blocking-under-lock",
+            invariant: "no fsync/sleep/socket-write (or, via calls, channel/condvar wait) \
+                        reachable while a guard is live",
+            origin: "PR 9 (interprocedural concurrency analysis)",
+            pass: LintPass::Workspace(crate::concurrency::l010_blocking_under_lock),
+            scope: config::L010_SCOPE,
+        },
+        LintDef {
+            id: "L011",
+            name: "atomic-ordering",
+            invariant: "Ordering::Relaxed only in the telemetry plane or under a written \
+                        justification",
+            origin: "PR 9 (interprocedural concurrency analysis)",
+            pass: LintPass::PerFile(crate::concurrency::l011_atomic_ordering),
+            scope: config::L011_SCOPE,
         },
     ]
 }
@@ -127,6 +174,31 @@ pub fn registry() -> &'static [LintDef] {
 /// The lint def for `id`, if registered.
 pub fn lint_by_id(id: &str) -> Option<&'static LintDef> {
     registry().iter().find(|l| l.id == id)
+}
+
+/// The full lint listing — meta lint first, then the registry — as
+/// `(id, name, invariant, origin)` rows. The single source both the CLI
+/// `lints` command and the generated fixtures/README.md table render from,
+/// so a newly registered lint cannot stay undocumented.
+pub fn lint_rows() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
+    let mut rows = vec![META_LINT];
+    rows.extend(
+        registry()
+            .iter()
+            .map(|l| (l.id, l.name, l.invariant, l.origin)),
+    );
+    rows
+}
+
+/// The lint table as GitHub markdown (used verbatim in fixtures/README.md;
+/// a test pins the file to this output).
+pub fn lint_table_markdown() -> String {
+    let mut out = String::from("| id | name | invariant | origin |\n|---|---|---|---|\n");
+    for (id, name, invariant, origin) in lint_rows() {
+        let one_line = invariant.split_whitespace().collect::<Vec<_>>().join(" ");
+        out.push_str(&format!("| {id} | {name} | {one_line} | {origin} |\n"));
+    }
+    out
 }
 
 // ------------------------------------------------------------------ helpers
@@ -862,7 +934,10 @@ mod tests {
         let f = SourceFile::parse(path, src);
         let def = lint_by_id(id).expect("registered lint");
         let mut out = Vec::new();
-        (def.run)(&f, &mut out);
+        match def.pass {
+            LintPass::PerFile(run) => run(&f, &mut out),
+            LintPass::Workspace(run) => run(&[&f], &mut out),
+        }
         out
     }
 

@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! cargo run -p logcl-analyze -- check                 # human output, exit 1 on violations
-//! cargo run -p logcl-analyze -- check --json          # machine output
+//! cargo run -p logcl-analyze -- check --json          # machine output (schema_version'd)
 //! cargo run -p logcl-analyze -- check --update-baseline
 //! cargo run -p logcl-analyze -- lints                 # list registered lints
+//! cargo run -p logcl-analyze -- graph --dot           # L009 lock-order graph as DOT
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use logcl_analyze::baseline::{self, Verdict};
-use logcl_analyze::engine::{analyze_root, count_by_lint_and_path, find_workspace_root};
-use logcl_analyze::lints::{registry, Diagnostic};
+use logcl_analyze::engine::{
+    analyze_root, count_by_lint_and_path, find_workspace_root, lock_graph_dot_root,
+};
+use logcl_analyze::lints::{lint_rows, registry, Diagnostic};
 
 const DEFAULT_BASELINE: &str = "analyze.baseline";
 
@@ -27,6 +30,7 @@ struct Options {
 enum Command {
     Check,
     Lints,
+    Graph,
 }
 
 fn main() -> ExitCode {
@@ -44,17 +48,19 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Command::Check => run_check(&opts),
+        Command::Graph => run_graph(&opts),
     }
 }
 
-const USAGE: &str = "usage: logcl-analyze <check|lints> [--json] [--update-baseline] \
-                     [--root DIR] [--baseline FILE]";
+const USAGE: &str = "usage: logcl-analyze <check|lints|graph> [--json] [--dot] \
+                     [--update-baseline] [--root DIR] [--baseline FILE]";
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let command = match args.next().as_deref() {
         Some("check") => Command::Check,
         Some("lints") => Command::Lints,
+        Some("graph") => Command::Graph,
         Some(other) => return Err(format!("unknown command {other:?}")),
         None => return Err("missing command".into()),
     };
@@ -68,6 +74,9 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            // `graph` always emits DOT; the flag is accepted for
+            // self-documenting invocations (`analyze graph --dot`).
+            "--dot" => {}
             "--update-baseline" => opts.update_baseline = true,
             "--root" => {
                 opts.root = Some(PathBuf::from(
@@ -85,33 +94,61 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// Generated from the registry (plus the L000 meta lint) so a newly
+/// registered lint shows up here without anyone remembering to edit this.
 fn print_lints() {
-    for lint in registry() {
-        println!("{}  {:<16} {}", lint.id, lint.name, lint.invariant);
-        println!("      origin: {}", lint.origin);
+    for (id, name, invariant, origin) in lint_rows() {
+        println!(
+            "{id}  {name:<20} {}",
+            invariant.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
+        println!("      origin: {origin}");
     }
-    println!("L000  meta             malformed or unused logcl-allow suppressions");
 }
 
-fn run_check(opts: &Options) -> ExitCode {
-    let root = match &opts.root {
-        Some(r) => r.clone(),
+fn run_graph(opts: &Options) -> ExitCode {
+    let root = match resolve_root(&opts.root) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match lock_graph_dot_root(&root) {
+        Ok(dot) => {
+            print!("{dot}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("graph failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn resolve_root(opt: &Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    match opt {
+        Some(r) => Ok(r.clone()),
         None => {
             let cwd = match std::env::current_dir() {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("cannot determine working directory: {e}");
-                    return ExitCode::from(2);
+                    return Err(ExitCode::from(2));
                 }
             };
             match find_workspace_root(&cwd) {
-                Some(r) => r,
+                Some(r) => Ok(r),
                 None => {
                     eprintln!("no cargo workspace found above {}", cwd.display());
-                    return ExitCode::from(2);
+                    Err(ExitCode::from(2))
                 }
             }
         }
+    }
+}
+
+fn run_check(opts: &Options) -> ExitCode {
+    let root = match resolve_root(&opts.root) {
+        Ok(r) => r,
+        Err(code) => return code,
     };
     let baseline_path = opts
         .baseline
@@ -232,9 +269,16 @@ fn render_json(
             )
         })
         .collect();
+    // The lints this build of the analyzer can emit (registry + meta lint):
+    // consumers of the CI artifact use this to tell "clean because checked"
+    // from "clean because the lint didn't exist yet".
+    let mut lints: Vec<String> = vec!["\"L000\"".into()];
+    lints.extend(registry().iter().map(|l| format!("\"{}\"", l.id)));
     format!(
-        "{{\"ok\":{},\"files_scanned\":{},\"total_diagnostics\":{},\"suppressed\":{},\
+        "{{\"schema_version\":1,\"lints\":[{}],\"ok\":{},\"files_scanned\":{},\
+         \"total_diagnostics\":{},\"suppressed\":{},\
          \"tolerated\":{},\"new_violations\":[{}],\"stale_baseline\":[{}]}}",
+        lints.join(","),
         verdict.ok(),
         analysis.files_scanned,
         all.len(),

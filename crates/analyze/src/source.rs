@@ -1,10 +1,12 @@
 //! A lexed source file plus the structural facts every lint needs:
 //! test-code spans (`#[cfg(test)] mod … { }`), inline `logcl-allow`
-//! suppressions, and `use`-statement spans.
+//! suppressions, `use`-statement spans, and — since the interprocedural
+//! concurrency lints (L009–L011) — a function-item index: every `fn` with
+//! its body token range, owning `impl` type, and return-type span.
 
 use std::collections::BTreeMap;
 
-use crate::lexer::{lex, Lexed, Token};
+use crate::lexer::{lex, Lexed, Tok, Token};
 
 /// One inline suppression: `// logcl-allow(L00x): reason`.
 #[derive(Debug, Clone)]
@@ -47,8 +49,30 @@ pub struct SourceFile {
     feature_spans: Vec<(usize, usize)>,
     /// Token-index ranges `[start, end)` covering `use …;` statements.
     use_spans: Vec<(usize, usize)>,
+    /// Every `fn` item with a body, in source order.
+    pub fns: Vec<FnItem>,
     /// Lines on which code tokens exist (for standalone-allow targeting).
     code_lines: BTreeMap<u32, ()>,
+}
+
+/// One parsed `fn` item — the function-granular unit the interprocedural
+/// concurrency lints (L009–L011) reason over. Parsed lexically: generics
+/// are skipped by angle-bracket matching, bodies by brace matching; no
+/// full grammar, no `syn`.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name (`run`, `lock_state`, …).
+    pub name: String,
+    /// Enclosing `impl` type when the fn sits inside an impl block
+    /// (`impl Pool { fn run … }` → `Some("Pool")`).
+    pub owner: Option<String>,
+    /// Token index of the `fn` keyword (for reporting).
+    pub decl: usize,
+    /// Token range `[start, end)` of the body block, braces included.
+    pub body: (usize, usize),
+    /// Token range `[start, end)` of the return type (tokens after `->`
+    /// up to the body brace); empty range when the fn returns `()`.
+    pub ret: (usize, usize),
 }
 
 impl SourceFile {
@@ -58,6 +82,7 @@ impl SourceFile {
         let test_spans = find_test_spans(&tokens);
         let feature_spans = find_feature_spans(&tokens);
         let use_spans = find_use_spans(&tokens);
+        let fns = find_fn_items(&tokens);
         let mut allows = Vec::new();
         let mut bad_allows = Vec::new();
         for c in &comments {
@@ -87,6 +112,7 @@ impl SourceFile {
             test_spans,
             feature_spans,
             use_spans,
+            fns,
             code_lines,
         }
     }
@@ -317,6 +343,203 @@ fn find_use_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     spans
 }
 
+/// Finds every `impl` block and the type it implements on: the region
+/// `[body_start, body_end)` of its braces plus the owner type name. For
+/// `impl Trait for Type` the owner is `Type`; paths take their last
+/// segment (`impl fmt::Display for WalError` → `WalError`).
+fn find_impl_regions(tokens: &[Token]) -> Vec<(String, usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].tok.is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Header: from `impl` to the opening `{` (or `;` — never valid,
+        // but bail safely). Track the last ident seen after `for` if a
+        // `for` appears at angle-depth 0, else the last ident overall
+        // before any `<` opening the self-type's generics.
+        let mut j = i + 1;
+        let mut angle = 0i32;
+        let mut owner: Option<String> = None;
+        while j < tokens.len() {
+            match &tokens[j].tok {
+                t if t.is_punct('{') && angle == 0 => break,
+                t if t.is_punct(';') && angle == 0 => break,
+                t if t.is_punct('<') => angle += 1,
+                // `->` inside generic bounds (`Fn() -> T`) must not close
+                // an angle level.
+                t if t.is_punct('>') && !(j > 0 && tokens[j - 1].tok.is_punct('-')) => {
+                    angle -= 1;
+                }
+                t if t.is_ident("for") && angle == 0 => owner = None,
+                t if t.is_ident("where") && angle == 0 => {
+                    // where-clause idents are bounds, not the owner type.
+                    while j < tokens.len() && !tokens[j].tok.is_punct('{') {
+                        j += 1;
+                    }
+                    break;
+                }
+                Tok::Ident(name) if angle == 0 => {
+                    // First ident of the current type, or a later path
+                    // segment (`fmt::Display` → keep `Display`). A `for`
+                    // resets `owner`, so the self type always wins.
+                    let path_cont = tokens[j - 1].tok.is_punct(':');
+                    if owner.is_none() || path_cont {
+                        owner = Some(name.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].tok.is_punct('{') {
+            i = j;
+            continue;
+        }
+        let body_start = j;
+        let mut depth = 0i32;
+        let mut e = j;
+        while e < tokens.len() {
+            if tokens[e].tok.is_punct('{') {
+                depth += 1;
+            } else if tokens[e].tok.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    e += 1;
+                    break;
+                }
+            }
+            e += 1;
+        }
+        if let Some(name) = owner {
+            regions.push((name, body_start, e));
+        }
+        // Continue scanning *inside* the impl body too: it holds the fns.
+        i = body_start + 1;
+    }
+    regions
+}
+
+/// Finds every `fn` item that has a body. Trait-method declarations
+/// (`fn f(…);`) are skipped — there is nothing to analyze. Generics on the
+/// fn are skipped by angle matching (with the `->`-inside-bounds caveat);
+/// the parameter list by paren matching; the return type is everything
+/// between `->` and the body `{` (or a `where` clause).
+fn find_fn_items(tokens: &[Token]) -> Vec<FnItem> {
+    let impls = find_impl_regions(tokens);
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].tok.is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let decl = i;
+        let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            i += 1;
+            continue;
+        };
+        let name = name.clone();
+        let mut j = i + 2;
+        // Skip `<…>` generics on the fn itself.
+        if tokens.get(j).is_some_and(|t| t.tok.is_punct('<')) {
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                if tokens[j].tok.is_punct('<') {
+                    angle += 1;
+                } else if tokens[j].tok.is_punct('>') && !(j > 0 && tokens[j - 1].tok.is_punct('-'))
+                {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Parameter list.
+        if !tokens.get(j).is_some_and(|t| t.tok.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let mut paren = 0i32;
+        while j < tokens.len() {
+            if tokens[j].tok.is_punct('(') {
+                paren += 1;
+            } else if tokens[j].tok.is_punct(')') {
+                paren -= 1;
+                if paren == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        // Optional return type, then the body `{` (or `;` for a bare decl).
+        let mut ret = (j, j);
+        let mut k = j;
+        if k + 1 < tokens.len() && tokens[k].tok.is_punct('-') && tokens[k + 1].tok.is_punct('>') {
+            let start = k + 2;
+            let mut e = start;
+            let mut angle = 0i32;
+            while e < tokens.len() {
+                match &tokens[e].tok {
+                    t if t.is_punct('<') => angle += 1,
+                    t if t.is_punct('>') && !(e > 0 && tokens[e - 1].tok.is_punct('-')) => {
+                        angle -= 1
+                    }
+                    t if t.is_punct('{') && angle <= 0 => break,
+                    t if t.is_punct(';') && angle <= 0 => break,
+                    t if t.is_ident("where") && angle <= 0 => break,
+                    _ => {}
+                }
+                e += 1;
+            }
+            ret = (start, e);
+            k = e;
+        }
+        while k < tokens.len() && !tokens[k].tok.is_punct('{') && !tokens[k].tok.is_punct(';') {
+            k += 1;
+        }
+        if k >= tokens.len() || tokens[k].tok.is_punct(';') {
+            i = k.max(i + 1);
+            continue; // trait-method declaration: no body
+        }
+        let body_start = k;
+        let mut depth = 0i32;
+        let mut e = k;
+        while e < tokens.len() {
+            if tokens[e].tok.is_punct('{') {
+                depth += 1;
+            } else if tokens[e].tok.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    e += 1;
+                    break;
+                }
+            }
+            e += 1;
+        }
+        let owner = impls
+            .iter()
+            .filter(|&&(_, s, end)| decl > s && decl < end)
+            .min_by_key(|&&(_, s, end)| end - s) // innermost impl wins
+            .map(|(n, _, _)| n.clone());
+        fns.push(FnItem {
+            name,
+            owner,
+            decl,
+            body: (body_start, e),
+            ret,
+        });
+        // Scan inside the body too: nested fns are rare but legal.
+        i = body_start + 1;
+    }
+    fns
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +616,43 @@ mod tests {
             "cfg(not(feature)) is not a gate"
         );
         assert!(!f.in_feature_gated(faults[3]), "ungated call");
+    }
+
+    #[test]
+    fn fn_items_capture_name_owner_body_and_return_type() {
+        let src = "\
+fn free(x: u8) -> std::sync::MutexGuard<'static, u8> { body(x) }
+impl Pool {
+    fn run<F: Fn(usize) -> ()>(&self, f: F) { f(1) }
+}
+impl fmt::Display for wal::WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, \"e\") }
+}
+trait T { fn decl_only(&self); }
+";
+        let f = SourceFile::parse("x.rs", src);
+        let names: Vec<(&str, Option<&str>)> = f
+            .fns
+            .iter()
+            .map(|i| (i.name.as_str(), i.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("run", Some("Pool")),
+                ("fmt", Some("WalError")),
+            ]
+        );
+        let free = &f.fns[0];
+        assert!(f.tokens[free.ret.0..free.ret.1]
+            .iter()
+            .any(|t| t.tok.is_ident("MutexGuard")));
+        assert!(f.tokens[free.body.0].tok.is_punct('{'));
+        assert!(f.tokens[free.body.1 - 1].tok.is_punct('}'));
+        // `run` returns unit: empty return-type span.
+        let run = &f.fns[1];
+        assert_eq!(run.ret.0, run.ret.1);
     }
 
     #[test]

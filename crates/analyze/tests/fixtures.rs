@@ -74,6 +74,21 @@ const FIXTURES: &[Fixture] = &[
         expected: include_str!("../fixtures/l008_fault_isolation.expected"),
     },
     Fixture {
+        name: "l009_lock_order",
+        source: include_str!("../fixtures/l009_lock_order.rs"),
+        expected: include_str!("../fixtures/l009_lock_order.expected"),
+    },
+    Fixture {
+        name: "l010_blocking_under_lock",
+        source: include_str!("../fixtures/l010_blocking_under_lock.rs"),
+        expected: include_str!("../fixtures/l010_blocking_under_lock.expected"),
+    },
+    Fixture {
+        name: "l011_atomic_ordering",
+        source: include_str!("../fixtures/l011_atomic_ordering.rs"),
+        expected: include_str!("../fixtures/l011_atomic_ordering.expected"),
+    },
+    Fixture {
         name: "l000_allows",
         source: include_str!("../fixtures/l000_allows.rs"),
         expected: include_str!("../fixtures/l000_allows.expected"),
@@ -154,6 +169,19 @@ fn fixtures_on_disk_are_globally_exempt_from_real_scans() {
     assert!(logcl_analyze::config::globally_exempt(
         "crates/analyze/fixtures/l002_panic_freedom.rs"
     ));
+}
+
+#[test]
+fn readme_lint_table_is_generated_from_the_registry() {
+    // fixtures/README.md embeds the registry-generated lint table verbatim;
+    // registering a lint without regenerating the table fails here.
+    let readme = include_str!("../fixtures/README.md");
+    let table = logcl_analyze::lints::lint_table_markdown();
+    assert!(
+        readme.contains(table.trim_end()),
+        "fixtures/README.md lint table is stale — paste the output of \
+         `lint_table_markdown()` into it:\n{table}"
+    );
 }
 
 #[test]

@@ -75,6 +75,19 @@ fn json_output_reports_the_injected_violation() {
             && text.contains("\"col\":7"),
         "{text}"
     );
+
+    // The payload is versioned and self-describing: consumers of the CI
+    // artifact can tell "clean because checked" from "clean because the
+    // lint didn't exist in that build of the analyzer".
+    assert!(text.contains("\"schema_version\":1"), "{text}");
+    let mut lints = vec!["\"L000\"".to_string()];
+    lints.extend(
+        logcl_analyze::lints::registry()
+            .iter()
+            .map(|l| format!("\"{}\"", l.id)),
+    );
+    let want = format!("\"lints\":[{}]", lints.join(","));
+    assert!(text.contains(&want), "want {want} in: {text}");
 }
 
 #[test]

@@ -81,6 +81,34 @@ impl Histogram {
     }
 }
 
+/// From-scratch encoder-state rebuilds, split by the reason the O(Δ)
+/// advance path could not be taken. Each field becomes one
+/// `logcl_encoder_state_rebuilds_total{reason="…"}` series.
+#[derive(Default)]
+pub struct RebuildCounters {
+    /// First build over the base history at model load.
+    pub boot: AtomicU64,
+    /// Online adaptation changed the parameters the state was evolved
+    /// under, so the state had to be re-derived from the new weights.
+    pub weight_update: AtomicU64,
+    /// A backfill amended an already-consumed snapshot, invalidating the
+    /// advance-only structures.
+    pub backfill: AtomicU64,
+    /// Crash recovery found no usable persisted state record (legacy
+    /// snapshot or stale horizon).
+    pub recovery: AtomicU64,
+}
+
+impl RebuildCounters {
+    /// Sum across every reason (the pre-split scalar view).
+    pub fn total(&self) -> u64 {
+        self.boot.load(Ordering::Relaxed)
+            + self.weight_update.load(Ordering::Relaxed)
+            + self.backfill.load(Ordering::Relaxed)
+            + self.recovery.load(Ordering::Relaxed)
+    }
+}
+
 /// All counters exported at `GET /metrics`.
 pub struct Metrics {
     /// `POST /predict` requests accepted.
@@ -177,9 +205,9 @@ pub struct Metrics {
     /// Online fine-tuning loops aborted by the loss guard and rolled back
     /// to the pre-adaptation parameters.
     pub online_rollbacks: AtomicU64,
-    /// Streaming encoder states rebuilt from scratch (boot, weight update,
-    /// or a recovery snapshot without a usable state record).
-    pub encoder_state_rebuilds: AtomicU64,
+    /// Streaming encoder states rebuilt from scratch, split by why the
+    /// O(Δ) advance path could not be taken (rendered as a `reason` label).
+    pub encoder_state_rebuilds: RebuildCounters,
     /// Current streaming encoder horizon (snapshots consumed; gauge).
     pub encoder_state_horizon: AtomicU64,
     /// Encoding-cache hit ratio observed at the last ingest, in parts per
@@ -228,7 +256,7 @@ impl Default for Metrics {
             ingest_advance: Histogram::new(&LATENCY_BUCKETS),
             online_steps: AtomicU64::new(0),
             online_rollbacks: AtomicU64::new(0),
-            encoder_state_rebuilds: AtomicU64::new(0),
+            encoder_state_rebuilds: RebuildCounters::default(),
             encoder_state_horizon: AtomicU64::new(0),
             post_ingest_hit_ratio_ppm: AtomicU64::new(0),
         }
@@ -444,8 +472,22 @@ impl Metrics {
         counter(
             &mut out,
             "logcl_encoder_state_rebuilds_total",
-            "Streaming encoder states rebuilt from scratch.",
-            &[("", load(&self.encoder_state_rebuilds))],
+            "Streaming encoder states rebuilt from scratch, by reason.",
+            &[
+                ("reason=\"boot\"", load(&self.encoder_state_rebuilds.boot)),
+                (
+                    "reason=\"weight_update\"",
+                    load(&self.encoder_state_rebuilds.weight_update),
+                ),
+                (
+                    "reason=\"backfill\"",
+                    load(&self.encoder_state_rebuilds.backfill),
+                ),
+                (
+                    "reason=\"recovery\"",
+                    load(&self.encoder_state_rebuilds.recovery),
+                ),
+            ],
         );
         let _ = writeln!(
             out,
@@ -580,7 +622,10 @@ mod tests {
             "logcl_durable_acks_total 0",
             "logcl_online_steps_total 0",
             "logcl_online_rollbacks_total 0",
-            "logcl_encoder_state_rebuilds_total 0",
+            "logcl_encoder_state_rebuilds_total{reason=\"boot\"} 0",
+            "logcl_encoder_state_rebuilds_total{reason=\"weight_update\"} 0",
+            "logcl_encoder_state_rebuilds_total{reason=\"backfill\"} 0",
+            "logcl_encoder_state_rebuilds_total{reason=\"recovery\"} 0",
             "logcl_encoder_state_horizon 0",
             "logcl_post_ingest_cache_hit_ratio 0",
             "logcl_ingest_advance_seconds_count 0",

@@ -276,6 +276,7 @@ impl Registry {
             let state = model.init_encoder_state(&snapshots);
             metrics
                 .encoder_state_rebuilds
+                .boot
                 .fetch_add(1, Ordering::Relaxed);
             entries.push(ModelEntry {
                 name: spec.name,
@@ -653,6 +654,7 @@ impl Registry {
                 self.entries[idx].state = rebuilt;
                 self.metrics
                     .encoder_state_rebuilds
+                    .weight_update
                     .fetch_add(1, Ordering::Relaxed);
             }
             self.head_history.advance(&self.snapshots[t]);
@@ -674,6 +676,7 @@ impl Registry {
             }
             self.metrics
                 .encoder_state_rebuilds
+                .backfill
                 .fetch_add(self.entries.len() as u64, Ordering::Relaxed);
         }
         self.metrics
@@ -780,6 +783,7 @@ impl Registry {
                         self.entries[idx].state = rebuilt;
                         self.metrics
                             .encoder_state_rebuilds
+                            .recovery
                             .fetch_add(1, Ordering::Relaxed);
                     }
                 }

@@ -275,7 +275,10 @@ impl ConnDemand {
     }
 
     fn contended(&self) -> bool {
-        self.inline_only.load(Ordering::Relaxed) || self.queued.load(Ordering::Relaxed) > 0
+        // Acquire pairs with the Release half of the enqueue/spawn-failure
+        // writes: a handler that observes the demand signal also observes
+        // the queue state that raised it.
+        self.inline_only.load(Ordering::Acquire) || self.queued.load(Ordering::Acquire) > 0
     }
 }
 
@@ -306,7 +309,7 @@ impl ThreadPool {
                         Ok(job) => job,
                         Err(_) => return,
                     };
-                    demand.queued.fetch_sub(1, Ordering::Relaxed);
+                    demand.queued.fetch_sub(1, Ordering::AcqRel);
                     job();
                 });
             match spawned {
@@ -317,7 +320,7 @@ impl ThreadPool {
             }
         }
         if workers.is_empty() {
-            demand.inline_only.store(true, Ordering::Relaxed);
+            demand.inline_only.store(true, Ordering::Release);
         }
         Self {
             tx: (!workers.is_empty()).then_some(tx),
@@ -333,11 +336,11 @@ impl ThreadPool {
             job();
             return;
         };
-        self.demand.queued.fetch_add(1, Ordering::Relaxed);
+        self.demand.queued.fetch_add(1, Ordering::AcqRel);
         if let Err(mpsc::SendError(job)) = tx.send(job) {
             // Queue already closed (shutdown): the job runs here, so no
             // worker will ever decrement for it.
-            self.demand.queued.fetch_sub(1, Ordering::Relaxed);
+            self.demand.queued.fetch_sub(1, Ordering::AcqRel);
             job();
         }
     }

@@ -184,7 +184,7 @@ impl OverloadState {
             EMPTY,
             self.micros(at),
             Ordering::AcqRel,
-            Ordering::Relaxed,
+            Ordering::Acquire,
         );
     }
 

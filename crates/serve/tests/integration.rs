@@ -341,8 +341,12 @@ fn freshness_metrics_track_streaming_advance_and_online_adaptation() {
         // One bounded online loop: default budget is a single step, taken.
         "logcl_online_steps_total 1".into(),
         "logcl_online_rollbacks_total 0".into(),
-        // Boot rebuild (one model) + post-update rebuild.
-        "logcl_encoder_state_rebuilds_total 2".into(),
+        // Boot rebuild (one model) + the post-update rebuild, each under
+        // its own reason label.
+        "logcl_encoder_state_rebuilds_total{reason=\"boot\"} 1".into(),
+        "logcl_encoder_state_rebuilds_total{reason=\"weight_update\"} 1".into(),
+        "logcl_encoder_state_rebuilds_total{reason=\"backfill\"} 0".into(),
+        "logcl_encoder_state_rebuilds_total{reason=\"recovery\"} 0".into(),
         // 1 hit / (1 hit + 1 miss) at ingest time.
         "logcl_post_ingest_cache_hit_ratio 0.5".into(),
     ] {

@@ -276,14 +276,18 @@ fn compacted_state_recovers_from_the_snapshot_alone() {
     // The snapshot carried the advanced streaming state: recovery restored
     // it instead of rebuilding (the single rebuild is the boot-time init
     // over the base dataset, before the snapshot was even read).
+    let rebuilds = &reborn.metrics().encoder_state_rebuilds;
     assert_eq!(
-        reborn
-            .metrics()
-            .encoder_state_rebuilds
-            .load(Ordering::Relaxed),
+        rebuilds.boot.load(Ordering::Relaxed),
         1,
+        "the one rebuild must be the boot-time init"
+    );
+    assert_eq!(
+        rebuilds.recovery.load(Ordering::Relaxed),
+        0,
         "a valid persisted state record must be restored, not rebuilt"
     );
+    assert_eq!(rebuilds.total(), 1);
     reborn.shutdown();
 }
 

@@ -28,6 +28,7 @@ static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative busy time (ns) of all compute threads since process start.
 pub fn busy_nanos() -> u64 {
+    // logcl-allow(L011): monotonic telemetry counter — a stale read only smooths the utilisation ratio
     BUSY_NANOS.load(Ordering::Relaxed)
 }
 
@@ -130,6 +131,7 @@ impl Pool {
             for i in 0..n_tasks {
                 f(i);
             }
+            // logcl-allow(L011): monotonic telemetry counter — no data is published through it
             BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return;
         }
@@ -166,6 +168,7 @@ impl Pool {
             let t0 = Instant::now();
             // SAFETY: `job.f` points at `f`, alive for the whole call.
             unsafe { (*job.f)(i) };
+            // logcl-allow(L011): monotonic telemetry counter — no data is published through it
             BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             st = lock_state(&self.shared);
             st.pending -= 1;
@@ -227,6 +230,7 @@ fn worker_loop(shared: &Shared) {
             // and the caller of `Pool::run` is still blocked, keeping the
             // closure alive.
             unsafe { (*job.f)(i) };
+            // logcl-allow(L011): monotonic telemetry counter — no data is published through it
             BUSY_NANOS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             st = lock_state(shared);
             st.pending -= 1;
