@@ -59,6 +59,7 @@ pub const L002_SCOPE: Scope = Scope {
         "crates/core/src/",
         "crates/tkg/src/",
         "crates/serve/src/",
+        "crates/cluster/src/",
         "crates/analyze/src/",
     ],
     exclude: &[],
@@ -76,6 +77,7 @@ pub const L003_COLLECTIONS_SCOPE: Scope = Scope {
         "crates/tkg/src/",
         "crates/baselines/src/",
         "crates/serve/src/",
+        "crates/cluster/src/",
         "crates/loadgen/src/",
     ],
     exclude: &[],
@@ -112,10 +114,15 @@ pub const L004_SCOPE: Scope = Scope {
 };
 
 /// L005 lock hygiene: guards must not span a blocking wait on another
-/// primitive. Scoped to the two places that hold locks around channels
-/// and condvars: the kernel thread pool and the serving stack.
+/// primitive. Scoped to the places that hold locks around channels and
+/// condvars: the kernel thread pool and the serving stack (worker and
+/// router alike).
 pub const L005_SCOPE: Scope = Scope {
-    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
+    include: &[
+        "crates/tensor/src/kernels/",
+        "crates/serve/src/",
+        "crates/cluster/src/",
+    ],
     exclude: &[],
 };
 
@@ -128,6 +135,7 @@ pub const L006_SCOPE: Scope = Scope {
         "crates/core/src/",
         "crates/tkg/src/",
         "crates/serve/src/",
+        "crates/cluster/src/",
         "crates/analyze/src/",
     ],
     exclude: &[],
@@ -145,17 +153,21 @@ pub const L007_SCOPE: Scope = Scope {
 /// L008 fault-isolation: references to the deterministic fault-injection
 /// machinery (`fault::…` hooks, `FaultPlan`/`FaultPoint`) must sit inside a
 /// `#[cfg(feature = …)]` gate, so default release builds contain no fault
-/// hooks at all. `fault.rs` itself is the gated module and is excluded.
+/// hooks at all. Each crate's `fault.rs` is its gated module and excluded.
 pub const L008_SCOPE: Scope = Scope {
-    include: &["crates/serve/src/"],
-    exclude: &["crates/serve/src/fault.rs"],
+    include: &["crates/serve/src/", "crates/cluster/src/"],
+    exclude: &["crates/serve/src/fault.rs", "crates/cluster/src/fault.rs"],
 };
 
 /// L009 lock-order: the cross-file lock-acquisition graph must stay
 /// acyclic. Same scope as L005 — the kernel thread pool and the serving
-/// stack are the only places that hold named guards.
+/// stack (worker and router) are the only places that hold named guards.
 pub const L009_SCOPE: Scope = Scope {
-    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
+    include: &[
+        "crates/tensor/src/kernels/",
+        "crates/serve/src/",
+        "crates/cluster/src/",
+    ],
     exclude: &[],
 };
 
@@ -163,7 +175,11 @@ pub const L009_SCOPE: Scope = Scope {
 /// calls, channel reads and condvar waits) must not be reachable while a
 /// guard is live. Same scope as L009: the lock-holding subsystems.
 pub const L010_SCOPE: Scope = Scope {
-    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
+    include: &[
+        "crates/tensor/src/kernels/",
+        "crates/serve/src/",
+        "crates/cluster/src/",
+    ],
     exclude: &[],
 };
 
@@ -174,8 +190,15 @@ pub const L010_SCOPE: Scope = Scope {
 /// structurally and anything else needs Acquire/Release or a written
 /// `logcl-allow(L011)` justification.
 pub const L011_SCOPE: Scope = Scope {
-    include: &["crates/tensor/src/kernels/", "crates/serve/src/"],
-    exclude: &["crates/serve/src/metrics.rs"],
+    include: &[
+        "crates/tensor/src/kernels/",
+        "crates/serve/src/",
+        "crates/cluster/src/",
+    ],
+    exclude: &[
+        "crates/serve/src/metrics.rs",
+        "crates/cluster/src/metrics.rs",
+    ],
 };
 
 #[cfg(test)]
@@ -201,6 +224,19 @@ mod tests {
         assert!(L003_TIME_SCOPE.contains("crates/loadgen/src/timing_helpers.rs"));
         assert!(L008_SCOPE.contains("crates/serve/src/batcher.rs"));
         assert!(!L008_SCOPE.contains("crates/serve/src/fault.rs"));
+        // Router crate: linted like serve, except its gated fault module and
+        // its telemetry plane — and it keeps wall-clock freedom (timeouts,
+        // backoff and probes are wall-clock by nature, like serve's timing).
+        assert!(L002_SCOPE.contains("crates/cluster/src/router.rs"));
+        assert!(L005_SCOPE.contains("crates/cluster/src/router.rs"));
+        assert!(L008_SCOPE.contains("crates/cluster/src/router.rs"));
+        assert!(!L008_SCOPE.contains("crates/cluster/src/fault.rs"));
+        assert!(L009_SCOPE.contains("crates/cluster/src/health.rs"));
+        assert!(L010_SCOPE.contains("crates/cluster/src/client.rs"));
+        assert!(L011_SCOPE.contains("crates/cluster/src/health.rs"));
+        assert!(!L011_SCOPE.contains("crates/cluster/src/metrics.rs"));
+        assert!(!L003_TIME_SCOPE.contains("crates/cluster/src/router.rs"));
+        assert!(L003_COLLECTIONS_SCOPE.contains("crates/cluster/src/merge.rs"));
         assert!(L009_SCOPE.contains("crates/serve/src/wal.rs"));
         assert!(L009_SCOPE.contains("crates/tensor/src/kernels/pool.rs"));
         assert!(!L010_SCOPE.contains("crates/tensor/src/parallel_glue.rs"));

@@ -27,7 +27,13 @@ commands:
                                                         --max-inflight, --wal-dir,
                                                         --wal-compact-every,
                                                         --no-durability,
-                                                        --online-steps)
+                                                        --online-steps, --shard)
+  router     scatter-gather router over sharded serve  (--shards, --addr, --topk,
+             workers                                    --deadline-ms,
+                                                        --max-deadline-ms,
+                                                        --retries, --retry-base-ms,
+                                                        --hedge-after-ms,
+                                                        --probe-interval-ms)
   loadgen    open-loop load harness for serve          (--rps, --duration-ms,
                                                         --arrival, --predict-pct,
                                                         --req-deadline-ms, --workers,
@@ -92,6 +98,23 @@ flags:
   --no-durability   disable the ingest WAL (accepted facts are lost on crash)
   --online-steps N  max online fine-tuning steps per update:true ingest
                     (0 disables online adaptation)      [default 1]
+  --shard I/N       serve as entity shard I of an N-way cluster: only
+                    entities in this worker's range are scored, and /predict
+                    answers carry the shard merge metadata a router needs
+  --shards SPEC     router worker topology: comma-separated shards, each
+                    host:port with optional +replica addresses, e.g.
+                    127.0.0.1:7001+127.0.0.1:7004,127.0.0.1:7002
+  --retries N       router retries per shard after the first attempt fails
+                    (each against the next-preferred replica) [default 2]
+  --retry-base-ms MS
+                    router backoff base; retry n waits ~MS*2^n, jittered
+                                                        [default 20]
+  --hedge-after-ms MS
+                    launch a hedged second predict attempt when a shard has
+                    been silent this long (0 disables)  [default 0]
+  --probe-interval-ms MS
+                    router health-probe interval for non-Up workers
+                                                        [default 250]
   --rps F           loadgen offered rate, requests/s    [default 50]
   --duration-ms MS  loadgen trace length                [default 3000]
   --arrival A       constant | poisson | burst[:PERIOD_MS:DUTY_PCT:PEAK_MULT]
@@ -179,6 +202,18 @@ pub struct CliOptions {
     pub no_durability: bool,
     /// Max online fine-tuning steps per `update:true` ingest (serve).
     pub online_steps: usize,
+    /// Entity shard assignment `I/N` for `serve` (cluster worker mode).
+    pub shard: Option<String>,
+    /// Router worker topology spec (see `--shards` in the usage text).
+    pub shards: Option<String>,
+    /// Router retries per shard after the first attempt fails.
+    pub retries: u32,
+    /// Router backoff base (ms) between retries.
+    pub retry_base_ms: u64,
+    /// Router predict-hedging delay (ms); 0 disables hedging.
+    pub hedge_after_ms: u64,
+    /// Router health-probe interval (ms).
+    pub probe_interval_ms: u64,
     /// Loadgen offered rate, requests/second.
     pub rps: f64,
     /// Loadgen trace length (ms).
@@ -263,6 +298,12 @@ impl Default for CliOptions {
             wal_compact_every: 64,
             no_durability: false,
             online_steps: 1,
+            shard: None,
+            shards: None,
+            retries: 2,
+            retry_base_ms: 20,
+            hedge_after_ms: 0,
+            probe_interval_ms: 250,
             rps: 50.0,
             duration_ms: 3_000,
             arrival: "poisson".into(),
@@ -339,6 +380,12 @@ impl CliOptions {
                 "--wal-compact-every" => o.wal_compact_every = num(&value("--wal-compact-every")?)?,
                 "--no-durability" => o.no_durability = true,
                 "--online-steps" => o.online_steps = num(&value("--online-steps")?)?,
+                "--shard" => o.shard = Some(value("--shard")?),
+                "--shards" => o.shards = Some(value("--shards")?),
+                "--retries" => o.retries = num(&value("--retries")?)?,
+                "--retry-base-ms" => o.retry_base_ms = num(&value("--retry-base-ms")?)?,
+                "--hedge-after-ms" => o.hedge_after_ms = num(&value("--hedge-after-ms")?)?,
+                "--probe-interval-ms" => o.probe_interval_ms = num(&value("--probe-interval-ms")?)?,
                 "--rps" => o.rps = num(&value("--rps")?)?,
                 "--duration-ms" => o.duration_ms = num(&value("--duration-ms")?)?,
                 "--arrival" => o.arrival = value("--arrival")?.to_lowercase(),
@@ -580,6 +627,38 @@ mod tests {
         assert!(!d.freshness);
         assert_eq!(d.freshness_rounds, 8);
         assert_eq!(d.freshness_slo_ms, 1000);
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let o = CliOptions::parse(&strs(&[
+            "--shard",
+            "1/3",
+            "--shards",
+            "127.0.0.1:7001+127.0.0.1:7004,127.0.0.1:7002",
+            "--retries",
+            "4",
+            "--retry-base-ms",
+            "10",
+            "--hedge-after-ms",
+            "15",
+            "--probe-interval-ms",
+            "100",
+        ]))
+        .unwrap();
+        assert_eq!(o.shard.as_deref(), Some("1/3"));
+        assert_eq!(
+            o.shards.as_deref(),
+            Some("127.0.0.1:7001+127.0.0.1:7004,127.0.0.1:7002")
+        );
+        assert_eq!(o.retries, 4);
+        assert_eq!(o.retry_base_ms, 10);
+        assert_eq!(o.hedge_after_ms, 15);
+        assert_eq!(o.probe_interval_ms, 100);
+        let d = CliOptions::parse(&strs(&[])).unwrap();
+        assert!(d.shard.is_none() && d.shards.is_none());
+        assert_eq!(d.retries, 2);
+        assert_eq!(d.hedge_after_ms, 0);
     }
 
     #[test]

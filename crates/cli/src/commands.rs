@@ -354,6 +354,11 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
             }
         }
     };
+    let shard = opts
+        .shard
+        .as_deref()
+        .map(|s| logcl_core::ShardSpec::parse(s).map_err(|e| format!("invalid --shard {s:?}: {e}")))
+        .transpose()?;
     let serve_cfg = ServeConfig {
         addr: opts.addr.clone(),
         threads: opts.http_threads,
@@ -376,9 +381,15 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
         },
         wal_compact_every: opts.wal_compact_every,
         online_steps: opts.online_steps,
+        shard,
         ..ServeConfig::default()
     };
+    let num_entities = ds.num_entities;
     let server = Server::start(serve_cfg, ds, vec![spec]).map_err(|e| e.to_string())?;
+    if let Some(spec) = shard {
+        let (lo, hi) = spec.range(num_entities);
+        println!("worker shard {spec}: scoring entities [{lo}, {hi}) of {num_entities}");
+    }
     if opts.no_durability {
         println!("durability disabled (--no-durability): ingests are lost on crash");
     } else {
@@ -395,6 +406,49 @@ pub fn serve(opts: &CliOptions) -> Result<(), String> {
     println!("  POST /shutdown  graceful stop");
     server.run();
     println!("server stopped");
+    Ok(())
+}
+
+/// `logcl router`: scatter-gather router over entity-sharded workers.
+///
+/// Fronts N `logcl serve --shard i/N` worker processes (given via
+/// `--shards`) with failover, bounded retries, optional predict hedging,
+/// and partial-result degradation when a shard stays down. The router
+/// speaks the same HTTP protocol as a single worker, so clients (and
+/// `logcl loadgen --target`) need no changes.
+pub fn router(opts: &CliOptions) -> Result<(), String> {
+    let spec = opts
+        .shards
+        .as_deref()
+        .ok_or("router needs --shards host:port[+replica][,shard2...]")?;
+    let shards = logcl_cluster::parse_shards(spec).map_err(|e| e.to_string())?;
+    let workers: usize = shards.iter().map(Vec::len).sum();
+    let cfg = logcl_cluster::RouterConfig {
+        addr: opts.addr.clone(),
+        shards,
+        default_k: opts.topk,
+        default_deadline: std::time::Duration::from_millis(opts.deadline_ms),
+        max_deadline: std::time::Duration::from_millis(opts.max_deadline_ms),
+        retries: opts.retries,
+        retry_base: std::time::Duration::from_millis(opts.retry_base_ms),
+        hedge_after: match opts.hedge_after_ms {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
+        probe_interval: std::time::Duration::from_millis(opts.probe_interval_ms.max(1)),
+        ..logcl_cluster::RouterConfig::default()
+    };
+    let shard_count = cfg.shards.len();
+    let router = logcl_cluster::Router::start(cfg).map_err(|e| e.to_string())?;
+    println!("router over {shard_count} shard(s), {workers} worker(s)");
+    println!("listening on http://{}", router.addr());
+    println!("  GET  /healthz   router + per-worker health states");
+    println!("  GET  /metrics   Prometheus text format (retries, hedges, coverage)");
+    println!("  POST /predict   scatter-gather over all shards, global top-k");
+    println!("  POST /ingest    exactly-once fan-out to every worker");
+    println!("  POST /shutdown  graceful stop");
+    router.run();
+    println!("router stopped");
     Ok(())
 }
 

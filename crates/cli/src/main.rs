@@ -8,6 +8,8 @@
 //! logcl predict --data data/icews14-s --load model.json \
 //!     --subject China --relation Cooperate --time 115 --topk 5
 //! logcl serve --data data/icews14-s --load model.json --addr 127.0.0.1:7878
+//! logcl serve --data data/icews14-s --load model.json --shard 0/3   # worker
+//! logcl router --shards 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 //! logcl loadgen --rps 200 --duration-ms 5000 --baseline BENCH_serve.json
 //! ```
 
@@ -38,6 +40,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "eval" => commands::eval(&opts),
         "predict" => commands::predict(&opts),
         "serve" => commands::serve(&opts),
+        "router" => commands::router(&opts),
         "loadgen" => commands::loadgen(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);

@@ -1,0 +1,369 @@
+//! A minimal one-shot HTTP/1.1 client for router → worker hops.
+//!
+//! Deliberately connection-per-request: the router's failure domain is the
+//! *request*, and a fresh connection per attempt means a half-dead kept-
+//! alive socket can never poison a later request. Every call carries an
+//! absolute deadline; connect, read, and write timeouts are all derived
+//! from the remaining budget so a hop can never outlive its request.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use logcl_serve::deadline::remaining_budget;
+
+/// Why an outbound hop failed — the retry-accounting taxonomy
+/// (`logcl_router_retries_total{reason=...}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// TCP connect refused / unreachable / timed out.
+    Connect,
+    /// The deadline expired while waiting on the socket.
+    Timeout,
+    /// The worker answered a retryable HTTP status (5xx).
+    Http,
+    /// The exchange died mid-flight (reset, truncated response, bad frame).
+    Io,
+}
+
+impl FailReason {
+    /// The `reason` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailReason::Connect => "connect",
+            FailReason::Timeout => "timeout",
+            FailReason::Http => "http",
+            FailReason::Io => "io",
+        }
+    }
+}
+
+/// A failed hop: the taxonomy bucket plus a human-readable detail.
+#[derive(Debug, Clone)]
+pub struct HopError {
+    /// Retry-accounting bucket.
+    pub reason: FailReason,
+    /// Operator-readable detail.
+    pub detail: String,
+}
+
+/// A parsed worker response.
+#[derive(Debug)]
+pub struct WireResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl WireResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn io_kind_error(e: &std::io::Error, what: &str) -> HopError {
+    let reason = match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => FailReason::Timeout,
+        _ => FailReason::Io,
+    };
+    HopError {
+        reason,
+        detail: format!("{what}: {e}"),
+    }
+}
+
+/// Performs one `method path` exchange against `addr` with the given extra
+/// headers and body, bounded by `deadline` (and `connect_timeout` for the
+/// TCP handshake). Any 2xx–4xx response parses as `Ok` — HTTP-level
+/// failures below 500 are answers, not transport faults; 5xx maps to a
+/// retryable [`FailReason::Http`].
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    deadline: Instant,
+    connect_timeout: Duration,
+) -> Result<WireResponse, HopError> {
+    let now = Instant::now();
+    let budget = remaining_budget(deadline, now);
+    if budget.is_zero() {
+        return Err(HopError {
+            reason: FailReason::Timeout,
+            detail: "deadline exhausted before connect".into(),
+        });
+    }
+    // Resolve and connect within min(connect budget, remaining budget).
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| HopError {
+            reason: FailReason::Connect,
+            detail: format!("resolve {addr}: {e}"),
+        })?
+        .next()
+        .ok_or_else(|| HopError {
+            reason: FailReason::Connect,
+            detail: format!("resolve {addr}: no addresses"),
+        })?;
+    let stream = TcpStream::connect_timeout(
+        &sock_addr,
+        connect_timeout.min(budget).max(
+            // connect_timeout(0) is an invalid argument, not an instant failure
+            Duration::from_millis(1),
+        ),
+    )
+    .map_err(|e| HopError {
+        reason: FailReason::Connect,
+        detail: format!("connect {addr}: {e}"),
+    })?;
+    write_then_read(stream, addr, method, path, headers, body, deadline)
+}
+
+fn write_then_read(
+    mut stream: TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    deadline: Instant,
+) -> Result<WireResponse, HopError> {
+    let budget = remaining_budget(deadline, Instant::now());
+    if budget.is_zero() {
+        return Err(HopError {
+            reason: FailReason::Timeout,
+            detail: "deadline exhausted after connect".into(),
+        });
+    }
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_write_timeout(Some(budget))
+        .map_err(|e| io_kind_error(&e, "set_write_timeout"))?;
+    stream
+        .set_read_timeout(Some(budget))
+        .map_err(|e| io_kind_error(&e, "set_read_timeout"))?;
+
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if !body.is_empty() || method == "POST" {
+        head.push_str("Content-Type: application/json\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| io_kind_error(&e, "write request"))?;
+
+    read_response(&mut stream)
+}
+
+/// Reads one `Connection: close` response: head until the blank line, body
+/// until `Content-Length` is satisfied (or EOF when absent).
+fn read_response(stream: &mut TcpStream) -> Result<WireResponse, HopError> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(HopError {
+                reason: FailReason::Io,
+                detail: "response head exceeds 64KiB".into(),
+            });
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(HopError {
+                    reason: FailReason::Io,
+                    detail: "connection closed before response head".into(),
+                })
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(io_kind_error(&e, "read response head")),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HopError {
+            reason: FailReason::Io,
+            detail: format!("malformed status line {status_line:?}"),
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    match content_length {
+        Some(len) => {
+            while body.len() < len {
+                match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        return Err(HopError {
+                            reason: FailReason::Io,
+                            detail: format!("body truncated at {} of {len} bytes", body.len()),
+                        })
+                    }
+                    Ok(n) => body.extend_from_slice(&chunk[..n]),
+                    Err(e) => return Err(io_kind_error(&e, "read response body")),
+                }
+            }
+            body.truncate(len);
+        }
+        None => {
+            // No Content-Length on a close-delimited response: read to EOF.
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => body.extend_from_slice(&chunk[..n]),
+                    Err(e) => return Err(io_kind_error(&e, "read response body")),
+                }
+            }
+        }
+    }
+
+    if status >= 500 {
+        return Err(HopError {
+            reason: FailReason::Http,
+            detail: format!(
+                "worker answered {status}: {}",
+                String::from_utf8_lossy(&body)
+            ),
+        });
+    }
+    Ok(WireResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refused_connection_classifies_as_connect() {
+        // Port 1 on localhost is essentially never listening.
+        let err = request(
+            "127.0.0.1:1",
+            "GET",
+            "/healthz",
+            &[],
+            b"",
+            Instant::now() + Duration::from_millis(500),
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert_eq!(err.reason, FailReason::Connect);
+        assert_eq!(err.reason.name(), "connect");
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_as_timeout() {
+        let err = request(
+            "127.0.0.1:1",
+            "GET",
+            "/healthz",
+            &[],
+            b"",
+            Instant::now() - Duration::from_millis(1),
+            Duration::from_millis(200),
+        )
+        .unwrap_err();
+        assert_eq!(err.reason, FailReason::Timeout);
+    }
+
+    #[test]
+    fn parses_a_served_response_end_to_end() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 4096];
+            let _ = s.read(&mut sink);
+            let body = br#"{"ok":true}"#;
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-Test: yes\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            s.write_all(head.as_bytes()).unwrap();
+            s.write_all(body).unwrap();
+        });
+        let resp = request(
+            &addr.to_string(),
+            "POST",
+            "/predict",
+            &[("X-LogCL-Deadline-Ms", "100".into())],
+            br#"{"subject":0}"#,
+            Instant::now() + Duration::from_secs(2),
+            Duration::from_millis(500),
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-test"), Some("yes"));
+        assert_eq!(resp.body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn five_hundreds_classify_as_retryable_http() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 4096];
+            let _ = s.read(&mut sink);
+            s.write_all(b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+        });
+        let err = request(
+            &addr.to_string(),
+            "GET",
+            "/healthz",
+            &[],
+            b"",
+            Instant::now() + Duration::from_secs(2),
+            Duration::from_millis(500),
+        )
+        .unwrap_err();
+        server.join().unwrap();
+        assert_eq!(err.reason, FailReason::Http);
+        assert!(err.detail.contains("503"), "{}", err.detail);
+    }
+}

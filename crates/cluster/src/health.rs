@@ -1,0 +1,194 @@
+//! Per-worker health state machines.
+//!
+//! Each worker (one replica of one shard) carries a four-state machine
+//! driven by two signals: *passive* outcomes of real scatter traffic and
+//! *active* `GET /healthz` probes from the prober thread.
+//!
+//! ```text
+//!            failure                 streak >= down_after
+//!   Up ───────────────▶ Suspect ─────────────────────────▶ Down
+//!    ▲                    │  ▲                               │
+//!    │ success / probe ok │  │ probe failed                  │ prober picks
+//!    │                    ▼  │                               ▼
+//!    └──────────────── Probing ◀─────────────────────────────┘
+//! ```
+//!
+//! The machine is atomics-only — no locks are ever held, so health updates
+//! from concurrent scatter threads can never block each other or the
+//! prober (and there is no lock-order edge into any other subsystem).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Worker availability as the router sees it. The numeric values are the
+/// `logcl_router_shard_state` gauge values, ordered so "more routable"
+/// compares greater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum WorkerState {
+    /// Consecutive failures crossed the threshold; only the prober (or a
+    /// last-resort attempt when nothing better exists) touches it.
+    Down = 0,
+    /// An active probe is in flight right now.
+    Probing = 1,
+    /// At least one recent failure; still routable, but deprioritised.
+    Suspect = 2,
+    /// Healthy.
+    Up = 3,
+}
+
+impl WorkerState {
+    fn from_u8(v: u8) -> WorkerState {
+        match v {
+            0 => WorkerState::Down,
+            1 => WorkerState::Probing,
+            2 => WorkerState::Suspect,
+            _ => WorkerState::Up,
+        }
+    }
+
+    /// The gauge label rendered at `/metrics` and `/healthz`.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkerState::Down => "down",
+            WorkerState::Probing => "probing",
+            WorkerState::Suspect => "suspect",
+            WorkerState::Up => "up",
+        }
+    }
+}
+
+/// One worker's health: the state plus its consecutive-failure streak.
+pub struct WorkerHealth {
+    state: AtomicU8,
+    streak: AtomicU32,
+    /// Total passive failures observed (monotone; surfaced at `/metrics`).
+    failures: AtomicU64,
+}
+
+impl Default for WorkerHealth {
+    fn default() -> Self {
+        // Workers start Up: the router is optimistic until traffic or a
+        // probe says otherwise, so a cold start never refuses to route.
+        Self {
+            state: AtomicU8::new(WorkerState::Up as u8),
+            streak: AtomicU32::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+}
+
+impl WorkerHealth {
+    /// Current state.
+    pub fn state(&self) -> WorkerState {
+        WorkerState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Total passive failures ever observed.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Acquire)
+    }
+
+    /// A real request against this worker succeeded: full reset to Up.
+    pub fn note_success(&self) {
+        self.streak.store(0, Ordering::Release);
+        self.state.store(WorkerState::Up as u8, Ordering::Release);
+    }
+
+    /// A real request failed: Up degrades to Suspect immediately, and
+    /// `down_after` consecutive failures degrade to Down.
+    pub fn note_failure(&self, down_after: u32) {
+        self.failures.fetch_add(1, Ordering::AcqRel);
+        let streak = self.streak.fetch_add(1, Ordering::AcqRel) + 1;
+        let next = if streak >= down_after.max(1) {
+            WorkerState::Down
+        } else {
+            WorkerState::Suspect
+        };
+        self.state.store(next as u8, Ordering::Release);
+    }
+
+    /// The prober claims this worker for an active check. Only non-Up
+    /// workers are probed, and only one probe runs at a time (the CAS from
+    /// Suspect/Down into Probing is the claim). Returns `false` when the
+    /// worker is Up or already being probed.
+    pub fn begin_probe(&self) -> bool {
+        for from in [WorkerState::Suspect, WorkerState::Down] {
+            if self
+                .state
+                .compare_exchange(
+                    from as u8,
+                    WorkerState::Probing as u8,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The active probe answered healthy: walk back to Up.
+    pub fn probe_success(&self) {
+        self.note_success();
+    }
+
+    /// The active probe failed: straight to Down (a probe failure is
+    /// definitive — there is no traffic to be lucky with).
+    pub fn probe_failure(&self) {
+        self.failures.fetch_add(1, Ordering::AcqRel);
+        self.streak.fetch_add(1, Ordering::AcqRel);
+        self.state.store(WorkerState::Down as u8, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_up_suspect_down_and_recovers() {
+        let h = WorkerHealth::default();
+        assert_eq!(h.state(), WorkerState::Up);
+        h.note_failure(3);
+        assert_eq!(h.state(), WorkerState::Suspect);
+        h.note_failure(3);
+        assert_eq!(h.state(), WorkerState::Suspect);
+        h.note_failure(3);
+        assert_eq!(h.state(), WorkerState::Down);
+        assert_eq!(h.failures(), 3);
+        // Prober claims it, probe succeeds, worker is Up again and the
+        // streak is reset (one fresh failure is Suspect, not Down).
+        assert!(h.begin_probe());
+        assert_eq!(h.state(), WorkerState::Probing);
+        h.probe_success();
+        assert_eq!(h.state(), WorkerState::Up);
+        h.note_failure(3);
+        assert_eq!(h.state(), WorkerState::Suspect);
+    }
+
+    #[test]
+    fn probe_claim_is_exclusive_and_skips_up() {
+        let h = WorkerHealth::default();
+        assert!(!h.begin_probe(), "Up workers are not probed");
+        h.note_failure(1);
+        assert_eq!(h.state(), WorkerState::Down);
+        assert!(h.begin_probe());
+        assert!(!h.begin_probe(), "a probe is already in flight");
+        h.probe_failure();
+        assert_eq!(h.state(), WorkerState::Down);
+        // A passive success from a still-draining request wins immediately.
+        h.note_success();
+        assert_eq!(h.state(), WorkerState::Up);
+    }
+
+    #[test]
+    fn state_ordering_prefers_more_routable() {
+        assert!(WorkerState::Up > WorkerState::Suspect);
+        assert!(WorkerState::Suspect > WorkerState::Probing);
+        assert!(WorkerState::Probing > WorkerState::Down);
+        assert_eq!(WorkerState::Down.name(), "down");
+        assert_eq!(WorkerState::Up.name(), "up");
+    }
+}

@@ -1,0 +1,43 @@
+//! `logcl-cluster`: fault-tolerant sharded serving for LogCL.
+//!
+//! A thin router process ([`Router`]) fronts N entity-partitioned
+//! `logcl serve --shard i/N` workers, speaking the exact same HTTP protocol
+//! as a single worker:
+//!
+//! * [`config`]  — the `--shards` topology spec and [`RouterConfig`].
+//! * [`client`]  — a one-shot outbound HTTP client with a failure taxonomy
+//!   that doubles as the retry-metric labels.
+//! * [`health`]  — per-worker Up → Suspect → Down → Probing state machines,
+//!   atomics-only.
+//! * [`merge`]   — the bit-exactness contract: per-shard top-k candidates
+//!   (scores carried as `f32::to_bits`) merged with the same comparator as
+//!   single-node ranking, softmax probabilities recombined from per-shard
+//!   partials.
+//! * [`metrics`] — router-side Prometheus counters, gauges, and per-shard
+//!   latency histograms.
+//! * [`router`]  — the scatter-gather process: failover, bounded retries
+//!   with jittered backoff, optional predict hedging, remaining-deadline
+//!   propagation, exactly-once ingest fan-out, and partial-result
+//!   degradation when a shard stays down.
+//!
+//! Under the `fault-inject` cargo feature (tests only — lint L008 proves it
+//! never reaches a default build) the `fault` module injects deterministic
+//! faults at the router's network boundaries for chaos testing.
+
+pub mod client;
+pub mod config;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
+pub mod health;
+pub mod merge;
+pub mod metrics;
+pub mod router;
+
+pub use client::{FailReason, HopError, WireResponse};
+pub use config::{parse_shards, ClusterError, RouterConfig};
+pub use health::{WorkerHealth, WorkerState};
+pub use merge::{
+    merge_replies, parse_shard_reply, MergedAnswer, MergedPrediction, ShardReply, ShardReplyError,
+};
+pub use metrics::RouterMetrics;
+pub use router::{Router, RouterShutdownHandle};

@@ -24,6 +24,7 @@ pub mod local_encoder;
 pub mod model;
 pub mod predict;
 pub mod serving_snapshot;
+pub mod shard;
 pub mod static_graph;
 pub mod trainer;
 
@@ -37,6 +38,9 @@ pub use predict::{
     predict_topk, predict_topk_stream, topk_from_scores, validate_query, PredictError, Prediction,
 };
 pub use serving_snapshot::{DedupEntry, ModelParamSnapshot, ServingSnapshot};
+pub use shard::{
+    merge_topk, rank_order, shard_topk, ScoredEntity, ShardError, ShardSpec, SoftmaxStat,
+};
 pub use trainer::{
     evaluate_online, online_adapt, OnlineAdaptOptions, OnlineAdaptReport, TrainReport,
 };

@@ -214,7 +214,35 @@ impl LogCl {
         queries: &[Quad],
         training: bool,
     ) -> ForwardOutput {
-        self.forward_queries_impl(shared, history, queries, training, false)
+        self.forward_queries_impl(shared, history, queries, training, false, None)
+    }
+
+    /// [`LogCl::forward_queries`] restricted to the candidate entities in
+    /// `[lo, hi)`: the candidate matrix is row-sliced *before* the Eq. 18
+    /// scoring matmul, so a worker owning one entity shard computes only
+    /// its share of the decoder's work. Each logit's reduction runs over
+    /// the embedding dimension alone, so column `j` of the result is
+    /// bit-identical to column `lo + j` of the unsharded logits. The range
+    /// must be non-empty and within `|E|`.
+    pub fn forward_queries_sharded(
+        &mut self,
+        shared: &SharedEncoding,
+        history: &HistoryIndex,
+        queries: &[Quad],
+        entity_range: (usize, usize),
+    ) -> ForwardOutput {
+        self.forward_queries_impl(shared, history, queries, false, false, Some(entity_range))
+    }
+
+    /// The brownout (local-only) form of [`LogCl::forward_queries_sharded`].
+    pub fn forward_queries_local_only_sharded(
+        &mut self,
+        shared: &SharedEncoding,
+        history: &HistoryIndex,
+        queries: &[Quad],
+        entity_range: (usize, usize),
+    ) -> ForwardOutput {
+        self.forward_queries_impl(shared, history, queries, false, true, Some(entity_range))
     }
 
     /// [`LogCl::forward_queries`] with the global two-hop encoder skipped:
@@ -231,7 +259,7 @@ impl LogCl {
         history: &HistoryIndex,
         queries: &[Quad],
     ) -> ForwardOutput {
-        self.forward_queries_impl(shared, history, queries, false, true)
+        self.forward_queries_impl(shared, history, queries, false, true, None)
     }
 
     fn forward_queries_impl(
@@ -241,6 +269,7 @@ impl LogCl {
         queries: &[Quad],
         training: bool,
         skip_global: bool,
+        entity_range: Option<(usize, usize)>,
     ) -> ForwardOutput {
         assert!(!queries.is_empty(), "forward_queries on empty batch");
         // Only honour the skip when a local encoding exists to fall back
@@ -303,6 +332,17 @@ impl LogCl {
         };
 
         // -------------------------------------------- decoding (Eq. 18)
+        // Entity sharding slices candidate rows *before* the scoring
+        // matmul: per-entity logits are dot products over the embedding
+        // dimension, so shard-local columns match the unsharded ones
+        // bit-for-bit while the compute shrinks to the shard's share.
+        let candidates = match entity_range {
+            Some((lo, hi)) => {
+                let ids: Vec<usize> = (lo..hi).collect();
+                candidates.gather_rows(&ids)
+            }
+            None => candidates,
+        };
         let decoded = self.decoder.decode(&h_q, &r_dec, training, &mut self.rng);
         let logits = self.decoder.score_all(&decoded, &candidates);
 

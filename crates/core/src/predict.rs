@@ -15,6 +15,10 @@ pub struct Prediction {
     pub name: String,
     /// Softmax probability over all candidates.
     pub probability: f32,
+    /// Raw decoder logit (pre-softmax). Unlike the probability, the raw
+    /// score is bit-identical across entity-sharded and single-node
+    /// scoring, so it is what scatter-gather merges rank by.
+    pub score: f32,
 }
 
 /// A malformed query that cannot be scored against `ds`.
@@ -99,11 +103,16 @@ pub fn topk_from_scores(ds: &TkgDataset, scores: &[f32], k: usize) -> Vec<Predic
     let exps: Vec<f32> = scores.iter().map(|&x| (x - max).exp()).collect();
     let z: f32 = exps.iter().sum();
 
+    // Ranking order: score descending, entity id ascending on ties — the
+    // explicit form of what the stable sort already guaranteed, and the
+    // contract the sharded scatter-gather merge replicates bit-for-bit
+    // (see `crate::shard::rank_order`).
     let mut idx: Vec<usize> = (0..scores.len()).collect();
     idx.sort_by(|&a, &b| {
         scores[b]
             .partial_cmp(&scores[a])
             .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(&b))
     });
     idx.truncate(k);
     idx.into_iter()
@@ -111,6 +120,7 @@ pub fn topk_from_scores(ds: &TkgDataset, scores: &[f32], k: usize) -> Vec<Predic
             entity: e,
             name: ds.entity_name(e),
             probability: exps[e] / z,
+            score: scores[e],
         })
         .collect()
 }

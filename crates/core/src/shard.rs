@@ -1,0 +1,317 @@
+//! Entity-partitioned sharding of the all-entities decoder scoring.
+//!
+//! LogCL's decoder (Eq. 18–19) scores every candidate entity independently:
+//! the logit of entity `e` is the inner product of the decoded query
+//! representation with row `e` of the candidate matrix. The score space
+//! therefore partitions cleanly across workers — shard `i` of `N` scores
+//! the contiguous entity range [`ShardSpec::range`] and nothing else, and
+//! because each logit's reduction runs over the embedding dimension only
+//! (never across entities), a shard-local score is **bit-identical** to
+//! the same entity's score in a single-node run.
+//!
+//! The merge contract ([`merge_topk`]) is equally strict: concatenating
+//! per-shard top-k lists and re-sorting with the *same* comparator as
+//! [`crate::predict::topk_from_scores`] (score descending, entity id
+//! ascending on ties) reproduces the single-node ranking bit-for-bit,
+//! provided every live shard contributed `min(k, shard_width)` candidates.
+//!
+//! Softmax probabilities are the one quantity that is *not* bit-stable
+//! under sharding: the single-node denominator is a left-to-right `f32`
+//! sum over the full entity order, which cannot be reconstructed from
+//! per-shard partial sums. [`SoftmaxStat`] carries each shard's
+//! `(max, Σ exp(x - max))` so a merger can rebuild numerically equal (but
+//! not bit-equal) probabilities; rankings never depend on them.
+
+/// Which contiguous slice of the entity vocabulary one worker scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based shard index, `< count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+/// A malformed shard specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// `count` was zero.
+    ZeroCount,
+    /// `index >= count`.
+    IndexOutOfRange {
+        /// Offending shard index.
+        index: usize,
+        /// Total shard count.
+        count: usize,
+    },
+    /// A spec string that is not `i/N`.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroCount => write!(f, "shard count must be at least 1"),
+            Self::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range (< {count})")
+            }
+            Self::Malformed(s) => write!(f, "malformed shard spec {s:?} (want i/N, e.g. 0/3)"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl ShardSpec {
+    /// Validated constructor.
+    pub fn new(index: usize, count: usize) -> Result<Self, ShardError> {
+        if count == 0 {
+            return Err(ShardError::ZeroCount);
+        }
+        if index >= count {
+            return Err(ShardError::IndexOutOfRange { index, count });
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `"0/3"`).
+    pub fn parse(spec: &str) -> Result<Self, ShardError> {
+        let (i, n) = spec
+            .split_once('/')
+            .ok_or_else(|| ShardError::Malformed(spec.into()))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| ShardError::Malformed(spec.into()))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| ShardError::Malformed(spec.into()))?;
+        Self::new(index, count)
+    }
+
+    /// The contiguous entity range `[lo, hi)` this shard scores: entities
+    /// are split as evenly as possible, the first `E mod N` shards taking
+    /// one extra. Ranges tile `0..num_entities` exactly, so the union over
+    /// all shards is the full vocabulary and no entity is scored twice.
+    /// Shards with `index >= num_entities` get an empty range.
+    pub fn range(&self, num_entities: usize) -> (usize, usize) {
+        let base = num_entities / self.count;
+        let rem = num_entities % self.count;
+        let lo = self.index * base + self.index.min(rem);
+        let width = base + usize::from(self.index < rem);
+        (lo, lo + width)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// One shard-local candidate: a global entity id with its raw logit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredEntity {
+    /// Global entity id.
+    pub entity: usize,
+    /// Raw decoder logit (pre-softmax), bit-identical to single-node.
+    pub score: f32,
+}
+
+/// A shard's softmax partial statistics: the shard-range maximum and the
+/// left-to-right sum of `exp(x - max)` over the shard's entity order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxStat {
+    /// Maximum raw score in the shard range (`-inf` for an empty shard).
+    pub max: f32,
+    /// `Σ exp(score - max)` over the shard range (`0` for an empty shard).
+    pub sum_exp: f32,
+}
+
+impl SoftmaxStat {
+    /// Computes the stats for one shard's score slice, with the same
+    /// max-fold and left-to-right summation as
+    /// [`crate::predict::topk_from_scores`].
+    pub fn from_scores(scores: &[f32]) -> Self {
+        let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let sum_exp: f32 = scores.iter().map(|&x| (x - max).exp()).sum();
+        Self { max, sum_exp }
+    }
+
+    /// Combines per-shard stats into a global `(max, Σ exp(x - max))`.
+    ///
+    /// `f32::max` is exactly combinable, so the global max is bit-identical
+    /// to single-node. The recombined sum is only *numerically* equal to
+    /// the single-node left-to-right sum (f32 addition is not associative);
+    /// probabilities derived from it agree to float tolerance, which is why
+    /// the merge contract covers rankings and raw scores, never
+    /// probabilities. Empty shards (`sum_exp == 0`) contribute nothing.
+    pub fn combine(stats: &[SoftmaxStat]) -> Self {
+        let max = stats
+            .iter()
+            .map(|s| s.max)
+            .fold(f32::NEG_INFINITY, f32::max);
+        let sum_exp = stats
+            .iter()
+            .filter(|s| s.sum_exp > 0.0)
+            .map(|s| s.sum_exp * (s.max - max).exp())
+            .sum();
+        Self { max, sum_exp }
+    }
+
+    /// Softmax probability of a raw score under these stats.
+    pub fn probability(&self, score: f32) -> f32 {
+        if self.sum_exp <= 0.0 {
+            return 0.0;
+        }
+        (score - self.max).exp() / self.sum_exp
+    }
+}
+
+/// The deterministic ranking order shared by every top-k path in the repo:
+/// score descending, entity id ascending on exact ties. Incomparable
+/// scores (NaN, which the model never produces) compare as tied so the
+/// sort stays total and deterministic.
+pub fn rank_order(a: &ScoredEntity, b: &ScoredEntity) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.entity.cmp(&b.entity))
+}
+
+/// Top-k of one shard's score slice. `scores[i]` is the logit of global
+/// entity `lo + i`; the result is ranked by [`rank_order`] and truncated
+/// to `k`.
+pub fn shard_topk(scores: &[f32], lo: usize, k: usize) -> Vec<ScoredEntity> {
+    let mut ranked: Vec<ScoredEntity> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &score)| ScoredEntity {
+            entity: lo + i,
+            score,
+        })
+        .collect();
+    ranked.sort_by(rank_order);
+    ranked.truncate(k);
+    ranked
+}
+
+/// Merges per-shard top-k lists into the global top-k.
+///
+/// Bit-identical to a single-node ranking over the concatenation of the
+/// shard ranges whenever each input list holds its shard's true top
+/// `min(k, shard_width)` in [`rank_order`] — the standard scatter-gather
+/// argument: any entity in the global top-k is in its own shard's top-k.
+pub fn merge_topk(per_shard: &[Vec<ScoredEntity>], k: usize) -> Vec<ScoredEntity> {
+    let mut all: Vec<ScoredEntity> = per_shard.iter().flatten().copied().collect();
+    all.sort_by(rank_order);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation_and_parse() {
+        assert_eq!(
+            ShardSpec::parse("1/3"),
+            Ok(ShardSpec { index: 1, count: 3 })
+        );
+        assert_eq!(ShardSpec::parse("0/1"), ShardSpec::new(0, 1));
+        assert_eq!(ShardSpec::parse("3/3"), ShardSpec::new(3, 3));
+        assert!(matches!(
+            ShardSpec::new(3, 3),
+            Err(ShardError::IndexOutOfRange { index: 3, count: 3 })
+        ));
+        assert_eq!(ShardSpec::new(0, 0), Err(ShardError::ZeroCount));
+        assert!(matches!(
+            ShardSpec::parse("x/3"),
+            Err(ShardError::Malformed(_))
+        ));
+        assert!(matches!(
+            ShardSpec::parse("03"),
+            Err(ShardError::Malformed(_))
+        ));
+        assert_eq!(ShardSpec::parse(" 2 / 5 ").unwrap().to_string(), "2/5");
+    }
+
+    #[test]
+    fn ranges_tile_the_vocabulary_exactly() {
+        for num_entities in [0usize, 1, 2, 7, 10, 100, 101] {
+            for count in 1usize..=6 {
+                let mut next = 0;
+                for index in 0..count {
+                    let (lo, hi) = ShardSpec { index, count }.range(num_entities);
+                    assert_eq!(lo, next, "E={num_entities} N={count} i={index}");
+                    assert!(hi >= lo);
+                    next = hi;
+                }
+                assert_eq!(next, num_entities, "ranges must cover E={num_entities}");
+            }
+        }
+        // Uneven split: the first E mod N shards take the extra entity.
+        assert_eq!(ShardSpec { index: 0, count: 3 }.range(10), (0, 4));
+        assert_eq!(ShardSpec { index: 1, count: 3 }.range(10), (4, 7));
+        assert_eq!(ShardSpec { index: 2, count: 3 }.range(10), (7, 10));
+        // More shards than entities: trailing shards are empty.
+        assert_eq!(ShardSpec { index: 3, count: 4 }.range(2), (2, 2));
+    }
+
+    #[test]
+    fn shard_topk_ranks_desc_with_entity_tiebreak() {
+        let ranked = shard_topk(&[1.0, 3.0, 3.0, 2.0], 10, 3);
+        let pairs: Vec<(usize, f32)> = ranked.iter().map(|s| (s.entity, s.score)).collect();
+        assert_eq!(pairs, vec![(11, 3.0), (12, 3.0), (13, 2.0)]);
+    }
+
+    #[test]
+    fn merge_equals_single_shard_ranking() {
+        let scores = [0.5f32, -1.0, 0.5, 2.0, 2.0, -3.0, 0.0];
+        let k = 4;
+        let single = shard_topk(&scores, 0, k);
+        let split = [
+            shard_topk(&scores[..3], 0, k),
+            shard_topk(&scores[3..5], 3, k),
+            shard_topk(&scores[5..], 5, k),
+        ];
+        let merged = merge_topk(&split, k);
+        assert_eq!(merged.len(), single.len());
+        for (m, s) in merged.iter().zip(&single) {
+            assert_eq!(m.entity, s.entity);
+            assert_eq!(m.score.to_bits(), s.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn softmax_stats_recombine_numerically() {
+        let scores = [0.1f32, 2.0, -1.5, 0.7, 0.7, 3.0];
+        let full = SoftmaxStat::from_scores(&scores);
+        let parts = [
+            SoftmaxStat::from_scores(&scores[..2]),
+            SoftmaxStat::from_scores(&scores[2..4]),
+            SoftmaxStat::from_scores(&scores[4..]),
+        ];
+        let combined = SoftmaxStat::combine(&parts);
+        // The max is exactly combinable; the sum to float tolerance.
+        assert_eq!(combined.max.to_bits(), full.max.to_bits());
+        assert!((combined.sum_exp - full.sum_exp).abs() / full.sum_exp < 1e-6);
+        let p_full = full.probability(2.0);
+        let p_comb = combined.probability(2.0);
+        assert!((p_full - p_comb).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_shards_are_inert() {
+        let empty = SoftmaxStat::from_scores(&[]);
+        assert_eq!(empty.sum_exp, 0.0);
+        assert_eq!(empty.probability(1.0), 0.0);
+        let combined = SoftmaxStat::combine(&[empty, SoftmaxStat::from_scores(&[1.0, 2.0])]);
+        let direct = SoftmaxStat::from_scores(&[1.0, 2.0]);
+        assert_eq!(combined.max.to_bits(), direct.max.to_bits());
+        assert!((combined.sum_exp - direct.sum_exp).abs() < 1e-6);
+        assert!(shard_topk(&[], 5, 3).is_empty());
+        assert!(merge_topk(&[vec![], vec![]], 3).is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the scatter-gather merge contract (PR 10 satellite):
+//! for ANY N-way entity partition, per-shard `shard_topk` followed by
+//! `merge_topk` must be `to_bits`-identical — same entity order, same raw
+//! score bits — to single-node `topk_from_scores`. Tie-heavy score vectors
+//! (drawn from a tiny palette) exercise the entity-id tie-break, and a
+//! companion property checks that `SoftmaxStat::combine` recovers the
+//! single-node softmax probabilities to float tolerance.
+
+use logcl_core::{merge_topk, shard_topk, topk_from_scores, ScoredEntity, ShardSpec, SoftmaxStat};
+use logcl_tkg::TkgDataset;
+use proptest::prelude::*;
+
+/// A dataset stub with just enough shape for `topk_from_scores`: it only
+/// reads `entity_names` (all fields are public, so no preset generation
+/// is needed).
+fn tiny_dataset(num_entities: usize) -> TkgDataset {
+    TkgDataset {
+        name: "merge-prop".to_string(),
+        num_entities,
+        num_rels: 1,
+        num_times: 1,
+        train: Vec::new(),
+        valid: Vec::new(),
+        test: Vec::new(),
+        entity_names: (0..num_entities).map(|i| format!("e{i}")).collect(),
+        rel_names: vec!["r0".to_string()],
+        static_facts: Vec::new(),
+        num_static_rels: 0,
+    }
+}
+
+/// Splits `scores` into the `n` shard ranges of `ShardSpec` and runs the
+/// per-shard top-k. `n` may exceed the entity count; trailing shards are
+/// empty and must merge away cleanly.
+fn scatter(scores: &[f32], n: usize, k: usize) -> Vec<Vec<ScoredEntity>> {
+    (0..n)
+        .map(|i| {
+            let spec = ShardSpec::new(i, n).expect("valid shard index");
+            let (lo, hi) = spec.range(scores.len());
+            shard_topk(&scores[lo..hi], lo, k)
+        })
+        .collect()
+}
+
+fn assert_bit_identical(scores: &[f32], n: usize, k: usize) -> Result<(), TestCaseError> {
+    let ds = tiny_dataset(scores.len());
+    let single = topk_from_scores(&ds, scores, k);
+    let merged = merge_topk(&scatter(scores, n, k), k);
+
+    prop_assert_eq!(
+        merged.len(),
+        single.len(),
+        "merged {} entries vs single-node {} (n={}, k={})",
+        merged.len(),
+        single.len(),
+        n,
+        k
+    );
+    for (rank, (m, s)) in merged.iter().zip(single.iter()).enumerate() {
+        prop_assert_eq!(
+            m.entity,
+            s.entity,
+            "rank {}: merged entity {} != single-node {} (n={})",
+            rank,
+            m.entity,
+            s.entity,
+            n
+        );
+        prop_assert_eq!(
+            m.score.to_bits(),
+            s.score.to_bits(),
+            "rank {}: merged score bits differ from single-node (n={})",
+            rank,
+            n
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary scores, arbitrary partition width (including n > |E|,
+    /// which leaves trailing shards empty).
+    #[test]
+    fn merge_matches_single_node_for_random_scores(
+        raw in proptest::collection::vec(-1000i32..1000, 1..80),
+        n in 1usize..9,
+        k in 1usize..16,
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&v| v as f32 / 16.0).collect();
+        assert_bit_identical(&scores, n, k)?;
+    }
+
+    /// Tie-heavy vectors: scores drawn from a 3-value palette force exact
+    /// f32 ties, so only the entity-id ascending tie-break can produce a
+    /// deterministic order — and it must match single-node exactly.
+    #[test]
+    fn merge_matches_single_node_on_exact_ties(
+        raw in proptest::collection::vec(0usize..3, 1..60),
+        n in 1usize..7,
+        k in 1usize..32,
+    ) {
+        let palette = [0.5f32, -2.25, 7.125];
+        let scores: Vec<f32> = raw.iter().map(|&v| palette[v]).collect();
+        assert_bit_identical(&scores, n, k)?;
+    }
+
+    /// Degenerate partitions: every entity its own shard (plus empties
+    /// when n > |E|) must still reproduce the single-node ranking.
+    #[test]
+    fn one_entity_per_shard_is_still_identical(
+        raw in proptest::collection::vec(-64i32..64, 1..24),
+        extra in 0usize..4,
+        k in 1usize..8,
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&v| v as f32 * 0.375).collect();
+        let n = scores.len() + extra;
+        assert_bit_identical(&scores, n, k)?;
+    }
+
+    /// Softmax partials: combining per-shard `(max, Σ exp)` statistics
+    /// recovers the single-node probabilities to float tolerance. (The
+    /// merge contract guarantees bit-identical *scores*; probabilities
+    /// are only numerically equal because f32 addition is not
+    /// associative across shard boundaries.)
+    #[test]
+    fn combined_softmax_stats_match_full_softmax(
+        raw in proptest::collection::vec(-200i32..200, 1..64),
+        n in 1usize..7,
+    ) {
+        let scores: Vec<f32> = raw.iter().map(|&v| v as f32 / 8.0).collect();
+        let ds = tiny_dataset(scores.len());
+        let single = topk_from_scores(&ds, &scores, scores.len());
+
+        let stats: Vec<SoftmaxStat> = (0..n)
+            .map(|i| {
+                let (lo, hi) = ShardSpec::new(i, n).unwrap().range(scores.len());
+                SoftmaxStat::from_scores(&scores[lo..hi])
+            })
+            .collect();
+        let combined = SoftmaxStat::combine(&stats);
+
+        for p in &single {
+            let got = combined.probability(p.score);
+            prop_assert!(
+                (got - p.probability).abs() <= 1e-5,
+                "entity {}: combined probability {} vs single-node {} (n={})",
+                p.entity, got, p.probability, n
+            );
+        }
+    }
+}

@@ -626,6 +626,36 @@ mod tests {
         assert!(parse_response(b"not http").is_none());
     }
 
+    /// The router's partial-result degradation (a shard down, answer from
+    /// the survivors) flows through the harness like any other tier: a
+    /// degraded 200 classified under `tiers["partial"]`.
+    #[test]
+    fn router_partial_tier_is_parsed_and_counted() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nX-LogCL-Degradation: partial\r\nRetry-After: 1\r\n\r\n{\"degraded\":true,\"coverage\":0.6666666}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.degraded);
+        assert_eq!(r.tier.as_deref(), Some("partial"));
+        assert!(r.retry_after_present);
+
+        let mut stats = RunStats::new(1);
+        stats.absorb(Sample {
+            scheduled_micros: 0,
+            sent_micros: 10,
+            done_micros: 1_010,
+            kind: if r.status == 200 && r.degraded {
+                OutcomeKind::Degraded
+            } else {
+                OutcomeKind::Ok
+            },
+            tier: r.tier,
+            retry_after_missing: false,
+            reused_connection: true,
+        });
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.tiers.get("partial"), Some(&1));
+    }
+
     #[test]
     fn stats_classify_and_count_every_outcome() {
         let mut stats = RunStats::new(6);

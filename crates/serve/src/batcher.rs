@@ -26,7 +26,7 @@ use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
-use logcl_core::Prediction;
+use logcl_core::{Prediction, ShardSpec, SoftmaxStat};
 
 use crate::metrics::Metrics;
 use crate::shed::OverloadState;
@@ -51,6 +51,23 @@ pub struct PredictJob {
     pub reply: Sender<Result<PredictOutcome, ServeError>>,
 }
 
+/// Shard provenance attached to answers served in `--shard` mode, carrying
+/// everything a scatter-gather router needs to merge this worker's partial
+/// answer with its peers': the entity range actually scored and the
+/// shard-local softmax statistics ([`SoftmaxStat`]) for recombining global
+/// probabilities.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardDetail {
+    /// Which shard of how many this worker is.
+    pub spec: ShardSpec,
+    /// First entity id this worker scored (inclusive).
+    pub lo: usize,
+    /// One past the last entity id this worker scored.
+    pub hi: usize,
+    /// Shard-local softmax partials over `[lo, hi)`.
+    pub stat: SoftmaxStat,
+}
+
 /// A successful prediction, plus how it was served.
 #[derive(Debug)]
 pub struct PredictOutcome {
@@ -63,6 +80,10 @@ pub struct PredictOutcome {
     /// Whether the answer was degraded (Brownout: capped k and/or
     /// local-only decoding).
     pub degraded: bool,
+    /// `Some` when this worker scored only an entity shard; the
+    /// probabilities above are then shard-local, and the merge happens at
+    /// the router.
+    pub shard: Option<ShardDetail>,
 }
 
 /// A fact-ingestion request.
@@ -440,6 +461,7 @@ mod tests {
                     batch_size: 1,
                     cache_hit: false,
                     degraded: false,
+                    shard: None,
                 }));
             }
         }

@@ -27,6 +27,7 @@
 
 pub mod batcher;
 pub mod cache;
+pub mod deadline;
 pub mod error;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
@@ -37,7 +38,7 @@ pub mod server;
 pub mod shed;
 pub mod wal;
 
-pub use batcher::{BatcherOptions, ServeError};
+pub use batcher::{BatcherOptions, ServeError, ShardDetail};
 pub use cache::EncodingCache;
 pub use error::StartError;
 pub use metrics::Metrics;

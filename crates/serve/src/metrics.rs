@@ -24,7 +24,9 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &'static [f64]) -> Self {
+    /// A zeroed histogram over `bounds` (public so the cluster router can
+    /// build per-shard latency histograms from the same machinery).
+    pub fn new(bounds: &'static [f64]) -> Self {
         Self {
             bounds,
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
@@ -64,7 +66,8 @@ impl Histogram {
             .collect()
     }
 
-    fn render(&self, name: &str, help: &str, out: &mut String) {
+    /// Appends this histogram's Prometheus exposition lines to `out`.
+    pub fn render(&self, name: &str, help: &str, out: &mut String) {
         use std::fmt::Write;
         let _ = writeln!(out, "# HELP {name} {help}");
         let _ = writeln!(out, "# TYPE {name} histogram");

@@ -21,14 +21,14 @@ use logcl_core::model::SharedEncoding;
 use logcl_core::serving_snapshot::SERVING_SNAPSHOT_VERSION;
 use logcl_core::{
     trainer, DedupEntry, EncoderState, EvalContext, LogCl, LogClConfig, ModelParamSnapshot,
-    ServingSnapshot, TrainOptions,
+    ServingSnapshot, ShardSpec, SoftmaxStat, TrainOptions,
 };
 use logcl_tensor::serialize::Checkpoint;
 use logcl_tkg::quad::Quad;
 use logcl_tkg::{DatasetExtension, HistoryIndex, Snapshot, TkgDataset};
 
 use crate::batcher::{
-    BatchHandler, IngestJob, IngestOutcome, PredictJob, PredictOutcome, ServeError,
+    BatchHandler, IngestJob, IngestOutcome, PredictJob, PredictOutcome, ServeError, ShardDetail,
 };
 use crate::cache::EncodingCache;
 use crate::error::StartError;
@@ -90,6 +90,9 @@ pub struct RegistryOptions {
     /// Max online fine-tuning gradient steps per `update:true` ingest
     /// (`0` disables online adaptation entirely).
     pub online_steps: usize,
+    /// Score only this entity shard's candidate range (`None` = the whole
+    /// vocabulary, i.e. ordinary single-node serving).
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for RegistryOptions {
@@ -98,6 +101,7 @@ impl Default for RegistryOptions {
             fused: false,
             cache_capacity: 16,
             online_steps: 1,
+            shard: None,
         }
     }
 }
@@ -213,6 +217,9 @@ pub struct Registry {
     head_history: HistoryIndex,
     /// Max online fine-tuning steps per `update:true` ingest.
     online_steps: usize,
+    /// Entity-shard assignment with its resolved candidate range
+    /// (`None` = single-node serving over the full vocabulary).
+    shard: Option<(ShardSpec, (usize, usize))>,
     /// Durable-ingest state; `None` = memory-only ingestion.
     durable: Option<DurableState>,
     /// Idempotency window (active with or without durability).
@@ -222,6 +229,37 @@ pub struct Registry {
     base_test_len: usize,
     /// Ingests applied since the base (monotone across compactions).
     applied_ingests: u64,
+}
+
+/// Scores `queries` over the shared encoding, honouring the brownout
+/// local-only fallback and (in shard mode) restricting the decode to
+/// `entity_range`. Returns one score vector per query — full `|E|`-length
+/// in single-node mode, the `[lo, hi)` slice in shard mode. An empty shard
+/// range yields empty slices without touching the model (a zero-row
+/// candidate matmul has nothing to compute).
+fn score_queries(
+    model: &mut LogCl,
+    shared: &SharedEncoding,
+    history: &HistoryIndex,
+    queries: &[Quad],
+    skip_global: bool,
+    entity_range: Option<(usize, usize)>,
+) -> Vec<Vec<f32>> {
+    if let Some((lo, hi)) = entity_range {
+        if lo == hi {
+            return vec![Vec::new(); queries.len()];
+        }
+    }
+    let out = match (entity_range, skip_global) {
+        (Some(range), true) => {
+            model.forward_queries_local_only_sharded(shared, history, queries, range)
+        }
+        (Some(range), false) => model.forward_queries_sharded(shared, history, queries, range),
+        (None, true) => model.forward_queries_local_only(shared, history, queries),
+        (None, false) => model.forward_queries(shared, history, queries, false),
+    };
+    let logits = out.logits.to_tensor();
+    (0..queries.len()).map(|i| logits.row(i).to_vec()).collect()
 }
 
 impl Registry {
@@ -291,6 +329,7 @@ impl Registry {
             .encoder_state_horizon
             .store(ds.num_times as u64, Ordering::Relaxed);
         let base_test_len = ds.test.len();
+        let num_entities = ds.num_entities;
         Ok(Self {
             ds,
             snapshots,
@@ -301,6 +340,7 @@ impl Registry {
             overload,
             head_history,
             online_steps: options.online_steps,
+            shard: options.shard.map(|s| (s, s.range(num_entities))),
             durable: None,
             dedup: DedupWindow::default(),
             base_test_len,
@@ -425,6 +465,11 @@ impl Registry {
             }
         }
 
+        // In `--shard i/N` mode every decode is restricted to this worker's
+        // candidate range: the scores below are then *slices* (`scores[j]`
+        // is the logit of global entity `lo + j`), bit-identical per entity
+        // to the single-node run.
+        let entity_range = self.shard.map(|(_, range)| range);
         let mut scores: Vec<Vec<f32>> = Vec::with_capacity(uniques.len());
         if self.fused {
             // One forward_queries call for the whole batch — the repo's
@@ -433,17 +478,14 @@ impl Registry {
                 .iter()
                 .map(|&(s, r)| Quad::new(s, r, 0, t))
                 .collect();
-            let out = if skip_global {
-                entry
-                    .model
-                    .forward_queries_local_only(&cached.shared, history, &queries)
-            } else {
-                entry
-                    .model
-                    .forward_queries(&cached.shared, history, &queries, false)
-            };
-            let logits = out.logits.to_tensor();
-            scores.extend((0..uniques.len()).map(|i| logits.row(i).to_vec()));
+            scores = score_queries(
+                &mut entry.model,
+                &cached.shared,
+                history,
+                &queries,
+                skip_global,
+                entity_range,
+            );
         } else {
             // Exact mode: per-unique-query decode over the shared encoding —
             // bit-identical to sequential `predict_topk_stream` at the head
@@ -451,16 +493,15 @@ impl Registry {
             // whatever else happens to be in the batch.
             for &(s, r) in &uniques {
                 let query = [Quad::new(s, r, 0, t)];
-                let out = if skip_global {
-                    entry
-                        .model
-                        .forward_queries_local_only(&cached.shared, history, &query)
-                } else {
-                    entry
-                        .model
-                        .forward_queries(&cached.shared, history, &query, false)
-                };
-                scores.push(out.logits.to_tensor().row(0).to_vec());
+                let mut one = score_queries(
+                    &mut entry.model,
+                    &cached.shared,
+                    history,
+                    &query,
+                    skip_global,
+                    entity_range,
+                );
+                scores.push(one.remove(0));
             }
         }
 
@@ -485,12 +526,32 @@ impl Registry {
                     .degraded_responses
                     .fetch_add(1, Ordering::Relaxed);
             }
-            let predictions = logcl_core::topk_from_scores(&self.ds, scored, k_eff);
+            let (predictions, shard) = match self.shard {
+                Some((spec, (lo, hi))) => {
+                    // Shard-local ranking + softmax partials; probabilities
+                    // are over this worker's range only, and the router
+                    // recombines global ones from the per-shard stats.
+                    let stat = SoftmaxStat::from_scores(scored);
+                    let ranked = logcl_core::shard_topk(scored, lo, k_eff);
+                    let predictions = ranked
+                        .into_iter()
+                        .map(|c| logcl_core::Prediction {
+                            entity: c.entity,
+                            name: self.ds.entity_name(c.entity),
+                            probability: stat.probability(c.score),
+                            score: c.score,
+                        })
+                        .collect();
+                    (predictions, Some(ShardDetail { spec, lo, hi, stat }))
+                }
+                None => (logcl_core::topk_from_scores(&self.ds, scored, k_eff), None),
+            };
             let _ = job.reply.send(Ok(PredictOutcome {
                 predictions,
                 batch_size,
                 cache_hit,
                 degraded,
+                shard,
             }));
         }
     }

@@ -25,6 +25,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use logcl_core::ShardSpec;
 use logcl_tkg::TkgDataset;
 use serde_json::{json, Value};
 
@@ -109,6 +110,11 @@ pub struct ServeConfig {
     /// (`0` disables online adaptation; the loss guard may stop — and roll
     /// back — a loop before the budget is spent).
     pub online_steps: usize,
+    /// Serve as entity shard `i/N`: `/predict` scores only this worker's
+    /// contiguous candidate range and reports shard-local softmax partials
+    /// for a scatter-gather router to merge. `/ingest` is unaffected (every
+    /// shard holds the full model and history). `None` = single-node.
+    pub shard: Option<ShardSpec>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +147,7 @@ impl Default for ServeConfig {
             wal_dir: None,
             wal_compact_every: 64,
             online_steps: 1,
+            shard: None,
         }
     }
 }
@@ -242,6 +249,11 @@ struct HandlerCtx {
     max_deadline: Duration,
     retry_after_secs: u64,
     demand: Arc<ConnDemand>,
+    /// Entity vocabulary size (immutable), surfaced by `/healthz` so a
+    /// router can compute coverage fractions.
+    num_entities: usize,
+    /// This worker's shard assignment with its resolved range, if any.
+    shard: Option<(ShardSpec, (usize, usize))>,
 }
 
 // ---------------------------------------------------------------- thread pool
@@ -416,6 +428,7 @@ impl Server {
         ));
         let horizon = Arc::new(AtomicUsize::new(ds.num_times));
         let vocab = Vocab::from_dataset(&ds);
+        let num_entities = ds.num_entities;
         let (work_tx, work_rx) = mpsc::sync_channel::<WorkItem>(cfg.queue_cap.max(1));
 
         // Model worker: owns the registry (the model is not Send, so it is
@@ -432,6 +445,7 @@ impl Server {
                 fused: cfg.fused,
                 cache_capacity: cfg.cache_capacity,
                 online_steps: cfg.online_steps,
+                shard: cfg.shard,
             };
             let overload = Arc::clone(&overload);
             let wal_dir = cfg.wal_dir.clone();
@@ -515,6 +529,8 @@ impl Server {
             max_deadline: cfg.max_deadline.max(cfg.default_deadline),
             retry_after_secs: cfg.retry_after_secs.max(1),
             demand: Arc::clone(&demand),
+            num_entities,
+            shard: cfg.shard.map(|s| (s, s.range(num_entities))),
         });
 
         let accept = {
@@ -746,6 +762,8 @@ fn route(req: &Request, ctx: &HandlerCtx, started: Instant) -> Response {
                 "status": "ok",
                 "horizon": ctx.horizon.load(Ordering::SeqCst),
                 "tier": ctx.overload.tier(Instant::now()).name(),
+                "entities": ctx.num_entities,
+                "shard": shard_json(ctx.shard),
             })
             .to_string(),
         ),
@@ -770,6 +788,20 @@ fn route(req: &Request, ctx: &HandlerCtx, started: Instant) -> Response {
 
 fn error_response(err: &ServeError) -> Response {
     Response::json(err.status, json!({ "error": err.message }).to_string())
+}
+
+/// The `"shard"` object advertised by `/healthz`: the assignment and its
+/// resolved entity range, or `null` for a single-node server.
+fn shard_json(shard: Option<(ShardSpec, (usize, usize))>) -> Value {
+    match shard {
+        Some((spec, (lo, hi))) => json!({
+            "index": spec.index,
+            "count": spec.count,
+            "lo": lo,
+            "hi": hi,
+        }),
+        None => Value::Null,
+    }
 }
 
 fn parse_body(req: &Request) -> Result<Value, ServeError> {
@@ -889,7 +921,7 @@ fn await_reply<T>(
     rx: &Receiver<Result<T, ServeError>>,
     deadline: Instant,
 ) -> Result<T, ServeError> {
-    let budget = deadline.saturating_duration_since(Instant::now());
+    let budget = crate::deadline::remaining_budget(deadline, Instant::now());
     match rx.recv_timeout(budget) {
         Ok(result) => result,
         Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError {
@@ -995,25 +1027,45 @@ fn predict_inner(
         .predictions
         .iter()
         .map(|p| {
+            // `score_bits` is the raw logit's exact f32 bit pattern: JSON
+            // decimal round-trips are not bit-reliable, and the router's
+            // scatter-gather merge needs bit-exact scores to reproduce the
+            // single-node ranking.
             json!({
                 "entity": p.entity,
                 "name": p.name,
                 "probability": p.probability,
+                "score": p.score,
+                "score_bits": p.score.to_bits(),
             })
         })
         .collect();
-    Ok(Response::json(
-        200,
-        json!({
-            "model": model,
-            "query": json!({ "subject": s, "relation": r, "time": t }),
-            "predictions": predictions,
-            "batch_size": outcome.batch_size,
-            "cache_hit": outcome.cache_hit,
-            "degraded": outcome.degraded,
-        })
-        .to_string(),
-    ))
+    let mut response = json!({
+        "model": model,
+        "query": json!({ "subject": s, "relation": r, "time": t }),
+        "predictions": predictions,
+        "batch_size": outcome.batch_size,
+        "cache_hit": outcome.cache_hit,
+        "degraded": outcome.degraded,
+    });
+    if let (Some(shard), Value::Object(map)) = (&outcome.shard, &mut response) {
+        // Shard provenance + softmax partials (as exact bit patterns, since
+        // `max` may be -inf and JSON cannot carry infinities) so the router
+        // can recombine global probabilities.
+        map.insert(
+            "shard".into(),
+            json!({
+                "index": shard.spec.index,
+                "count": shard.spec.count,
+                "lo": shard.lo,
+                "hi": shard.hi,
+                "entities": ctx.num_entities,
+                "softmax_max_bits": shard.stat.max.to_bits(),
+                "softmax_sum_exp_bits": shard.stat.sum_exp.to_bits(),
+            }),
+        );
+    }
+    Ok(Response::json(200, response.to_string()))
 }
 
 fn ingest(req: &Request, ctx: &HandlerCtx, started: Instant) -> Response {
